@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks: the building blocks (B+-tree, Z-order,
+//! policy encoding) and small-scale end-to-end queries for both engines.
+//! Figure-scale sweeps live in the `fig*` binaries, not here.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peb_bench::harness::{RunConfig, World};
+use peb_btree::BTree;
+use peb_common::{MovingPoint, Point, SpaceConfig, UserId, Vec2};
+use peb_policy::{SequenceValues, SvAssignmentParams};
+use peb_storage::BufferPool;
+use peb_workload::{DatasetBuilder, QueryGenerator};
+use peb_zorder::{decompose, encode};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    g.bench_function("insert_10k_random", |b| {
+        b.iter(|| {
+            let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(256)));
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                t.insert(rng.gen::<u64>() as u128, 0);
+            }
+            black_box(t.len())
+        })
+    });
+    let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(256)));
+    for i in 0..100_000u128 {
+        t.insert(i * 7, i as u64);
+    }
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u128;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(t.get(i * 7))
+        })
+    });
+    g.bench_function("range_scan_1k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            t.range_scan(7_000, 14_000, |_, _| {
+                n += 1;
+                true
+            });
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_zorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zorder");
+    g.bench_function("encode", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2_654_435_761);
+            black_box(encode(i & 0xFFFF, (i >> 16) & 0xFFFF))
+        })
+    });
+    for side in [50u32, 200, 500] {
+        g.bench_with_input(BenchmarkId::new("decompose_1024grid", side), &side, |b, &side| {
+            b.iter(|| black_box(decompose(100, 100 + side, 200, 200 + side, 10)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_policy_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_encoding");
+    g.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let ds = DatasetBuilder::default().num_users(n).policies_per_user(20).seed(3).build();
+        g.bench_with_input(BenchmarkId::new("sequence_values", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(SequenceValues::assign(
+                    &ds.store,
+                    &SpaceConfig::default(),
+                    n,
+                    SvAssignmentParams::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let cfg = RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        queries: 0,
+        seed: 9,
+        ..Default::default()
+    };
+    let world = World::build(&cfg);
+    let gen = QueryGenerator::new(world.dataset.space, cfg.num_users);
+    let mut rng = StdRng::seed_from_u64(17);
+    let ranges = gen.range_batch(&mut rng, 64, 200.0, cfg.tq);
+    let knns = gen.knn_batch(&mut rng, 64, 5, cfg.tq);
+
+    let mut g = c.benchmark_group("queries_8k_users");
+    g.sample_size(20);
+    g.bench_function("peb_prq", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &ranges[i % ranges.len()];
+            i += 1;
+            black_box(world.peb.prq(q.issuer, &q.window, q.tq).len())
+        })
+    });
+    g.bench_function("spatial_prq", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &ranges[i % ranges.len()];
+            i += 1;
+            black_box(world.baseline.prq(&world.ctx.store, q.issuer, &q.window, q.tq).len())
+        })
+    });
+    g.bench_function("peb_pknn", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &knns[i % knns.len()];
+            i += 1;
+            black_box(world.peb.pknn(q.issuer, q.q, q.k, q.tq).len())
+        })
+    });
+    g.bench_function("spatial_pknn", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &knns[i % knns.len()];
+            i += 1;
+            black_box(world.baseline.pknn(&world.ctx.store, q.issuer, q.q, q.k, q.tq).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let cfg = RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        queries: 0,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut world = World::build(&cfg);
+    let mut g = c.benchmark_group("updates_8k_users");
+    let mut rng = StdRng::seed_from_u64(23);
+    g.bench_function("peb_upsert", |b| {
+        b.iter(|| {
+            let uid = rng.gen_range(0..8_000u64);
+            let m = MovingPoint::new(
+                UserId(uid),
+                Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                Vec2::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)),
+                30.0,
+            );
+            world.peb.upsert(m);
+        })
+    });
+    g.bench_function("baseline_upsert", |b| {
+        b.iter(|| {
+            let uid = rng.gen_range(0..8_000u64);
+            let m = MovingPoint::new(
+                UserId(uid),
+                Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                Vec2::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)),
+                30.0,
+            );
+            world.baseline.upsert(m);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_zorder,
+    bench_policy_encoding,
+    bench_queries,
+    bench_updates
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablations of the PEB-tree's own design choices (not paper figures):
+//!
+//! * **δ (group spacing)** — Fig 5's inter-group gap. Too small and groups
+//!   bleed into each other in key space; large values only stretch keys.
+//! * **SV quantization (`frac_bits`)** — how many fixed-point bits of the
+//!   sequence value survive in the PEB key. Coarse codes merge unrelated
+//!   users into the same SV slot and enlarge scans.
+//! * **Buffer size** — the LRU pool the paper fixes at 50 pages.
+//!
+//! Usage: `cargo run --release -p peb-bench --bin ablation` (respects
+//! PEB_SCALE / PEB_QUERIES).
+
+use peb_bench::harness::{run, RunConfig};
+use peb_policy::SvAssignmentParams;
+
+fn main() {
+    println!("# Ablation A: sequence-value group spacing δ");
+    println!("delta\tpeb_prq_io\tpeb_knn_io");
+    for delta in [1.5, 2.0, 4.0, 8.0] {
+        let cfg = RunConfig {
+            sv_params: SvAssignmentParams { delta, ..Default::default() },
+            ..Default::default()
+        };
+        let m = run(&cfg);
+        println!("{delta}\t{:.2}\t{:.2}", m.peb_prq_io, m.peb_knn_io);
+    }
+
+    println!("\n# Ablation B: SV fixed-point resolution (frac_bits)");
+    println!("frac_bits\tpeb_prq_io\tpeb_knn_io");
+    for frac_bits in [2u32, 6, 10, 14] {
+        let cfg = RunConfig {
+            sv_params: SvAssignmentParams { frac_bits, ..Default::default() },
+            ..Default::default()
+        };
+        let m = run(&cfg);
+        println!("{frac_bits}\t{:.2}\t{:.2}", m.peb_prq_io, m.peb_knn_io);
+    }
+
+    println!("\n# Ablation C: LRU buffer size (pages)");
+    println!("buffer_pages\tpeb_prq_io\tspatial_prq_io\tpeb_knn_io\tspatial_knn_io");
+    for buffer_pages in [10usize, 25, 50, 100, 200] {
+        let cfg = RunConfig { buffer_pages, ..Default::default() };
+        let m = run(&cfg);
+        println!(
+            "{buffer_pages}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            m.peb_prq_io, m.base_prq_io, m.peb_knn_io, m.base_knn_io
+        );
+    }
+}

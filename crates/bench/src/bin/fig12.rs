@@ -1,0 +1,8 @@
+//! Fig 12: effect of the total number of users on PRQ/PkNN I/O.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 12", "query I/O vs total number of users (PRQ and PkNN)");
+    report::io_table("users", &experiments::fig12_users());
+}

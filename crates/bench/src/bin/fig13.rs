@@ -1,0 +1,8 @@
+//! Fig 13: effect of the number of policies per user on PRQ/PkNN I/O.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 13", "query I/O vs policies per user (PRQ and PkNN)");
+    report::io_table("policies_per_user", &experiments::fig13_policies());
+}

@@ -1,0 +1,8 @@
+//! Fig 14: effect of the grouping factor θ on PRQ/PkNN I/O.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 14", "query I/O vs grouping factor (PRQ and PkNN)");
+    report::io_table("theta", &experiments::fig14_theta());
+}

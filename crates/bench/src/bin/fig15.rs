@@ -1,0 +1,11 @@
+//! Fig 15: effect of the location-related query parameters.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 15(a)", "PRQ I/O vs query-window side length");
+    report::io_table("window_side", &experiments::fig15a_window());
+    println!();
+    report::header("Fig 15(b)", "PkNN I/O vs k");
+    report::io_table("k", &experiments::fig15b_k());
+}

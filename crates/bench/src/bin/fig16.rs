@@ -1,0 +1,8 @@
+//! Fig 16: effect of the spatial distribution (network data, varying hubs).
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 16", "query I/O vs number of destinations (network-based data)");
+    report::io_table("destinations", &experiments::fig16_destinations());
+}

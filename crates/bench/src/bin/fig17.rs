@@ -1,0 +1,8 @@
+//! Fig 17: effect of the maximum object speed.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 17", "query I/O vs maximum object speed");
+    report::io_table("max_speed", &experiments::fig17_speed());
+}

@@ -1,0 +1,8 @@
+//! Fig 18: effect of updates (25% of the dataset per round, two full passes).
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 18", "query I/O after each 25% update round (200% total)");
+    report::io_table("percent_updated", &experiments::fig18_updates());
+}

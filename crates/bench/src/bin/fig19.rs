@@ -1,0 +1,8 @@
+//! Fig 19: cost-model validation — estimated vs actual PEB PRQ I/O.
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 19", "cost function estimate vs actual PEB-tree PRQ I/O");
+    report::cost_table(&experiments::fig19_cost_model());
+}

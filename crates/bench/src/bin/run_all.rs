@@ -1,0 +1,38 @@
+//! Run every figure back to back (respects PEB_SCALE / PEB_QUERIES).
+use peb_bench::experiments;
+use peb_bench::report;
+
+fn main() {
+    report::header("Fig 11(a)", "policy-encoding preprocessing time, varying number of users");
+    report::time_table("users", &experiments::fig11a_users());
+    println!();
+    report::header("Fig 11(b)", "policy-encoding preprocessing time, varying policies per user");
+    report::time_table("policies_per_user", &experiments::fig11b_policies());
+    println!();
+    report::header("Fig 12", "query I/O vs total number of users");
+    report::io_table("users", &experiments::fig12_users());
+    println!();
+    report::header("Fig 13", "query I/O vs policies per user");
+    report::io_table("policies_per_user", &experiments::fig13_policies());
+    println!();
+    report::header("Fig 14", "query I/O vs grouping factor");
+    report::io_table("theta", &experiments::fig14_theta());
+    println!();
+    report::header("Fig 15(a)", "PRQ I/O vs query-window side length");
+    report::io_table("window_side", &experiments::fig15a_window());
+    println!();
+    report::header("Fig 15(b)", "PkNN I/O vs k");
+    report::io_table("k", &experiments::fig15b_k());
+    println!();
+    report::header("Fig 16", "query I/O vs number of destinations (network data)");
+    report::io_table("destinations", &experiments::fig16_destinations());
+    println!();
+    report::header("Fig 17", "query I/O vs maximum object speed");
+    report::io_table("max_speed", &experiments::fig17_speed());
+    println!();
+    report::header("Fig 18", "query I/O after each 25% update round");
+    report::io_table("percent_updated", &experiments::fig18_updates());
+    println!();
+    report::header("Fig 19", "cost function estimate vs actual PEB-tree PRQ I/O");
+    report::cost_table(&experiments::fig19_cost_model());
+}

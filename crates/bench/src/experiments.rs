@@ -1,0 +1,284 @@
+//! Parameter sweeps, one per figure of Sec 7.
+
+use peb_costmodel::{calibrate, cost, CostInputs};
+use peb_workload::{Distribution, UpdateStream};
+
+use crate::harness::{run, scaled, Measured, RunConfig, World};
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The varied parameter's value.
+    pub x: f64,
+    pub m: Measured,
+}
+
+/// Fig 11(a): preprocessing time vs number of users (10K..100K).
+pub fn fig11a_users() -> Vec<SweepPoint> {
+    paper_user_counts()
+        .into_iter()
+        .map(|n| {
+            let cfg = RunConfig { num_users: n, queries: 0, ..Default::default() };
+            let world = World::build(&cfg);
+            SweepPoint {
+                x: n as f64,
+                m: Measured { encode_secs: world.encode_secs, ..Default::default() },
+            }
+        })
+        .collect()
+}
+
+/// Fig 11(b): preprocessing time vs policies per user (10..100) at 60K users.
+pub fn fig11b_policies() -> Vec<SweepPoint> {
+    paper_policy_counts()
+        .into_iter()
+        .map(|np| {
+            let cfg = RunConfig { policies_per_user: np, queries: 0, ..Default::default() };
+            let world = World::build(&cfg);
+            SweepPoint {
+                x: np as f64,
+                m: Measured { encode_secs: world.encode_secs, ..Default::default() },
+            }
+        })
+        .collect()
+}
+
+/// Fig 12: query I/O vs total number of users.
+pub fn fig12_users() -> Vec<SweepPoint> {
+    paper_user_counts()
+        .into_iter()
+        .map(|n| {
+            let cfg = RunConfig { num_users: n, ..Default::default() };
+            SweepPoint { x: n as f64, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 13: query I/O vs policies per user.
+pub fn fig13_policies() -> Vec<SweepPoint> {
+    paper_policy_counts()
+        .into_iter()
+        .map(|np| {
+            let cfg = RunConfig { policies_per_user: np, ..Default::default() };
+            SweepPoint { x: np as f64, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 14: query I/O vs grouping factor θ ∈ {0, 0.1, …, 1.0}.
+pub fn fig14_theta() -> Vec<SweepPoint> {
+    [0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 1.0]
+        .into_iter()
+        .map(|theta| {
+            let cfg = RunConfig { theta, ..Default::default() };
+            SweepPoint { x: theta, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 15(a): PRQ I/O vs query-window side (100..1000).
+pub fn fig15a_window() -> Vec<SweepPoint> {
+    (1..=10)
+        .map(|i| {
+            let side = 100.0 * i as f64;
+            let cfg = RunConfig { window_side: side, ..Default::default() };
+            SweepPoint { x: side, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 15(b): PkNN I/O vs k (1..10).
+pub fn fig15b_k() -> Vec<SweepPoint> {
+    (1..=10)
+        .map(|k| {
+            let cfg = RunConfig { k, ..Default::default() };
+            SweepPoint { x: k as f64, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 16: query I/O vs number of destinations on network data (25..500).
+pub fn fig16_destinations() -> Vec<SweepPoint> {
+    [25usize, 50, 100, 200, 300, 400, 500]
+        .into_iter()
+        .map(|hubs| {
+            let cfg =
+                RunConfig { distribution: Distribution::Network { hubs }, ..Default::default() };
+            SweepPoint { x: hubs as f64, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 17: query I/O vs maximum object speed (1..6).
+pub fn fig17_speed() -> Vec<SweepPoint> {
+    (1..=6)
+        .map(|s| {
+            let cfg = RunConfig { max_speed: s as f64, ..Default::default() };
+            SweepPoint { x: s as f64, m: run(&cfg) }
+        })
+        .collect()
+}
+
+/// Fig 18: query I/O after each 25%-of-the-dataset update round, until the
+/// dataset has been fully updated twice (8 rounds).
+pub fn fig18_updates() -> Vec<SweepPoint> {
+    let cfg = RunConfig::default();
+    let mut world = World::build(&cfg);
+    let mut stream = UpdateStream::new(
+        world.dataset.space,
+        cfg.max_speed,
+        world.dataset.users.clone(),
+        15.0,
+    );
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xBEEF)
+    };
+
+    let mut out = Vec::new();
+    for round in 1..=8 {
+        for m in stream.next_round(&mut rng, 0.25) {
+            world.peb.upsert(m);
+            world.baseline.upsert(m);
+        }
+        world.dataset.users = stream.users().to_vec();
+        let cfg_t = RunConfig { tq: stream.time() + 5.0, ..cfg.clone() };
+        out.push(SweepPoint { x: round as f64 * 25.0, m: world.measure(&cfg_t) });
+    }
+    out
+}
+
+/// Fig 19: cost-model estimate vs actual PEB PRQ I/O, varying N, Np and θ.
+/// Returns `(label, x, estimated, actual)` rows.
+pub fn fig19_cost_model() -> Vec<(String, f64, f64, f64)> {
+    // Actual measurements for the three sweeps.
+    let users = fig19_sweep_users();
+    let policies = fig19_sweep_policies();
+    let thetas = fig19_sweep_theta();
+
+    // Calibrate a1/a2 from the first and last points of the user sweep.
+    let (first, last) = (&users[0], &users[users.len() - 1]);
+    let params = calibrate(
+        (&cost_inputs(&first.0, &first.1), first.2),
+        (&cost_inputs(&last.0, &last.1), last.2),
+    )
+    .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for (cfg, m, actual) in &users {
+        let est = cost(&cost_inputs(cfg, m), &params);
+        rows.push(("users".to_string(), cfg.num_users as f64, est, *actual));
+    }
+    for (cfg, m, actual) in &policies {
+        let est = cost(&cost_inputs(cfg, m), &params);
+        rows.push(("policies".to_string(), cfg.policies_per_user as f64, est, *actual));
+    }
+    for (cfg, m, actual) in &thetas {
+        let est = cost(&cost_inputs(cfg, m), &params);
+        rows.push(("theta".to_string(), cfg.theta, est, *actual));
+    }
+    rows
+}
+
+fn cost_inputs(cfg: &RunConfig, m: &Measured) -> CostInputs {
+    CostInputs {
+        num_users: cfg.num_users,
+        policies_per_user: cfg.policies_per_user,
+        theta: cfg.theta,
+        leaf_pages: m.peb_leaf_pages,
+        side: 1000.0,
+    }
+}
+
+type Fig19Sample = (RunConfig, Measured, f64);
+
+fn fig19_sweep_users() -> Vec<Fig19Sample> {
+    [20_000usize, 40_000, 60_000, 80_000, 100_000]
+        .into_iter()
+        .map(|n| {
+            let cfg = RunConfig { num_users: scaled_abs(n), ..Default::default() };
+            let m = run(&cfg);
+            (cfg, m, m.peb_prq_io)
+        })
+        .collect()
+}
+
+fn fig19_sweep_policies() -> Vec<Fig19Sample> {
+    [10usize, 30, 50, 70, 90]
+        .into_iter()
+        .map(|np| {
+            let cfg = RunConfig { policies_per_user: np, ..Default::default() };
+            let m = run(&cfg);
+            (cfg, m, m.peb_prq_io)
+        })
+        .collect()
+}
+
+fn fig19_sweep_theta() -> Vec<Fig19Sample> {
+    [0.0, 0.3, 0.5, 0.7, 1.0]
+        .into_iter()
+        .map(|theta| {
+            let cfg = RunConfig { theta, ..Default::default() };
+            let m = run(&cfg);
+            (cfg, m, m.peb_prq_io)
+        })
+        .collect()
+}
+
+/// The paper's x-axis for user-count sweeps: 10K..100K (scaled).
+pub fn paper_user_counts() -> Vec<usize> {
+    (1..=10).map(|i| scaled(i * 10_000)).collect()
+}
+
+/// The paper's x-axis for policies-per-user sweeps: 10..100.
+pub fn paper_policy_counts() -> Vec<usize> {
+    (1..=10).map(|i| i * 10).collect()
+}
+
+fn scaled_abs(n: usize) -> usize {
+    scaled(n)
+}
+
+/// Also export the cost-model default params type for bins.
+pub use peb_costmodel::CostModelParams as ExportedCostParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smoke test of the full fig18 machinery at miniature scale (other
+    /// sweeps share all their code paths with `run`, covered in harness
+    /// tests). Sets env-independent sizes explicitly.
+    #[test]
+    fn update_rounds_produce_eight_points() {
+        let cfg = RunConfig {
+            num_users: 400,
+            policies_per_user: 5,
+            queries: 5,
+            ..Default::default()
+        };
+        let mut world = World::build(&cfg);
+        let mut stream = UpdateStream::new(
+            world.dataset.space,
+            cfg.max_speed,
+            world.dataset.users.clone(),
+            15.0,
+        );
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for round in 1..=8 {
+            for m in stream.next_round(&mut rng, 0.25) {
+                world.peb.upsert(m);
+                world.baseline.upsert(m);
+            }
+            assert_eq!(world.peb.len(), 400, "round {round}: updates must not change population");
+        }
+    }
+
+    #[test]
+    fn sweep_axes_match_paper() {
+        std::env::remove_var("PEB_SCALE");
+        assert_eq!(paper_user_counts().len(), 10);
+        assert_eq!(paper_policy_counts(), vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Index construction and I/O measurement shared by all experiments.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use peb_bx::{BxTree, TimePartitioning};
+use peb_policy::SvAssignmentParams;
+use peb_storage::BufferPool;
+use peb_workload::{Dataset, DatasetBuilder, Distribution, QueryGenerator};
+use pebtree::{PebTree, PrivacyContext, SpatialBaseline};
+
+/// One experiment configuration (Table 1 defaults unless overridden).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub num_users: usize,
+    pub policies_per_user: usize,
+    pub theta: f64,
+    pub max_speed: f64,
+    pub distribution: Distribution,
+    pub window_side: f64,
+    pub k: usize,
+    pub queries: usize,
+    pub buffer_pages: usize,
+    pub seed: u64,
+    /// Query time (users are inserted with `t_update = 0`).
+    pub tq: f64,
+    /// Sequence-value assignment tunables (ablations override these).
+    pub sv_params: SvAssignmentParams,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            num_users: scaled(60_000),
+            policies_per_user: 50,
+            theta: 0.7,
+            max_speed: 3.0,
+            distribution: Distribution::Uniform,
+            window_side: 200.0,
+            k: 5,
+            queries: queries_env(),
+            buffer_pages: 50,
+            seed: 0xC0FFEE,
+            tq: 30.0,
+            sv_params: SvAssignmentParams::default(),
+        }
+    }
+}
+
+/// Apply `PEB_SCALE` to a user count.
+pub fn scaled(n: usize) -> usize {
+    let f = std::env::var("PEB_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    ((n as f64 * f).round() as usize).max(100)
+}
+
+fn queries_env() -> usize {
+    std::env::var("PEB_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(200)
+}
+
+/// Everything measured for one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    /// Offline policy-encoding time (Fig 11), seconds.
+    pub encode_secs: f64,
+    /// Average physical page I/Os per query.
+    pub peb_prq_io: f64,
+    pub base_prq_io: f64,
+    pub peb_knn_io: f64,
+    pub base_knn_io: f64,
+    /// Leaf pages of the PEB-tree (`Nl` for the cost model).
+    pub peb_leaf_pages: usize,
+}
+
+/// The two indexes built over one dataset, ready for measurement.
+pub struct World {
+    pub dataset: Dataset,
+    pub ctx: Arc<PrivacyContext>,
+    pub peb: PebTree,
+    pub baseline: SpatialBaseline,
+    pub encode_secs: f64,
+}
+
+impl World {
+    /// Generate the dataset, run the offline policy encoding (timed), and
+    /// bulk-load both indexes.
+    pub fn build(cfg: &RunConfig) -> World {
+        let dataset = DatasetBuilder::default()
+            .num_users(cfg.num_users)
+            .max_speed(cfg.max_speed)
+            .distribution(cfg.distribution)
+            .policies_per_user(cfg.policies_per_user)
+            .grouping_factor(cfg.theta)
+            .seed(cfg.seed)
+            .build();
+        Self::from_dataset(dataset, cfg)
+    }
+
+    /// Build the indexes over an already-generated dataset.
+    pub fn from_dataset(dataset: Dataset, cfg: &RunConfig) -> World {
+        let space = dataset.space;
+        let started = Instant::now();
+        // PrivacyContext::build consumes the store; rebuild one for the
+        // baseline's filtering (shared policies, separate ownership).
+        let ctx = Arc::new(PrivacyContext::build(
+            clone_store(&dataset.store),
+            space,
+            dataset.users.len(),
+            cfg.sv_params,
+        ));
+        let encode_secs = started.elapsed().as_secs_f64();
+
+        let part = TimePartitioning::default();
+        let mut peb = PebTree::new(
+            Arc::new(BufferPool::new(cfg.buffer_pages)),
+            space,
+            part,
+            cfg.max_speed,
+            Arc::clone(&ctx),
+        );
+        let mut baseline = SpatialBaseline::new(BxTree::new(
+            Arc::new(BufferPool::new(cfg.buffer_pages)),
+            space,
+            part,
+            cfg.max_speed,
+        ));
+        for m in &dataset.users {
+            peb.upsert(*m);
+            baseline.upsert(*m);
+        }
+        World { dataset, ctx, peb, baseline, encode_secs }
+    }
+
+    /// Measure the average per-query physical I/O of all four query kinds.
+    pub fn measure(&self, cfg: &RunConfig) -> Measured {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let gen = QueryGenerator::new(self.dataset.space, self.dataset.users.len());
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51EA);
+        let ranges = gen.range_batch(&mut rng, cfg.queries, cfg.window_side, cfg.tq);
+        let knns = gen.knn_batch(&mut rng, cfg.queries, cfg.k, cfg.tq);
+
+        let peb_prq_io = avg_io(self.peb.pool(), cfg.queries, |i| {
+            let q = &ranges[i];
+            let _ = self.peb.prq(q.issuer, &q.window, q.tq);
+        });
+        let base_prq_io = avg_io(self.baseline.pool(), cfg.queries, |i| {
+            let q = &ranges[i];
+            let _ = self.baseline.prq(&self.ctx.store, q.issuer, &q.window, q.tq);
+        });
+        let peb_knn_io = avg_io(self.peb.pool(), cfg.queries, |i| {
+            let q = &knns[i];
+            let _ = self.peb.pknn(q.issuer, q.q, q.k, q.tq);
+        });
+        let base_knn_io = avg_io(self.baseline.pool(), cfg.queries, |i| {
+            let q = &knns[i];
+            let _ = self.baseline.pknn(&self.ctx.store, q.issuer, q.q, q.k, q.tq);
+        });
+
+        Measured {
+            encode_secs: self.encode_secs,
+            peb_prq_io,
+            base_prq_io,
+            peb_knn_io,
+            base_knn_io,
+            peb_leaf_pages: self.peb.leaf_page_count(),
+        }
+    }
+}
+
+/// Cold-start the buffer, run `count` operations, return average physical
+/// I/O per operation.
+pub fn avg_io(
+    pool: &Arc<BufferPool>,
+    count: usize,
+    mut op: impl FnMut(usize),
+) -> f64 {
+    pool.flush_all();
+    pool.clear();
+    pool.reset_stats();
+    for i in 0..count {
+        op(i);
+    }
+    pool.stats().total_io() as f64 / count.max(1) as f64
+}
+
+/// Convenience: build a world and measure it in one call.
+pub fn run(cfg: &RunConfig) -> Measured {
+    World::build(cfg).measure(cfg)
+}
+
+/// The policy store has no `Clone` (it owns indexes); experiments need two
+/// logical copies (PEB context + baseline filter), so rebuild pair-by-pair.
+pub fn clone_store(store: &peb_policy::PolicyStore) -> peb_policy::PolicyStore {
+    let mut out = peb_policy::PolicyStore::new();
+    for (_, viewer, policy) in store.iter() {
+        out.add(viewer, policy.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig {
+            num_users: 800,
+            policies_per_user: 10,
+            queries: 20,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn world_builds_and_measures() {
+        let cfg = tiny_cfg();
+        let m = run(&cfg);
+        assert!(m.encode_secs >= 0.0);
+        assert!(m.peb_prq_io >= 0.0 && m.base_prq_io > 0.0);
+        assert!(m.peb_knn_io >= 0.0 && m.base_knn_io > 0.0);
+        assert!(m.peb_leaf_pages > 0);
+    }
+
+    #[test]
+    fn results_agree_between_engines_on_sampled_queries() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = tiny_cfg();
+        let world = World::build(&cfg);
+        let gen = QueryGenerator::new(world.dataset.space, cfg.num_users);
+        let mut rng = StdRng::seed_from_u64(7);
+        for q in gen.range_batch(&mut rng, 10, 300.0, cfg.tq) {
+            let a: Vec<_> =
+                world.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+            let b: Vec<_> = world
+                .baseline
+                .prq(&world.ctx.store, q.issuer, &q.window, q.tq)
+                .iter()
+                .map(|m| m.uid)
+                .collect();
+            assert_eq!(a, b, "engines disagree on a harness-generated query");
+        }
+        for q in gen.knn_batch(&mut rng, 10, 5, cfg.tq) {
+            let a: Vec<_> =
+                world.peb.pknn(q.issuer, q.q, q.k, q.tq).iter().map(|(m, _)| m.uid).collect();
+            let b: Vec<_> = world
+                .baseline
+                .pknn(&world.ctx.store, q.issuer, q.q, q.k, q.tq)
+                .iter()
+                .map(|(m, _)| m.uid)
+                .collect();
+            assert_eq!(a, b, "engines disagree on a harness-generated kNN query");
+        }
+    }
+
+    #[test]
+    fn clone_store_is_faithful() {
+        let cfg = tiny_cfg();
+        let ds = DatasetBuilder::default()
+            .num_users(cfg.num_users)
+            .policies_per_user(cfg.policies_per_user)
+            .seed(cfg.seed)
+            .build();
+        let copy = clone_store(&ds.store);
+        assert_eq!(copy.len(), ds.store.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! Table formatting for the fig* binaries: paper-style tab-separated
+//! series with a short header, easy to diff into EXPERIMENTS.md.
+
+use crate::experiments::SweepPoint;
+
+/// Print a figure header with the varied parameter's name.
+pub fn header(fig: &str, caption: &str) {
+    println!("# {fig}: {caption}");
+}
+
+/// Print an I/O sweep with both engines and both query types.
+pub fn io_table(x_name: &str, points: &[SweepPoint]) {
+    println!("{x_name}\tpeb_prq_io\tspatial_prq_io\tpeb_knn_io\tspatial_knn_io");
+    for p in points {
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            fmt_x(p.x),
+            p.m.peb_prq_io,
+            p.m.base_prq_io,
+            p.m.peb_knn_io,
+            p.m.base_knn_io
+        );
+    }
+}
+
+/// Print a preprocessing-time sweep.
+pub fn time_table(x_name: &str, points: &[SweepPoint]) {
+    println!("{x_name}\tpreprocessing_seconds");
+    for p in points {
+        println!("{}\t{:.3}", fmt_x(p.x), p.m.encode_secs);
+    }
+}
+
+/// Print the cost-model validation rows.
+pub fn cost_table(rows: &[(String, f64, f64, f64)]) {
+    println!("sweep\tx\testimated_io\tactual_io");
+    for (label, x, est, actual) in rows {
+        println!("{label}\t{}\t{est:.2}\t{actual:.2}", fmt_x(*x));
+    }
+}
+
+fn fmt_x(x: f64) -> String {
+    if (x.fract()).abs() < 1e-9 && x.abs() >= 1.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_formatting() {
+        assert_eq!(fmt_x(60_000.0), "60000");
+        assert_eq!(fmt_x(0.7), "0.70");
+        assert_eq!(fmt_x(5.0), "5");
+    }
+}

@@ -1,0 +1,304 @@
+//! Bottom-up bulk loading.
+//!
+//! Building an index over an existing user base one insert at a time costs
+//! `O(n log n)` page touches and leaves pages ~69% full. Bulk loading packs
+//! sorted entries into leaves at a chosen fill factor and builds the branch
+//! levels bottom-up in one pass — the standard way real systems create an
+//! index over existing data.
+//!
+//! The loader keeps every B+-tree invariant that [`crate::tree::BTree::validate`]
+//! checks, including minimum occupancy of the rightmost node at each level
+//! (fixed up by rebalancing the last two nodes when the tail would
+//! underflow).
+
+use std::sync::Arc;
+
+use peb_storage::{BufferPool, PageId};
+
+use crate::node::{self, branch_capacity, leaf_capacity};
+use crate::tree::BTree;
+use crate::value::RecordValue;
+
+impl<V: RecordValue> BTree<V> {
+    /// Build a tree from entries **sorted by strictly increasing key**.
+    ///
+    /// `fill` is the target fraction of each node's capacity (clamped to
+    /// `[0.5, 1.0]`); the paper-era default of 1.0 maximizes leaf density,
+    /// while lower values leave room for subsequent inserts.
+    ///
+    /// # Panics
+    /// Panics if keys are not strictly increasing.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        entries: impl IntoIterator<Item = (u128, V)>,
+        fill: f64,
+    ) -> Self {
+        let fill = fill.clamp(0.5, 1.0);
+        let leaf_cap = leaf_capacity(V::SIZE);
+        let leaf_target = ((leaf_cap as f64 * fill).floor() as usize).max(1);
+        let vsize = V::SIZE;
+        let stride = 16 + vsize;
+
+        // ---- leaf level ----
+        let mut leaves: Vec<(u128, PageId)> = Vec::new(); // (first key, pid)
+        let mut len = 0usize;
+        let mut cur: Option<(PageId, usize)> = None; // (pid, count)
+        let mut prev_key: Option<u128> = None;
+
+        for (key, value) in entries {
+            if let Some(pk) = prev_key {
+                assert!(pk < key, "bulk_load requires strictly increasing keys");
+            }
+            prev_key = Some(key);
+            let (pid, count) = match cur {
+                Some((pid, count)) if count < leaf_target => (pid, count),
+                _ => {
+                    // Seal the previous leaf and open a fresh one.
+                    let new_pid = pool.allocate();
+                    pool.write(new_pid, node::init_leaf);
+                    if let Some((prev_pid, prev_count)) = cur {
+                        pool.write(prev_pid, |p| {
+                            node::set_count(p, prev_count);
+                            node::set_right_sibling(p, new_pid);
+                        });
+                    }
+                    leaves.push((key, new_pid));
+                    (new_pid, 0)
+                }
+            };
+            pool.write(pid, |p| {
+                let off = node::leaf_entry_off(count, vsize);
+                p.put_u128(off, key);
+                value.write(p.bytes_mut(off + 16, vsize));
+            });
+            cur = Some((pid, count + 1));
+            len += 1;
+        }
+
+        // Seal the final leaf; an empty input still needs a root leaf.
+        match cur {
+            Some((pid, count)) => pool.write(pid, |p| node::set_count(p, count)),
+            None => {
+                let root = pool.allocate();
+                pool.write(root, node::init_leaf);
+                return BTree::from_raw(pool, root, 1, 0, 1, 1);
+            }
+        }
+
+        // Fix a potentially underfull last leaf: merge it into its left
+        // neighbor when both fit in one page, otherwise split the pair
+        // evenly (total > capacity, so each half reaches the minimum).
+        if leaves.len() > 1 {
+            let last_count = pool.read(leaves[leaves.len() - 1].1, node::count);
+            let min = leaf_cap / 2;
+            if last_count < min {
+                let (l_pid, r_pid) = (leaves[leaves.len() - 2].1, leaves[leaves.len() - 1].1);
+                let l_count = pool.read(l_pid, node::count);
+                let total = l_count + last_count;
+                if total <= leaf_cap {
+                    // Absorb the tail into the left leaf; drop the last one.
+                    let bytes: Vec<u8> =
+                        pool.read(r_pid, |p| p.bytes(node::HEADER, last_count * stride).to_vec());
+                    pool.write(l_pid, |p| {
+                        p.bytes_mut(node::leaf_entry_off(l_count, vsize), bytes.len())
+                            .copy_from_slice(&bytes);
+                        node::set_count(p, total);
+                        node::set_right_sibling(p, PageId::INVALID);
+                    });
+                    leaves.pop(); // r_pid leaks on the simulated disk
+                } else {
+                    // Even split: both halves are >= leaf_cap / 2.
+                    let keep = total / 2 + (total % 2);
+                    let move_n = l_count - keep;
+                    let bytes: Vec<u8> = pool.read(l_pid, |p| {
+                        p.bytes(node::leaf_entry_off(keep, vsize), move_n * stride).to_vec()
+                    });
+                    pool.write(r_pid, |p| {
+                        p.shift(node::HEADER, node::HEADER + move_n * stride, last_count * stride);
+                        p.bytes_mut(node::HEADER, bytes.len()).copy_from_slice(&bytes);
+                        node::set_count(p, last_count + move_n);
+                    });
+                    pool.write(l_pid, |p| node::set_count(p, keep));
+                    let new_first = pool.read(r_pid, |p| node::leaf_key(p, 0, vsize));
+                    let last = leaves.len() - 1;
+                    leaves[last].0 = new_first;
+                }
+            }
+        }
+
+        // ---- branch levels ----
+        let leaf_pages = leaves.len();
+        let mut total_pages = leaf_pages;
+        let mut level: Vec<(u128, PageId)> = leaves;
+        let mut height = 1u32;
+        let branch_target = ((branch_capacity() as f64 * fill).floor() as usize).max(2);
+
+        while level.len() > 1 {
+            height += 1;
+            let mut next: Vec<(u128, PageId)> = Vec::new();
+            let mut i = 0usize;
+            // A branch with `c` entries has `c + 1` children; non-root
+            // nodes need at least `min_children`.
+            let max_children = branch_capacity() + 1;
+            let min_children = branch_capacity() / 2 + 1;
+            while i < level.len() {
+                let rest = level.len() - i;
+                let take = if rest <= branch_target + 1 {
+                    rest // final node
+                } else if rest - (branch_target + 1) >= min_children {
+                    branch_target + 1 // a full-target node leaves a healthy tail
+                } else if rest <= max_children {
+                    rest // absorb the awkward tail into one over-target node
+                } else {
+                    rest - min_children // leave the tail exactly the minimum
+                };
+                debug_assert!(take <= max_children);
+                let group = &level[i..i + take];
+                let pid = pool.allocate();
+                total_pages += 1;
+                pool.write(pid, |p| {
+                    node::init_branch(p, group[0].1);
+                    for (slot, (key, child)) in group[1..].iter().enumerate() {
+                        node::branch_insert_entry(p, slot, *key, *child);
+                    }
+                });
+                next.push((group[0].0, pid));
+                i += take;
+            }
+            level = next;
+        }
+
+        let root = level[0].1;
+        BTree::from_raw(pool, root, height, len, leaf_pages, total_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(n: u128, fill: f64) -> BTree<u64> {
+        BTree::bulk_load(
+            Arc::new(BufferPool::new(128)),
+            (0..n).map(|k| (k * 3, k as u64)),
+            fill,
+        )
+    }
+
+    #[test]
+    fn empty_input_gives_empty_tree() {
+        let t = load(0, 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.validate().expect("empty bulk-loaded tree valid");
+    }
+
+    #[test]
+    fn single_leaf_worth_of_entries() {
+        let t = load(100, 1.0);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.height(), 1);
+        t.validate().expect("valid");
+        assert_eq!(t.get(3 * 42), Some(42));
+    }
+
+    #[test]
+    fn multi_level_loads_are_valid_and_complete() {
+        for n in [171u128, 1_000, 50_000] {
+            for fill in [0.6, 0.9, 1.0] {
+                let t = load(n, fill);
+                t.validate().unwrap_or_else(|e| panic!("n={n} fill={fill}: {e}"));
+                assert_eq!(t.len(), n as usize);
+                assert_eq!(t.range(0, u128::MAX).len(), n as usize);
+                // Spot lookups.
+                for k in (0..n).step_by((n as usize / 17).max(1)) {
+                    assert_eq!(t.get(k * 3), Some(k as u64));
+                    assert_eq!(t.get(k * 3 + 1), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_inserts_and_deletes() {
+        let mut t = load(10_000, 1.0);
+        for k in 0..10_000u128 {
+            t.insert(k * 3 + 1, 999);
+        }
+        t.validate().expect("valid after post-load inserts");
+        assert_eq!(t.len(), 20_000);
+        for k in 0..10_000u128 {
+            assert_eq!(t.delete(k * 3), Some(k as u64));
+        }
+        t.validate().expect("valid after interleaved deletes");
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn full_fill_uses_fewer_pages_than_incremental_build() {
+        let n = 30_000u128;
+        let bulk = load(n, 1.0);
+        let mut incremental: BTree<u64> = BTree::new(Arc::new(BufferPool::new(128)));
+        for k in 0..n {
+            incremental.insert(k * 3, k as u64);
+        }
+        assert!(
+            bulk.leaf_page_count() < incremental.leaf_page_count(),
+            "bulk {} vs incremental {}",
+            bulk.leaf_page_count(),
+            incremental.leaf_page_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_input_panics() {
+        let _ = BTree::<u64>::bulk_load(
+            Arc::new(BufferPool::new(16)),
+            vec![(5u128, 0u64), (3, 0)],
+            1.0,
+        );
+    }
+
+    #[test]
+    fn sibling_chain_is_complete_after_bulk_load() {
+        let t = load(20_000, 0.8);
+        // validate() already walks the chain; assert the count again via a
+        // full range scan that must traverse only sibling links.
+        let mut seen = 0usize;
+        t.range_scan(0, u128::MAX, |_, _| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 20_000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn bulk_load_equals_incremental(
+            keys in proptest::collection::btree_set(0u128..100_000, 0..800),
+            fill in 0.5f64..1.0,
+        ) {
+            let sorted: Vec<(u128, u64)> =
+                keys.iter().map(|&k| (k, (k % 251) as u64)).collect();
+            let bulk = BTree::bulk_load(
+                Arc::new(BufferPool::new(64)),
+                sorted.clone(),
+                fill,
+            );
+            bulk.validate().map_err(TestCaseError::fail)?;
+            let mut inc: BTree<u64> = BTree::new(Arc::new(BufferPool::new(64)));
+            for (k, v) in &sorted {
+                inc.insert(*k, *v);
+            }
+            prop_assert_eq!(bulk.range(0, u128::MAX), inc.range(0, u128::MAX));
+        }
+    }
+}

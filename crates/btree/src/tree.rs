@@ -1,0 +1,1029 @@
+//! B+-tree operations: search, insert with split propagation, delete with
+//! borrow/merge rebalancing, and sibling-chain range scans.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use peb_storage::{BufferPool, PageId};
+
+use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
+use crate::value::RecordValue;
+
+/// A disk-based B+-tree mapping unique `u128` keys to fixed-size records.
+pub struct BTree<V: RecordValue> {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    /// Number of levels; 1 means the root is a leaf.
+    height: u32,
+    len: usize,
+    leaf_pages: usize,
+    total_pages: usize,
+    _values: PhantomData<V>,
+}
+
+impl<V: RecordValue> BTree<V> {
+    /// Create an empty tree whose pages live in `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        let root = pool.allocate();
+        pool.write(root, node::init_leaf);
+        BTree {
+            pool,
+            root,
+            height: 1,
+            len: 0,
+            leaf_pages: 1,
+            total_pages: 1,
+            _values: PhantomData,
+        }
+    }
+
+    const fn vsize() -> usize {
+        V::SIZE
+    }
+
+    const fn stride() -> usize {
+        16 + V::SIZE
+    }
+
+    const fn leaf_cap() -> usize {
+        leaf_capacity(V::SIZE)
+    }
+
+    const fn leaf_min() -> usize {
+        leaf_capacity(V::SIZE) / 2
+    }
+
+    const fn branch_min() -> usize {
+        branch_capacity() / 2
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of live leaf pages (`Nl` in the paper's cost model).
+    pub fn leaf_page_count(&self) -> usize {
+        self.leaf_pages
+    }
+
+    /// Number of live pages across all levels.
+    pub fn page_count(&self) -> usize {
+        self.total_pages
+    }
+
+    /// The buffer pool this tree performs I/O through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Internal constructor used by the bulk loader; the caller is
+    /// responsible for every structural invariant.
+    pub(crate) fn from_raw(
+        pool: Arc<BufferPool>,
+        root: PageId,
+        height: u32,
+        len: usize,
+        leaf_pages: usize,
+        total_pages: usize,
+    ) -> Self {
+        BTree { pool, root, height, len, leaf_pages, total_pages, _values: PhantomData }
+    }
+
+    // ---- leaf byte helpers -------------------------------------------------
+
+    fn leaf_value_at(&self, pid: PageId, i: usize) -> V {
+        self.pool.read(pid, |p| {
+            V::read(p.bytes(node::leaf_entry_off(i, Self::vsize()) + 16, Self::vsize()))
+        })
+    }
+
+    // ---- point lookup ------------------------------------------------------
+
+    /// Exact-key lookup.
+    pub fn get(&self, key: u128) -> Option<V> {
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, key)));
+        }
+        let found = self.pool.read(pid, |p| {
+            let i = node::leaf_lower_bound(p, key, Self::vsize());
+            if i < node::count(p) && node::leaf_key(p, i, Self::vsize()) == key {
+                Some(V::read(p.bytes(node::leaf_entry_off(i, Self::vsize()) + 16, Self::vsize())))
+            } else {
+                None
+            }
+        });
+        found
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u128) -> bool {
+        self.get(key).is_some()
+    }
+
+    // ---- insertion ---------------------------------------------------------
+
+    /// Insert a new entry. Returns the previous value if `key` was already
+    /// present (the entry is replaced in place; no structural change).
+    pub fn insert(&mut self, key: u128, value: V) -> Option<V> {
+        match self.insert_rec(self.root, self.height - 1, key, &value) {
+            InsertOutcome::Replaced(old) => Some(old),
+            InsertOutcome::Done => {
+                self.len += 1;
+                None
+            }
+            InsertOutcome::Split(sep, right) => {
+                // Grow a new root above the old one.
+                let new_root = self.pool.allocate();
+                self.total_pages += 1;
+                let old_root = self.root;
+                self.pool.write(new_root, |p| {
+                    node::init_branch(p, old_root);
+                    node::branch_insert_entry(p, 0, sep, right);
+                });
+                self.root = new_root;
+                self.height += 1;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, pid: PageId, level: u32, key: u128, value: &V) -> InsertOutcome<V> {
+        if level == 0 {
+            return self.leaf_insert(pid, key, value);
+        }
+        let j = self.pool.read(pid, |p| node::branch_child_index(p, key));
+        let child = self.pool.read(pid, |p| node::child_at(p, j));
+        match self.insert_rec(child, level - 1, key, value) {
+            InsertOutcome::Split(sep, right) => {
+                let n = self.pool.read(pid, node::count);
+                if n < branch_capacity() {
+                    self.pool.write(pid, |p| node::branch_insert_entry(p, j, sep, right));
+                    InsertOutcome::Done
+                } else {
+                    self.branch_split_insert(pid, j, sep, right)
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn leaf_insert(&mut self, pid: PageId, key: u128, value: &V) -> InsertOutcome<V> {
+        let vsize = Self::vsize();
+        let stride = Self::stride();
+        enum Slot<V> {
+            Replace(usize, V),
+            Insert(usize, usize), // (index, count)
+        }
+        let slot = self.pool.read(pid, |p| {
+            let i = node::leaf_lower_bound(p, key, vsize);
+            let n = node::count(p);
+            if i < n && node::leaf_key(p, i, vsize) == key {
+                Slot::Replace(i, V::read(p.bytes(node::leaf_entry_off(i, vsize) + 16, vsize)))
+            } else {
+                Slot::Insert(i, n)
+            }
+        });
+        match slot {
+            Slot::Replace(i, old) => {
+                self.pool.write(pid, |p| {
+                    value.write(p.bytes_mut(node::leaf_entry_off(i, vsize) + 16, vsize));
+                });
+                InsertOutcome::Replaced(old)
+            }
+            Slot::Insert(i, n) if n < Self::leaf_cap() => {
+                self.pool.write(pid, |p| {
+                    let off = node::leaf_entry_off(i, vsize);
+                    p.shift(off, off + stride, (n - i) * stride);
+                    p.put_u128(off, key);
+                    value.write(p.bytes_mut(off + 16, vsize));
+                    node::set_count(p, n + 1);
+                });
+                InsertOutcome::Done
+            }
+            Slot::Insert(i, n) => {
+                // Full leaf: split, then insert into the proper half.
+                let mid = n / 2;
+                let right = self.pool.allocate();
+                self.total_pages += 1;
+                self.leaf_pages += 1;
+
+                // Move entries [mid..n) into the new right leaf.
+                let moved: Vec<u8> = self.pool.read(pid, |p| {
+                    p.bytes(node::leaf_entry_off(mid, vsize), (n - mid) * stride).to_vec()
+                });
+                let old_sibling = self.pool.read(pid, node::right_sibling);
+                self.pool.write(right, |p| {
+                    node::init_leaf(p);
+                    p.bytes_mut(HEADER, moved.len()).copy_from_slice(&moved);
+                    node::set_count(p, n - mid);
+                    node::set_right_sibling(p, old_sibling);
+                });
+                self.pool.write(pid, |p| {
+                    node::set_count(p, mid);
+                    node::set_right_sibling(p, right);
+                });
+
+                // Insert the pending entry on the side it belongs to.
+                let (target, ti, tn) =
+                    if i <= mid { (pid, i, mid) } else { (right, i - mid, n - mid) };
+                self.pool.write(target, |p| {
+                    let off = node::leaf_entry_off(ti, vsize);
+                    p.shift(off, off + stride, (tn - ti) * stride);
+                    p.put_u128(off, key);
+                    value.write(p.bytes_mut(off + 16, vsize));
+                    node::set_count(p, tn + 1);
+                });
+
+                let sep = self.pool.read(right, |p| node::leaf_key(p, 0, vsize));
+                InsertOutcome::Split(sep, right)
+            }
+        }
+    }
+
+    /// Split a full branch while inserting `(sep, child)` at entry index `j`.
+    fn branch_split_insert(
+        &mut self,
+        pid: PageId,
+        j: usize,
+        sep: u128,
+        child: PageId,
+    ) -> InsertOutcome<V> {
+        // Materialize all entries plus the pending one, split around the
+        // median, and push the median up.
+        let mut entries: Vec<(u128, PageId)> = self.pool.read(pid, |p| {
+            (0..node::count(p))
+                .map(|i| (node::branch_key(p, i), node::branch_entry_child(p, i)))
+                .collect()
+        });
+        entries.insert(j, (sep, child));
+
+        let m = entries.len() / 2;
+        let (up_key, up_child) = entries[m];
+        let right = self.pool.allocate();
+        self.total_pages += 1;
+
+        self.pool.write(right, |p| {
+            node::init_branch(p, up_child);
+            for (i, (k, c)) in entries[m + 1..].iter().enumerate() {
+                node::branch_insert_entry(p, i, *k, *c);
+            }
+        });
+        self.pool.write(pid, |p| {
+            node::set_count(p, 0);
+            for (i, (k, c)) in entries[..m].iter().enumerate() {
+                node::branch_insert_entry(p, i, *k, *c);
+            }
+        });
+        InsertOutcome::Split(up_key, right)
+    }
+
+    // ---- deletion ----------------------------------------------------------
+
+    /// Remove `key`, returning its value if present.
+    pub fn delete(&mut self, key: u128) -> Option<V> {
+        let removed = self.delete_rec(self.root, self.height - 1, key);
+        if removed.is_some() {
+            self.len -= 1;
+            // Collapse the root if it is an empty branch.
+            if self.height > 1 {
+                let (n, first_child) =
+                    self.pool.read(self.root, |p| (node::count(p), node::leftmost_child(p)));
+                if n == 0 {
+                    self.root = first_child;
+                    self.height -= 1;
+                    self.total_pages -= 1;
+                }
+            }
+        }
+        removed
+    }
+
+    fn delete_rec(&mut self, pid: PageId, level: u32, key: u128) -> Option<V> {
+        let vsize = Self::vsize();
+        let stride = Self::stride();
+        if level == 0 {
+            let found = self.pool.read(pid, |p| {
+                let i = node::leaf_lower_bound(p, key, vsize);
+                if i < node::count(p) && node::leaf_key(p, i, vsize) == key {
+                    Some(i)
+                } else {
+                    None
+                }
+            });
+            let i = found?;
+            let old = self.leaf_value_at(pid, i);
+            self.pool.write(pid, |p| {
+                let n = node::count(p);
+                let off = node::leaf_entry_off(i, vsize);
+                p.shift(off + stride, off, (n - 1 - i) * stride);
+                node::set_count(p, n - 1);
+            });
+            return Some(old);
+        }
+
+        let j = self.pool.read(pid, |p| node::branch_child_index(p, key));
+        let child = self.pool.read(pid, |p| node::child_at(p, j));
+        let removed = self.delete_rec(child, level - 1, key)?;
+
+        let child_min = if level - 1 == 0 { Self::leaf_min() } else { Self::branch_min() };
+        let child_count = self.pool.read(child, node::count);
+        if child_count < child_min {
+            self.fix_child(pid, j, level - 1);
+        }
+        Some(removed)
+    }
+
+    /// Restore occupancy of child pointer `j` of branch `pid` by borrowing
+    /// from a sibling or merging with one. `child_level == 0` means the
+    /// children are leaves.
+    fn fix_child(&mut self, pid: PageId, j: usize, child_level: u32) {
+        let parent_count = self.pool.read(pid, node::count);
+        let child = self.pool.read(pid, |p| node::child_at(p, j));
+        let left = if j > 0 { Some(self.pool.read(pid, |p| node::child_at(p, j - 1))) } else { None };
+        let right = if j < parent_count {
+            Some(self.pool.read(pid, |p| node::child_at(p, j + 1)))
+        } else {
+            None
+        };
+        let min = if child_level == 0 { Self::leaf_min() } else { Self::branch_min() };
+
+        if let Some(l) = left {
+            if self.pool.read(l, node::count) > min {
+                self.borrow_from_left(pid, j, l, child, child_level);
+                return;
+            }
+        }
+        if let Some(r) = right {
+            if self.pool.read(r, node::count) > min {
+                self.borrow_from_right(pid, j, child, r, child_level);
+                return;
+            }
+        }
+        if let Some(l) = left {
+            self.merge_children(pid, j - 1, l, child, child_level);
+        } else if let Some(r) = right {
+            self.merge_children(pid, j, child, r, child_level);
+        }
+        // A root child with no siblings cannot underflow structurally; the
+        // root itself shrinks via `delete`.
+    }
+
+    fn borrow_from_left(&mut self, pid: PageId, j: usize, l: PageId, c: PageId, level: u32) {
+        let vsize = Self::vsize();
+        let stride = Self::stride();
+        if level == 0 {
+            // Move left's last entry to the front of c.
+            let ln = self.pool.read(l, node::count);
+            let entry: Vec<u8> = self
+                .pool
+                .read(l, |p| p.bytes(node::leaf_entry_off(ln - 1, vsize), stride).to_vec());
+            self.pool.write(l, |p| node::set_count(p, ln - 1));
+            self.pool.write(c, |p| {
+                let n = node::count(p);
+                p.shift(HEADER, HEADER + stride, n * stride);
+                p.bytes_mut(HEADER, stride).copy_from_slice(&entry);
+                node::set_count(p, n + 1);
+            });
+            let new_sep = u128::from_le_bytes(entry[..16].try_into().unwrap());
+            self.pool.write(pid, |p| node::set_branch_key(p, j - 1, new_sep));
+        } else {
+            // Rotate through the parent separator.
+            let ln = self.pool.read(l, node::count);
+            let (l_last_key, l_last_child) = self
+                .pool
+                .read(l, |p| (node::branch_key(p, ln - 1), node::branch_entry_child(p, ln - 1)));
+            let sep = self.pool.read(pid, |p| node::branch_key(p, j - 1));
+            let c_leftmost = self.pool.read(c, node::leftmost_child);
+            self.pool.write(c, |p| {
+                node::branch_insert_entry(p, 0, sep, c_leftmost);
+                node::set_leftmost_child(p, l_last_child);
+            });
+            self.pool.write(l, |p| node::branch_remove_entry(p, ln - 1));
+            self.pool.write(pid, |p| node::set_branch_key(p, j - 1, l_last_key));
+        }
+    }
+
+    fn borrow_from_right(&mut self, pid: PageId, j: usize, c: PageId, r: PageId, level: u32) {
+        let vsize = Self::vsize();
+        let stride = Self::stride();
+        if level == 0 {
+            // Move right's first entry to the end of c.
+            let entry: Vec<u8> =
+                self.pool.read(r, |p| p.bytes(HEADER, stride).to_vec());
+            self.pool.write(r, |p| {
+                let n = node::count(p);
+                p.shift(HEADER + stride, HEADER, (n - 1) * stride);
+                node::set_count(p, n - 1);
+            });
+            self.pool.write(c, |p| {
+                let n = node::count(p);
+                p.bytes_mut(node::leaf_entry_off(n, vsize), stride).copy_from_slice(&entry);
+                node::set_count(p, n + 1);
+            });
+            let new_sep = self.pool.read(r, |p| node::leaf_key(p, 0, vsize));
+            self.pool.write(pid, |p| node::set_branch_key(p, j, new_sep));
+        } else {
+            let sep = self.pool.read(pid, |p| node::branch_key(p, j));
+            let (r_first_key, r_leftmost) =
+                self.pool.read(r, |p| (node::branch_key(p, 0), node::leftmost_child(p)));
+            let r_first_child = self.pool.read(r, |p| node::branch_entry_child(p, 0));
+            self.pool.write(c, |p| {
+                let n = node::count(p);
+                node::branch_insert_entry(p, n, sep, r_leftmost);
+            });
+            self.pool.write(r, |p| {
+                node::set_leftmost_child(p, r_first_child);
+                node::branch_remove_entry(p, 0);
+            });
+            self.pool.write(pid, |p| node::set_branch_key(p, j, r_first_key));
+        }
+    }
+
+    /// Merge the right node of the pair `(child j, child j+1)` into the
+    /// left one and drop parent entry `sep_idx` (`== j`).
+    fn merge_children(&mut self, pid: PageId, sep_idx: usize, l: PageId, r: PageId, level: u32) {
+        let vsize = Self::vsize();
+        let stride = Self::stride();
+        if level == 0 {
+            let (rn, r_sibling) = self.pool.read(r, |p| (node::count(p), node::right_sibling(p)));
+            let bytes: Vec<u8> = self.pool.read(r, |p| p.bytes(HEADER, rn * stride).to_vec());
+            self.pool.write(l, |p| {
+                let n = node::count(p);
+                p.bytes_mut(node::leaf_entry_off(n, vsize), bytes.len()).copy_from_slice(&bytes);
+                node::set_count(p, n + rn);
+                node::set_right_sibling(p, r_sibling);
+            });
+            self.leaf_pages -= 1;
+        } else {
+            let sep = self.pool.read(pid, |p| node::branch_key(p, sep_idx));
+            let r_leftmost = self.pool.read(r, node::leftmost_child);
+            let r_entries: Vec<(u128, PageId)> = self.pool.read(r, |p| {
+                (0..node::count(p))
+                    .map(|i| (node::branch_key(p, i), node::branch_entry_child(p, i)))
+                    .collect()
+            });
+            self.pool.write(l, |p| {
+                let mut n = node::count(p);
+                node::branch_insert_entry(p, n, sep, r_leftmost);
+                n += 1;
+                for (k, c) in r_entries {
+                    node::branch_insert_entry(p, n, k, c);
+                    n += 1;
+                }
+            });
+        }
+        self.pool.write(pid, |p| node::branch_remove_entry(p, sep_idx));
+        self.total_pages -= 1;
+        // The page of `r` is leaked on the simulated disk; the simulator has
+        // no free list, and leaked pages cost no I/O.
+    }
+
+    // ---- range scans -------------------------------------------------------
+
+    /// Visit all entries with `lo <= key <= hi` in key order. The callback
+    /// returns `false` to stop early; `range_scan` returns whether the scan
+    /// ran to completion.
+    pub fn range_scan(&self, lo: u128, hi: u128, mut visit: impl FnMut(u128, V) -> bool) -> bool {
+        if lo > hi {
+            return true;
+        }
+        let vsize = Self::vsize();
+        // Descend to the leaf that would contain `lo`.
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)));
+        }
+        let mut start = self.pool.read(pid, |p| node::leaf_lower_bound(p, lo, vsize));
+        loop {
+            // Collect this leaf's in-range entries, then release the page
+            // before invoking the callback (no borrow held across it).
+            let (batch, next) = self.pool.read(pid, |p| {
+                let n = node::count(p);
+                let mut batch = Vec::new();
+                let mut i = start;
+                while i < n {
+                    let k = node::leaf_key(p, i, vsize);
+                    if k > hi {
+                        return (batch, PageId::INVALID);
+                    }
+                    batch.push((k, V::read(p.bytes(node::leaf_entry_off(i, vsize) + 16, vsize))));
+                    i += 1;
+                }
+                (batch, node::right_sibling(p))
+            });
+            for (k, v) in batch {
+                if !visit(k, v) {
+                    return false;
+                }
+            }
+            if !next.is_valid() {
+                return true;
+            }
+            pid = next;
+            start = 0;
+        }
+    }
+
+    /// Collect all `(key, value)` pairs in `[lo, hi]`.
+    pub fn range(&self, lo: u128, hi: u128) -> Vec<(u128, V)> {
+        let mut out = Vec::new();
+        self.range_scan(lo, hi, |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    // ---- diagnostics -------------------------------------------------------
+
+    /// Check every structural invariant; returns a description of the first
+    /// violation. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut leaves_seen = 0usize;
+        let mut entries_seen = 0usize;
+        self.validate_node(
+            self.root,
+            self.height - 1,
+            None,
+            None,
+            true,
+            &mut leaves_seen,
+            &mut entries_seen,
+        )?;
+        if entries_seen != self.len {
+            return Err(format!("len {} != entries found {}", self.len, entries_seen));
+        }
+        if leaves_seen != self.leaf_pages {
+            return Err(format!("leaf_pages {} != leaves found {}", self.leaf_pages, leaves_seen));
+        }
+        // The sibling chain must enumerate all entries in sorted order.
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.pool.read(pid, node::leftmost_child);
+        }
+        let mut prev: Option<u128> = None;
+        let mut chained = 0usize;
+        while pid.is_valid() {
+            let (keys, next) = self.pool.read(pid, |p| {
+                let ks: Vec<u128> =
+                    (0..node::count(p)).map(|i| node::leaf_key(p, i, Self::vsize())).collect();
+                (ks, node::right_sibling(p))
+            });
+            for k in keys {
+                if let Some(pv) = prev {
+                    if pv >= k {
+                        return Err(format!("sibling chain out of order: {pv} >= {k}"));
+                    }
+                }
+                prev = Some(k);
+                chained += 1;
+            }
+            pid = next;
+        }
+        if chained != self.len {
+            return Err(format!("sibling chain covers {} of {} entries", chained, self.len));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn validate_node(
+        &self,
+        pid: PageId,
+        level: u32,
+        lo: Option<u128>,
+        hi: Option<u128>,
+        is_root: bool,
+        leaves: &mut usize,
+        entries: &mut usize,
+    ) -> Result<(), String> {
+        let vsize = Self::vsize();
+        let n = self.pool.read(pid, node::count);
+        let leaf = self.pool.read(pid, node::is_leaf);
+        if leaf != (level == 0) {
+            return Err(format!("page {pid:?}: leaf flag does not match level {level}"));
+        }
+        let min = if is_root {
+            if level == 0 {
+                0
+            } else {
+                1
+            }
+        } else if level == 0 {
+            Self::leaf_min()
+        } else {
+            Self::branch_min()
+        };
+        if n < min {
+            return Err(format!("page {pid:?} underflow: {n} < {min}"));
+        }
+
+        let key_at = |i: usize| {
+            if level == 0 {
+                self.pool.read(pid, |p| node::leaf_key(p, i, vsize))
+            } else {
+                self.pool.read(pid, |p| node::branch_key(p, i))
+            }
+        };
+        for i in 0..n {
+            let k = key_at(i);
+            if i > 0 && key_at(i - 1) >= k {
+                return Err(format!("page {pid:?}: keys not strictly increasing at {i}"));
+            }
+            if let Some(l) = lo {
+                if k < l {
+                    return Err(format!("page {pid:?}: key {k} below lower bound {l}"));
+                }
+            }
+            if let Some(h) = hi {
+                if k >= h {
+                    return Err(format!("page {pid:?}: key {k} not below upper bound {h}"));
+                }
+            }
+        }
+
+        if level == 0 {
+            *leaves += 1;
+            *entries += n;
+            return Ok(());
+        }
+        for j in 0..=n {
+            let child = self.pool.read(pid, |p| node::child_at(p, j));
+            let clo = if j == 0 { lo } else { Some(key_at(j - 1)) };
+            let chi = if j == n { hi } else { Some(key_at(j)) };
+            self.validate_node(child, level - 1, clo, chi, false, leaves, entries)?;
+        }
+        Ok(())
+    }
+}
+
+enum InsertOutcome<V> {
+    /// Entry stored without structural change.
+    Done,
+    /// Key already existed; the old value is returned.
+    Replaced(V),
+    /// The child split: insert `(separator, new right page)` in the parent.
+    Split(u128, PageId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BTree<u64> {
+        BTree::new(Arc::new(BufferPool::new(64)))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = tree();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get(5), None);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = tree();
+        for k in [5u128, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k as u64 * 10), None);
+        }
+        assert_eq!(t.len(), 5);
+        for k in [1u128, 3, 5, 7, 9] {
+            assert_eq!(t.get(k), Some(k as u64 * 10));
+        }
+        assert_eq!(t.get(2), None);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut t = tree();
+        assert_eq!(t.insert(42, 1), None);
+        assert_eq!(t.insert(42, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(42), Some(2));
+    }
+
+    #[test]
+    fn grows_past_many_splits() {
+        let mut t = tree();
+        let n = 20_000u128;
+        // Insert in a shuffled-ish order (multiplicative hashing).
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % (1 << 30);
+            t.insert(k, i as u64);
+        }
+        assert!(t.height() >= 2, "tree must have split");
+        t.validate().expect("valid after bulk insert");
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % (1 << 30);
+            assert_eq!(t.get(k), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertion() {
+        for rev in [false, true] {
+            let mut t = tree();
+            let keys: Vec<u128> = if rev { (0..5000).rev().collect() } else { (0..5000).collect() };
+            for &k in &keys {
+                t.insert(k, k as u64);
+            }
+            t.validate().expect("valid");
+            assert_eq!(t.len(), 5000);
+            assert_eq!(t.range(0, 4999).len(), 5000);
+        }
+    }
+
+    #[test]
+    fn delete_simple() {
+        let mut t = tree();
+        for k in 0..10u128 {
+            t.insert(k, k as u64);
+        }
+        assert_eq!(t.delete(5), Some(5));
+        assert_eq!(t.delete(5), None);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(5), None);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn delete_everything_collapses_root() {
+        let mut t = tree();
+        let n = 10_000u128;
+        for k in 0..n {
+            t.insert(k, k as u64);
+        }
+        assert!(t.height() > 1);
+        for k in 0..n {
+            assert_eq!(t.delete(k), Some(k as u64), "key {k}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1, "root collapsed back to a leaf");
+        t.validate().expect("valid after full deletion");
+    }
+
+    #[test]
+    fn delete_reverse_order_exercises_left_merges() {
+        let mut t = tree();
+        let n = 10_000u128;
+        for k in 0..n {
+            t.insert(k, k as u64);
+        }
+        for k in (0..n).rev() {
+            assert_eq!(t.delete(k), Some(k as u64));
+            if k % 977 == 0 {
+                t.validate().expect("valid during reverse deletion");
+            }
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn range_scan_inclusive_bounds_and_early_exit() {
+        let mut t = tree();
+        for k in (0..100u128).map(|i| i * 2) {
+            t.insert(k, k as u64);
+        }
+        let got = t.range(10, 20);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14, 16, 18, 20]);
+        // Early exit after 3 entries.
+        let mut seen = 0;
+        let completed = t.range_scan(0, u128::MAX, |_, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!completed);
+        assert_eq!(seen, 3);
+        // Empty and reversed ranges.
+        assert!(t.range(11, 11).is_empty());
+        assert!(t.range(20, 10).is_empty());
+    }
+
+    #[test]
+    fn range_scan_crosses_leaf_boundaries() {
+        let mut t = tree();
+        let n = 3_000u128;
+        for k in 0..n {
+            t.insert(k, k as u64);
+        }
+        assert!(t.leaf_page_count() > 1);
+        let got = t.range(100, 2_899);
+        assert_eq!(got.len(), 2_800);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn interleaved_insert_delete_stays_valid() {
+        let mut t = tree();
+        // Churn: insert 2 keys, delete 1, repeatedly.
+        let mut next = 0u128;
+        let mut alive = std::collections::BTreeSet::new();
+        for round in 0..4_000 {
+            t.insert(next, next as u64);
+            alive.insert(next);
+            next += 1;
+            t.insert(next, next as u64);
+            alive.insert(next);
+            next += 1;
+            let victim = (round * 7919) as u128 % next;
+            if alive.remove(&victim) {
+                assert!(t.delete(victim).is_some());
+            }
+        }
+        assert_eq!(t.len(), alive.len());
+        t.validate().expect("valid after churn");
+        let all = t.range(0, u128::MAX);
+        assert_eq!(all.len(), alive.len());
+    }
+
+    #[test]
+    fn io_is_counted_through_the_pool() {
+        let pool = Arc::new(BufferPool::new(8));
+        let mut t: BTree<u64> = BTree::new(Arc::clone(&pool));
+        for k in 0..20_000u128 {
+            t.insert(k, 0);
+        }
+        pool.clear();
+        pool.reset_stats();
+        t.get(12_345);
+        let s = pool.stats();
+        // A cold point lookup reads exactly one page per level.
+        assert_eq!(s.physical_reads as u32, t.height());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec(
+            (any::<bool>(), 0u128..500, any::<u64>()), 1..600)) {
+            let mut model = BTreeMap::new();
+            let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(32)));
+            for (is_insert, key, val) in ops {
+                if is_insert {
+                    prop_assert_eq!(t.insert(key, val), model.insert(key, val));
+                } else {
+                    prop_assert_eq!(t.delete(key), model.remove(&key));
+                }
+            }
+            t.validate().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(t.len(), model.len());
+            let got = t.range(0, u128::MAX);
+            let want: Vec<(u128, u64)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn range_queries_match_model(
+            keys in proptest::collection::btree_set(0u128..2_000, 1..300),
+            lo in 0u128..2_000,
+            len in 0u128..500,
+        ) {
+            let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(32)));
+            for &k in &keys {
+                t.insert(k, k as u64);
+            }
+            let hi = lo.saturating_add(len);
+            let got: Vec<u128> = t.range(lo, hi).into_iter().map(|(k, _)| k).collect();
+            let want: Vec<u128> = keys.range(lo..=hi).copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+
+    #[test]
+    fn works_with_single_frame_buffer() {
+        // Every page access evicts the previous page: correctness must not
+        // depend on residency, only performance does.
+        let pool = Arc::new(BufferPool::new(1));
+        let mut t: BTree<u64> = BTree::new(Arc::clone(&pool));
+        for k in 0..5_000u128 {
+            t.insert(k * 3, k as u64);
+        }
+        t.validate().expect("valid under constant eviction");
+        for k in (0..5_000u128).step_by(97) {
+            assert_eq!(t.get(k * 3), Some(k as u64));
+        }
+        for k in 0..5_000u128 {
+            assert_eq!(t.delete(k * 3), Some(k as u64));
+        }
+        assert!(t.is_empty());
+        assert!(pool.stats().physical_reads > 0, "tiny buffer must thrash");
+    }
+
+    #[test]
+    fn buffer_smaller_than_height_still_correct() {
+        // Height grows to >= 3 with enough keys; a 2-frame pool cannot hold
+        // a full root-to-leaf path.
+        let pool = Arc::new(BufferPool::new(2));
+        let mut t: BTree<u64> = BTree::new(Arc::clone(&pool));
+        let n = 60_000u128;
+        for k in 0..n {
+            t.insert(k, (k % 1_000) as u64);
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert_eq!(t.get(n / 2), Some(((n / 2) % 1_000) as u64));
+        assert_eq!(t.range(100, 200).len(), 101);
+    }
+
+    #[test]
+    fn dense_then_sparse_key_space() {
+        // Mix a dense cluster with far-apart keys: exercises splits at both
+        // ends and separator routing across magnitudes.
+        let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(64)));
+        for k in 0..2_000u128 {
+            t.insert(k, 1);
+        }
+        for k in 0..2_000u128 {
+            t.insert(k << 100, 2); // astronomically sparse high keys
+        }
+        t.validate().expect("valid with mixed densities");
+        assert_eq!(t.len(), 3_999, "key 0 overlaps between the two sets");
+        assert_eq!(t.range(0, 1_999).len(), 2_000);
+    }
+}
+
+/// Structural summary of a tree, for diagnostics and capacity planning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    pub entries: usize,
+    pub height: u32,
+    pub leaf_pages: usize,
+    pub total_pages: usize,
+    /// Average leaf occupancy in `[0, 1]`.
+    pub avg_leaf_fill: f64,
+}
+
+impl<V: RecordValue> BTree<V> {
+    /// O(1) structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        let cap = Self::leaf_cap();
+        TreeStats {
+            entries: self.len,
+            height: self.height,
+            leaf_pages: self.leaf_pages,
+            total_pages: self.total_pages,
+            avg_leaf_fill: if self.leaf_pages == 0 {
+                0.0
+            } else {
+                self.len as f64 / (self.leaf_pages * cap) as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(64)));
+        for k in 0..10_000u128 {
+            t.insert(k, 0);
+        }
+        let s = t.stats();
+        assert_eq!(s.entries, 10_000);
+        assert_eq!(s.height, t.height());
+        assert_eq!(s.leaf_pages, t.leaf_page_count());
+        assert!(s.avg_leaf_fill > 0.4 && s.avg_leaf_fill <= 1.0, "fill {}", s.avg_leaf_fill);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_is_denser() {
+        let keys: Vec<(u128, u64)> = (0..10_000u128).map(|k| (k, 0u64)).collect();
+        let bulk = BTree::bulk_load(Arc::new(BufferPool::new(64)), keys.clone(), 1.0);
+        let mut inc: BTree<u64> = BTree::new(Arc::new(BufferPool::new(64)));
+        for (k, v) in keys {
+            inc.insert(k, v);
+        }
+        assert!(bulk.stats().avg_leaf_fill > inc.stats().avg_leaf_fill);
+        assert!(bulk.stats().avg_leaf_fill > 0.95);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixed-size leaf values.
+
+/// A value that can live in a B+-tree leaf: fixed byte size, plain
+/// serialization. Implementations must write exactly [`Self::SIZE`] bytes.
+pub trait RecordValue: Clone {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+
+    /// Serialize into `buf` (`buf.len() == SIZE`).
+    fn write(&self, buf: &mut [u8]);
+
+    /// Deserialize from `buf` (`buf.len() == SIZE`).
+    fn read(buf: &[u8]) -> Self;
+}
+
+impl RecordValue for u64 {
+    const SIZE: usize = 8;
+
+    fn write(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.to_le_bytes());
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf.try_into().unwrap())
+    }
+}
+
+impl RecordValue for () {
+    const SIZE: usize = 0;
+
+    fn write(&self, _buf: &mut [u8]) {}
+
+    fn read(_buf: &[u8]) -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = [0u8; 8];
+        0xDEAD_BEEF_u64.write(&mut buf);
+        assert_eq!(u64::read(&buf), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn unit_value_is_zero_sized() {
+        assert_eq!(<() as RecordValue>::SIZE, 0);
+        let mut buf = [0u8; 0];
+        ().write(&mut buf);
+        <() as RecordValue>::read(&buf);
+    }
+}

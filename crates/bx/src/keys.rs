@@ -1,0 +1,96 @@
+//! Bx key packing: `[TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂`.
+
+/// Bit layout of Bx-tree keys for a given Z-grid resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct BxKeyLayout {
+    /// Bits of the Z-curve value (2 × grid bits per axis).
+    pub zv_bits: u32,
+}
+
+/// Bits reserved for the user id in the key's low end.
+pub const UID_BITS: u32 = 32;
+/// Bits reserved for the time-partition id.
+pub const TID_BITS: u32 = 8;
+
+impl BxKeyLayout {
+    pub fn new(grid_bits: u32) -> Self {
+        assert!((1..=16).contains(&grid_bits));
+        BxKeyLayout { zv_bits: 2 * grid_bits }
+    }
+
+    /// Compose a full key.
+    #[inline]
+    pub fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+        debug_assert!(zv < (1u64 << self.zv_bits));
+        debug_assert!(uid < (1u64 << UID_BITS));
+        ((tid as u128) << (self.zv_bits + UID_BITS)) | ((zv as u128) << UID_BITS) | uid as u128
+    }
+
+    /// The smallest key of the interval `(tid, zv_lo..=zv_hi)` over all uids.
+    #[inline]
+    pub fn range_start(&self, tid: u8, zv_lo: u64) -> u128 {
+        self.key(tid, zv_lo, 0)
+    }
+
+    /// The largest key of the interval `(tid, zv_lo..=zv_hi)` over all uids.
+    #[inline]
+    pub fn range_end(&self, tid: u8, zv_hi: u64) -> u128 {
+        self.key(tid, zv_hi, (1u64 << UID_BITS) - 1)
+    }
+
+    #[inline]
+    pub fn tid_of(&self, key: u128) -> u8 {
+        (key >> (self.zv_bits + UID_BITS)) as u8
+    }
+
+    #[inline]
+    pub fn zv_of(&self, key: u128) -> u64 {
+        ((key >> UID_BITS) & ((1u128 << self.zv_bits) - 1)) as u64
+    }
+
+    #[inline]
+    pub fn uid_of(&self, key: u128) -> u64 {
+        (key & ((1u128 << UID_BITS) - 1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let l = BxKeyLayout::new(10);
+        let k = l.key(3, 0xABCDE, 42);
+        assert_eq!(l.tid_of(k), 3);
+        assert_eq!(l.zv_of(k), 0xABCDE);
+        assert_eq!(l.uid_of(k), 42);
+    }
+
+    #[test]
+    fn ordering_tid_dominates_then_zv_then_uid() {
+        let l = BxKeyLayout::new(10);
+        assert!(l.key(0, (1 << 20) - 1, 99) < l.key(1, 0, 0), "TID dominates");
+        assert!(l.key(1, 5, u32::MAX as u64) < l.key(1, 6, 0), "ZV beats UID");
+        assert!(l.key(1, 5, 1) < l.key(1, 5, 2));
+    }
+
+    #[test]
+    fn range_bounds_cover_all_uids() {
+        let l = BxKeyLayout::new(8);
+        let lo = l.range_start(2, 100);
+        let hi = l.range_end(2, 100);
+        let some = l.key(2, 100, 12345);
+        assert!(lo <= some && some <= hi);
+        assert!(l.key(2, 99, u32::MAX as u64) < lo);
+        assert!(l.key(2, 101, 0) > hi);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn oversized_zv_rejected_in_debug() {
+        let l = BxKeyLayout::new(4);
+        l.key(0, 1 << 8, 0);
+    }
+}

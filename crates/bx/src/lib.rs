@@ -1,0 +1,30 @@
+//! The Bx-tree: a B+-tree based moving-object index (Jensen, Lin, Ooi,
+//! VLDB 2004), reproduced here both as the substrate the PEB-tree extends
+//! and as the **spatial-index baseline** of the paper's evaluation (Sec 4).
+//!
+//! The Bx-tree linearizes moving objects: each update is indexed as of the
+//! nearest *future label timestamp* of its partition (Fig 1 of the paper),
+//! and the object's predicted position at that label timestamp is mapped to
+//! a one-dimensional value with the Z-curve. Queries enlarge their window
+//! by the maximum object speed times the time gap between query time and
+//! label timestamp, convert the window to Z-intervals, and refine candidates
+//! with their exact linear motion.
+//!
+//! Key layout (one `u128` per object):
+//!
+//! ```text
+//! [ TID : 8 bits ][ ZV : 2·grid_bits ][ UID : 32 bits ]
+//! ```
+//!
+//! Embedding the uid makes keys unique, so the underlying B+-tree never
+//! sees duplicates and updates are exact delete+insert pairs.
+
+pub mod keys;
+pub mod partition;
+pub mod record;
+pub mod tree;
+
+pub use keys::BxKeyLayout;
+pub use partition::TimePartitioning;
+pub use record::ObjectRecord;
+pub use tree::{estimated_knn_distance, BxTree};

@@ -1,0 +1,121 @@
+//! Bx-tree time partitioning (Fig 1 and Eq. 2 of the paper).
+//!
+//! The time axis is divided into phases of length `∆tmu / n`. An update at
+//! time `tu` is indexed as of the *nearest later label timestamp*
+//! `t_lab = ⌈tu + ∆tmu/n⌉_l`, and the label maps to one of `n + 1` rotating
+//! index partitions: `TID = (t_lab / (∆tmu/n) − 1) mod (n + 1)`. Because an
+//! object must update at least every `∆tmu`, at most `n + 1` partitions
+//! hold live data at any moment.
+
+use peb_common::Timestamp;
+
+/// The partitioning parameters: maximum update interval `∆tmu` and the
+/// number of phases `n` it is split into. The Bx paper's canonical setting
+/// (adopted by the PEB paper, Sec 7.1) is `n = 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct TimePartitioning {
+    pub delta_tmu: f64,
+    pub n: u32,
+}
+
+impl Default for TimePartitioning {
+    fn default() -> Self {
+        TimePartitioning { delta_tmu: 120.0, n: 2 }
+    }
+}
+
+impl TimePartitioning {
+    pub fn new(delta_tmu: f64, n: u32) -> Self {
+        assert!(delta_tmu > 0.0 && n >= 1);
+        TimePartitioning { delta_tmu, n }
+    }
+
+    /// Length of one phase, `∆tmu / n`.
+    pub fn phase_len(&self) -> f64 {
+        self.delta_tmu / self.n as f64
+    }
+
+    /// Number of distinct partition ids, `n + 1`.
+    pub fn num_partitions(&self) -> u32 {
+        self.n + 1
+    }
+
+    /// `⌈tu + ∆tmu/n⌉_l`: the label timestamp an update at `tu` is indexed
+    /// as of — the first label at or after `tu + phase_len`.
+    pub fn label_timestamp(&self, tu: Timestamp) -> Timestamp {
+        let pl = self.phase_len();
+        ((tu + pl) / pl).ceil() * pl
+    }
+
+    /// Eq. 2: the index partition of a label timestamp.
+    pub fn partition_of_label(&self, t_lab: Timestamp) -> u8 {
+        let pl = self.phase_len();
+        let idx = (t_lab / pl).round() as i64 - 1;
+        (idx.rem_euclid(self.num_partitions() as i64)) as u8
+    }
+
+    /// Convenience: partition for an update at `tu`.
+    pub fn partition_of_update(&self, tu: Timestamp) -> u8 {
+        self.partition_of_label(self.label_timestamp(tu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_phase_one() {
+        // "Let the time axis be partitioned into intervals of ∆tmu/2.
+        // Objects updated between time 0 and ∆tmu/2 are indexed as of
+        // t_lab = ∆tmu. The resulting partition is 1."
+        let p = TimePartitioning::new(120.0, 2);
+        assert_eq!(p.phase_len(), 60.0);
+        for tu in [0.1, 30.0, 59.9] {
+            assert_eq!(p.label_timestamp(tu), 120.0);
+            assert_eq!(p.partition_of_update(tu), 1);
+        }
+    }
+
+    #[test]
+    fn partitions_rotate_mod_n_plus_one() {
+        let p = TimePartitioning::new(120.0, 2);
+        assert_eq!(p.num_partitions(), 3);
+        // Labels 60, 120, 180, 240, 300 -> partitions 0, 1, 2, 0, 1.
+        assert_eq!(p.partition_of_label(60.0), 0);
+        assert_eq!(p.partition_of_label(120.0), 1);
+        assert_eq!(p.partition_of_label(180.0), 2);
+        assert_eq!(p.partition_of_label(240.0), 0);
+        assert_eq!(p.partition_of_label(300.0), 1);
+    }
+
+    #[test]
+    fn label_is_strictly_later_than_update() {
+        let p = TimePartitioning::new(120.0, 2);
+        for i in 0..1000 {
+            let tu = i as f64 * 0.37;
+            let lab = p.label_timestamp(tu);
+            assert!(lab > tu, "label {lab} must lie after update {tu}");
+            assert!(lab - tu <= p.delta_tmu, "label within one max update interval");
+        }
+    }
+
+    #[test]
+    fn update_exactly_on_phase_boundary() {
+        let p = TimePartitioning::new(120.0, 2);
+        // tu = 60 -> tu + 60 = 120, already a label: stays 120.
+        assert_eq!(p.label_timestamp(60.0), 120.0);
+        assert_eq!(p.label_timestamp(60.0001).round(), 180.0);
+    }
+
+    #[test]
+    fn single_phase_partitioning() {
+        let p = TimePartitioning::new(100.0, 1);
+        assert_eq!(p.num_partitions(), 2);
+        // tu = 0.5 -> label 200 -> partition (200/100 - 1) mod 2 = 1, and
+        // successive phases alternate between the two partitions.
+        assert_eq!(p.partition_of_update(0.5), 1);
+        assert_eq!(p.partition_of_update(100.5), 0);
+        assert_eq!(p.partition_of_update(200.5), 1);
+    }
+}

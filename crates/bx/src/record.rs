@@ -1,0 +1,96 @@
+//! The leaf record stored for each moving object.
+//!
+//! The paper's leaf format is `⟨key, UID, x, y, vx, vy, t, Pntp⟩`; the key
+//! lives in the B+-tree entry header and `Pntp` (a pointer to the user's
+//! policy set) is the uid itself in our dense-id design, so the record
+//! packs uid, position, velocity and update time into 28 bytes.
+
+use peb_btree::RecordValue;
+use peb_common::{MovingPoint, Point, UserId, Vec2};
+
+/// On-disk moving-object record (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectRecord {
+    pub uid: u64,
+    pub x: f32,
+    pub y: f32,
+    pub vx: f32,
+    pub vy: f32,
+    pub t_update: f32,
+}
+
+impl ObjectRecord {
+    pub fn from_moving_point(m: &MovingPoint) -> Self {
+        ObjectRecord {
+            uid: m.uid.0,
+            x: m.pos.x as f32,
+            y: m.pos.y as f32,
+            vx: m.vel.x as f32,
+            vy: m.vel.y as f32,
+            t_update: m.t_update as f32,
+        }
+    }
+
+    pub fn to_moving_point(&self) -> MovingPoint {
+        MovingPoint::new(
+            UserId(self.uid),
+            Point::new(self.x as f64, self.y as f64),
+            Vec2::new(self.vx as f64, self.vy as f64),
+            self.t_update as f64,
+        )
+    }
+}
+
+impl RecordValue for ObjectRecord {
+    const SIZE: usize = 28;
+
+    fn write(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.uid.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.x.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.y.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.vx.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.vy.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.t_update.to_le_bytes());
+    }
+
+    fn read(buf: &[u8]) -> Self {
+        ObjectRecord {
+            uid: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            x: f32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            y: f32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            vx: f32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            vy: f32::from_le_bytes(buf[20..24].try_into().unwrap()),
+            t_update: f32::from_le_bytes(buf[24..28].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_roundtrip() {
+        let r = ObjectRecord { uid: 77, x: 1.5, y: -2.5, vx: 0.25, vy: -0.75, t_update: 42.0 };
+        let mut buf = [0u8; ObjectRecord::SIZE];
+        r.write(&mut buf);
+        assert_eq!(ObjectRecord::read(&buf), r);
+    }
+
+    #[test]
+    fn moving_point_roundtrip() {
+        let m = MovingPoint::new(UserId(9), Point::new(10.5, 20.25), Vec2::new(1.5, -0.5), 60.0);
+        let r = ObjectRecord::from_moving_point(&m);
+        let back = r.to_moving_point();
+        assert_eq!(back.uid, m.uid);
+        assert_eq!(back.pos, m.pos);
+        assert_eq!(back.vel, m.vel);
+        assert_eq!(back.t_update, m.t_update);
+    }
+
+    #[test]
+    fn leaf_fanout_matches_design() {
+        // 16-byte key + 28-byte record = 44-byte stride -> 92 entries/page.
+        assert_eq!(peb_btree::node::leaf_capacity(ObjectRecord::SIZE), 92);
+    }
+}

@@ -1,0 +1,613 @@
+//! The Bx-tree proper: insert/update/delete plus range and kNN queries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use peb_btree::BTree;
+use peb_common::{MovingPoint, Point, Rect, SpaceConfig, Timestamp, UserId};
+use peb_storage::BufferPool;
+use peb_zorder::{decompose, encode, IntervalSet};
+
+use crate::keys::BxKeyLayout;
+use crate::partition::TimePartitioning;
+use crate::record::ObjectRecord;
+
+/// A B+-tree based moving-object index.
+pub struct BxTree {
+    btree: BTree<ObjectRecord>,
+    layout: BxKeyLayout,
+    space: SpaceConfig,
+    part: TimePartitioning,
+    max_speed: f64,
+    /// Current index key of each live object, for exact update/delete.
+    current_key: HashMap<UserId, u128>,
+    /// Label timestamp of the data stored in each live partition.
+    partition_labels: HashMap<u8, Timestamp>,
+}
+
+impl BxTree {
+    pub fn new(
+        pool: Arc<BufferPool>,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+    ) -> Self {
+        assert!(max_speed > 0.0);
+        BxTree {
+            btree: BTree::new(pool),
+            layout: BxKeyLayout::new(space.grid_bits),
+            space,
+            part,
+            max_speed,
+            current_key: HashMap::new(),
+            partition_labels: HashMap::new(),
+        }
+    }
+
+    pub fn space(&self) -> &SpaceConfig {
+        &self.space
+    }
+
+    pub fn partitioning(&self) -> &TimePartitioning {
+        &self.part
+    }
+
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    pub fn len(&self) -> usize {
+        self.btree.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.btree.is_empty()
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.btree.pool()
+    }
+
+    /// Number of leaf pages, `Nl` in the paper's cost model.
+    pub fn leaf_page_count(&self) -> usize {
+        self.btree.leaf_page_count()
+    }
+
+    /// The Bx key an object updated at `m.t_update` is indexed under.
+    pub fn key_for(&self, m: &MovingPoint) -> u128 {
+        let t_lab = self.part.label_timestamp(m.t_update);
+        let tid = self.part.partition_of_label(t_lab);
+        let pos_at_label = m.position_at(t_lab);
+        let (gx, gy) = self.space.to_grid(&pos_at_label);
+        self.layout.key(tid, encode(gx, gy) & self.zv_mask(), m.uid.0)
+    }
+
+    fn zv_mask(&self) -> u64 {
+        (1u64 << self.layout.zv_bits) - 1
+    }
+
+    /// Insert or update an object (an update is an exact delete of the old
+    /// key followed by an insert, as in the Bx-tree).
+    pub fn upsert(&mut self, m: MovingPoint) {
+        debug_assert!(
+            m.speed() <= self.max_speed + 1e-9,
+            "object {} exceeds the declared max speed",
+            m.uid
+        );
+        if let Some(old_key) = self.current_key.remove(&m.uid) {
+            self.btree.delete(old_key);
+        }
+        let t_lab = self.part.label_timestamp(m.t_update);
+        let tid = self.part.partition_of_label(t_lab);
+        let key = self.key_for(&m);
+        self.btree.insert(key, ObjectRecord::from_moving_point(&m));
+        self.current_key.insert(m.uid, key);
+        self.partition_labels.insert(tid, t_lab);
+    }
+
+    /// Remove an object entirely.
+    pub fn remove(&mut self, uid: UserId) -> bool {
+        match self.current_key.remove(&uid) {
+            Some(key) => self.btree.delete(key).is_some(),
+            None => false,
+        }
+    }
+
+    /// Fetch an object's current record by id (point lookup through disk).
+    pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
+        let key = self.current_key.get(&uid)?;
+        self.btree.get(*key).map(|r| r.to_moving_point())
+    }
+
+    /// The live `(tid, label timestamp)` pairs, sorted by tid.
+    pub fn live_partitions(&self) -> Vec<(u8, Timestamp)> {
+        let mut v: Vec<(u8, Timestamp)> = self.partition_labels.iter().map(|(a, b)| (*a, *b)).collect();
+        v.sort_by_key(|a| a.0);
+        v
+    }
+
+    /// Enlarge a query rectangle for one partition: every object stored as
+    /// of `t_lab` that can reach `r` by `tq` lies within `max_speed · |t_lab − tq|`
+    /// of it (Fig 2 of the paper). The enlarged rectangle is *not* clamped
+    /// to the space bounds — objects may drift outside the domain between
+    /// updates, and the grid quantization clamps cells on its own — so
+    /// coverage of boundary-clamped stored cells is preserved.
+    pub fn enlarge(&self, r: &Rect, t_lab: Timestamp, tq: Timestamp) -> Rect {
+        let d = self.max_speed * (t_lab - tq).abs();
+        Rect::new(r.xl - d, r.xu + d, r.yl - d, r.yu + d)
+    }
+
+    /// Privacy-unaware predictive range query: all objects whose predicted
+    /// position at `tq` falls inside `r`.
+    pub fn range_query(&self, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
+        let mut out = Vec::new();
+        self.for_each_candidate(r, tq, |m| {
+            if r.contains(&m.position_at(tq)) {
+                out.push(m);
+            }
+        });
+        out
+    }
+
+    /// Run the Bx search (enlarge → Z-decompose → B+-tree interval scans)
+    /// and hand every *candidate* (pre-refinement) to the callback.
+    pub fn for_each_candidate(&self, r: &Rect, tq: Timestamp, mut f: impl FnMut(MovingPoint)) {
+        for (tid, t_lab) in self.live_partitions() {
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
+            for zr in decompose(x0, x1, y0, y1, self.space.grid_bits) {
+                let lo = self.layout.range_start(tid, zr.lo);
+                let hi = self.layout.range_end(tid, zr.hi);
+                self.btree.range_scan(lo, hi, |_, rec| {
+                    f(rec.to_moving_point());
+                    true
+                });
+            }
+        }
+    }
+
+    /// Incremental variant for iterative enlargement (the kNN loops): scan
+    /// only the Z-interval parts not yet covered by `scanned` (one
+    /// [`IntervalSet`] per time partition), so consecutive rounds search
+    /// `R'_qi − R'_q(i−1)` as in the paper instead of rescanning the whole
+    /// window.
+    pub fn for_each_new_candidate(
+        &self,
+        r: &Rect,
+        tq: Timestamp,
+        scanned: &mut HashMap<u8, IntervalSet>,
+        mut f: impl FnMut(MovingPoint),
+    ) {
+        for (tid, t_lab) in self.live_partitions() {
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
+            let set = scanned.entry(tid).or_default();
+            for zr in decompose(x0, x1, y0, y1, self.space.grid_bits) {
+                for (zlo, zhi) in set.add_and_return_new(zr.lo, zr.hi) {
+                    let lo = self.layout.range_start(tid, zlo);
+                    let hi = self.layout.range_end(tid, zhi);
+                    self.btree.range_scan(lo, hi, |_, rec| {
+                        f(rec.to_moving_point());
+                        true
+                    });
+                }
+            }
+        }
+    }
+
+    /// Tao et al.'s estimate of the distance to the k'th nearest neighbor
+    /// among `n` uniform objects, scaled to the space side length.
+    pub fn estimated_knn_distance(&self, k: usize, n: usize) -> f64 {
+        estimated_knn_distance(k, n, self.space.side)
+    }
+
+    /// Privacy-unaware predictive kNN: iteratively enlarged range queries
+    /// until k objects fall inside the inscribed circle of the window.
+    pub fn knn(&self, q: Point, k: usize, tq: Timestamp) -> Vec<(MovingPoint, f64)> {
+        if k == 0 || self.btree.is_empty() {
+            return Vec::new();
+        }
+        let n = self.btree.len();
+        // The ring step r_q = D_k/k of the paper can be a fraction of a grid
+        // cell; flooring it at a few cells bounds the number of enlargement
+        // rounds without affecting correctness (an implementation parameter
+        // the paper leaves open).
+        let rq = (self.estimated_knn_distance(k, n) / k as f64)
+            .max(self.space.cell_size() * KNN_STEP_FLOOR_CELLS);
+        // Objects may drift past the space bounds between updates, so the
+        // terminal radius allows a generous margin beyond the diagonal.
+        let max_radius = self.space.side * 4.0;
+
+        // Candidates accumulate across rounds; each round only scans the
+        // newly uncovered ring.
+        let mut scanned: HashMap<u8, IntervalSet> = HashMap::new();
+        let mut seen: HashMap<UserId, (MovingPoint, f64)> = HashMap::new();
+        let mut radius = rq;
+        loop {
+            let window = Rect::square(q, 2.0 * radius);
+            self.for_each_new_candidate(&window, tq, &mut scanned, |m| {
+                let d = m.position_at(tq).dist(&q);
+                seen.entry(m.uid).or_insert((m, d));
+            });
+            let mut hits: Vec<(MovingPoint, f64)> =
+                seen.values().filter(|(_, d)| *d <= radius).cloned().collect();
+            if hits.len() >= k || radius >= max_radius {
+                hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
+                hits.truncate(k);
+                return hits;
+            }
+            radius += rq;
+        }
+    }
+}
+
+/// Minimum kNN ring step, in grid cells (see `BxTree::knn`).
+pub const KNN_STEP_FLOOR_CELLS: f64 = 12.0;
+
+/// `Dk = (2/√π)·(1 − √(1 − √(k/n)))·L` (Tao, Zhang, Papadias, Mamoulis,
+/// TKDE 2004), as used by the paper's PkNN initial radius.
+pub fn estimated_knn_distance(k: usize, n: usize, side: f64) -> f64 {
+    assert!(n > 0 && k > 0);
+    let ratio = (k as f64 / n as f64).min(1.0);
+    (2.0 / std::f64::consts::PI.sqrt()) * (1.0 - (1.0 - ratio.sqrt()).sqrt()) * side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_common::Vec2;
+
+    fn space() -> SpaceConfig {
+        SpaceConfig::new(1000.0, 10, 1440.0)
+    }
+
+    fn tree(cap: usize) -> BxTree {
+        BxTree::new(Arc::new(BufferPool::new(cap)), space(), TimePartitioning::default(), 3.0)
+    }
+
+    fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+        MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let mut t = tree(64);
+        t.upsert(still(1, 100.0, 100.0, 0.0));
+        t.upsert(still(2, 500.0, 500.0, 0.0));
+        assert_eq!(t.len(), 2);
+        let m = t.get(UserId(1)).unwrap();
+        assert_eq!(m.pos, Point::new(100.0, 100.0));
+        assert!(t.get(UserId(3)).is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_old_position() {
+        let mut t = tree(64);
+        t.upsert(still(1, 100.0, 100.0, 0.0));
+        t.upsert(still(1, 800.0, 800.0, 10.0));
+        assert_eq!(t.len(), 1, "update must not duplicate the object");
+        let r = t.range_query(&Rect::new(700.0, 900.0, 700.0, 900.0), 10.0);
+        assert_eq!(r.len(), 1);
+        let r = t.range_query(&Rect::new(0.0, 200.0, 0.0, 200.0), 10.0);
+        assert!(r.is_empty(), "old position must be gone");
+    }
+
+    #[test]
+    fn remove_deletes_object() {
+        let mut t = tree(64);
+        t.upsert(still(1, 100.0, 100.0, 0.0));
+        assert!(t.remove(UserId(1)));
+        assert!(!t.remove(UserId(1)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn static_range_query_exact() {
+        let mut t = tree(128);
+        for i in 0..20u64 {
+            t.upsert(still(i, 50.0 * i as f64 + 25.0, 500.0, 0.0));
+        }
+        // Window covering x in [100, 300].
+        let r = t.range_query(&Rect::new(100.0, 300.0, 400.0, 600.0), 10.0);
+        let mut ids: Vec<u64> = r.iter().map(|m| m.uid.0).collect();
+        ids.sort_unstable();
+        // Objects at x = 125, 175, 225, 275 (i = 2..=5).
+        assert_eq!(ids, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn moving_object_found_at_predicted_position() {
+        let mut t = tree(64);
+        // Moving right at speed 2 from x=100: at tq=50 it is at x=200.
+        let m = MovingPoint::new(UserId(1), Point::new(100.0, 500.0), Vec2::new(2.0, 0.0), 0.0);
+        t.upsert(m);
+        let hit = t.range_query(&Rect::new(180.0, 220.0, 480.0, 520.0), 50.0);
+        assert_eq!(hit.len(), 1);
+        // And NOT at its update-time position once it has moved on.
+        let miss = t.range_query(&Rect::new(80.0, 120.0, 480.0, 520.0), 50.0);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn query_window_enlargement_matches_fig2() {
+        let t = tree(64);
+        let r = Rect::new(400.0, 500.0, 400.0, 500.0);
+        // t_lab one time unit after tq, max speed 3 -> grow by 3 on each side.
+        let e = t.enlarge(&r, 6.0, 5.0);
+        assert_eq!(e, Rect::new(397.0, 503.0, 397.0, 503.0));
+        // Symmetric for labels before the query time.
+        assert_eq!(t.enlarge(&r, 4.0, 5.0), e);
+    }
+
+    #[test]
+    fn objects_in_different_partitions_are_all_found() {
+        let mut t = tree(128);
+        // Updates in three different phases land in three partitions.
+        t.upsert(still(1, 100.0, 100.0, 10.0));
+        t.upsert(still(2, 110.0, 110.0, 70.0));
+        t.upsert(still(3, 120.0, 120.0, 130.0));
+        assert_eq!(t.live_partitions().len(), 3);
+        let r = t.range_query(&Rect::new(90.0, 130.0, 90.0, 130.0), 130.0);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn knn_basics() {
+        let mut t = tree(128);
+        for i in 0..50u64 {
+            t.upsert(still(i, 20.0 * i as f64 + 10.0, 500.0, 0.0));
+        }
+        let q = Point::new(500.0, 500.0);
+        let res = t.knn(q, 3, 10.0);
+        assert_eq!(res.len(), 3);
+        // Nearest are at x=490 (i=24), then x=510 (i=25), then x=470 (i=23).
+        assert_eq!(res[0].0.uid.0, 24);
+        assert!(res.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by distance");
+    }
+
+    #[test]
+    fn knn_with_fewer_objects_than_k() {
+        let mut t = tree(64);
+        t.upsert(still(1, 100.0, 100.0, 0.0));
+        t.upsert(still(2, 200.0, 200.0, 0.0));
+        let res = t.knn(Point::new(0.0, 0.0), 5, 1.0);
+        assert_eq!(res.len(), 2, "returns all objects when k exceeds population");
+    }
+
+    #[test]
+    fn knn_distance_estimate_monotone() {
+        assert!(estimated_knn_distance(1, 1000, 1000.0) < estimated_knn_distance(5, 1000, 1000.0));
+        assert!(
+            estimated_knn_distance(5, 10_000, 1000.0) < estimated_knn_distance(5, 1000, 1000.0),
+            "denser data -> closer neighbors"
+        );
+        // k = n degenerates to the full-space constant.
+        let d = estimated_knn_distance(100, 100, 1000.0);
+        assert!((d - 2.0 / std::f64::consts::PI.sqrt() * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_io_is_measured_through_pool() {
+        let mut t = tree(8);
+        for i in 0..5_000u64 {
+            t.upsert(still(i, (i % 100) as f64 * 10.0 + 5.0, (i / 100) as f64 * 19.0 + 5.0, 0.0));
+        }
+        let pool = Arc::clone(t.pool());
+        pool.clear();
+        pool.reset_stats();
+        let _ = t.range_query(&Rect::new(0.0, 250.0, 0.0, 250.0), 10.0);
+        let io = pool.stats().physical_reads;
+        assert!(io > 0, "cold query must do I/O");
+        assert!(
+            (io as usize) < t.btree_page_estimate(),
+            "range query touches a fraction of the tree ({io} pages)"
+        );
+    }
+}
+
+#[cfg(test)]
+impl BxTree {
+    fn btree_page_estimate(&self) -> usize {
+        self.btree.page_count()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use peb_common::Vec2;
+    use proptest::prelude::*;
+
+    /// f32-representable coordinates so the on-disk record is lossless.
+    fn coord() -> impl Strategy<Value = f64> {
+        (0u32..4000).prop_map(|v| v as f64 * 0.25)
+    }
+
+    fn vel() -> impl Strategy<Value = f64> {
+        (-8i32..=8).prop_map(|v| v as f64 * 0.25)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn range_query_matches_linear_scan_oracle(
+            objs in proptest::collection::vec((coord(), coord(), vel(), vel(), 0u32..100), 1..120),
+            qx in coord(), qy in coord(),
+            w in 10u32..400, h in 10u32..400,
+            tq_off in 0u32..120,
+        ) {
+            let space = SpaceConfig::new(1000.0, 10, 1440.0);
+            let mut t = BxTree::new(
+                Arc::new(BufferPool::new(256)),
+                space,
+                TimePartitioning::default(),
+                3.0,
+            );
+            let mut oracle = Vec::new();
+            for (i, (x, y, vx, vy, tu)) in objs.iter().enumerate() {
+                let m = MovingPoint::new(
+                    UserId(i as u64),
+                    Point::new(*x, *y),
+                    Vec2::new(*vx, *vy),
+                    *tu as f64,
+                );
+                t.upsert(m);
+                oracle.push(m);
+            }
+            let tq = 100.0 + tq_off as f64;
+            let r = Rect::new(qx, (qx + w as f64).min(1000.0), qy, (qy + h as f64).min(1000.0));
+
+            let mut got: Vec<u64> = t.range_query(&r, tq).iter().map(|m| m.uid.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = oracle
+                .iter()
+                .filter(|m| r.contains(&m.position_at(tq)))
+                .map(|m| m.uid.0)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn knn_matches_brute_force(
+            objs in proptest::collection::vec((coord(), coord(), vel(), vel()), 5..80),
+            qx in coord(), qy in coord(),
+            k in 1usize..6,
+        ) {
+            let space = SpaceConfig::new(1000.0, 10, 1440.0);
+            let mut t = BxTree::new(
+                Arc::new(BufferPool::new(256)),
+                space,
+                TimePartitioning::default(),
+                3.0,
+            );
+            let mut oracle = Vec::new();
+            for (i, (x, y, vx, vy)) in objs.iter().enumerate() {
+                let m = MovingPoint::new(UserId(i as u64), Point::new(*x, *y), Vec2::new(*vx, *vy), 0.0);
+                t.upsert(m);
+                oracle.push(m);
+            }
+            let tq = 30.0;
+            let q = Point::new(qx, qy);
+            let got: Vec<u64> = t.knn(q, k, tq).iter().map(|(m, _)| m.uid.0).collect();
+
+            let mut dists: Vec<(f64, u64)> = oracle
+                .iter()
+                .map(|m| (m.position_at(tq).dist(&q), m.uid.0))
+                .collect();
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<u64> = dists.iter().take(k).map(|(_, id)| *id).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+impl BxTree {
+    /// Bulk-load an initial user population (each user must appear once).
+    /// Equivalent to upserting every user, but builds the B+-tree bottom-up
+    /// at the given fill factor.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+        users: &[MovingPoint],
+        fill: f64,
+    ) -> Self {
+        let mut shell = BxTree::new(Arc::clone(&pool), space, part, max_speed);
+        let mut entries: Vec<(u128, ObjectRecord)> = Vec::with_capacity(users.len());
+        for m in users {
+            let key = shell.key_for(m);
+            entries.push((key, ObjectRecord::from_moving_point(m)));
+            let t_lab = shell.part.label_timestamp(m.t_update);
+            shell.current_key.insert(m.uid, key);
+            shell.partition_labels.insert(shell.part.partition_of_label(t_lab), t_lab);
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        shell.btree = BTree::bulk_load(pool, entries, fill);
+        shell
+    }
+}
+
+impl BxTree {
+    /// Garbage-collect expired partitions. An object must update at least
+    /// once per `∆tmu`; entries still sitting in a partition whose label
+    /// timestamp has passed (`t_lab < now`) belong to objects that broke
+    /// that contract, and the partition is due for reuse. Removes them and
+    /// returns how many objects were dropped.
+    pub fn expire_stale(&mut self, now: Timestamp) -> usize {
+        let stale: Vec<(u8, Timestamp)> =
+            self.live_partitions().into_iter().filter(|(_, t_lab)| *t_lab < now).collect();
+        let mut dropped = 0usize;
+        for (tid, _) in stale {
+            let lo = self.layout.range_start(tid, 0);
+            let hi = self.layout.range_end(tid, self.zv_mask());
+            let victims: Vec<(u128, u64)> = {
+                let mut v = Vec::new();
+                self.btree.range_scan(lo, hi, |k, rec| {
+                    v.push((k, rec.uid));
+                    true
+                });
+                v
+            };
+            for (key, uid) in victims {
+                self.btree.delete(key);
+                // Only unlink the object if this key is still its current one.
+                if self.current_key.get(&UserId(uid)) == Some(&key) {
+                    self.current_key.remove(&UserId(uid));
+                }
+                dropped += 1;
+            }
+            self.partition_labels.remove(&tid);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod expiry_tests {
+    use super::*;
+    use peb_common::Vec2;
+
+    #[test]
+    fn expire_removes_only_stale_partitions() {
+        let space = SpaceConfig::new(1000.0, 10, 1440.0);
+        let mut t = BxTree::new(
+            Arc::new(BufferPool::new(64)),
+            space,
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        );
+        // u1 updated at t=10 -> label 120; u2 updated at t=130 -> label 240.
+        t.upsert(MovingPoint::new(UserId(1), Point::new(100.0, 100.0), Vec2::ZERO, 10.0));
+        t.upsert(MovingPoint::new(UserId(2), Point::new(200.0, 200.0), Vec2::ZERO, 130.0));
+        assert_eq!(t.live_partitions().len(), 2);
+
+        // At now=200 the label-120 partition has expired; u1 never updated.
+        let dropped = t.expire_stale(200.0);
+        assert_eq!(dropped, 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(UserId(1)).is_none());
+        assert!(t.get(UserId(2)).is_some());
+        assert_eq!(t.live_partitions().len(), 1);
+
+        // Nothing more to expire.
+        assert_eq!(t.expire_stale(200.0), 0);
+    }
+
+    #[test]
+    fn expiry_does_not_unlink_freshly_updated_objects() {
+        let space = SpaceConfig::new(1000.0, 10, 1440.0);
+        let mut t = BxTree::new(
+            Arc::new(BufferPool::new(64)),
+            space,
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        );
+        t.upsert(MovingPoint::new(UserId(1), Point::new(100.0, 100.0), Vec2::ZERO, 10.0));
+        // u1 updates in time: moves to the label-240 partition.
+        t.upsert(MovingPoint::new(UserId(1), Point::new(150.0, 150.0), Vec2::ZERO, 130.0));
+        assert_eq!(t.expire_stale(200.0), 0, "old entry was already replaced by the update");
+        assert!(t.get(UserId(1)).is_some());
+    }
+}

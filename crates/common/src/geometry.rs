@@ -1,0 +1,212 @@
+//! Planar geometry: points, vectors and axis-aligned rectangles.
+//!
+//! Rectangles are closed on all sides (`[xl, xu] × [yl, yu]`), matching the
+//! paper's range-query definition `R = ([xl1, xu1], [xl2, xu2])`.
+
+/// A location in two-dimensional Euclidean space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt in comparisons).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Translate by a velocity vector over `dt` time units.
+    pub fn advance(&self, v: Vec2, dt: f64) -> Point {
+        Point::new(self.x + v.x * dt, self.y + v.y * dt)
+    }
+}
+
+/// A velocity (or displacement) vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Vector magnitude (speed, for velocity vectors).
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Scale to a new magnitude; the zero vector stays zero.
+    pub fn with_norm(&self, target: f64) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec2::ZERO
+        } else {
+            Vec2::new(self.x / n * target, self.y / n * target)
+        }
+    }
+}
+
+/// A closed axis-aligned rectangle `[xl, xu] × [yl, yu]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub xl: f64,
+    pub xu: f64,
+    pub yl: f64,
+    pub yu: f64,
+}
+
+impl Rect {
+    /// Build a rectangle from its lower/upper bounds on both axes.
+    ///
+    /// # Panics
+    /// Panics if a lower bound exceeds the matching upper bound.
+    pub fn new(xl: f64, xu: f64, yl: f64, yu: f64) -> Self {
+        assert!(xl <= xu && yl <= yu, "degenerate rect: [{xl},{xu}]x[{yl},{yu}]");
+        Rect { xl, xu, yl, yu }
+    }
+
+    /// Axis-aligned square centered at `c` with the given side length.
+    pub fn square(c: Point, side: f64) -> Self {
+        let h = side / 2.0;
+        Rect::new(c.x - h, c.x + h, c.y - h, c.y + h)
+    }
+
+    pub fn width(&self) -> f64 {
+        self.xu - self.xl
+    }
+
+    pub fn height(&self) -> f64 {
+        self.yu - self.yl
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new((self.xl + self.xu) / 2.0, (self.yl + self.yu) / 2.0)
+    }
+
+    /// Closed-interval containment test.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.xl && p.x <= self.xu && p.y >= self.yl && p.y <= self.yu
+    }
+
+    /// Overlap area with another rectangle (`O(locr1, locr2)` in the paper's
+    /// policy-compatibility formula); zero when disjoint.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.xu.min(other.xu) - self.xl.max(other.xl)).max(0.0);
+        let h = (self.yu.min(other.yu) - self.yl.max(other.yl)).max(0.0);
+        w * h
+    }
+
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl <= other.xu && other.xl <= self.xu && self.yl <= other.yu && other.yl <= self.yu
+    }
+
+    /// Grow the rectangle by `dx`/`dy` on each side (Bx query enlargement),
+    /// clamping to `bounds`.
+    pub fn enlarged(&self, dx: f64, dy: f64, bounds: &Rect) -> Rect {
+        Rect::new(
+            (self.xl - dx).max(bounds.xl),
+            (self.xu + dx).min(bounds.xu),
+            (self.yl - dy).max(bounds.yl),
+            (self.yu + dy).min(bounds.yu),
+        )
+    }
+
+    /// The largest circle inscribed in the rectangle: (center, radius).
+    /// Used by the kNN termination test.
+    pub fn inscribed_circle(&self) -> (Point, f64) {
+        (self.center(), self.width().min(self.height()) / 2.0)
+    }
+
+    /// Clamp a point into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.xl, self.xu), p.y.clamp(self.yl, self.yu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn point_advance_follows_velocity() {
+        let p = Point::new(1.0, 2.0).advance(Vec2::new(0.5, -1.0), 4.0);
+        assert_eq!(p, Point::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn vec_norm_and_rescale() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        let u = v.with_norm(10.0);
+        assert!((u.norm() - 10.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.with_norm(7.0), Vec2::ZERO);
+    }
+
+    #[test]
+    fn rect_contains_is_closed() {
+        let r = Rect::new(0.0, 10.0, 0.0, 10.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(10.0, 10.0)));
+        assert!(!r.contains(&Point::new(10.000001, 5.0)));
+    }
+
+    #[test]
+    fn rect_overlap_area() {
+        let a = Rect::new(0.0, 4.0, 0.0, 4.0);
+        let b = Rect::new(2.0, 6.0, 2.0, 6.0);
+        assert_eq!(a.overlap_area(&b), 4.0);
+        let c = Rect::new(5.0, 6.0, 5.0, 6.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn rect_enlarge_clamps_to_bounds() {
+        let bounds = Rect::new(0.0, 100.0, 0.0, 100.0);
+        let r = Rect::new(1.0, 10.0, 90.0, 99.0).enlarged(5.0, 5.0, &bounds);
+        assert_eq!(r, Rect::new(0.0, 15.0, 85.0, 100.0));
+    }
+
+    #[test]
+    fn inscribed_circle_of_square() {
+        let (c, r) = Rect::square(Point::new(5.0, 5.0), 8.0).inscribed_circle();
+        assert_eq!(c, Point::new(5.0, 5.0));
+        assert_eq!(r, 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_rect_panics() {
+        Rect::new(5.0, 1.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// Identity of a service user (a moving object). The paper writes `u1`,
+/// `u12`, `qID` etc.; we use a dense `u64` so ids double as array indices in
+/// the policy encoder and workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    pub fn as_index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u64> for UserId {
+    fn from(v: u64) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<usize> for UserId {
+    fn from(v: usize) -> Self {
+        UserId(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(UserId(12).to_string(), "u12");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(UserId(3) < UserId(10));
+        assert_eq!(UserId::from(7usize).as_index(), 7);
+    }
+}

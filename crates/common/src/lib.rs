@@ -1,0 +1,20 @@
+//! Shared primitives for the PEB-tree reproduction: two-dimensional geometry,
+//! timestamps and time intervals, user identifiers, and the space/time domain
+//! configuration used throughout the paper's experiments.
+//!
+//! The paper models users as linear motions in a `L × L` Euclidean space
+//! (default 1000 × 1000) and time as a continuous axis partitioned by the
+//! Bx-tree into label timestamps. Everything downstream (Z-order encoding,
+//! Bx keys, PEB keys, policies) builds on these types.
+
+pub mod geometry;
+pub mod ids;
+pub mod motion;
+pub mod space;
+pub mod time;
+
+pub use geometry::{Point, Rect, Vec2};
+pub use ids::UserId;
+pub use motion::MovingPoint;
+pub use space::SpaceConfig;
+pub use time::{TimeInterval, Timestamp};

@@ -1,0 +1,57 @@
+//! Linear motion model for moving objects.
+//!
+//! Following the paper (and the Bx-/TPR-tree literature), an object is the
+//! triple `(x⃗, v⃗, tu)`: position and velocity as of the latest update time
+//! `tu`, with predicted position `x⃗(t) = x⃗ + v⃗·(t − tu)`.
+
+use crate::geometry::{Point, Vec2};
+use crate::ids::UserId;
+use crate::time::Timestamp;
+
+/// A moving object / user: `(x⃗, v⃗, tu)` plus its identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingPoint {
+    pub uid: UserId,
+    /// Position as of `t_update`.
+    pub pos: Point,
+    /// Velocity vector, space units per time unit.
+    pub vel: Vec2,
+    /// Time of the most recent update (`tu`).
+    pub t_update: Timestamp,
+}
+
+impl MovingPoint {
+    pub fn new(uid: UserId, pos: Point, vel: Vec2, t_update: Timestamp) -> Self {
+        MovingPoint { uid, pos, vel, t_update }
+    }
+
+    /// Predicted position at time `t` under the linear motion model.
+    /// `t` may lie before `t_update` (extrapolation backwards), which the
+    /// Bx-tree query algorithms rely on.
+    pub fn position_at(&self, t: Timestamp) -> Point {
+        self.pos.advance(self.vel, t - self.t_update)
+    }
+
+    pub fn speed(&self) -> f64 {
+        self.vel.norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolates_forward_and_backward() {
+        let m = MovingPoint::new(UserId(1), Point::new(10.0, 10.0), Vec2::new(1.0, -2.0), 5.0);
+        assert_eq!(m.position_at(7.0), Point::new(12.0, 6.0));
+        assert_eq!(m.position_at(4.0), Point::new(9.0, 12.0));
+        assert_eq!(m.position_at(5.0), m.pos);
+    }
+
+    #[test]
+    fn speed_is_velocity_norm() {
+        let m = MovingPoint::new(UserId(1), Point::default(), Vec2::new(3.0, 4.0), 0.0);
+        assert_eq!(m.speed(), 5.0);
+    }
+}

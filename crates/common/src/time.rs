@@ -1,0 +1,76 @@
+//! Timestamps and time intervals.
+//!
+//! Time is continuous (`f64` time units; think minutes). The Bx-tree
+//! partitions the axis into intervals of `∆tmu / n` and indexes each update
+//! as of the *nearest future label timestamp*; that arithmetic lives in
+//! `peb-bx`, while this module provides the raw types plus the closed
+//! interval used by privacy policies (`tint`).
+
+/// A point on the time axis, in time units since the epoch of the simulation.
+pub type Timestamp = f64;
+
+/// A closed interval `[start, end]` of the time domain, used as the `tint`
+/// component of a location-privacy policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TimeInterval {
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "degenerate time interval: [{start},{end}]");
+        TimeInterval { start, end }
+    }
+
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Duration of the overlap with another interval (`D(tint1, tint2)` in
+    /// the paper's α formula); zero when disjoint.
+    pub fn overlap(&self, other: &TimeInterval) -> f64 {
+        (self.end.min(other.end) - self.start.max(other.start)).max(0.0)
+    }
+
+    pub fn intersects(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_endpoints() {
+        let i = TimeInterval::new(8.0, 17.0);
+        assert!(i.contains(8.0));
+        assert!(i.contains(17.0));
+        assert!(!i.contains(17.5));
+        assert_eq!(i.duration(), 9.0);
+    }
+
+    #[test]
+    fn interval_overlap() {
+        let a = TimeInterval::new(0.0, 10.0);
+        let b = TimeInterval::new(5.0, 20.0);
+        assert_eq!(a.overlap(&b), 5.0);
+        let c = TimeInterval::new(11.0, 12.0);
+        assert_eq!(a.overlap(&c), 0.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_interval_panics() {
+        TimeInterval::new(5.0, 1.0);
+    }
+}

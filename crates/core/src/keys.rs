@@ -1,0 +1,110 @@
+//! PEB key packing: `[TID]₂ ⊕ [SV]₂ ⊕ [ZV]₂ ⊕ [UID]₂` (Eq. 5, plus a uid
+//! suffix that makes keys unique without changing the paper's ordering:
+//! TID dominates, then the sequence value, then location).
+
+/// Bits reserved for the fixed-point sequence value.
+pub const SV_BITS: u32 = 48;
+/// Bits reserved for the user id suffix.
+pub const UID_BITS: u32 = 32;
+/// Bits reserved for the time partition.
+pub const TID_BITS: u32 = 8;
+
+/// Bit layout of PEB keys for a given Z-grid resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct PebKeyLayout {
+    /// Bits of the Z-curve value (2 × grid bits per axis).
+    pub zv_bits: u32,
+}
+
+impl PebKeyLayout {
+    pub fn new(grid_bits: u32) -> Self {
+        assert!((1..=16).contains(&grid_bits));
+        PebKeyLayout { zv_bits: 2 * grid_bits }
+    }
+
+    /// Compose a full key: `TID ‖ SV ‖ ZV ‖ UID`.
+    #[inline]
+    pub fn key(&self, tid: u8, sv_code: u64, zv: u64, uid: u64) -> u128 {
+        debug_assert!(sv_code < (1u64 << SV_BITS));
+        debug_assert!(zv < (1u64 << self.zv_bits));
+        debug_assert!(uid < (1u64 << UID_BITS));
+        ((tid as u128) << (SV_BITS + self.zv_bits + UID_BITS))
+            | ((sv_code as u128) << (self.zv_bits + UID_BITS))
+            | ((zv as u128) << UID_BITS)
+            | uid as u128
+    }
+
+    /// Smallest key of the search interval `(tid, sv, zv_lo ..= zv_hi)`.
+    #[inline]
+    pub fn range_start(&self, tid: u8, sv_code: u64, zv_lo: u64) -> u128 {
+        self.key(tid, sv_code, zv_lo, 0)
+    }
+
+    /// Largest key of the search interval `(tid, sv, zv_lo ..= zv_hi)`.
+    #[inline]
+    pub fn range_end(&self, tid: u8, sv_code: u64, zv_hi: u64) -> u128 {
+        self.key(tid, sv_code, zv_hi, (1u64 << UID_BITS) - 1)
+    }
+
+    #[inline]
+    pub fn tid_of(&self, key: u128) -> u8 {
+        (key >> (SV_BITS + self.zv_bits + UID_BITS)) as u8
+    }
+
+    #[inline]
+    pub fn sv_of(&self, key: u128) -> u64 {
+        ((key >> (self.zv_bits + UID_BITS)) & ((1u128 << SV_BITS) - 1)) as u64
+    }
+
+    #[inline]
+    pub fn zv_of(&self, key: u128) -> u64 {
+        ((key >> UID_BITS) & ((1u128 << self.zv_bits) - 1)) as u64
+    }
+
+    #[inline]
+    pub fn uid_of(&self, key: u128) -> u64 {
+        (key & ((1u128 << UID_BITS) - 1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_components() {
+        let l = PebKeyLayout::new(10);
+        let k = l.key(2, 0xABCDEF, 0xFEDCB, 1234);
+        assert_eq!(l.tid_of(k), 2);
+        assert_eq!(l.sv_of(k), 0xABCDEF);
+        assert_eq!(l.zv_of(k), 0xFEDCB);
+        assert_eq!(l.uid_of(k), 1234);
+    }
+
+    #[test]
+    fn sv_has_priority_over_location() {
+        // "The construction of the PEB key gives higher priority to sequence
+        // values than to location mapping values."
+        let l = PebKeyLayout::new(10);
+        let near_but_foreign = l.key(0, 900, 5, 1);
+        let far_but_compatible = l.key(0, 100, (1 << 20) - 1, 2);
+        assert!(
+            far_but_compatible < near_but_foreign,
+            "lower SV sorts first regardless of ZV"
+        );
+        // TID still dominates everything.
+        assert!(l.key(1, 0, 0, 0) > l.key(0, u32::MAX as u64, (1 << 20) - 1, 99));
+    }
+
+    #[test]
+    fn range_bounds_enclose_exactly_one_sv_group() {
+        let l = PebKeyLayout::new(8);
+        let lo = l.range_start(1, 500, 10);
+        let hi = l.range_end(1, 500, 20);
+        assert!(l.key(1, 500, 10, 0) >= lo && l.key(1, 500, 20, u32::MAX as u64) <= hi);
+        assert!(l.key(1, 499, 20, 0) < lo, "lower SV excluded");
+        assert!(l.key(1, 501, 0, 0) > hi, "higher SV excluded");
+        assert!(l.key(1, 500, 21, 0) > hi, "ZV above interval excluded");
+        assert!(l.key(1, 500, 9, u32::MAX as u64) < lo, "ZV below interval excluded");
+    }
+}

@@ -1,0 +1,104 @@
+//! Brute-force reference implementations of PRQ and PkNN.
+//!
+//! These scan the full user table and apply Definitions 2 and 3 literally.
+//! They are the ground truth that the PEB-tree, the spatial baseline, and
+//! the integration tests all must agree with.
+
+use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
+use peb_policy::PolicyStore;
+
+/// Definition 2, by linear scan: ids of all users in `r` at `tq` visible to
+/// `issuer`, sorted by uid.
+pub fn oracle_prq(
+    users: &[MovingPoint],
+    store: &PolicyStore,
+    issuer: UserId,
+    r: &Rect,
+    tq: Timestamp,
+) -> Vec<UserId> {
+    let mut out: Vec<UserId> = users
+        .iter()
+        .filter(|m| m.uid != issuer)
+        .filter(|m| {
+            let pos = m.position_at(tq);
+            r.contains(&pos) && store.permits(m.uid, issuer, &pos, tq)
+        })
+        .map(|m| m.uid)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Definition 3, by linear scan: the k qualified users nearest `q` at `tq`,
+/// sorted by distance with ties broken by uid.
+pub fn oracle_pknn(
+    users: &[MovingPoint],
+    store: &PolicyStore,
+    issuer: UserId,
+    q: Point,
+    k: usize,
+    tq: Timestamp,
+) -> Vec<UserId> {
+    let mut qualified: Vec<(f64, UserId)> = users
+        .iter()
+        .filter(|m| m.uid != issuer)
+        .filter_map(|m| {
+            let pos = m.position_at(tq);
+            store.permits(m.uid, issuer, &pos, tq).then(|| (pos.dist(&q), m.uid))
+        })
+        .collect();
+    qualified.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    qualified.truncate(k);
+    qualified.into_iter().map(|(_, uid)| uid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_common::{TimeInterval, Vec2};
+    use peb_policy::{Policy, RoleId};
+
+    #[test]
+    fn oracle_prq_applies_both_conditions() {
+        let mut store = PolicyStore::new();
+        store.add(
+            UserId(0),
+            Policy::new(
+                UserId(1),
+                RoleId::FRIEND,
+                Rect::new(0.0, 1000.0, 0.0, 1000.0),
+                TimeInterval::new(0.0, 100.0),
+            ),
+        );
+        let users = vec![
+            MovingPoint::new(UserId(1), Point::new(50.0, 50.0), Vec2::ZERO, 0.0),
+            MovingPoint::new(UserId(2), Point::new(60.0, 60.0), Vec2::ZERO, 0.0),
+        ];
+        let r = Rect::new(0.0, 100.0, 0.0, 100.0);
+        assert_eq!(oracle_prq(&users, &store, UserId(0), &r, 50.0), vec![UserId(1)]);
+        assert!(oracle_prq(&users, &store, UserId(0), &r, 150.0).is_empty(), "tint expired");
+    }
+
+    #[test]
+    fn oracle_pknn_orders_by_distance() {
+        let mut store = PolicyStore::new();
+        for u in [1u64, 2, 3] {
+            store.add(
+                UserId(0),
+                Policy::new(
+                    UserId(u),
+                    RoleId::FRIEND,
+                    Rect::new(0.0, 1000.0, 0.0, 1000.0),
+                    TimeInterval::new(0.0, 1000.0),
+                ),
+            );
+        }
+        let users = vec![
+            MovingPoint::new(UserId(1), Point::new(30.0, 0.0), Vec2::ZERO, 0.0),
+            MovingPoint::new(UserId(2), Point::new(10.0, 0.0), Vec2::ZERO, 0.0),
+            MovingPoint::new(UserId(3), Point::new(20.0, 0.0), Vec2::ZERO, 0.0),
+        ];
+        let got = oracle_pknn(&users, &store, UserId(0), Point::new(0.0, 0.0), 2, 5.0);
+        assert_eq!(got, vec![UserId(2), UserId(3)]);
+    }
+}

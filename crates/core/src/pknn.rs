@@ -1,0 +1,278 @@
+//! The privacy-aware kNN query (PkNN) of Sec 5.4 / Figs 8–10.
+//!
+//! The search space in each time partition is an `m × n` matrix (Fig 8):
+//! rows are the issuer's friends in ascending SV order, columns are rounds
+//! of the incrementally enlarged query window. Per the paper's
+//! modification, each round contributes a *single* Z-interval — the min and
+//! max one-dimensional values of the (enlarged) window — and since windows
+//! nest, each cell only scans the two fresh sub-intervals its round adds.
+//!
+//! Cells are visited in the triangular (anti-diagonal) order of Fig 9,
+//! alternating between widening the spatial radius and descending the
+//! friend list, until k policy-qualified candidates fall inside the
+//! inscribed circle of the current round's window. A final vertical scan
+//! (all rows, window shrunk to twice the current k'th candidate distance)
+//! guarantees no closer qualified user was missed.
+
+use std::collections::{HashMap, HashSet};
+
+use peb_bx::estimated_knn_distance;
+use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
+
+use crate::tree::PebTree;
+
+/// Per-(partition, SV-code) record of the Z-interval already scanned; round
+/// windows nest, so one interval per cell key suffices.
+type ScannedMap = HashMap<(u8, u64), (u64, u64)>;
+
+impl PebTree {
+    /// Definition 3: the k users nearest to `q` at `tq` among those whose
+    /// policy lets `issuer` see them there and then. Sorted by distance
+    /// (ties by uid); fewer than k are returned when fewer qualify.
+    pub fn pknn(&self, issuer: UserId, q: Point, k: usize, tq: Timestamp) -> Vec<(MovingPoint, f64)> {
+        let groups = self.ctx.friend_sv_groups(issuer);
+        if groups.is_empty() || k == 0 || self.btree.is_empty() {
+            return Vec::new();
+        }
+        let m = groups.len();
+        let n_objects = self.btree.len();
+
+        // Initial radius r_q = D_k / k (Fig 10 line 2), floored at one grid
+        // cell so tiny estimates still make progress.
+        let rq = (estimated_knn_distance(k, n_objects, self.space.side) / k as f64)
+            .max(self.space.cell_size() * peb_bx::tree::KNN_STEP_FLOOR_CELLS);
+        let max_radius = self.space.side * 4.0;
+        let max_rounds = (max_radius / rq).ceil() as usize;
+
+        let partitions = self.live_partitions();
+        let mut scanned: ScannedMap = HashMap::new();
+        let mut resolved: HashSet<UserId> = HashSet::new();
+        let mut pool: Vec<(MovingPoint, f64)> = Vec::new();
+
+        // Triangular order over the search matrix: anti-diagonal d visits
+        // cells (row, round) with row + (round − 1) = d, starting from the
+        // upper-left corner (nearest SV, smallest radius).
+        let total_friends: usize = groups.iter().map(|(_, ms)| ms.len()).sum();
+        let mut done = false;
+        'diagonals: for d in 0..(m + max_rounds) {
+            for row in 0..=d.min(m - 1) {
+                let round = d - row + 1;
+                if round > max_rounds {
+                    continue;
+                }
+                let radius = round as f64 * rq;
+                self.scan_cell(
+                    issuer, q, tq, &groups[row], radius, &partitions, &mut scanned,
+                    &mut resolved, &mut pool,
+                );
+                if pool.iter().filter(|(_, dist)| *dist <= radius).count() >= k {
+                    done = true;
+                    break 'diagonals;
+                }
+                if resolved.len() >= total_friends {
+                    // Every friend has been located: no further cell can
+                    // add candidates, so the matrix is effectively empty.
+                    break 'diagonals;
+                }
+            }
+        }
+
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
+        if !done {
+            // The matrix is exhausted: fewer than k users qualify anywhere.
+            pool.truncate(k);
+            return pool;
+        }
+
+        // Vertical-scan refinement: make sure every friend row is covered
+        // out to twice the current k'th candidate distance, then re-rank.
+        let kth_dist = pool[k - 1].1;
+        let radius = kth_dist.max(self.space.cell_size() * 0.5);
+        for group in &groups {
+            self.scan_cell(
+                issuer, q, tq, group, radius, &partitions, &mut scanned, &mut resolved,
+                &mut pool,
+            );
+        }
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
+        pool.truncate(k);
+        pool
+    }
+
+    /// Scan one search-matrix cell: the single Z-interval of the window of
+    /// half-side `radius`, for one SV group, in every live partition —
+    /// minus whatever previous (smaller, nested) rounds already covered.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_cell(
+        &self,
+        issuer: UserId,
+        q: Point,
+        tq: Timestamp,
+        group: &(u64, Vec<UserId>),
+        radius: f64,
+        partitions: &[(u8, Timestamp)],
+        scanned: &mut ScannedMap,
+        resolved: &mut HashSet<UserId>,
+        pool: &mut Vec<(MovingPoint, f64)>,
+    ) {
+        let (sv_code, members) = group;
+        if members.iter().all(|u| resolved.contains(u)) {
+            return;
+        }
+        let window = Rect::square(q, 2.0 * radius);
+        for (tid, t_lab) in partitions {
+            let enlarged = self.enlarge(&window, *t_lab, tq);
+            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
+            // The paper's single-interval modification: [min ZV; max ZV] of
+            // the window, which for the Z-curve are its lower-left and
+            // upper-right cells.
+            let lo = peb_zorder::encode(x0, y0);
+            let hi = peb_zorder::encode(x1, y1);
+
+            // Subtract the nested interval scanned by earlier rounds.
+            let fresh: Vec<(u64, u64)> = match scanned.get(&(*tid, *sv_code)) {
+                None => vec![(lo, hi)],
+                Some(&(plo, phi)) => {
+                    let mut v = Vec::new();
+                    if lo < plo {
+                        v.push((lo, plo - 1));
+                    }
+                    if hi > phi {
+                        v.push((phi + 1, hi));
+                    }
+                    v
+                }
+            };
+            let entry = scanned.entry((*tid, *sv_code)).or_insert((lo, hi));
+            entry.0 = entry.0.min(lo);
+            entry.1 = entry.1.max(hi);
+
+            for (zlo, zhi) in fresh {
+                self.scan_interval(*tid, *sv_code, zlo, zhi, |rec| {
+                    let uid = UserId(rec.uid);
+                    if uid == issuer || resolved.contains(&uid) {
+                        return true;
+                    }
+                    if self.ctx.store.policy(uid, issuer).is_none() {
+                        return true;
+                    }
+                    resolved.insert(uid);
+                    let mp = rec.to_moving_point();
+                    let pos = mp.position_at(tq);
+                    if self.ctx.store.permits(uid, issuer, &pos, tq) {
+                        pool.push((mp, pos.dist(&q)));
+                    }
+                    true
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PrivacyContext;
+    use peb_bx::TimePartitioning;
+    use peb_common::{SpaceConfig, TimeInterval, Vec2};
+    use peb_policy::{Policy, PolicyStore, RoleId, SvAssignmentParams};
+    use peb_storage::BufferPool;
+    use std::sync::Arc;
+
+    const WHOLE: Rect = Rect { xl: 0.0, xu: 1000.0, yl: 0.0, yu: 1000.0 };
+    const ALWAYS: TimeInterval = TimeInterval { start: 0.0, end: 1440.0 };
+
+    fn still(uid: u64, x: f64, y: f64) -> MovingPoint {
+        MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, 0.0)
+    }
+
+    fn build(store: PolicyStore, n: usize) -> PebTree {
+        let space = SpaceConfig::default();
+        let ctx = Arc::new(PrivacyContext::build(store, space, n, SvAssignmentParams::default()));
+        PebTree::new(Arc::new(BufferPool::new(64)), space, TimePartitioning::default(), 3.0, ctx)
+    }
+
+    #[test]
+    fn running_example_only_willing_friend_wins() {
+        // Fig 3: u1 queries for the nearest friend. Friends u12..u130 exist
+        // but only u12 currently discloses; nearer non-friends and
+        // unwilling friends must be passed over.
+        let mut store = PolicyStore::new();
+        let friends = [12u64, 30, 59, 100, 130];
+        for f in friends {
+            let (locr, tint) = if f == 12 {
+                (WHOLE, ALWAYS)
+            } else {
+                // Policies that never apply at tq = 100.
+                (WHOLE, TimeInterval::new(500.0, 600.0))
+            };
+            store.add(UserId(1), Policy::new(UserId(f), RoleId::FRIEND, locr, tint));
+        }
+        let mut t = build(store, 131);
+        t.upsert(still(1, 500.0, 500.0));
+        t.upsert(still(100, 505.0, 505.0)); // nearest friend, unwilling
+        t.upsert(still(12, 600.0, 600.0)); // willing friend, farther
+        t.upsert(still(30, 510.0, 510.0)); // unwilling
+        t.upsert(still(59, 520.0, 520.0)); // unwilling
+        t.upsert(still(130, 530.0, 530.0)); // unwilling
+        t.upsert(still(77, 501.0, 501.0)); // non-friend right next door
+
+        let res = t.pknn(UserId(1), Point::new(500.0, 500.0), 1, 100.0);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.uid.0, 12, "only the willing friend qualifies");
+    }
+
+    #[test]
+    fn k_results_sorted_by_distance() {
+        let mut store = PolicyStore::new();
+        for f in 1..=10u64 {
+            store.add(UserId(0), Policy::new(UserId(f), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 11);
+        for f in 1..=10u64 {
+            t.upsert(still(f, 500.0 + 10.0 * f as f64, 500.0));
+        }
+        let res = t.pknn(UserId(0), Point::new(500.0, 500.0), 3, 10.0);
+        assert_eq!(res.iter().map(|(m, _)| m.uid.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(res.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn fewer_qualified_than_k() {
+        let mut store = PolicyStore::new();
+        store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, WHOLE, ALWAYS));
+        let mut t = build(store, 3);
+        t.upsert(still(1, 100.0, 100.0));
+        t.upsert(still(2, 105.0, 105.0)); // non-friend
+        let res = t.pknn(UserId(0), Point::new(0.0, 0.0), 5, 10.0);
+        assert_eq!(res.len(), 1, "only the single friend qualifies");
+    }
+
+    #[test]
+    fn no_friends_no_io() {
+        let mut t = build(PolicyStore::new(), 3);
+        t.upsert(still(1, 100.0, 100.0));
+        let pool = Arc::clone(t.pool());
+        pool.clear();
+        pool.reset_stats();
+        assert!(t.pknn(UserId(0), Point::new(0.0, 0.0), 3, 10.0).is_empty());
+        assert_eq!(pool.stats().physical_reads, 0);
+    }
+
+    #[test]
+    fn far_friend_beats_near_nonqualified_swarm() {
+        // The scenario motivating the PEB-tree (Sec 4): many near users
+        // that do not qualify must not drown out the one far friend.
+        let mut store = PolicyStore::new();
+        store.add(UserId(0), Policy::new(UserId(999), RoleId::FRIEND, WHOLE, ALWAYS));
+        let mut t = build(store, 1_001);
+        for i in 1..400u64 {
+            let angle = i as f64 * 0.1;
+            t.upsert(still(i, 500.0 + 20.0 * angle.cos(), 500.0 + 20.0 * angle.sin()));
+        }
+        t.upsert(still(999, 900.0, 900.0));
+        let res = t.pknn(UserId(0), Point::new(500.0, 500.0), 1, 10.0);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.uid.0, 999);
+    }
+}

@@ -1,0 +1,182 @@
+//! The privacy-aware range query (PRQ) of Sec 5.3 / Fig 7.
+//!
+//! Four steps per live time partition:
+//!
+//! 1. **Location ranges** — enlarge the query rectangle Bx-style and
+//!    convert it to Z-curve intervals (`ZVconvert`).
+//! 2. **Policy ranges** — take the issuer's friend list, i.e. the SV codes
+//!    of users who have a policy toward the issuer, ascending.
+//! 3. **Key ranges** — cross every friend SV with every Z-interval: the
+//!    interval `[TID ⊕ SV ⊕ ZVs ; TID ⊕ SV ⊕ ZVe]` (the paper's worked
+//!    example enumerates exactly these). Equal SV codes are grouped so no
+//!    interval is scanned twice.
+//! 4. **Scan + refine** — walk the B+-tree leaves of each interval. The
+//!    moment a friend is seen anywhere, its location is known ("a user has
+//!    only one location"), so every remaining interval carrying that
+//!    friend's SV is skipped once all friends of the group are resolved.
+//!    Refinement checks the actual predicted position against `R` and the
+//!    friend's policy against the issuer and query time.
+
+use std::collections::HashSet;
+
+use peb_common::{MovingPoint, Rect, Timestamp, UserId};
+use peb_zorder::decompose;
+
+use crate::tree::PebTree;
+
+impl PebTree {
+    /// Definition 2: all users inside `r` at `tq` whose policy lets
+    /// `issuer` see them there and then. Results are sorted by uid.
+    pub fn prq(&self, issuer: UserId, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
+        let groups = self.ctx.friend_sv_groups(issuer);
+        if groups.is_empty() {
+            return Vec::new();
+        }
+
+        let mut results: Vec<MovingPoint> = Vec::new();
+        // Friends whose single location has been seen (qualified or not):
+        // their SV intervals need no further scanning.
+        let mut resolved: HashSet<UserId> = HashSet::new();
+
+        for (tid, t_lab) in self.live_partitions() {
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
+            let zranges = decompose(x0, x1, y0, y1, self.space.grid_bits);
+
+            for (sv_code, members) in &groups {
+                if members.iter().all(|u| resolved.contains(u)) {
+                    continue; // every friend at this SV already located
+                }
+                let mut outstanding =
+                    members.iter().filter(|u| !resolved.contains(u)).count();
+                'intervals: for zr in &zranges {
+                    self.scan_interval(tid, *sv_code, zr.lo, zr.hi, |rec| {
+                        let uid = UserId(rec.uid);
+                        if uid == issuer || resolved.contains(&uid) {
+                            return true;
+                        }
+                        // Only friends can qualify; others sharing the SV
+                        // code are skipped without policy evaluation.
+                        if self.ctx.store.policy(uid, issuer).is_none() {
+                            return true;
+                        }
+                        resolved.insert(uid);
+                        outstanding -= 1;
+                        let m = rec.to_moving_point();
+                        let pos = m.position_at(tq);
+                        if r.contains(&pos) && self.ctx.store.permits(uid, issuer, &pos, tq) {
+                            results.push(m);
+                        }
+                        true
+                    });
+                    if outstanding == 0 {
+                        break 'intervals; // skip remaining intervals of this SV
+                    }
+                }
+            }
+        }
+        results.sort_by_key(|m| m.uid);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PrivacyContext;
+    use peb_bx::TimePartitioning;
+    use peb_common::{Point, SpaceConfig, TimeInterval, Vec2};
+    use peb_policy::{Policy, PolicyStore, RoleId, SvAssignmentParams};
+    use peb_storage::BufferPool;
+    use std::sync::Arc;
+
+    const WHOLE: Rect = Rect { xl: 0.0, xu: 1000.0, yl: 0.0, yu: 1000.0 };
+    const ALWAYS: TimeInterval = TimeInterval { start: 0.0, end: 1440.0 };
+
+    fn still(uid: u64, x: f64, y: f64) -> MovingPoint {
+        MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, 0.0)
+    }
+
+    fn build(store: PolicyStore, n: usize) -> PebTree {
+        let space = SpaceConfig::default();
+        let ctx = Arc::new(PrivacyContext::build(store, space, n, SvAssignmentParams::default()));
+        PebTree::new(Arc::new(BufferPool::new(64)), space, TimePartitioning::default(), 3.0, ctx)
+    }
+
+    #[test]
+    fn returns_only_policy_qualified_users_in_range() {
+        let mut store = PolicyStore::new();
+        // u1 and u2 grant issuer u0 everywhere/always; u3 does not.
+        for o in [1u64, 2] {
+            store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 4);
+        t.upsert(still(1, 100.0, 100.0)); // friend, in range
+        t.upsert(still(2, 900.0, 900.0)); // friend, out of range
+        t.upsert(still(3, 105.0, 105.0)); // non-friend, in range
+        let got = t.prq(UserId(0), &Rect::new(50.0, 150.0, 50.0, 150.0), 10.0);
+        assert_eq!(got.iter().map(|m| m.uid.0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn policy_region_and_interval_are_enforced() {
+        let mut store = PolicyStore::new();
+        // u1 only visible inside [0,200]^2 during [0,100].
+        store.add(
+            UserId(0),
+            Policy::new(
+                UserId(1),
+                RoleId::FRIEND,
+                Rect::new(0.0, 200.0, 0.0, 200.0),
+                TimeInterval::new(0.0, 100.0),
+            ),
+        );
+        let mut t = build(store, 2);
+        t.upsert(still(1, 100.0, 100.0));
+        let window = Rect::new(0.0, 300.0, 0.0, 300.0);
+        assert_eq!(t.prq(UserId(0), &window, 50.0).len(), 1, "inside locr and tint");
+        assert_eq!(t.prq(UserId(0), &window, 150.0).len(), 0, "outside tint");
+
+        // Move u1 outside its own policy region but inside the window.
+        t.upsert(MovingPoint::new(UserId(1), Point::new(250.0, 250.0), Vec2::ZERO, 60.0));
+        assert_eq!(t.prq(UserId(0), &window, 70.0).len(), 0, "outside locr");
+    }
+
+    #[test]
+    fn empty_friend_list_short_circuits() {
+        let mut t = build(PolicyStore::new(), 3);
+        t.upsert(still(1, 100.0, 100.0));
+        t.upsert(still(2, 110.0, 110.0));
+        let pool = Arc::clone(t.pool());
+        pool.clear();
+        pool.reset_stats();
+        assert!(t.prq(UserId(0), &WHOLE, 10.0).is_empty());
+        assert_eq!(pool.stats().physical_reads, 0, "no friends means zero index I/O");
+    }
+
+    #[test]
+    fn moving_friend_found_at_predicted_position() {
+        let mut store = PolicyStore::new();
+        store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, WHOLE, ALWAYS));
+        let mut t = build(store, 2);
+        // u1 moves right at speed 2 from x = 100; at tq = 50 it is at 200.
+        t.upsert(MovingPoint::new(UserId(1), Point::new(100.0, 500.0), Vec2::new(2.0, 0.0), 0.0));
+        let hit = t.prq(UserId(0), &Rect::new(180.0, 220.0, 480.0, 520.0), 50.0);
+        assert_eq!(hit.len(), 1);
+        let miss = t.prq(UserId(0), &Rect::new(80.0, 120.0, 480.0, 520.0), 50.0);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn issuer_never_appears_in_own_results() {
+        let mut store = PolicyStore::new();
+        // Mutual grants between 0 and 1 so both have friend lists.
+        store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, WHOLE, ALWAYS));
+        store.add(UserId(1), Policy::new(UserId(0), RoleId::FRIEND, WHOLE, ALWAYS));
+        let mut t = build(store, 2);
+        t.upsert(still(0, 100.0, 100.0));
+        t.upsert(still(1, 101.0, 101.0));
+        let got = t.prq(UserId(0), &WHOLE, 10.0);
+        assert_eq!(got.iter().map(|m| m.uid.0).collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-user friend lists sorted by sequence value.
+//!
+//! Sec 5.3: "we maintain a list for each user that stores the SV values of
+//! users who have policies with respect to the list owner … in ascending
+//! order of their SV values". These lists drive both query algorithms: PRQ
+//! crosses every friend SV with the query's Z-intervals, and PkNN walks the
+//! search matrix column-by-friend. They change only on policy updates, not
+//! on location updates.
+
+use peb_common::UserId;
+
+use crate::seqval::SequenceValues;
+use crate::store::PolicyStore;
+
+/// One friend of a list owner: a user who has a policy mentioning the
+/// owner, keyed by the friend's fixed-point SV code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FriendEntry {
+    pub sv_code: u64,
+    pub uid: UserId,
+}
+
+/// All friend lists, indexed by the dense user id space.
+#[derive(Debug, Clone)]
+pub struct FriendIndex {
+    lists: Vec<Vec<FriendEntry>>,
+}
+
+impl FriendIndex {
+    /// Build every user's friend list from the policy store: the friends of
+    /// `q` are the *owners* of policies toward `q` (only they can ever
+    /// appear in `q`'s query results).
+    pub fn build(store: &PolicyStore, sv: &SequenceValues, num_users: usize) -> Self {
+        let mut lists: Vec<Vec<FriendEntry>> = vec![Vec::new(); num_users];
+        for (viewer, list) in lists.iter_mut().enumerate() {
+            let viewer = UserId(viewer as u64);
+            for &owner in store.granters_of(viewer) {
+                list.push(FriendEntry { sv_code: sv.code(owner), uid: owner });
+            }
+            list.sort_by_key(|e| (e.sv_code, e.uid));
+        }
+        FriendIndex { lists }
+    }
+
+    /// The SV-ascending friend list of `uid`.
+    pub fn friends(&self, uid: UserId) -> &[FriendEntry] {
+        &self.lists[uid.as_index()]
+    }
+
+    /// `SVmin`/`SVmax` over the friend list, if non-empty.
+    pub fn sv_bounds(&self, uid: UserId) -> Option<(u64, u64)> {
+        let l = self.friends(uid);
+        Some((l.first()?.sv_code, l.last()?.sv_code))
+    }
+
+    /// Re-derive one user's list after a policy update ("a user is blocked
+    /// by a previous friend or adds a new friend").
+    pub fn refresh_user(&mut self, store: &PolicyStore, sv: &SequenceValues, uid: UserId) {
+        let list = &mut self.lists[uid.as_index()];
+        list.clear();
+        for &owner in store.granters_of(uid) {
+            list.push(FriendEntry { sv_code: sv.code(owner), uid: owner });
+        }
+        list.sort_by_key(|e| (e.sv_code, e.uid));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lpp::{Policy, RoleId};
+    use crate::seqval::SvAssignmentParams;
+    use peb_common::{Rect, SpaceConfig, TimeInterval};
+
+    fn fixture() -> (PolicyStore, SequenceValues) {
+        let space = SpaceConfig::new(1000.0, 10, 1000.0);
+        let mut store = PolicyStore::new();
+        let region = Rect::new(0.0, 500.0, 0.0, 500.0);
+        let when = TimeInterval::new(0.0, 500.0);
+        // Owners 1, 2, 3 grant viewer 0; owner 3 also grants viewer 1.
+        for owner in [1u64, 2, 3] {
+            store.add(UserId(0), Policy::new(UserId(owner), RoleId::FRIEND, region, when));
+        }
+        store.add(UserId(1), Policy::new(UserId(3), RoleId::FRIEND, region, when));
+        let sv = SequenceValues::assign(&store, &space, 4, SvAssignmentParams::default());
+        (store, sv)
+    }
+
+    #[test]
+    fn friends_are_policy_owners_sorted_by_sv() {
+        let (store, sv) = fixture();
+        let idx = FriendIndex::build(&store, &sv, 4);
+        let f0 = idx.friends(UserId(0));
+        assert_eq!(f0.len(), 3);
+        let mut ids: Vec<u64> = f0.iter().map(|e| e.uid.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(f0.windows(2).all(|w| w[0].sv_code <= w[1].sv_code), "ascending SV");
+        // Viewer 1's only granter is owner 3.
+        assert_eq!(idx.friends(UserId(1)).iter().map(|e| e.uid.0).collect::<Vec<_>>(), vec![3]);
+        // Owners don't gain friends by granting.
+        assert!(idx.friends(UserId(2)).is_empty());
+    }
+
+    #[test]
+    fn sv_bounds() {
+        let (store, sv) = fixture();
+        let idx = FriendIndex::build(&store, &sv, 4);
+        let (lo, hi) = idx.sv_bounds(UserId(0)).unwrap();
+        assert!(lo <= hi);
+        assert_eq!(idx.sv_bounds(UserId(2)), None);
+    }
+
+    #[test]
+    fn refresh_after_block() {
+        let (mut store, sv) = fixture();
+        let mut idx = FriendIndex::build(&store, &sv, 4);
+        store.remove(UserId(3), UserId(0)); // u3 blocks u0
+        idx.refresh_user(&store, &sv, UserId(0));
+        let ids: Vec<u64> = idx.friends(UserId(0)).iter().map(|e| e.uid.0).collect();
+        assert!(!ids.contains(&3));
+        assert_eq!(ids.len(), 2);
+    }
+}

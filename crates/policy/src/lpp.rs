@@ -1,0 +1,89 @@
+//! The location-privacy policy (LPP) format of Definition 1.
+//!
+//! `P1→2 = ⟨role, locr, tint⟩`: user u2, related to u1 by `role`, may see
+//! u1's location while u1 is inside `locr` during `tint`. The `role`
+//! component follows RBAC practice — one label covers every peer with the
+//! same relationship — while the engine resolves policies per ordered pair
+//! (the paper's experiments assume one policy per pair).
+
+use peb_common::{Point, Rect, TimeInterval, Timestamp, UserId};
+
+/// A relationship label ("friend", "colleague", "family member", …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleId(pub u16);
+
+impl RoleId {
+    pub const FRIEND: RoleId = RoleId(0);
+    pub const COLLEAGUE: RoleId = RoleId(1);
+    pub const FAMILY: RoleId = RoleId(2);
+}
+
+/// A location-privacy policy `⟨role, locr, tint⟩` owned by `owner`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// The user whose location is being protected (u1 in `P1→2`).
+    pub owner: UserId,
+    /// The relationship under which disclosure is allowed.
+    pub role: RoleId,
+    /// Spatial region: the owner is visible only while inside it.
+    pub locr: Rect,
+    /// Time window during which disclosure is allowed.
+    pub tint: TimeInterval,
+}
+
+impl Policy {
+    pub fn new(owner: UserId, role: RoleId, locr: Rect, tint: TimeInterval) -> Self {
+        Policy { owner, role, locr, tint }
+    }
+
+    /// Definition 2's policy condition: does this policy disclose the
+    /// owner, located at `owner_pos`, at time `t`?
+    pub fn permits(&self, owner_pos: &Point, t: Timestamp) -> bool {
+        self.locr.contains(owner_pos) && self.tint.contains(t)
+    }
+
+    /// `|locr|/S · |tint|/T`: the policy's normalized spatio-temporal
+    /// volume, the building block of the non-mutual α formula.
+    pub fn normalized_volume(&self, space_area: f64, time_domain: f64) -> f64 {
+        (self.locr.area() / space_area) * (self.tint.duration() / time_domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bob_policy() -> Policy {
+        // "Bob lets his colleagues see his location when he is in town
+        // during work hours": P = <colleague, Chicago, [8am, 5pm]>.
+        Policy::new(
+            UserId(1),
+            RoleId::COLLEAGUE,
+            Rect::new(100.0, 300.0, 100.0, 300.0),
+            TimeInterval::new(480.0, 1020.0), // minutes of the day
+        )
+    }
+
+    #[test]
+    fn permits_inside_region_and_window() {
+        let p = bob_policy();
+        assert!(p.permits(&Point::new(200.0, 200.0), 600.0));
+        assert!(!p.permits(&Point::new(50.0, 200.0), 600.0), "outside locr");
+        assert!(!p.permits(&Point::new(200.0, 200.0), 1200.0), "outside tint");
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let p = bob_policy();
+        assert!(p.permits(&Point::new(100.0, 300.0), 480.0));
+        assert!(p.permits(&Point::new(300.0, 100.0), 1020.0));
+    }
+
+    #[test]
+    fn normalized_volume() {
+        let p = bob_policy();
+        // region 200x200 of a 1000x1000 space, 540 of 1440 minutes.
+        let v = p.normalized_volume(1_000_000.0, 1440.0);
+        assert!((v - 0.04 * 0.375).abs() < 1e-12);
+    }
+}

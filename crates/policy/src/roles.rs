@@ -1,0 +1,203 @@
+//! Role management (the RBAC side of Definition 1).
+//!
+//! A policy's `role` component "avoids writing the same policy for multiple
+//! people with the same relationship" to the owner. This module provides
+//! the registry that backs that semantics: owners assign named roles to
+//! peers, and role-scoped policies resolve to the concrete pair-wise
+//! policies the engine consumes via [`materialize`].
+//!
+//! The separation mirrors how a deployment would work: the *role layer* is
+//! the user-facing policy administration surface; the *pair layer*
+//! ([`crate::store::PolicyStore`]) is the flattened, query-optimized form
+//! whose updates are rare and batched.
+
+use std::collections::HashMap;
+
+use peb_common::{Rect, TimeInterval, UserId};
+
+use crate::lpp::{Policy, RoleId};
+use crate::store::PolicyStore;
+
+/// Maps role ids to human-readable names and tracks, per owner, which peers
+/// hold which roles.
+#[derive(Debug, Default)]
+pub struct RoleRegistry {
+    names: HashMap<RoleId, String>,
+    /// `owner → (peer → roles held)`.
+    memberships: HashMap<UserId, HashMap<UserId, Vec<RoleId>>>,
+}
+
+impl RoleRegistry {
+    pub fn new() -> Self {
+        let mut r = RoleRegistry::default();
+        r.define(RoleId::FRIEND, "friend");
+        r.define(RoleId::COLLEAGUE, "colleague");
+        r.define(RoleId::FAMILY, "family member");
+        r
+    }
+
+    /// Register (or rename) a role.
+    pub fn define(&mut self, role: RoleId, name: &str) {
+        self.names.insert(role, name.to_string());
+    }
+
+    pub fn name(&self, role: RoleId) -> Option<&str> {
+        self.names.get(&role).map(String::as_str)
+    }
+
+    /// `owner` declares that `peer` holds `role` (e.g. Bob marks Carol as a
+    /// colleague). Idempotent.
+    pub fn assign(&mut self, owner: UserId, peer: UserId, role: RoleId) {
+        assert_ne!(owner, peer, "roles describe relationships to other users");
+        let roles = self.memberships.entry(owner).or_default().entry(peer).or_default();
+        if !roles.contains(&role) {
+            roles.push(role);
+        }
+    }
+
+    /// Remove a role assignment; returns whether it existed.
+    pub fn revoke(&mut self, owner: UserId, peer: UserId, role: RoleId) -> bool {
+        let Some(peers) = self.memberships.get_mut(&owner) else { return false };
+        let Some(roles) = peers.get_mut(&peer) else { return false };
+        let before = roles.len();
+        roles.retain(|r| *r != role);
+        roles.len() != before
+    }
+
+    /// Definition 2's `qID ∈ role` test: does `peer` hold `role` with
+    /// respect to `owner`?
+    pub fn holds(&self, owner: UserId, peer: UserId, role: RoleId) -> bool {
+        self.memberships
+            .get(&owner)
+            .and_then(|m| m.get(&peer))
+            .is_some_and(|roles| roles.contains(&role))
+    }
+
+    /// All peers holding `role` with respect to `owner`.
+    pub fn members(&self, owner: UserId, role: RoleId) -> Vec<UserId> {
+        let mut out: Vec<UserId> = self
+            .memberships
+            .get(&owner)
+            .map(|m| {
+                m.iter().filter(|(_, roles)| roles.contains(&role)).map(|(peer, _)| *peer).collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+/// A role-scoped policy as a user would author it: one rule covering every
+/// peer the owner has put in `role`.
+#[derive(Debug, Clone)]
+pub struct RolePolicy {
+    pub owner: UserId,
+    pub role: RoleId,
+    pub locr: Rect,
+    pub tint: TimeInterval,
+}
+
+/// Flatten role-scoped policies into the pair-wise [`PolicyStore`] the
+/// query engine consumes. Later policies for the same `(owner, role)` pair
+/// are appended as additional policies (multi-policy semantics).
+pub fn materialize(registry: &RoleRegistry, role_policies: &[RolePolicy]) -> PolicyStore {
+    let mut store = PolicyStore::new();
+    for rp in role_policies {
+        for peer in registry.members(rp.owner, rp.role) {
+            store.add_additional(peer, Policy::new(rp.owner, rp.role, rp.locr, rp.tint));
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_common::Point;
+
+    fn downtown() -> Rect {
+        Rect::new(400.0, 600.0, 400.0, 600.0)
+    }
+
+    fn work_hours() -> TimeInterval {
+        TimeInterval::new(480.0, 1020.0)
+    }
+
+    #[test]
+    fn builtin_roles_have_names() {
+        let r = RoleRegistry::new();
+        assert_eq!(r.name(RoleId::FRIEND), Some("friend"));
+        assert_eq!(r.name(RoleId::COLLEAGUE), Some("colleague"));
+        assert_eq!(r.name(RoleId(99)), None);
+    }
+
+    #[test]
+    fn assign_revoke_holds() {
+        let mut r = RoleRegistry::new();
+        r.assign(UserId(1), UserId(2), RoleId::COLLEAGUE);
+        r.assign(UserId(1), UserId(2), RoleId::COLLEAGUE); // idempotent
+        assert!(r.holds(UserId(1), UserId(2), RoleId::COLLEAGUE));
+        assert!(!r.holds(UserId(1), UserId(2), RoleId::FRIEND));
+        assert!(!r.holds(UserId(2), UserId(1), RoleId::COLLEAGUE), "relationships are directed");
+        assert!(r.revoke(UserId(1), UserId(2), RoleId::COLLEAGUE));
+        assert!(!r.revoke(UserId(1), UserId(2), RoleId::COLLEAGUE));
+        assert!(!r.holds(UserId(1), UserId(2), RoleId::COLLEAGUE));
+    }
+
+    #[test]
+    fn members_are_sorted_and_role_scoped() {
+        let mut r = RoleRegistry::new();
+        for peer in [5u64, 3, 9] {
+            r.assign(UserId(1), UserId(peer), RoleId::FRIEND);
+        }
+        r.assign(UserId(1), UserId(7), RoleId::FAMILY);
+        assert_eq!(r.members(UserId(1), RoleId::FRIEND), vec![UserId(3), UserId(5), UserId(9)]);
+        assert_eq!(r.members(UserId(1), RoleId::FAMILY), vec![UserId(7)]);
+        assert!(r.members(UserId(2), RoleId::FRIEND).is_empty());
+    }
+
+    #[test]
+    fn materialize_expands_bobs_policy() {
+        // The paper's example: "Bob lets his colleagues see his location
+        // when he is in town during work hours."
+        let bob = UserId(1);
+        let mut reg = RoleRegistry::new();
+        for colleague in [2u64, 3, 4] {
+            reg.assign(bob, UserId(colleague), RoleId::COLLEAGUE);
+        }
+        reg.assign(bob, UserId(9), RoleId::FRIEND); // not a colleague
+
+        let store = materialize(
+            &reg,
+            &[RolePolicy { owner: bob, role: RoleId::COLLEAGUE, locr: downtown(), tint: work_hours() }],
+        );
+        let in_town = Point::new(500.0, 500.0);
+        for colleague in [2u64, 3, 4] {
+            assert!(store.permits(bob, UserId(colleague), &in_town, 600.0));
+            assert!(!store.permits(bob, UserId(colleague), &in_town, 100.0), "outside work hours");
+        }
+        assert!(!store.permits(bob, UserId(9), &in_town, 600.0), "friends not covered");
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn materialize_stacks_multiple_role_policies() {
+        let owner = UserId(1);
+        let mut reg = RoleRegistry::new();
+        reg.assign(owner, UserId(2), RoleId::FRIEND);
+        reg.assign(owner, UserId(2), RoleId::COLLEAGUE);
+
+        let store = materialize(
+            &reg,
+            &[
+                RolePolicy { owner, role: RoleId::FRIEND, locr: downtown(), tint: TimeInterval::new(0.0, 100.0) },
+                RolePolicy { owner, role: RoleId::COLLEAGUE, locr: downtown(), tint: work_hours() },
+            ],
+        );
+        let p = Point::new(500.0, 500.0);
+        // u2 holds both roles: visible in either window.
+        assert!(store.permits(owner, UserId(2), &p, 50.0));
+        assert!(store.permits(owner, UserId(2), &p, 600.0));
+        assert!(!store.permits(owner, UserId(2), &p, 200.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Sequence-value assignment (Fig. 5).
+//!
+//! Users are sorted by descending number of related users (|G|, ties by
+//! id), then values are assigned group-by-group: an unassigned user gets
+//! its predecessor's value plus δ, and each of its still-unassigned group
+//! members gets the leader's value plus `1 − C(leader, member)` — so higher
+//! compatibility means a closer sequence value. δ > 1 separates groups and
+//! leaves room for future policy updates.
+//!
+//! Encoding is an offline, one-time step ("policy encoding is conducted
+//! largely off-line and does not add overhead at runtime").
+
+use peb_common::{SpaceConfig, UserId};
+
+use crate::compat::compatibility;
+use crate::store::PolicyStore;
+
+/// Tunables of the assignment: the paper's example uses `initial = 2`,
+/// `delta = 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct SvAssignmentParams {
+    /// `sv` — the first user's sequence value (must be > 1).
+    pub initial: f64,
+    /// `δ` — spacing between group anchors (must be > 1).
+    pub delta: f64,
+    /// Fixed-point fractional bits used when embedding SVs in index keys.
+    pub frac_bits: u32,
+}
+
+impl Default for SvAssignmentParams {
+    fn default() -> Self {
+        SvAssignmentParams { initial: 2.0, delta: 2.0, frac_bits: 10 }
+    }
+}
+
+/// The computed sequence values for a dense id space `0..num_users`.
+#[derive(Debug, Clone)]
+pub struct SequenceValues {
+    values: Vec<f64>,
+    frac_bits: u32,
+}
+
+impl SequenceValues {
+    /// Run Fig. 5 over the policy store: build the compatibility graph,
+    /// sort by group size, and assign values.
+    pub fn assign(
+        store: &PolicyStore,
+        space: &SpaceConfig,
+        num_users: usize,
+        params: SvAssignmentParams,
+    ) -> Self {
+        // Compatibility graph: only pairs connected by some policy can have
+        // C > 0, so it suffices to score `connected_pairs`.
+        let mut graph: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_users];
+        for (a, b) in store.connected_pairs() {
+            let c = compatibility(store, space, a, b);
+            if c > 0.0 {
+                graph[a.as_index()].push((b.as_index(), c));
+                graph[b.as_index()].push((a.as_index(), c));
+            }
+        }
+        Self::assign_from_graph(&graph, params)
+    }
+
+    /// The core of Fig. 5, operating on an explicit compatibility graph
+    /// (`graph[i]` lists `(j, C(ui, uj))` with `C > 0`).
+    pub fn assign_from_graph(graph: &[Vec<(usize, f64)>], params: SvAssignmentParams) -> Self {
+        assert!(params.initial > 1.0, "paper requires sv > 1");
+        assert!(params.delta > 1.0, "paper requires δ > 1");
+        let n = graph.len();
+
+        // Sort users in descending order of |G|; break ties by id so the
+        // assignment is deterministic (matches the paper's worked example).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| graph[b].len().cmp(&graph[a].len()).then(a.cmp(&b)));
+
+        let mut values = vec![f64::NAN; n];
+        let mut prev_in_order: Option<usize> = None;
+        for &uk in &order {
+            if values[uk].is_nan() {
+                values[uk] = match prev_in_order {
+                    None => params.initial,
+                    Some(prev) => values[prev] + params.delta,
+                };
+                for &(uj, c) in &graph[uk] {
+                    if values[uj].is_nan() {
+                        values[uj] = values[uk] + (1.0 - c);
+                    }
+                }
+            }
+            prev_in_order = Some(uk);
+        }
+        SequenceValues { values, frac_bits: params.frac_bits }
+    }
+
+    pub fn num_users(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The (fractional) sequence value of a user.
+    pub fn value(&self, uid: UserId) -> f64 {
+        self.values[uid.as_index()]
+    }
+
+    /// Fixed-point encoding of a user's SV, as embedded in PEB keys.
+    pub fn code(&self, uid: UserId) -> u64 {
+        self.encode(self.value(uid))
+    }
+
+    /// Fixed-point encoding of an arbitrary SV.
+    pub fn encode(&self, sv: f64) -> u64 {
+        debug_assert!(sv >= 0.0);
+        (sv * (1u64 << self.frac_bits) as f64).round() as u64
+    }
+
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Largest code over all users (used to size key layouts).
+    pub fn max_code(&self) -> u64 {
+        (self.values.iter().copied().fold(0.0f64, f64::max).max(0.0) as u64 + 1) << self.frac_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example (Sec 5.1): six users with
+    /// C(u2,u1)=0.4, C(u4,u1)=0.9, C(u4,u3)=0.8, C(u5,u3)=0.2, C(u6,u3)=0.6;
+    /// initial value 2, δ = 2.
+    fn paper_example() -> SequenceValues {
+        // ids 0..6; id 0 unused so u1 == index 1.
+        let mut g: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 7];
+        let mut edge = |a: usize, b: usize, c: f64| {
+            g[a].push((b, c));
+            g[b].push((a, c));
+        };
+        edge(2, 1, 0.4);
+        edge(4, 1, 0.9);
+        edge(4, 3, 0.8);
+        edge(5, 3, 0.2);
+        edge(6, 3, 0.6);
+        // Exclude the unused id 0 from influencing the order by giving it
+        // no edges; it simply gets an anchor value somewhere.
+        SequenceValues::assign_from_graph(&g, SvAssignmentParams::default())
+    }
+
+    #[test]
+    fn paper_example_values() {
+        let sv = paper_example();
+        // Sorted by |G| desc, ties by id: u3(3), u1(2), u4(2), u2, u5, u6, u0.
+        assert_eq!(sv.value(UserId(3)), 2.0);
+        assert!((sv.value(UserId(4)) - 2.2).abs() < 1e-12);
+        assert!((sv.value(UserId(5)) - 2.8).abs() < 1e-12);
+        assert!((sv.value(UserId(6)) - 2.4).abs() < 1e-12);
+        assert_eq!(sv.value(UserId(1)), 4.0);
+        assert!((sv.value(UserId(2)) - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn related_users_get_closer_values_than_unrelated() {
+        let sv = paper_example();
+        // u4 is related to u3 (C=0.8): distance 0.2.
+        // u1 is unrelated to u3: distance 2 (one δ).
+        let d_related = (sv.value(UserId(4)) - sv.value(UserId(3))).abs();
+        let d_unrelated = (sv.value(UserId(1)) - sv.value(UserId(3))).abs();
+        assert!(d_related < d_unrelated);
+        // Higher compatibility -> closer: C(u4,u3)=0.8 vs C(u5,u3)=0.2.
+        let d_u5 = (sv.value(UserId(5)) - sv.value(UserId(3))).abs();
+        assert!(d_related < d_u5);
+    }
+
+    #[test]
+    fn all_users_receive_values() {
+        let sv = paper_example();
+        for i in 0..7u64 {
+            assert!(!sv.value(UserId(i)).is_nan(), "u{i} missing an SV");
+        }
+    }
+
+    #[test]
+    fn isolated_users_are_delta_separated_anchors() {
+        let g: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 4];
+        let sv = SequenceValues::assign_from_graph(&g, SvAssignmentParams::default());
+        let mut vals: Vec<f64> = (0..4).map(|i| sv.value(UserId(i))).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn fixed_point_codes_preserve_order() {
+        let sv = paper_example();
+        let mut pairs: Vec<(f64, u64)> =
+            (1..7u64).map(|i| (sv.value(UserId(i)), sv.code(UserId(i)))).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "codes must be monotone in SV");
+        }
+        // 10 fractional bits resolve the paper's 0.1-granular values.
+        assert_eq!(sv.encode(2.0), 2048);
+        assert_eq!(sv.encode(2.5), 2560);
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_must_exceed_one() {
+        let g: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 2];
+        SequenceValues::assign_from_graph(
+            &g,
+            SvAssignmentParams { initial: 2.0, delta: 0.5, frac_bits: 10 },
+        );
+    }
+
+    #[test]
+    fn assignment_from_store_matches_graph_path() {
+        use crate::lpp::{Policy, RoleId};
+        use peb_common::{Rect, TimeInterval};
+        let space = SpaceConfig::new(1000.0, 10, 1000.0);
+        let mut store = PolicyStore::new();
+        let whole = Rect::new(0.0, 1000.0, 0.0, 1000.0);
+        let always = TimeInterval::new(0.0, 1000.0);
+        // Mutual full-volume pair: C = (1 + 1)/2 = 1 -> member offset 0.
+        store.add(UserId(1), Policy::new(UserId(0), RoleId::FRIEND, whole, always));
+        store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, whole, always));
+        let sv = SequenceValues::assign(&store, &space, 3, SvAssignmentParams::default());
+        assert_eq!(sv.value(UserId(0)), 2.0);
+        assert_eq!(sv.value(UserId(1)), 2.0, "C=1 pair shares the anchor value");
+        assert_eq!(sv.value(UserId(2)), 4.0, "isolated user lands one δ later");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn every_user_assigned_and_group_members_within_one(
+            edges in proptest::collection::vec((0usize..30, 0usize..30, 0.01f64..1.0), 0..80),
+        ) {
+            let n = 30;
+            let mut g: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+            let mut seen = std::collections::HashSet::new();
+            for (a, b, c) in edges {
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    g[a].push((b, c));
+                    g[b].push((a, c));
+                }
+            }
+            let sv = SequenceValues::assign_from_graph(&g, SvAssignmentParams::default());
+            for i in 0..n {
+                let v = sv.value(UserId(i as u64));
+                prop_assert!(v.is_finite() && v >= 2.0);
+            }
+            // A member assigned from leader uk sits within (0, 1] of uk, so
+            // any two users in the same connected component assigned in one
+            // group pass are within 1.0 of the leader. Weak global check:
+            // values are at least spaced by construction rules.
+            for i in 0..n {
+                for &(j, _) in &g[i] {
+                    let d = (sv.value(UserId(i as u64)) - sv.value(UserId(j as u64))).abs();
+                    // Related users are never two full δ-groups apart unless
+                    // assigned via different leaders; sanity-bound it.
+                    prop_assert!(d <= (n as f64) * 2.0 + 1.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Pair-wise policy storage with forward and reverse indexes.
+//!
+//! The engine needs two lookups: *"does `owner` have a policy toward
+//! `viewer`?"* (query refinement) and *"who has a policy toward `viewer`?"*
+//! (the friend list driving PRQ/PkNN search ranges). Both are O(1)/O(k)
+//! here. Policy updates are rare in the paper's setting ("updated only
+//! rarely, e.g., when a user is blocked by a previous friend"), so this
+//! store optimizes reads.
+
+use std::collections::HashMap;
+
+use peb_common::{Point, Timestamp, UserId};
+
+use crate::lpp::Policy;
+
+/// All location-privacy policies in the system, indexed by ordered pair.
+///
+/// The paper's experiments assume one policy per ordered pair, but Sec 8
+/// names multi-policy pairs as future work; this store supports both
+/// ([`PolicyStore::add`] replaces, [`PolicyStore::add_additional`] appends,
+/// and [`PolicyStore::permits`] grants if *any* of the pair's policies
+/// does).
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    /// `(owner, viewer) → policies`: `owner` grants `viewer` conditional
+    /// visibility under any of these.
+    by_pair: HashMap<(UserId, UserId), Vec<Policy>>,
+    /// Forward index: users each owner has policies toward.
+    granted_by: HashMap<UserId, Vec<UserId>>,
+    /// Reverse index: owners who have a policy toward each viewer.
+    granters_of: HashMap<UserId, Vec<UserId>>,
+}
+
+impl PolicyStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `policy` as governing what `viewer` may see of
+    /// `policy.owner`. Replaces any previous policies for the pair.
+    pub fn add(&mut self, viewer: UserId, policy: Policy) {
+        let owner = policy.owner;
+        assert_ne!(owner, viewer, "a policy toward oneself is meaningless");
+        if self.by_pair.insert((owner, viewer), vec![policy]).is_none() {
+            self.granted_by.entry(owner).or_default().push(viewer);
+            self.granters_of.entry(viewer).or_default().push(owner);
+        }
+    }
+
+    /// Append an additional policy for the pair (Sec 8's multi-policy
+    /// extension): the owner is visible whenever *any* of the pair's
+    /// policies permits.
+    pub fn add_additional(&mut self, viewer: UserId, policy: Policy) {
+        let owner = policy.owner;
+        assert_ne!(owner, viewer, "a policy toward oneself is meaningless");
+        match self.by_pair.get_mut(&(owner, viewer)) {
+            Some(v) => v.push(policy),
+            None => self.add(viewer, policy),
+        }
+    }
+
+    /// Remove every policy of `owner` toward `viewer` ("blocking a
+    /// previous friend").
+    pub fn remove(&mut self, owner: UserId, viewer: UserId) -> Option<Vec<Policy>> {
+        let removed = self.by_pair.remove(&(owner, viewer));
+        if removed.is_some() {
+            if let Some(v) = self.granted_by.get_mut(&owner) {
+                v.retain(|u| *u != viewer);
+            }
+            if let Some(v) = self.granters_of.get_mut(&viewer) {
+                v.retain(|u| *u != owner);
+            }
+        }
+        removed
+    }
+
+    /// The first policy `owner` has toward `viewer`, if any (the paper's
+    /// one-policy-per-pair view).
+    pub fn policy(&self, owner: UserId, viewer: UserId) -> Option<&Policy> {
+        self.by_pair.get(&(owner, viewer)).and_then(|v| v.first())
+    }
+
+    /// All policies `owner` has toward `viewer` (multi-policy extension).
+    pub fn policies(&self, owner: UserId, viewer: UserId) -> &[Policy] {
+        self.by_pair.get(&(owner, viewer)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definition 2's full policy check: may `viewer` see `owner`, located
+    /// at `owner_pos`, at time `t`? With multiple policies for the pair,
+    /// any one of them suffices.
+    pub fn permits(&self, owner: UserId, viewer: UserId, owner_pos: &Point, t: Timestamp) -> bool {
+        self.policies(owner, viewer).iter().any(|p| p.permits(owner_pos, t))
+    }
+
+    /// Users `owner` has a policy toward.
+    pub fn granted_by(&self, owner: UserId) -> &[UserId] {
+        self.granted_by.get(&owner).map_or(&[], Vec::as_slice)
+    }
+
+    /// Owners who have a policy toward `viewer` — the raw friend list of a
+    /// query issuer.
+    pub fn granters_of(&self, viewer: UserId) -> &[UserId] {
+        self.granters_of.get(&viewer).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any policy connects the unordered pair.
+    pub fn are_connected(&self, a: UserId, b: UserId) -> bool {
+        self.by_pair.contains_key(&(a, b)) || self.by_pair.contains_key(&(b, a))
+    }
+
+    /// Total number of (directed) policies across all pairs.
+    pub fn len(&self) -> usize {
+        self.by_pair.values().map(Vec::len).sum()
+    }
+
+    /// Number of connected ordered pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.by_pair.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_pair.is_empty()
+    }
+
+    /// Iterate over every `(owner, viewer, policy)` triple.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, UserId, &Policy)> {
+        self.by_pair.iter().flat_map(|((o, v), ps)| ps.iter().map(move |p| (*o, *v, p)))
+    }
+
+    /// All unordered pairs `{a, b}` connected by at least one policy, each
+    /// reported once. Drives the pair-wise compatibility computation.
+    pub fn connected_pairs(&self) -> Vec<(UserId, UserId)> {
+        let mut pairs: Vec<(UserId, UserId)> = self
+            .by_pair
+            .keys()
+            .map(|&(o, v)| if o <= v { (o, v) } else { (v, o) })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lpp::RoleId;
+    use peb_common::{Rect, TimeInterval};
+
+    fn policy(owner: u64) -> Policy {
+        Policy::new(
+            UserId(owner),
+            RoleId::FRIEND,
+            Rect::new(0.0, 100.0, 0.0, 100.0),
+            TimeInterval::new(0.0, 100.0),
+        )
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(2), policy(1));
+        assert!(s.policy(UserId(1), UserId(2)).is_some());
+        assert!(s.policy(UserId(2), UserId(1)).is_none(), "policies are directed");
+        assert_eq!(s.granted_by(UserId(1)), &[UserId(2)]);
+        assert_eq!(s.granters_of(UserId(2)), &[UserId(1)]);
+        assert!(s.are_connected(UserId(1), UserId(2)));
+        assert!(s.are_connected(UserId(2), UserId(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn replace_does_not_duplicate_indexes() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(2), policy(1));
+        s.add(UserId(2), policy(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.granted_by(UserId(1)).len(), 1);
+    }
+
+    #[test]
+    fn remove_unlinks_both_indexes() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(2), policy(1));
+        assert!(s.remove(UserId(1), UserId(2)).is_some());
+        assert!(s.remove(UserId(1), UserId(2)).is_none());
+        assert!(s.granted_by(UserId(1)).is_empty());
+        assert!(s.granters_of(UserId(2)).is_empty());
+        assert!(!s.are_connected(UserId(1), UserId(2)));
+    }
+
+    #[test]
+    fn permits_applies_policy_conditions() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(2), policy(1));
+        let inside = peb_common::Point::new(50.0, 50.0);
+        let outside = peb_common::Point::new(500.0, 50.0);
+        assert!(s.permits(UserId(1), UserId(2), &inside, 50.0));
+        assert!(!s.permits(UserId(1), UserId(2), &outside, 50.0));
+        assert!(!s.permits(UserId(1), UserId(2), &inside, 500.0));
+        assert!(!s.permits(UserId(1), UserId(3), &inside, 50.0), "no policy, no access");
+    }
+
+    #[test]
+    fn connected_pairs_dedupes_directions() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(2), policy(1)); // 1 -> 2
+        let mut p2 = policy(2);
+        p2.owner = UserId(2);
+        s.add(UserId(1), p2); // 2 -> 1
+        s.add(UserId(3), policy(1)); // 1 -> 3
+        assert_eq!(s.connected_pairs(), vec![(UserId(1), UserId(2)), (UserId(1), UserId(3))]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_policy_rejected() {
+        let mut s = PolicyStore::new();
+        s.add(UserId(1), policy(1));
+    }
+}

@@ -1,0 +1,17 @@
+//! Simulated disk storage with an LRU buffer pool and I/O accounting.
+//!
+//! The paper evaluates every query algorithm by **I/O cost**: the number of
+//! 4 KB disk pages physically read/written while a 50-page LRU buffer is in
+//! front of the disk (Sec 7.1). This crate reproduces exactly that metric
+//! without real disks: [`disk::DiskSim`] is an in-memory array of pages that
+//! counts physical accesses, and [`pool::BufferPool`] is the LRU cache both
+//! indexes run through. A buffer hit is free; a miss costs one physical
+//! read (plus one write if the evicted frame was dirty).
+
+pub mod disk;
+pub mod page;
+pub mod pool;
+
+pub use disk::DiskSim;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pool::{BufferPool, IoStats};

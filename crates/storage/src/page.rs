@@ -1,0 +1,151 @@
+//! Fixed-size disk pages with little-endian scalar accessors.
+
+/// Disk page size in bytes (the paper's setting).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel "no page" value used for absent sibling/child pointers.
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    pub fn is_valid(&self) -> bool {
+        *self != PageId::INVALID
+    }
+}
+
+/// A 4 KB page. Scalar accessors read/write little-endian values at byte
+/// offsets; callers (the B+-tree node layout) are responsible for offsets
+/// staying in bounds, which the accessors assert.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+macro_rules! scalar_accessors {
+    ($get:ident, $put:ident, $ty:ty) => {
+        #[inline]
+        pub fn $get(&self, off: usize) -> $ty {
+            const N: usize = std::mem::size_of::<$ty>();
+            <$ty>::from_le_bytes(self.data[off..off + N].try_into().unwrap())
+        }
+
+        #[inline]
+        pub fn $put(&mut self, off: usize, v: $ty) {
+            const N: usize = std::mem::size_of::<$ty>();
+            self.data[off..off + N].copy_from_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn new() -> Self {
+        Page { data: Box::new([0u8; PAGE_SIZE]) }
+    }
+
+    scalar_accessors!(get_u8, put_u8, u8);
+    scalar_accessors!(get_u16, put_u16, u16);
+    scalar_accessors!(get_u32, put_u32, u32);
+    scalar_accessors!(get_u64, put_u64, u64);
+    scalar_accessors!(get_u128, put_u128, u128);
+    scalar_accessors!(get_f32, put_f32, f32);
+    scalar_accessors!(get_f64, put_f64, f64);
+
+    #[inline]
+    pub fn get_page_id(&self, off: usize) -> PageId {
+        PageId(self.get_u32(off))
+    }
+
+    #[inline]
+    pub fn put_page_id(&mut self, off: usize, pid: PageId) {
+        self.put_u32(off, pid.0);
+    }
+
+    #[inline]
+    pub fn bytes(&self, off: usize, len: usize) -> &[u8] {
+        &self.data[off..off + len]
+    }
+
+    #[inline]
+    pub fn bytes_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
+        &mut self.data[off..off + len]
+    }
+
+    /// Shift `len` bytes at `src` to `dst` within the page (memmove), used
+    /// by node insert/remove in the B+-tree.
+    #[inline]
+    pub fn shift(&mut self, src: usize, dst: usize, len: usize) {
+        self.data.copy_within(src..src + len, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert_eq!(p.get_u128(0), 0);
+        assert_eq!(p.get_u64(PAGE_SIZE - 8), 0);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut p = Page::new();
+        p.put_u8(0, 0xAB);
+        p.put_u16(1, 0xBEEF);
+        p.put_u32(3, 0xDEADBEEF);
+        p.put_u64(7, u64::MAX - 1);
+        p.put_u128(15, u128::MAX / 3);
+        p.put_f32(31, -1.5);
+        p.put_f64(35, 1234.5678);
+        assert_eq!(p.get_u8(0), 0xAB);
+        assert_eq!(p.get_u16(1), 0xBEEF);
+        assert_eq!(p.get_u32(3), 0xDEADBEEF);
+        assert_eq!(p.get_u64(7), u64::MAX - 1);
+        assert_eq!(p.get_u128(15), u128::MAX / 3);
+        assert_eq!(p.get_f32(31), -1.5);
+        assert_eq!(p.get_f64(35), 1234.5678);
+    }
+
+    #[test]
+    fn page_id_roundtrip_and_sentinel() {
+        let mut p = Page::new();
+        p.put_page_id(100, PageId(42));
+        assert_eq!(p.get_page_id(100), PageId(42));
+        assert!(PageId(42).is_valid());
+        assert!(!PageId::INVALID.is_valid());
+    }
+
+    #[test]
+    fn shift_moves_entries() {
+        let mut p = Page::new();
+        for i in 0..4u32 {
+            p.put_u32(i as usize * 4, i + 1);
+        }
+        // Open a hole at slot 1: shift slots 1..4 right by one slot.
+        p.shift(4, 8, 12);
+        p.put_u32(4, 99);
+        assert_eq!(
+            (0..5).map(|i| p.get_u32(i * 4)).collect::<Vec<_>>(),
+            vec![1, 99, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let p = Page::new();
+        let _ = p.get_u64(PAGE_SIZE - 4);
+    }
+}

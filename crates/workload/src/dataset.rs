@@ -1,0 +1,164 @@
+//! Dataset assembly: positions + policies + configuration in one bundle,
+//! with a builder mirroring Table 1's parameter grid.
+
+use peb_common::{MovingPoint, SpaceConfig};
+use peb_policy::PolicyStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::network::NetworkSimulation;
+use crate::policies::{self, PolicyGenConfig};
+use crate::uniform;
+
+/// Position distribution of the generated users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform random positions (the paper's default).
+    Uniform,
+    /// Network-based movement with the given number of destination hubs.
+    Network { hubs: usize },
+}
+
+/// A fully generated experiment input.
+pub struct Dataset {
+    pub space: SpaceConfig,
+    pub users: Vec<MovingPoint>,
+    pub store: PolicyStore,
+    pub max_speed: f64,
+    /// The live network simulation when `Distribution::Network` was used,
+    /// so update streams can keep objects on the roads.
+    pub network: Option<NetworkSimulation>,
+}
+
+/// Builder with the paper's defaults (Table 1, bold values): 60K users,
+/// 50 policies/user, θ = 0.7, max speed 3, uniform distribution.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    pub num_users: usize,
+    pub max_speed: f64,
+    pub distribution: Distribution,
+    pub policy_cfg: PolicyGenConfig,
+    pub seed: u64,
+    pub space: SpaceConfig,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        DatasetBuilder {
+            num_users: 60_000,
+            max_speed: 3.0,
+            distribution: Distribution::Uniform,
+            policy_cfg: PolicyGenConfig::default(),
+            seed: 0xC0FFEE,
+            space: SpaceConfig::default(),
+        }
+    }
+}
+
+impl DatasetBuilder {
+    pub fn num_users(mut self, n: usize) -> Self {
+        self.num_users = n;
+        self
+    }
+
+    pub fn max_speed(mut self, s: f64) -> Self {
+        self.max_speed = s;
+        self
+    }
+
+    pub fn distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    pub fn policies_per_user(mut self, np: usize) -> Self {
+        self.policy_cfg = self.policy_cfg.with_policies(np);
+        self
+    }
+
+    pub fn grouping_factor(mut self, theta: f64) -> Self {
+        self.policy_cfg.grouping_factor = theta;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate positions and policies deterministically from the seed.
+    pub fn build(self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (users, network) = match self.distribution {
+            Distribution::Uniform => (
+                uniform::generate(&mut rng, &self.space, self.num_users, self.max_speed, 0.0),
+                None,
+            ),
+            Distribution::Network { hubs } => {
+                let sim = NetworkSimulation::new(
+                    &mut rng,
+                    &self.space,
+                    hubs,
+                    self.num_users,
+                    self.max_speed,
+                );
+                (sim.snapshot_all(), Some(sim))
+            }
+        };
+        let store = policies::generate(&mut rng, &self.space, self.num_users, &self.policy_cfg);
+        Dataset { space: self.space, users, store, max_speed: self.max_speed, network }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_matches_table1_defaults() {
+        let b = DatasetBuilder::default();
+        assert_eq!(b.num_users, 60_000);
+        assert_eq!(b.max_speed, 3.0);
+        assert_eq!(b.policy_cfg.policies_per_user, 50);
+        assert_eq!(b.policy_cfg.grouping_factor, 0.7);
+        assert_eq!(b.distribution, Distribution::Uniform);
+    }
+
+    #[test]
+    fn small_uniform_dataset() {
+        let d = DatasetBuilder::default()
+            .num_users(300)
+            .policies_per_user(5)
+            .seed(1)
+            .build();
+        assert_eq!(d.users.len(), 300);
+        assert_eq!(d.store.len(), 300 * 5);
+        assert!(d.network.is_none());
+    }
+
+    #[test]
+    fn network_dataset_keeps_simulation() {
+        let d = DatasetBuilder::default()
+            .num_users(200)
+            .policies_per_user(5)
+            .distribution(Distribution::Network { hubs: 25 })
+            .seed(2)
+            .build();
+        assert_eq!(d.users.len(), 200);
+        assert!(d.network.is_some());
+        assert_eq!(d.network.as_ref().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn same_seed_same_dataset() {
+        let a = DatasetBuilder::default().num_users(100).policies_per_user(3).seed(7).build();
+        let b = DatasetBuilder::default().num_users(100).policies_per_user(3).seed(7).build();
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.store.len(), b.store.len());
+        // Policy stores match pair-by-pair.
+        for (o, v, p) in a.store.iter() {
+            let q = b.store.policy(o, v).expect("pair missing under same seed");
+            assert_eq!(p, q);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Network-based position generator — the synthetic equivalent of the
+//! route-network generator used by the paper (Sec 7.1, citing \[27\]).
+//!
+//! `H` destination hubs are placed uniformly; each hub is connected to its
+//! `DEGREE` nearest neighbors with two-way straight routes. Objects start
+//! at random points on random routes and belong to one of three speed
+//! classes (maximum speeds `max_speed · {0.25, 0.5, 1.0}`, matching the
+//! paper's 0.75 / 1.5 / 3 when `max_speed = 3`). An object always moves
+//! toward a target hub; on arrival it picks a random connected hub next.
+//! Speed ramps up leaving a hub and down approaching one, so positions
+//! concentrate around hubs — the fewer the hubs, the more skewed the data.
+
+use peb_common::{MovingPoint, Point, SpaceConfig, UserId, Vec2};
+use rand::Rng;
+
+/// Routes per hub.
+const DEGREE: usize = 3;
+/// Fraction of an edge over which objects accelerate/decelerate.
+const RAMP_FRACTION: f64 = 0.25;
+/// Minimum speed factor at a hub (never fully stopped, so velocities stay
+/// informative for the predictive index).
+const MIN_SPEED_FACTOR: f64 = 0.2;
+
+/// The three speed classes of the paper, as fractions of the global
+/// maximum speed (0.75, 1.5, 3 when the maximum is 3).
+pub const SPEED_CLASS_FACTORS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// The hub-and-routes network plus per-object simulation state.
+pub struct RoadNetwork {
+    hubs: Vec<Point>,
+    /// Adjacency: for each hub, the hubs it connects to.
+    adj: Vec<Vec<usize>>,
+}
+
+impl RoadNetwork {
+    /// Build a network of `num_hubs` uniformly placed destinations.
+    pub fn generate(rng: &mut impl Rng, space: &SpaceConfig, num_hubs: usize) -> Self {
+        assert!(num_hubs >= 2, "a network needs at least two destinations");
+        let hubs: Vec<Point> = (0..num_hubs)
+            .map(|_| Point::new(rng.gen_range(0.0..space.side), rng.gen_range(0.0..space.side)))
+            .collect();
+        // Connect each hub to its DEGREE nearest neighbors (two-way).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_hubs];
+        for i in 0..num_hubs {
+            let mut by_dist: Vec<(f64, usize)> = (0..num_hubs)
+                .filter(|&j| j != i)
+                .map(|j| (hubs[i].dist_sq(&hubs[j]), j))
+                .collect();
+            by_dist.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(_, j) in by_dist.iter().take(DEGREE.min(num_hubs - 1)) {
+                if !adj[i].contains(&j) {
+                    adj[i].push(j);
+                }
+                if !adj[j].contains(&i) {
+                    adj[j].push(i);
+                }
+            }
+        }
+        RoadNetwork { hubs, adj }
+    }
+
+    pub fn num_hubs(&self) -> usize {
+        self.hubs.len()
+    }
+
+    pub fn hub(&self, i: usize) -> Point {
+        self.hubs[i]
+    }
+
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+}
+
+/// One simulated network-bound traveler.
+#[derive(Debug, Clone)]
+pub struct Traveler {
+    pub uid: UserId,
+    /// Maximum speed of this object's class.
+    pub class_speed: f64,
+    /// Hub the object departed from.
+    from: usize,
+    /// Hub the object is heading to.
+    to: usize,
+    /// Distance traveled along the current edge.
+    progress: f64,
+}
+
+/// The full network simulation: owns the network and all travelers, and
+/// can be stepped forward to produce update streams.
+pub struct NetworkSimulation {
+    pub network: RoadNetwork,
+    travelers: Vec<Traveler>,
+    time: f64,
+}
+
+impl NetworkSimulation {
+    /// Place `n` objects at random points of random routes.
+    pub fn new(
+        rng: &mut impl Rng,
+        space: &SpaceConfig,
+        num_hubs: usize,
+        n: usize,
+        max_speed: f64,
+    ) -> Self {
+        let network = RoadNetwork::generate(rng, space, num_hubs);
+        let travelers = (0..n)
+            .map(|i| {
+                let from = rng.gen_range(0..network.num_hubs());
+                let to = *choose(rng, network.neighbors(from));
+                let edge_len = network.hub(from).dist(&network.hub(to)).max(1e-9);
+                Traveler {
+                    uid: UserId(i as u64),
+                    class_speed: max_speed * SPEED_CLASS_FACTORS[i % 3],
+                    from,
+                    to,
+                    progress: rng.gen_range(0.0..edge_len),
+                }
+            })
+            .collect();
+        NetworkSimulation { network, travelers, time: 0.0 }
+    }
+
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    pub fn len(&self) -> usize {
+        self.travelers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.travelers.is_empty()
+    }
+
+    /// Current speed of a traveler given its position along the edge:
+    /// ramp up after departure, ramp down before arrival.
+    fn speed_of(&self, t: &Traveler) -> f64 {
+        let edge_len = self.network.hub(t.from).dist(&self.network.hub(t.to)).max(1e-9);
+        let ramp = (edge_len * RAMP_FRACTION).max(1e-9);
+        let up = (t.progress / ramp).min(1.0);
+        let down = ((edge_len - t.progress) / ramp).min(1.0);
+        let factor = up.min(down).clamp(MIN_SPEED_FACTOR, 1.0);
+        t.class_speed * factor
+    }
+
+    /// Snapshot a traveler as a moving point (position + instantaneous
+    /// velocity along its route).
+    pub fn snapshot(&self, idx: usize) -> MovingPoint {
+        let t = &self.travelers[idx];
+        let a = self.network.hub(t.from);
+        let b = self.network.hub(t.to);
+        let edge_len = a.dist(&b).max(1e-9);
+        let frac = (t.progress / edge_len).clamp(0.0, 1.0);
+        let pos = Point::new(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac);
+        let dir = Vec2::new(b.x - a.x, b.y - a.y).with_norm(self.speed_of(t));
+        MovingPoint::new(t.uid, pos, dir, self.time)
+    }
+
+    /// Snapshot every traveler.
+    pub fn snapshot_all(&self) -> Vec<MovingPoint> {
+        (0..self.travelers.len()).map(|i| self.snapshot(i)).collect()
+    }
+
+    /// Advance the whole simulation by `dt` time units; objects reaching a
+    /// destination pick a random next one.
+    pub fn step(&mut self, rng: &mut impl Rng, dt: f64) {
+        self.time += dt;
+        for i in 0..self.travelers.len() {
+            let mut remaining = dt * self.speed_of(&self.travelers[i]);
+            loop {
+                let t = &mut self.travelers[i];
+                let edge_len =
+                    self.network.hubs[t.from].dist(&self.network.hubs[t.to]).max(1e-9);
+                let left_on_edge = edge_len - t.progress;
+                if remaining < left_on_edge {
+                    t.progress += remaining;
+                    break;
+                }
+                remaining -= left_on_edge;
+                // Arrived: choose the next destination at random.
+                let arrived = t.to;
+                let next = *choose(rng, self.network.neighbors(arrived));
+                t.from = arrived;
+                t.to = next;
+                t.progress = 0.0;
+            }
+        }
+    }
+}
+
+fn choose<'a, T>(rng: &mut impl Rng, slice: &'a [T]) -> &'a T {
+    &slice[rng.gen_range(0..slice.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim(hubs: usize, n: usize) -> NetworkSimulation {
+        let mut rng = StdRng::seed_from_u64(11);
+        NetworkSimulation::new(&mut rng, &SpaceConfig::default(), hubs, n, 3.0)
+    }
+
+    #[test]
+    fn network_is_connected_enough() {
+        let s = sim(25, 10);
+        for h in 0..s.network.num_hubs() {
+            assert!(!s.network.neighbors(h).is_empty(), "hub {h} isolated");
+        }
+    }
+
+    #[test]
+    fn snapshots_are_in_bounds_and_speed_limited() {
+        let s = sim(50, 300);
+        let space = SpaceConfig::default();
+        for m in s.snapshot_all() {
+            assert!(space.bounds().contains(&m.pos), "{:?} out of bounds", m.pos);
+            assert!(m.speed() <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_speed_classes_present() {
+        let s = sim(25, 30);
+        let mut classes: Vec<f64> = s.travelers.iter().map(|t| t.class_speed).collect();
+        classes.sort_by(f64::total_cmp);
+        classes.dedup();
+        assert_eq!(classes, vec![0.75, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn stepping_moves_objects_along_routes() {
+        let mut s = sim(25, 100);
+        let before = s.snapshot_all();
+        let mut rng = StdRng::seed_from_u64(5);
+        s.step(&mut rng, 30.0);
+        let after = s.snapshot_all();
+        assert_eq!(s.time(), 30.0);
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(a, b)| a.pos.dist(&b.pos) > 1.0)
+            .count();
+        assert!(moved > 50, "only {moved} of 100 objects moved");
+        // Everyone still in bounds after travel.
+        let space = SpaceConfig::default();
+        for m in &after {
+            assert!(space.bounds().contains(&m.pos));
+        }
+    }
+
+    #[test]
+    fn fewer_hubs_means_more_skew() {
+        // Measure occupancy of a coarse grid: with 4 hubs the positions
+        // concentrate in fewer cells than with 400.
+        let occupied = |hubs: usize| {
+            let s = sim(hubs, 2000);
+            let mut cells = std::collections::HashSet::new();
+            for m in s.snapshot_all() {
+                cells.insert(((m.pos.x / 100.0) as i32, (m.pos.y / 100.0) as i32));
+            }
+            cells.len()
+        };
+        let few = occupied(4);
+        let many = occupied(400);
+        assert!(few < many, "4 hubs covered {few} cells, 400 hubs {many}");
+    }
+
+    #[test]
+    fn speed_ramps_near_destinations() {
+        let s = sim(10, 0);
+        let t = Traveler { uid: UserId(0), class_speed: 3.0, from: 0, to: s.network.neighbors(0)[0], progress: 0.0 };
+        let sim_ref = &s;
+        let at_start = sim_ref.speed_of(&t);
+        let edge_len = s.network.hub(t.from).dist(&s.network.hub(t.to));
+        let mid = Traveler { progress: edge_len / 2.0, ..t.clone() };
+        let at_mid = sim_ref.speed_of(&mid);
+        assert!(at_start < at_mid, "speed at hub {at_start} must be below mid-edge {at_mid}");
+        assert!(at_mid <= 3.0);
+    }
+}

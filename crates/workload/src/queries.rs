@@ -1,0 +1,126 @@
+//! Query workload generation: random PRQ windows and PkNN parameters over
+//! random issuers (Sec 7.1: 200 queries per measurement, quadratic windows
+//! of side 200 and k = 5 by default).
+
+use peb_common::{Point, Rect, SpaceConfig, Timestamp, UserId};
+use rand::Rng;
+
+/// One privacy-aware range query instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeQuerySpec {
+    pub issuer: UserId,
+    pub window: Rect,
+    pub tq: Timestamp,
+}
+
+/// One privacy-aware kNN query instance.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnQuerySpec {
+    pub issuer: UserId,
+    pub q: Point,
+    pub k: usize,
+    pub tq: Timestamp,
+}
+
+/// Draws query instances uniformly over issuers and the space.
+pub struct QueryGenerator {
+    space: SpaceConfig,
+    num_users: usize,
+}
+
+impl QueryGenerator {
+    pub fn new(space: SpaceConfig, num_users: usize) -> Self {
+        assert!(num_users > 0);
+        QueryGenerator { space, num_users }
+    }
+
+    /// A quadratic window of the given side length, placed uniformly so it
+    /// fits the space, at query time `tq`.
+    pub fn range_query(&self, rng: &mut impl Rng, side: f64, tq: Timestamp) -> RangeQuerySpec {
+        let side = side.min(self.space.side);
+        let xl = rng.gen_range(0.0..=(self.space.side - side));
+        let yl = rng.gen_range(0.0..=(self.space.side - side));
+        RangeQuerySpec {
+            issuer: UserId(rng.gen_range(0..self.num_users as u64)),
+            window: Rect::new(xl, xl + side, yl, yl + side),
+            tq,
+        }
+    }
+
+    /// A kNN query at a uniform point.
+    pub fn knn_query(&self, rng: &mut impl Rng, k: usize, tq: Timestamp) -> KnnQuerySpec {
+        KnnQuerySpec {
+            issuer: UserId(rng.gen_range(0..self.num_users as u64)),
+            q: Point::new(
+                rng.gen_range(0.0..self.space.side),
+                rng.gen_range(0.0..self.space.side),
+            ),
+            k,
+            tq,
+        }
+    }
+
+    /// A batch of `count` range queries.
+    pub fn range_batch(
+        &self,
+        rng: &mut impl Rng,
+        count: usize,
+        side: f64,
+        tq: Timestamp,
+    ) -> Vec<RangeQuerySpec> {
+        (0..count).map(|_| self.range_query(rng, side, tq)).collect()
+    }
+
+    /// A batch of `count` kNN queries.
+    pub fn knn_batch(
+        &self,
+        rng: &mut impl Rng,
+        count: usize,
+        k: usize,
+        tq: Timestamp,
+    ) -> Vec<KnnQuerySpec> {
+        (0..count).map(|_| self.knn_query(rng, k, tq)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn windows_fit_space_and_have_right_side() {
+        let g = QueryGenerator::new(SpaceConfig::default(), 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q = g.range_query(&mut rng, 200.0, 10.0);
+            assert!((q.window.width() - 200.0).abs() < 1e-9);
+            assert!((q.window.height() - 200.0).abs() < 1e-9);
+            assert!(q.window.xl >= 0.0 && q.window.xu <= 1000.0);
+            assert!(q.issuer.0 < 100);
+        }
+    }
+
+    #[test]
+    fn oversized_window_clamps_to_space() {
+        let g = QueryGenerator::new(SpaceConfig::default(), 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = g.range_query(&mut rng, 5000.0, 0.0);
+        assert_eq!(q.window.width(), 1000.0);
+    }
+
+    #[test]
+    fn knn_batch_respects_parameters() {
+        let g = QueryGenerator::new(SpaceConfig::default(), 42);
+        let mut rng = StdRng::seed_from_u64(8);
+        let qs = g.knn_batch(&mut rng, 20, 5, 99.0);
+        assert_eq!(qs.len(), 20);
+        for q in qs {
+            assert_eq!(q.k, 5);
+            assert_eq!(q.tq, 99.0);
+            assert!(q.issuer.0 < 42);
+            assert!(SpaceConfig::default().bounds().contains(&q.q));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Dataset traces: save/load a generated workload as plain text so an
+//! experiment can be archived, diffed, and re-run bit-identically — the
+//! moving-object-database equivalent of publishing the generator output
+//! rather than just the seed.
+//!
+//! Format (line-oriented, tab-separated, `#` comments):
+//!
+//! ```text
+//! #peb-trace v1
+//! space\t<side>\t<grid_bits>\t<time_domain>
+//! u\t<uid>\t<x>\t<y>\t<vx>\t<vy>\t<t_update>
+//! p\t<owner>\t<viewer>\t<role>\t<xl>\t<xu>\t<yl>\t<yu>\t<t_start>\t<t_end>
+//! ```
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use peb_common::{MovingPoint, Point, Rect, SpaceConfig, TimeInterval, UserId, Vec2};
+use peb_policy::{Policy, PolicyStore, RoleId};
+
+use crate::dataset::Dataset;
+
+/// Serialize a dataset (positions + policies + space) to the trace format.
+pub fn to_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("#peb-trace v1\n");
+    let _ = writeln!(
+        out,
+        "space\t{}\t{}\t{}",
+        ds.space.side, ds.space.grid_bits, ds.space.time_domain
+    );
+    for m in &ds.users {
+        let _ = writeln!(
+            out,
+            "u\t{}\t{}\t{}\t{}\t{}\t{}",
+            m.uid.0, m.pos.x, m.pos.y, m.vel.x, m.vel.y, m.t_update
+        );
+    }
+    let mut policies: Vec<(UserId, UserId, &Policy)> = ds.store.iter().collect();
+    policies.sort_by_key(|(o, v, _)| (*o, *v));
+    for (owner, viewer, p) in policies {
+        let _ = writeln!(
+            out,
+            "p\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            owner.0, viewer.0, p.role.0, p.locr.xl, p.locr.xu, p.locr.yl, p.locr.yu,
+            p.tint.start, p.tint.end
+        );
+    }
+    out
+}
+
+/// Errors while parsing a trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceError {
+    MissingHeader,
+    MissingSpaceLine,
+    /// `(line number, description)`
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::MissingHeader => write!(f, "missing '#peb-trace v1' header"),
+            TraceError::MissingSpaceLine => write!(f, "missing 'space' line"),
+            TraceError::Malformed(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn field<T: FromStr>(parts: &[&str], idx: usize, line_no: usize) -> Result<T, TraceError> {
+    parts
+        .get(idx)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TraceError::Malformed(line_no, format!("bad field {idx}")))
+}
+
+/// Parse a trace back into a [`Dataset`] (the `network` simulation state is
+/// not part of a trace; positions and velocities are).
+pub fn from_str(text: &str) -> Result<Dataset, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "#peb-trace v1" => {}
+        _ => return Err(TraceError::MissingHeader),
+    }
+
+    let mut space: Option<SpaceConfig> = None;
+    let mut users: Vec<MovingPoint> = Vec::new();
+    let mut store = PolicyStore::new();
+    let mut max_speed = 0.0f64;
+
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        match parts[0] {
+            "space" => {
+                space = Some(SpaceConfig::new(
+                    field(&parts, 1, line_no)?,
+                    field(&parts, 2, line_no)?,
+                    field(&parts, 3, line_no)?,
+                ));
+            }
+            "u" => {
+                let m = MovingPoint::new(
+                    UserId(field(&parts, 1, line_no)?),
+                    Point::new(field(&parts, 2, line_no)?, field(&parts, 3, line_no)?),
+                    Vec2::new(field(&parts, 4, line_no)?, field(&parts, 5, line_no)?),
+                    field(&parts, 6, line_no)?,
+                );
+                max_speed = max_speed.max(m.speed());
+                users.push(m);
+            }
+            "p" => {
+                let owner = UserId(field(&parts, 1, line_no)?);
+                let viewer = UserId(field(&parts, 2, line_no)?);
+                let policy = Policy::new(
+                    owner,
+                    RoleId(field(&parts, 3, line_no)?),
+                    Rect::new(
+                        field(&parts, 4, line_no)?,
+                        field(&parts, 5, line_no)?,
+                        field(&parts, 6, line_no)?,
+                        field(&parts, 7, line_no)?,
+                    ),
+                    TimeInterval::new(field(&parts, 8, line_no)?, field(&parts, 9, line_no)?),
+                );
+                store.add_additional(viewer, policy);
+            }
+            other => {
+                return Err(TraceError::Malformed(line_no, format!("unknown record '{other}'")))
+            }
+        }
+    }
+
+    let space = space.ok_or(TraceError::MissingSpaceLine)?;
+    Ok(Dataset { space, users, store, max_speed: max_speed.max(1e-9), network: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = DatasetBuilder::default().num_users(150).policies_per_user(6).seed(4).build();
+        let text = to_string(&ds);
+        let back = from_str(&text).expect("parse");
+        assert_eq!(back.space, ds.space);
+        assert_eq!(back.users, ds.users);
+        assert_eq!(back.store.len(), ds.store.len());
+        for (o, v, p) in ds.store.iter() {
+            assert_eq!(back.store.policy(o, v), Some(p), "pair ({o}, {v})");
+        }
+        // And the re-serialization is bit-identical (canonical ordering).
+        assert_eq!(to_string(&back), text);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            from_str("space\t1000\t10\t1440\n"),
+            Err(TraceError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_space() {
+        let Err(err) = from_str("#peb-trace v1\nu\t0\t1\t2\t0\t0\t0\n") else {
+            panic!("expected an error");
+        };
+        assert!(matches!(err, TraceError::MissingSpaceLine));
+    }
+
+    #[test]
+    fn rejects_malformed_fields_with_line_numbers() {
+        let Err(err) = from_str("#peb-trace v1\nspace\t1000\t10\t1440\nu\t0\tNOPE\t2\t0\t0\t0\n")
+        else {
+            panic!("expected an error");
+        };
+        match err {
+            TraceError::Malformed(line, _) => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let Err(err) = from_str("#peb-trace v1\nspace\t1000\t10\t1440\nz\t1\n") else {
+            panic!("expected an error");
+        };
+        assert!(matches!(err, TraceError::Malformed(3, _)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "#peb-trace v1\n# a comment\n\nspace\t1000\t10\t1440\nu\t0\t5\t6\t0.5\t-0.5\t2\n";
+        let ds = from_str(text).expect("parse");
+        assert_eq!(ds.users.len(), 1);
+        assert_eq!(ds.users[0].pos, Point::new(5.0, 6.0));
+        assert!((ds.max_speed - ds.users[0].speed()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_policy_pairs_survive_roundtrip() {
+        let mut ds = DatasetBuilder::default().num_users(10).policies_per_user(2).seed(9).build();
+        // Give one pair a second policy.
+        let extra = Policy::new(
+            UserId(0),
+            RoleId::FAMILY,
+            Rect::new(0.0, 10.0, 0.0, 10.0),
+            TimeInterval::new(1.0, 2.0),
+        );
+        let viewer = ds.store.granted_by(UserId(0))[0];
+        ds.store.add_additional(viewer, extra);
+        let back = from_str(&to_string(&ds)).expect("parse");
+        assert_eq!(back.store.policies(UserId(0), viewer).len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Uniformly distributed moving users.
+
+use peb_common::{MovingPoint, Point, SpaceConfig, UserId, Vec2};
+use rand::Rng;
+
+/// Generate `n` users with uniform positions, random directions and speeds
+/// uniform in `[0, max_speed]`, all updated at time `t0`.
+pub fn generate(
+    rng: &mut impl Rng,
+    space: &SpaceConfig,
+    n: usize,
+    max_speed: f64,
+    t0: f64,
+) -> Vec<MovingPoint> {
+    (0..n)
+        .map(|i| {
+            let pos = Point::new(rng.gen_range(0.0..space.side), rng.gen_range(0.0..space.side));
+            MovingPoint::new(UserId(i as u64), pos, random_velocity(rng, max_speed), t0)
+        })
+        .collect()
+}
+
+/// A velocity with uniform random direction and speed uniform in
+/// `[0, max_speed]`.
+pub fn random_velocity(rng: &mut impl Rng, max_speed: f64) -> Vec2 {
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let speed = rng.gen_range(0.0..=max_speed);
+    Vec2::new(speed * angle.cos(), speed * angle.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_n_in_bounds_with_capped_speed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let space = SpaceConfig::default();
+        let users = generate(&mut rng, &space, 500, 3.0, 0.0);
+        assert_eq!(users.len(), 500);
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.uid.0, i as u64, "ids are dense");
+            assert!(space.bounds().contains(&u.pos));
+            assert!(u.speed() <= 3.0 + 1e-12);
+            assert_eq!(u.t_update, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = SpaceConfig::default();
+        let a = generate(&mut StdRng::seed_from_u64(42), &space, 50, 3.0, 0.0);
+        let b = generate(&mut StdRng::seed_from_u64(42), &space, 50, 3.0, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn positions_cover_the_space() {
+        // Rough uniformity check: every quadrant gets a fair share.
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SpaceConfig::default();
+        let users = generate(&mut rng, &space, 4000, 3.0, 0.0);
+        let mut quad = [0usize; 4];
+        for u in &users {
+            let qx = (u.pos.x >= 500.0) as usize;
+            let qy = (u.pos.y >= 500.0) as usize;
+            quad[qx * 2 + qy] += 1;
+        }
+        for q in quad {
+            assert!((800..1200).contains(&q), "quadrant counts {quad:?} skewed");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Update streams (Sec 7.9): objects re-report their position/velocity as
+//! time advances, and the paper measures query cost after every 25% of the
+//! dataset has been updated, until everything has been updated twice.
+
+use peb_common::{MovingPoint, Point, SpaceConfig, UserId};
+use rand::Rng;
+
+use crate::uniform::random_velocity;
+
+/// Produces rounds of position updates over an evolving user population.
+///
+/// Objects move according to their current linear motion; each update
+/// re-samples the velocity (bouncing at the space boundary) and advances
+/// the update timestamp — the standard moving-object-database workload.
+pub struct UpdateStream {
+    space: SpaceConfig,
+    max_speed: f64,
+    users: Vec<MovingPoint>,
+    time: f64,
+    /// Next user index to update (round-robin over the population).
+    cursor: usize,
+    /// Simulated time between consecutive update batches.
+    tick: f64,
+}
+
+impl UpdateStream {
+    pub fn new(space: SpaceConfig, max_speed: f64, users: Vec<MovingPoint>, tick: f64) -> Self {
+        assert!(tick > 0.0);
+        let time = users.iter().map(|m| m.t_update).fold(0.0, f64::max);
+        UpdateStream { space, max_speed, users, time, cursor: 0, tick }
+    }
+
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current (ground-truth) state of every user.
+    pub fn users(&self) -> &[MovingPoint] {
+        &self.users
+    }
+
+    /// Advance time by one tick and update the next `fraction` of the
+    /// population (round-robin), returning the refreshed records.
+    pub fn next_round(&mut self, rng: &mut impl Rng, fraction: f64) -> Vec<MovingPoint> {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.time += self.tick;
+        let n = self.users.len();
+        let count = ((n as f64 * fraction).round() as usize).min(n);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            out.push(self.update_user(rng, idx));
+        }
+        out
+    }
+
+    /// Move a single user to its predicted position at the current time,
+    /// clamp it into the space, and draw a fresh velocity.
+    fn update_user(&mut self, rng: &mut impl Rng, idx: usize) -> MovingPoint {
+        let old = self.users[idx];
+        let pos = self.space.bounds().clamp(old.position_at(self.time));
+        let vel = random_velocity(rng, self.max_speed);
+        let m = MovingPoint::new(UserId(idx as u64), Point::new(pos.x, pos.y), vel, self.time);
+        self.users[idx] = m;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(n: usize) -> UpdateStream {
+        let mut rng = StdRng::seed_from_u64(13);
+        let space = SpaceConfig::default();
+        let users = uniform::generate(&mut rng, &space, n, 3.0, 0.0);
+        UpdateStream::new(space, 3.0, users, 15.0)
+    }
+
+    #[test]
+    fn quarter_round_updates_quarter_of_users() {
+        let mut s = stream(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = s.next_round(&mut rng, 0.25);
+        assert_eq!(batch.len(), 25);
+        assert_eq!(s.time(), 15.0);
+        for m in &batch {
+            assert_eq!(m.t_update, 15.0);
+            assert!(s.space.bounds().contains(&m.pos));
+            assert!(m.speed() <= 3.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_robin_covers_everyone_in_four_quarters() {
+        let mut s = stream(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut touched = std::collections::HashSet::new();
+        for _ in 0..4 {
+            for m in s.next_round(&mut rng, 0.25) {
+                touched.insert(m.uid);
+            }
+        }
+        assert_eq!(touched.len(), 100, "one full pass must touch every user");
+    }
+
+    #[test]
+    fn ground_truth_tracks_updates() {
+        let mut s = stream(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = s.next_round(&mut rng, 1.0);
+        for m in batch {
+            assert_eq!(s.users()[m.uid.as_index()], m);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A set of disjoint inclusive `u64` intervals with "add and report what
+//! was new" semantics.
+//!
+//! Used by the incremental kNN searches: each enlargement round only scans
+//! the parts of its Z-intervals that earlier rounds have not covered (the
+//! paper's `R'_qi − R'_q(i−1)` region search), so no leaf is visited twice.
+
+/// Sorted, disjoint, inclusive interval set.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    /// Sorted by `lo`; pairwise disjoint and non-adjacent.
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of disjoint runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total count of covered integers.
+    pub fn covered(&self) -> u128 {
+        self.runs.iter().map(|(lo, hi)| (hi - lo) as u128 + 1).sum()
+    }
+
+    pub fn contains(&self, v: u64) -> bool {
+        // Last run starting at or before v.
+        match self.runs.partition_point(|r| r.0 <= v).checked_sub(1) {
+            Some(i) => self.runs[i].1 >= v,
+            None => false,
+        }
+    }
+
+    /// Insert `[lo, hi]`, returning the sub-intervals that were *not*
+    /// previously covered (possibly empty). Afterwards the whole interval
+    /// is covered.
+    pub fn add_and_return_new(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        assert!(lo <= hi);
+        // Gather the gaps of [lo, hi] not covered by existing runs.
+        let mut fresh = Vec::new();
+        let mut cursor = lo;
+        let start = self.runs.partition_point(|r| r.1 < lo);
+        for &(rlo, rhi) in &self.runs[start..] {
+            if rlo > hi {
+                break;
+            }
+            if rlo > cursor {
+                fresh.push((cursor, rlo - 1));
+            }
+            cursor = cursor.max(rhi.saturating_add(1));
+            if cursor > hi {
+                break;
+            }
+        }
+        if cursor <= hi {
+            fresh.push((cursor, hi));
+        }
+
+        // Merge [lo, hi] into the run list: replace all overlapping or
+        // adjacent runs with one combined run.
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        let first = self.runs.partition_point(|r| r.1 + 1 < lo.max(1)); // adjacency-aware
+        let mut last = first;
+        while last < self.runs.len() && self.runs[last].0 <= hi.saturating_add(1) {
+            new_lo = new_lo.min(self.runs[last].0);
+            new_hi = new_hi.max(self.runs[last].1);
+            last += 1;
+        }
+        self.runs.splice(first..last, [(new_lo, new_hi)]);
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_add_returns_everything() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.add_and_return_new(10, 20), vec![(10, 20)]);
+        assert!(s.contains(10) && s.contains(20) && !s.contains(21));
+        assert_eq!(s.covered(), 11);
+    }
+
+    #[test]
+    fn nested_add_returns_nothing() {
+        let mut s = IntervalSet::new();
+        s.add_and_return_new(10, 20);
+        assert!(s.add_and_return_new(12, 18).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn growing_window_returns_flanks() {
+        let mut s = IntervalSet::new();
+        s.add_and_return_new(10, 20);
+        let fresh = s.add_and_return_new(5, 25);
+        assert_eq!(fresh, vec![(5, 9), (21, 25)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.covered(), 21);
+    }
+
+    #[test]
+    fn bridging_two_runs() {
+        let mut s = IntervalSet::new();
+        s.add_and_return_new(0, 5);
+        s.add_and_return_new(20, 25);
+        let fresh = s.add_and_return_new(3, 22);
+        assert_eq!(fresh, vec![(6, 19)]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(0) && s.contains(25));
+    }
+
+    #[test]
+    fn adjacent_runs_merge() {
+        let mut s = IntervalSet::new();
+        s.add_and_return_new(0, 9);
+        let fresh = s.add_and_return_new(10, 19);
+        assert_eq!(fresh, vec![(10, 19)]);
+        assert_eq!(s.len(), 1, "adjacent runs must coalesce");
+    }
+
+    #[test]
+    fn disjoint_adds_stay_separate() {
+        let mut s = IntervalSet::new();
+        s.add_and_return_new(0, 5);
+        s.add_and_return_new(100, 105);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(50));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_bitset_model(ops in proptest::collection::vec((0u64..200, 0u64..60), 1..40)) {
+            let mut s = IntervalSet::new();
+            let mut model = vec![false; 300];
+            for (lo, len) in ops {
+                let hi = lo + len;
+                let fresh = s.add_and_return_new(lo, hi);
+                // Fresh parts must be exactly the previously-uncovered cells.
+                let mut fresh_cells = vec![];
+                for (a, b) in &fresh {
+                    prop_assert!(*a >= lo && *b <= hi && a <= b);
+                    fresh_cells.extend(*a..=*b);
+                }
+                let expect: Vec<u64> =
+                    (lo..=hi).filter(|v| !model[*v as usize]).collect();
+                prop_assert_eq!(fresh_cells, expect);
+                for v in lo..=hi {
+                    model[v as usize] = true;
+                }
+                // Invariants: sorted, disjoint, non-adjacent.
+                for w in s.runs.windows(2) {
+                    prop_assert!(w[0].1 + 1 < w[1].0);
+                }
+                // Contains agrees with the model.
+                for v in (0..300).step_by(7) {
+                    prop_assert_eq!(s.contains(v as u64), model[v as usize]);
+                }
+            }
+        }
+    }
+}

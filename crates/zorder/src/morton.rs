@@ -1,0 +1,108 @@
+//! Morton-code bit interleaving.
+//!
+//! `encode` interleaves the bits of the two grid coordinates, x in the even
+//! bit positions and y in the odd ones, so that curve order visits the plane
+//! in the familiar "Z" pattern. Coordinates up to 32 bits are supported
+//! (curve values use up to 64 bits), which comfortably covers the 16-bit
+//! grids allowed by `SpaceConfig`.
+
+/// Spread the low 32 bits of `v` so that bit i moves to bit 2i.
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collect every second bit back into the low half.
+#[inline]
+fn squash(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleave grid coordinates into a Z-curve value (x in even bits).
+#[inline]
+pub fn encode(gx: u32, gy: u32) -> u64 {
+    spread(gx) | (spread(gy) << 1)
+}
+
+/// Recover the grid coordinates from a Z-curve value.
+#[inline]
+pub fn decode(z: u64) -> (u32, u32) {
+    (squash(z), squash(z >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_values() {
+        // Classic 2x2 Z pattern: (0,0)=0, (1,0)=1, (0,1)=2, (1,1)=3.
+        assert_eq!(encode(0, 0), 0);
+        assert_eq!(encode(1, 0), 1);
+        assert_eq!(encode(0, 1), 2);
+        assert_eq!(encode(1, 1), 3);
+        // Next block starts at (2,0) -> 4.
+        assert_eq!(encode(2, 0), 4);
+        assert_eq!(encode(3, 3), 15);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small_grid() {
+        for gx in 0..64u32 {
+            for gy in 0..64u32 {
+                assert_eq!(decode(encode(gx, gy)), (gx, gy));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_max_coordinates() {
+        let (gx, gy) = (u32::MAX, u32::MAX);
+        assert_eq!(decode(encode(gx, gy)), (gx, gy));
+        assert_eq!(encode(gx, gy), u64::MAX);
+    }
+
+    #[test]
+    fn z_value_monotone_in_block_address() {
+        // The value of the top-left cell of each 2x2 block increases in
+        // Z-order of the blocks themselves (self-similarity).
+        let block = |bx: u32, by: u32| encode(bx * 2, by * 2);
+        assert!(block(0, 0) < block(1, 0));
+        assert!(block(1, 0) < block(0, 1));
+        assert!(block(0, 1) < block(1, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(gx in any::<u32>(), gy in any::<u32>()) {
+            prop_assert_eq!(decode(encode(gx, gy)), (gx, gy));
+        }
+
+        #[test]
+        fn shared_prefix_locality(gx in 0u32..1024, gy in 0u32..1024, bits in 1u32..10) {
+            // Two cells in the same 2^bits-aligned block share the Z prefix.
+            let mask = !((1u32 << bits) - 1);
+            let z1 = encode(gx, gy);
+            let z2 = encode(gx & mask, gy & mask);
+            prop_assert_eq!(z1 >> (2 * bits), z2 >> (2 * bits));
+        }
+    }
+}
