@@ -1,0 +1,198 @@
+//! Perf-trajectory baseline: one small, fixed configuration measured for
+//! update throughput, query throughput and per-query I/O, serialized to
+//! `BENCH_seed.json` so successive PRs can be compared against the seed.
+//!
+//! The configuration is intentionally smaller than the paper's Table 1
+//! defaults (it must finish in CI seconds, not minutes); what matters for
+//! the trajectory is that it stays **identical across PRs**.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_workload::{QueryGenerator, UpdateStream};
+
+use crate::harness::{avg_io, RunConfig, World};
+
+/// Everything the baseline records. Field names are the JSON keys.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    pub users: usize,
+    pub policies_per_user: usize,
+    pub theta: f64,
+    pub queries: usize,
+    pub encode_secs: f64,
+    pub peb_leaf_pages: usize,
+    /// Average physical page I/Os per query (the paper's metric).
+    pub peb_prq_io: f64,
+    pub base_prq_io: f64,
+    pub peb_knn_io: f64,
+    pub base_knn_io: f64,
+    /// Wall-clock query throughput, queries per second.
+    pub peb_prq_qps: f64,
+    pub base_prq_qps: f64,
+    pub peb_knn_qps: f64,
+    pub base_knn_qps: f64,
+    /// Wall-clock update throughput, upserts per second.
+    pub peb_upsert_per_sec: f64,
+    pub base_upsert_per_sec: f64,
+}
+
+/// The fixed baseline configuration (do not change across PRs; add a new
+/// entry to the JSON instead if a different shape is ever needed).
+pub fn baseline_config() -> RunConfig {
+    RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        theta: 0.7,
+        queries: 100,
+        seed: 0xBA5E,
+        ..Default::default()
+    }
+}
+
+/// Build the two engines once and measure the full baseline.
+pub fn measure() -> BaselineReport {
+    let cfg = baseline_config();
+    let mut world = World::build(&cfg);
+    let m = world.measure(&cfg);
+
+    let gen = QueryGenerator::new(world.dataset.space, cfg.num_users);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7157);
+    let ranges = gen.range_batch(&mut rng, cfg.queries, cfg.window_side, cfg.tq);
+    let knns = gen.knn_batch(&mut rng, cfg.queries, cfg.k, cfg.tq);
+
+    let timed = |pool: &std::sync::Arc<peb_storage::BufferPool>, op: &mut dyn FnMut(usize)| {
+        let started = Instant::now();
+        avg_io(pool, cfg.queries, op);
+        cfg.queries as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let peb_prq_qps = timed(&std::sync::Arc::clone(world.peb.pool()), &mut |i| {
+        let q = &ranges[i];
+        let _ = world.peb.prq(q.issuer, &q.window, q.tq);
+    });
+    let base_prq_qps = timed(&std::sync::Arc::clone(world.baseline.pool()), &mut |i| {
+        let q = &ranges[i];
+        let _ = world.baseline.prq(&world.ctx.store, q.issuer, &q.window, q.tq);
+    });
+    let peb_knn_qps = timed(&std::sync::Arc::clone(world.peb.pool()), &mut |i| {
+        let q = &knns[i];
+        let _ = world.peb.pknn(q.issuer, q.q, q.k, q.tq);
+    });
+    let base_knn_qps = timed(&std::sync::Arc::clone(world.baseline.pool()), &mut |i| {
+        let q = &knns[i];
+        let _ = world.baseline.pknn(&world.ctx.store, q.issuer, q.q, q.k, q.tq);
+    });
+
+    // Update throughput: one round-robin pass refreshing 25% of the
+    // population through each engine.
+    let mut stream =
+        UpdateStream::new(world.dataset.space, cfg.max_speed, world.dataset.users.clone(), 30.0);
+    let mut urng = StdRng::seed_from_u64(cfg.seed ^ 0xD00D);
+    let round = stream.next_round(&mut urng, 0.25);
+
+    let started = Instant::now();
+    for u in &round {
+        world.peb.upsert(*u);
+    }
+    let peb_upsert_per_sec = round.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+    let started = Instant::now();
+    for u in &round {
+        world.baseline.upsert(*u);
+    }
+    let base_upsert_per_sec = round.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+    BaselineReport {
+        users: cfg.num_users,
+        policies_per_user: cfg.policies_per_user,
+        theta: cfg.theta,
+        queries: cfg.queries,
+        encode_secs: m.encode_secs,
+        peb_leaf_pages: m.peb_leaf_pages,
+        peb_prq_io: m.peb_prq_io,
+        base_prq_io: m.base_prq_io,
+        peb_knn_io: m.peb_knn_io,
+        base_knn_io: m.base_knn_io,
+        peb_prq_qps,
+        base_prq_qps,
+        peb_knn_qps,
+        base_knn_qps,
+        peb_upsert_per_sec,
+        base_upsert_per_sec,
+    }
+}
+
+impl BaselineReport {
+    /// Hand-rolled JSON (the workspace has no serde): flat object, stable
+    /// key order, numbers rounded to sensible precision.
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.2}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::from("{\n");
+        let rows: Vec<(&str, String)> = vec![
+            ("users", self.users.to_string()),
+            ("policies_per_user", self.policies_per_user.to_string()),
+            ("theta", f(self.theta)),
+            ("queries", self.queries.to_string()),
+            ("encode_secs", format!("{:.4}", self.encode_secs)),
+            ("peb_leaf_pages", self.peb_leaf_pages.to_string()),
+            ("peb_prq_io", f(self.peb_prq_io)),
+            ("base_prq_io", f(self.base_prq_io)),
+            ("peb_knn_io", f(self.peb_knn_io)),
+            ("base_knn_io", f(self.base_knn_io)),
+            ("peb_prq_qps", f(self.peb_prq_qps)),
+            ("base_prq_qps", f(self.base_prq_qps)),
+            ("peb_knn_qps", f(self.peb_knn_qps)),
+            ("base_knn_qps", f(self.base_knn_qps)),
+            ("peb_upsert_per_sec", f(self.peb_upsert_per_sec)),
+            ("base_upsert_per_sec", f(self.base_upsert_per_sec)),
+        ];
+        for (i, (k, v)) in rows.iter().enumerate() {
+            s.push_str(&format!("  \"{k}\": {v}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_flat() {
+        let r = BaselineReport {
+            users: 8000,
+            policies_per_user: 20,
+            theta: 0.7,
+            queries: 100,
+            encode_secs: 1.25,
+            peb_leaf_pages: 321,
+            peb_prq_io: 3.5,
+            base_prq_io: 30.25,
+            peb_knn_io: 4.0,
+            base_knn_io: 41.0,
+            peb_prq_qps: 1000.0,
+            base_prq_qps: 500.0,
+            peb_knn_qps: 900.0,
+            base_knn_qps: 450.0,
+            peb_upsert_per_sec: 50_000.0,
+            base_upsert_per_sec: 60_000.0,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        assert_eq!(j.matches(':').count(), 16, "one key per field");
+        assert_eq!(j.matches(',').count(), 15, "no trailing comma");
+        assert!(j.contains("\"peb_prq_io\": 3.50"));
+        assert!(j.contains("\"users\": 8000"));
+    }
+}

@@ -6,6 +6,9 @@ fn main() {
     report::header("Fig 11(a)", "policy-encoding preprocessing time, varying number of users");
     report::time_table("users", &experiments::fig11a_users());
     println!();
-    report::header("Fig 11(b)", "policy-encoding preprocessing time, varying policies per user (60K users)");
+    report::header(
+        "Fig 11(b)",
+        "policy-encoding preprocessing time, varying policies per user (60K users)",
+    );
     report::time_table("policies_per_user", &experiments::fig11b_policies());
 }

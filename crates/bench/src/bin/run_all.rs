@@ -1,8 +1,25 @@
 //! Run every figure back to back (respects PEB_SCALE / PEB_QUERIES).
+//!
+//! Flags:
+//! * `--baseline-only` — skip the figures; measure the fixed perf baseline
+//!   and write it to `BENCH_seed.json` (what CI runs). The baseline is
+//!   *only* written under this flag so casual figure runs never clobber
+//!   the committed trajectory file.
+//! * `PEB_BASELINE_OUT` — override the baseline output path.
 use peb_bench::experiments;
 use peb_bench::report;
 
 fn main() {
+    if std::env::args().any(|a| a == "--baseline-only") {
+        let out_path =
+            std::env::var("PEB_BASELINE_OUT").unwrap_or_else(|_| "BENCH_seed.json".to_string());
+        let baseline = peb_bench::baseline::measure();
+        std::fs::write(&out_path, baseline.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        eprintln!("baseline written to {out_path}");
+        return;
+    }
+
     report::header("Fig 11(a)", "policy-encoding preprocessing time, varying number of users");
     report::time_table("users", &experiments::fig11a_users());
     println!();

@@ -124,12 +124,8 @@ pub fn fig17_speed() -> Vec<SweepPoint> {
 pub fn fig18_updates() -> Vec<SweepPoint> {
     let cfg = RunConfig::default();
     let mut world = World::build(&cfg);
-    let mut stream = UpdateStream::new(
-        world.dataset.space,
-        cfg.max_speed,
-        world.dataset.users.clone(),
-        15.0,
-    );
+    let mut stream =
+        UpdateStream::new(world.dataset.space, cfg.max_speed, world.dataset.users.clone(), 15.0);
     let mut rng = {
         use rand::SeedableRng;
         rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xBEEF)
@@ -251,12 +247,8 @@ mod tests {
     /// tests). Sets env-independent sizes explicitly.
     #[test]
     fn update_rounds_produce_eight_points() {
-        let cfg = RunConfig {
-            num_users: 400,
-            policies_per_user: 5,
-            queries: 5,
-            ..Default::default()
-        };
+        let cfg =
+            RunConfig { num_users: 400, policies_per_user: 5, queries: 5, ..Default::default() };
         let mut world = World::build(&cfg);
         let mut stream = UpdateStream::new(
             world.dataset.space,

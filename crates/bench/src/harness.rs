@@ -169,11 +169,7 @@ impl World {
 
 /// Cold-start the buffer, run `count` operations, return average physical
 /// I/O per operation.
-pub fn avg_io(
-    pool: &Arc<BufferPool>,
-    count: usize,
-    mut op: impl FnMut(usize),
-) -> f64 {
+pub fn avg_io(pool: &Arc<BufferPool>, count: usize, mut op: impl FnMut(usize)) -> f64 {
     pool.flush_all();
     pool.clear();
     pool.reset_stats();

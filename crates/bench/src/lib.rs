@@ -10,6 +10,7 @@
 //! * `PEB_SCALE`   — multiplies every user count (default 1.0)
 //! * `PEB_QUERIES` — queries per measurement (default 200)
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod report;

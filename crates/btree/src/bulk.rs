@@ -178,11 +178,7 @@ mod tests {
     use super::*;
 
     fn load(n: u128, fill: f64) -> BTree<u64> {
-        BTree::bulk_load(
-            Arc::new(BufferPool::new(128)),
-            (0..n).map(|k| (k * 3, k as u64)),
-            fill,
-        )
+        BTree::bulk_load(Arc::new(BufferPool::new(128)), (0..n).map(|k| (k * 3, k as u64)), fill)
     }
 
     #[test]

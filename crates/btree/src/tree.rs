@@ -26,15 +26,7 @@ impl<V: RecordValue> BTree<V> {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         let root = pool.allocate();
         pool.write(root, node::init_leaf);
-        BTree {
-            pool,
-            root,
-            height: 1,
-            len: 0,
-            leaf_pages: 1,
-            total_pages: 1,
-            _values: PhantomData,
-        }
+        BTree { pool, root, height: 1, len: 0, leaf_pages: 1, total_pages: 1, _values: PhantomData }
     }
 
     const fn vsize() -> usize {
@@ -351,7 +343,8 @@ impl<V: RecordValue> BTree<V> {
     fn fix_child(&mut self, pid: PageId, j: usize, child_level: u32) {
         let parent_count = self.pool.read(pid, node::count);
         let child = self.pool.read(pid, |p| node::child_at(p, j));
-        let left = if j > 0 { Some(self.pool.read(pid, |p| node::child_at(p, j - 1))) } else { None };
+        let left =
+            if j > 0 { Some(self.pool.read(pid, |p| node::child_at(p, j - 1))) } else { None };
         let right = if j < parent_count {
             Some(self.pool.read(pid, |p| node::child_at(p, j + 1)))
         } else {
@@ -420,8 +413,7 @@ impl<V: RecordValue> BTree<V> {
         let stride = Self::stride();
         if level == 0 {
             // Move right's first entry to the end of c.
-            let entry: Vec<u8> =
-                self.pool.read(r, |p| p.bytes(HEADER, stride).to_vec());
+            let entry: Vec<u8> = self.pool.read(r, |p| p.bytes(HEADER, stride).to_vec());
             self.pool.write(r, |p| {
                 let n = node::count(p);
                 p.shift(HEADER + stride, HEADER, (n - 1) * stride);

@@ -1,10 +1,26 @@
 //! Bx key packing: `[TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂`.
 
+use peb_index::KeyLayout;
+
 /// Bit layout of Bx-tree keys for a given Z-grid resolution.
 #[derive(Debug, Clone, Copy)]
 pub struct BxKeyLayout {
     /// Bits of the Z-curve value (2 × grid bits per axis).
     pub zv_bits: u32,
+}
+
+impl KeyLayout for BxKeyLayout {
+    fn zv_bits(&self) -> u32 {
+        self.zv_bits
+    }
+
+    fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+        BxKeyLayout::key(self, tid, zv, uid)
+    }
+
+    fn partition_range(&self, tid: u8) -> (u128, u128) {
+        (self.range_start(tid, 0), self.range_end(tid, (1u64 << self.zv_bits) - 1))
+    }
 }
 
 /// Bits reserved for the user id in the key's low end.
@@ -92,5 +108,51 @@ mod tests {
     fn oversized_zv_rejected_in_debug() {
         let l = BxKeyLayout::new(4);
         l.key(0, 1 << 8, 0);
+    }
+
+    #[test]
+    fn trait_partition_range_spans_every_key() {
+        use peb_index::KeyLayout as _;
+        let l = BxKeyLayout::new(10);
+        let (lo, hi) = l.partition_range(3);
+        assert_eq!(lo, l.key(3, 0, 0));
+        assert_eq!(hi, l.key(3, (1 << 20) - 1, u32::MAX as u64));
+        let (lo4, _) = l.partition_range(4);
+        assert!(hi < lo4, "partition ranges must be disjoint");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn pack_unpack_identity(
+            grid_bits in 1u32..=16,
+            tid in 0u8..=255,
+            zv_raw in any::<u64>(),
+            uid in 0u64..(1 << 32),
+        ) {
+            let l = BxKeyLayout::new(grid_bits);
+            let zv = zv_raw & ((1u64 << l.zv_bits) - 1);
+            let k = l.key(tid, zv, uid);
+            prop_assert_eq!(l.tid_of(k), tid);
+            prop_assert_eq!(l.zv_of(k), zv);
+            prop_assert_eq!(l.uid_of(k), uid);
+        }
+
+        #[test]
+        fn key_order_is_lexicographic_tid_zv_uid(
+            a in (0u8..8, 0u64..(1 << 20), 0u64..(1 << 32)),
+            b in (0u8..8, 0u64..(1 << 20), 0u64..(1 << 32)),
+        ) {
+            let l = BxKeyLayout::new(10);
+            let ka = l.key(a.0, a.1, a.2);
+            let kb = l.key(b.0, b.1, b.2);
+            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "key order must equal tuple order");
+        }
     }
 }

@@ -18,13 +18,18 @@
 //!
 //! Embedding the uid makes keys unique, so the underlying B+-tree never
 //! sees duplicates and updates are exact delete+insert pairs.
+//!
+//! All of the engine-independent machinery (updates, bulk load, partition
+//! expiry, I/O accounting) lives in [`peb_index::MovingIndex`]; this crate
+//! contributes the Bx key layout and the privacy-unaware query algorithms.
 
 pub mod keys;
-pub mod partition;
-pub mod record;
 pub mod tree;
 
 pub use keys::BxKeyLayout;
-pub use partition::TimePartitioning;
-pub use record::ObjectRecord;
 pub use tree::{estimated_knn_distance, BxTree};
+
+// Re-exported from the generic index core for backwards compatibility:
+// these types started life in this crate and half the workspace imports
+// them through it.
+pub use peb_index::{ObjectRecord, TimePartitioning};

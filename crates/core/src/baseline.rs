@@ -62,9 +62,7 @@ impl SpatialBaseline {
             .bx
             .range_query(r, tq)
             .into_iter()
-            .filter(|m| {
-                m.uid != issuer && store.permits(m.uid, issuer, &m.position_at(tq), tq)
-            })
+            .filter(|m| m.uid != issuer && store.permits(m.uid, issuer, &m.position_at(tq), tq))
             .collect();
         out.sort_by_key(|m| m.uid);
         out

@@ -88,10 +88,7 @@ mod tests {
         let l = PebKeyLayout::new(10);
         let near_but_foreign = l.key(0, 900, 5, 1);
         let far_but_compatible = l.key(0, 100, (1 << 20) - 1, 2);
-        assert!(
-            far_but_compatible < near_but_foreign,
-            "lower SV sorts first regardless of ZV"
-        );
+        assert!(far_but_compatible < near_but_foreign, "lower SV sorts first regardless of ZV");
         // TID still dominates everything.
         assert!(l.key(1, 0, 0, 0) > l.key(0, u32::MAX as u64, (1 << 20) - 1, 99));
     }
@@ -106,5 +103,63 @@ mod tests {
         assert!(l.key(1, 501, 0, 0) > hi, "higher SV excluded");
         assert!(l.key(1, 500, 21, 0) > hi, "ZV above interval excluded");
         assert!(l.key(1, 500, 9, u32::MAX as u64) < lo, "ZV below interval excluded");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn pack_unpack_identity(
+            grid_bits in 1u32..=16,
+            tid in 0u8..=255,
+            sv_raw in any::<u64>(),
+            zv_raw in any::<u64>(),
+            uid in 0u64..(1 << 32),
+        ) {
+            let l = PebKeyLayout::new(grid_bits);
+            let sv = sv_raw & ((1u64 << SV_BITS) - 1);
+            let zv = zv_raw & ((1u64 << l.zv_bits) - 1);
+            let k = l.key(tid, sv, zv, uid);
+            prop_assert_eq!(l.tid_of(k), tid);
+            prop_assert_eq!(l.sv_of(k), sv);
+            prop_assert_eq!(l.zv_of(k), zv);
+            prop_assert_eq!(l.uid_of(k), uid);
+        }
+
+        #[test]
+        fn sv_always_dominates_zv(
+            tid in 0u8..8,
+            sv_lo in 0u64..1000,
+            sv_gap in 1u64..1000,
+            zv_a in 0u64..(1 << 20),
+            zv_b in 0u64..(1 << 20),
+            uid_a in 0u64..(1 << 32),
+            uid_b in 0u64..(1 << 32),
+        ) {
+            // The paper's Eq. 5 clustering claim: any key with a smaller SV
+            // sorts before any key with a larger SV, regardless of where in
+            // space (ZV) or who (UID) — policy compatibility first,
+            // location second.
+            let l = PebKeyLayout::new(10);
+            let near_but_foreign = l.key(tid, sv_lo + sv_gap, zv_a, uid_a);
+            let far_but_compatible = l.key(tid, sv_lo, zv_b, uid_b);
+            prop_assert!(far_but_compatible < near_but_foreign);
+        }
+
+        #[test]
+        fn key_order_is_lexicographic_tid_sv_zv_uid(
+            a in (0u8..8, 0u64..4000, 0u64..(1 << 20), 0u64..(1 << 32)),
+            b in (0u8..8, 0u64..4000, 0u64..(1 << 20), 0u64..(1 << 32)),
+        ) {
+            let l = PebKeyLayout::new(10);
+            let ka = l.key(a.0, a.1, a.2, a.3);
+            let kb = l.key(b.0, b.1, b.2, b.3);
+            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "key order must equal tuple order");
+        }
     }
 }

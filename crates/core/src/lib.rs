@@ -37,4 +37,4 @@ pub mod tree;
 pub use baseline::SpatialBaseline;
 pub use context::PrivacyContext;
 pub use keys::PebKeyLayout;
-pub use tree::PebTree;
+pub use tree::{PebIndexLayout, PebTree, PebTreeStats};

@@ -29,19 +29,25 @@ impl PebTree {
     /// Definition 3: the k users nearest to `q` at `tq` among those whose
     /// policy lets `issuer` see them there and then. Sorted by distance
     /// (ties by uid); fewer than k are returned when fewer qualify.
-    pub fn pknn(&self, issuer: UserId, q: Point, k: usize, tq: Timestamp) -> Vec<(MovingPoint, f64)> {
-        let groups = self.ctx.friend_sv_groups(issuer);
-        if groups.is_empty() || k == 0 || self.btree.is_empty() {
+    pub fn pknn(
+        &self,
+        issuer: UserId,
+        q: Point,
+        k: usize,
+        tq: Timestamp,
+    ) -> Vec<(MovingPoint, f64)> {
+        let groups = self.ctx().friend_sv_groups(issuer);
+        if groups.is_empty() || k == 0 || self.is_empty() {
             return Vec::new();
         }
         let m = groups.len();
-        let n_objects = self.btree.len();
+        let n_objects = self.len();
 
         // Initial radius r_q = D_k / k (Fig 10 line 2), floored at one grid
         // cell so tiny estimates still make progress.
-        let rq = (estimated_knn_distance(k, n_objects, self.space.side) / k as f64)
-            .max(self.space.cell_size() * peb_bx::tree::KNN_STEP_FLOOR_CELLS);
-        let max_radius = self.space.side * 4.0;
+        let rq = (estimated_knn_distance(k, n_objects, self.space().side) / k as f64)
+            .max(self.space().cell_size() * peb_bx::tree::KNN_STEP_FLOOR_CELLS);
+        let max_radius = self.space().side * 4.0;
         let max_rounds = (max_radius / rq).ceil() as usize;
 
         let partitions = self.live_partitions();
@@ -55,15 +61,22 @@ impl PebTree {
         let total_friends: usize = groups.iter().map(|(_, ms)| ms.len()).sum();
         let mut done = false;
         'diagonals: for d in 0..(m + max_rounds) {
-            for row in 0..=d.min(m - 1) {
+            for (row, group) in groups.iter().enumerate().take(d.min(m - 1) + 1) {
                 let round = d - row + 1;
                 if round > max_rounds {
                     continue;
                 }
                 let radius = round as f64 * rq;
                 self.scan_cell(
-                    issuer, q, tq, &groups[row], radius, &partitions, &mut scanned,
-                    &mut resolved, &mut pool,
+                    issuer,
+                    q,
+                    tq,
+                    group,
+                    radius,
+                    &partitions,
+                    &mut scanned,
+                    &mut resolved,
+                    &mut pool,
                 );
                 if pool.iter().filter(|(_, dist)| *dist <= radius).count() >= k {
                     done = true;
@@ -87,10 +100,17 @@ impl PebTree {
         // Vertical-scan refinement: make sure every friend row is covered
         // out to twice the current k'th candidate distance, then re-rank.
         let kth_dist = pool[k - 1].1;
-        let radius = kth_dist.max(self.space.cell_size() * 0.5);
+        let radius = kth_dist.max(self.space().cell_size() * 0.5);
         for group in &groups {
             self.scan_cell(
-                issuer, q, tq, group, radius, &partitions, &mut scanned, &mut resolved,
+                issuer,
+                q,
+                tq,
+                group,
+                radius,
+                &partitions,
+                &mut scanned,
+                &mut resolved,
                 &mut pool,
             );
         }
@@ -122,7 +142,7 @@ impl PebTree {
         let window = Rect::square(q, 2.0 * radius);
         for (tid, t_lab) in partitions {
             let enlarged = self.enlarge(&window, *t_lab, tq);
-            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
+            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
             // The paper's single-interval modification: [min ZV; max ZV] of
             // the window, which for the Z-curve are its lower-left and
             // upper-right cells.
@@ -153,13 +173,13 @@ impl PebTree {
                     if uid == issuer || resolved.contains(&uid) {
                         return true;
                     }
-                    if self.ctx.store.policy(uid, issuer).is_none() {
+                    if self.ctx().store.policy(uid, issuer).is_none() {
                         return true;
                     }
                     resolved.insert(uid);
                     let mp = rec.to_moving_point();
                     let pos = mp.position_at(tq);
-                    if self.ctx.store.permits(uid, issuer, &pos, tq) {
+                    if self.ctx().store.permits(uid, issuer, &pos, tq) {
                         pool.push((mp, pos.dist(&q)));
                     }
                     true

@@ -28,7 +28,7 @@ impl PebTree {
     /// Definition 2: all users inside `r` at `tq` whose policy lets
     /// `issuer` see them there and then. Results are sorted by uid.
     pub fn prq(&self, issuer: UserId, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
-        let groups = self.ctx.friend_sv_groups(issuer);
+        let groups = self.ctx().friend_sv_groups(issuer);
         if groups.is_empty() {
             return Vec::new();
         }
@@ -40,15 +40,14 @@ impl PebTree {
 
         for (tid, t_lab) in self.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
-            let (x0, x1, y0, y1) = self.space.to_grid_rect(&enlarged);
-            let zranges = decompose(x0, x1, y0, y1, self.space.grid_bits);
+            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
+            let zranges = decompose(x0, x1, y0, y1, self.space().grid_bits);
 
             for (sv_code, members) in &groups {
                 if members.iter().all(|u| resolved.contains(u)) {
                     continue; // every friend at this SV already located
                 }
-                let mut outstanding =
-                    members.iter().filter(|u| !resolved.contains(u)).count();
+                let mut outstanding = members.iter().filter(|u| !resolved.contains(u)).count();
                 'intervals: for zr in &zranges {
                     self.scan_interval(tid, *sv_code, zr.lo, zr.hi, |rec| {
                         let uid = UserId(rec.uid);
@@ -57,14 +56,14 @@ impl PebTree {
                         }
                         // Only friends can qualify; others sharing the SV
                         // code are skipped without policy evaluation.
-                        if self.ctx.store.policy(uid, issuer).is_none() {
+                        if self.ctx().store.policy(uid, issuer).is_none() {
                             return true;
                         }
                         resolved.insert(uid);
                         outstanding -= 1;
                         let m = rec.to_moving_point();
                         let pos = m.position_at(tq);
-                        if r.contains(&pos) && self.ctx.store.permits(uid, issuer, &pos, tq) {
+                        if r.contains(&pos) && self.ctx().store.permits(uid, issuer, &pos, tq) {
                             results.push(m);
                         }
                         true

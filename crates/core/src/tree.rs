@@ -5,30 +5,50 @@
 //! t⟩`, with the policy pointer `Pntp` implied by the dense uid). Insertion
 //! and deletion are single-path B+-tree operations, so the PEB-tree keeps
 //! the update performance that motivated building on the B+-tree.
+//!
+//! All engine-independent machinery is the shared
+//! [`peb_index::MovingIndex`]; this module contributes the PEB key layout
+//! (which folds the privacy-policy sequence value into every key) and the
+//! handle the privacy-aware query algorithms ([`crate::prq`],
+//! [`crate::pknn`], [`crate::circle`]) hang off.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use peb_btree::BTree;
-use peb_bx::{ObjectRecord, TimePartitioning};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
+use peb_index::{IndexStats, KeyLayout, MovingIndex, ObjectRecord, TimePartitioning};
 use peb_storage::BufferPool;
 
 use crate::context::PrivacyContext;
-use crate::keys::PebKeyLayout;
+use crate::keys::{PebKeyLayout, SV_BITS};
+
+/// The PEB key layout *bound to a privacy context*: key composition needs
+/// the owner's sequence value, which [`PrivacyContext`] maps from the uid.
+/// This is the [`KeyLayout`] the shared [`MovingIndex`] machinery calls
+/// into; the pure bit packing lives in [`PebKeyLayout`].
+pub struct PebIndexLayout {
+    pub keys: PebKeyLayout,
+    pub ctx: Arc<PrivacyContext>,
+}
+
+impl KeyLayout for PebIndexLayout {
+    fn zv_bits(&self) -> u32 {
+        self.keys.zv_bits
+    }
+
+    fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+        self.keys.key(tid, self.ctx.sv_code(UserId(uid)), zv, uid)
+    }
+
+    fn partition_range(&self, tid: u8) -> (u128, u128) {
+        let max_sv = (1u64 << SV_BITS) - 1;
+        let max_zv = (1u64 << self.keys.zv_bits) - 1;
+        (self.keys.range_start(tid, 0, 0), self.keys.range_end(tid, max_sv, max_zv))
+    }
+}
 
 /// The Policy-Embedded Bx-tree.
 pub struct PebTree {
-    pub(crate) btree: BTree<ObjectRecord>,
-    pub(crate) layout: PebKeyLayout,
-    pub(crate) space: SpaceConfig,
-    pub(crate) part: TimePartitioning,
-    pub(crate) max_speed: f64,
-    pub(crate) ctx: Arc<PrivacyContext>,
-    /// Current index key of each live object, for exact update/delete.
-    current_key: HashMap<UserId, u128>,
-    /// Label timestamp of the data stored in each live partition.
-    partition_labels: HashMap<u8, Timestamp>,
+    idx: MovingIndex<PebIndexLayout>,
 }
 
 impl PebTree {
@@ -39,29 +59,41 @@ impl PebTree {
         max_speed: f64,
         ctx: Arc<PrivacyContext>,
     ) -> Self {
-        assert!(max_speed > 0.0);
-        PebTree {
-            btree: BTree::new(pool),
-            layout: PebKeyLayout::new(space.grid_bits),
-            space,
-            part,
-            max_speed,
-            ctx,
-            current_key: HashMap::new(),
-            partition_labels: HashMap::new(),
-        }
+        let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
+        PebTree { idx: MovingIndex::new(pool, layout, space, part, max_speed) }
+    }
+
+    /// Bulk-load an initial user population (each user must appear once).
+    /// Builds the B+-tree bottom-up at the given fill factor; equivalent to
+    /// upserting every user one by one.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+        ctx: Arc<PrivacyContext>,
+        users: &[MovingPoint],
+        fill: f64,
+    ) -> Self {
+        let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
+        PebTree { idx: MovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill) }
+    }
+
+    /// The shared moving-object index core.
+    pub fn index(&self) -> &MovingIndex<PebIndexLayout> {
+        &self.idx
     }
 
     pub fn space(&self) -> &SpaceConfig {
-        &self.space
+        self.idx.space()
     }
 
     pub fn partitioning(&self) -> &TimePartitioning {
-        &self.part
+        self.idx.partitioning()
     }
 
     pub fn context(&self) -> &Arc<PrivacyContext> {
-        &self.ctx
+        &self.idx.layout().ctx
     }
 
     /// Mutable access to the privacy context for runtime policy updates.
@@ -70,86 +102,82 @@ impl PebTree {
     /// §11) — queries stay correct because refinement consults the live
     /// policy store.
     pub fn ctx_mut(&mut self) -> &mut Arc<PrivacyContext> {
-        &mut self.ctx
+        &mut self.idx.layout_mut().ctx
+    }
+
+    /// Shorthand used by the query algorithms in this crate.
+    pub(crate) fn ctx(&self) -> &PrivacyContext {
+        &self.idx.layout().ctx
+    }
+
+    /// The pure PEB key bit packing (for key introspection).
+    pub fn key_layout(&self) -> &PebKeyLayout {
+        &self.idx.layout().keys
     }
 
     pub fn max_speed(&self) -> f64 {
-        self.max_speed
+        self.idx.max_speed()
     }
 
     pub fn len(&self) -> usize {
-        self.btree.len()
+        self.idx.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.btree.is_empty()
+        self.idx.is_empty()
     }
 
     pub fn pool(&self) -> &Arc<BufferPool> {
-        self.btree.pool()
+        self.idx.pool()
     }
 
     /// Number of leaf pages — `Nl` in the paper's cost model (Sec 6).
     pub fn leaf_page_count(&self) -> usize {
-        self.btree.leaf_page_count()
+        self.idx.leaf_page_count()
     }
 
     /// The PEB key an object updated at `m.t_update` is indexed under
     /// (Eq. 5 plus the uid suffix).
     pub fn key_for(&self, m: &MovingPoint) -> u128 {
-        let t_lab = self.part.label_timestamp(m.t_update);
-        let tid = self.part.partition_of_label(t_lab);
-        let pos_at_label = m.position_at(t_lab);
-        let (gx, gy) = self.space.to_grid(&pos_at_label);
-        let zv = peb_zorder::encode(gx, gy);
-        self.layout.key(tid, self.ctx.sv_code(m.uid), zv, m.uid.0)
+        self.idx.key_for(m)
     }
 
     /// Insert or update an object: exact delete of the old key (if any)
     /// followed by a single-path insert.
     pub fn upsert(&mut self, m: MovingPoint) {
-        debug_assert!(
-            m.speed() <= self.max_speed + 1e-9,
-            "object {} exceeds the declared max speed",
-            m.uid
-        );
-        if let Some(old_key) = self.current_key.remove(&m.uid) {
-            self.btree.delete(old_key);
-        }
-        let t_lab = self.part.label_timestamp(m.t_update);
-        let tid = self.part.partition_of_label(t_lab);
-        let key = self.key_for(&m);
-        self.btree.insert(key, ObjectRecord::from_moving_point(&m));
-        self.current_key.insert(m.uid, key);
-        self.partition_labels.insert(tid, t_lab);
+        self.idx.upsert(m);
     }
 
     /// Remove an object entirely.
     pub fn remove(&mut self, uid: UserId) -> bool {
-        match self.current_key.remove(&uid) {
-            Some(key) => self.btree.delete(key).is_some(),
-            None => false,
-        }
+        self.idx.remove(uid)
     }
 
     /// Fetch an object's current record by id.
     pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
-        let key = self.current_key.get(&uid)?;
-        self.btree.get(*key).map(|r| r.to_moving_point())
+        self.idx.get(uid)
     }
 
     /// The live `(tid, label timestamp)` pairs, sorted by tid.
     pub fn live_partitions(&self) -> Vec<(u8, Timestamp)> {
-        let mut v: Vec<(u8, Timestamp)> =
-            self.partition_labels.iter().map(|(a, b)| (*a, *b)).collect();
-        v.sort_by_key(|a| a.0);
-        v
+        self.idx.live_partitions()
     }
 
     /// Bx query-window enlargement (shared with the Bx-tree, Fig 2).
     pub fn enlarge(&self, r: &Rect, t_lab: Timestamp, tq: Timestamp) -> Rect {
-        let d = self.max_speed * (t_lab - tq).abs();
-        Rect::new(r.xl - d, r.xu + d, r.yl - d, r.yu + d)
+        self.idx.enlarge(r, t_lab, tq)
+    }
+
+    /// Garbage-collect expired partitions (see
+    /// [`peb_index::MovingIndex::expire_stale`]): removes entries whose
+    /// partition label has passed and returns the number of dropped objects.
+    pub fn expire_stale(&mut self, now: Timestamp) -> usize {
+        self.idx.expire_stale(now)
+    }
+
+    /// O(1) diagnostics: B+-tree shape, live partitions, object count.
+    pub fn stats(&self) -> PebTreeStats {
+        self.idx.stats()
     }
 
     /// Scan one `(tid, sv, zv_lo..=zv_hi)` PEB-key interval, handing every
@@ -163,11 +191,15 @@ impl PebTree {
         zv_hi: u64,
         mut f: impl FnMut(ObjectRecord) -> bool,
     ) -> bool {
-        let lo = self.layout.range_start(tid, sv_code, zv_lo);
-        let hi = self.layout.range_end(tid, sv_code, zv_hi);
-        self.btree.range_scan(lo, hi, |_, rec| f(rec))
+        let keys = &self.idx.layout().keys;
+        let lo = keys.range_start(tid, sv_code, zv_lo);
+        let hi = keys.range_end(tid, sv_code, zv_hi);
+        self.idx.scan_keys(lo, hi, |_, rec| f(rec))
     }
 }
+
+/// Operational summary of a PEB-tree (the shared core's stats).
+pub type PebTreeStats = IndexStats;
 
 #[cfg(test)]
 mod tests {
@@ -222,8 +254,8 @@ mod tests {
         let t = tree(Arc::clone(&ctx));
         let m = still(2, 500.0, 500.0, 0.0);
         let key = t.key_for(&m);
-        assert_eq!(t.layout.sv_of(key), ctx.sv_code(UserId(2)));
-        assert_eq!(t.layout.uid_of(key), 2);
+        assert_eq!(t.key_layout().sv_of(key), ctx.sv_code(UserId(2)));
+        assert_eq!(t.key_layout().uid_of(key), 2);
     }
 
     #[test]
@@ -237,18 +269,14 @@ mod tests {
         let always = TimeInterval::new(0.0, 1440.0);
         store.add(UserId(1), Policy::new(UserId(0), RoleId::FRIEND, whole, always));
         store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, whole, always));
-        let ctx =
-            Arc::new(PrivacyContext::build(store, space, 3, SvAssignmentParams::default()));
+        let ctx = Arc::new(PrivacyContext::build(store, space, 3, SvAssignmentParams::default()));
         let t = tree(Arc::clone(&ctx));
         let k0 = t.key_for(&still(0, 10.0, 10.0, 0.0));
         let k1 = t.key_for(&still(1, 990.0, 990.0, 0.0)); // same SV (C = 1)
         let k2 = t.key_for(&still(2, 500.0, 500.0, 0.0)); // unrelated
         let d01 = k0.abs_diff(k1);
         let d02 = k0.abs_diff(k2);
-        assert!(
-            d01 < d02,
-            "related users must be closer in key space: d01 = {d01}, d02 = {d02}"
-        );
+        assert!(d01 < d02, "related users must be closer in key space: d01 = {d01}, d02 = {d02}");
     }
 
     #[test]
@@ -260,8 +288,9 @@ mod tests {
         }
         // Scanning the full ZV range of user 3's SV group must find user 3.
         let sv3 = ctx.sv_code(UserId(3));
+        let max_zv = (1u64 << t.key_layout().zv_bits) - 1;
         let mut seen = Vec::new();
-        t.scan_interval(t.live_partitions()[0].0, sv3, 0, (1u64 << t.layout.zv_bits) - 1, |rec| {
+        t.scan_interval(t.live_partitions()[0].0, sv3, 0, max_zv, |rec| {
             seen.push(rec.uid);
             true
         });
@@ -271,33 +300,37 @@ mod tests {
             assert_eq!(ctx.sv_code(UserId(*uid)), sv3);
         }
     }
-}
 
-impl PebTree {
-    /// Bulk-load an initial user population (each user must appear once).
-    /// Builds the B+-tree bottom-up at the given fill factor; equivalent to
-    /// upserting every user one by one.
-    pub fn bulk_load(
-        pool: Arc<BufferPool>,
-        space: SpaceConfig,
-        part: TimePartitioning,
-        max_speed: f64,
-        ctx: Arc<PrivacyContext>,
-        users: &[MovingPoint],
-        fill: f64,
-    ) -> Self {
-        let mut shell = PebTree::new(Arc::clone(&pool), space, part, max_speed, ctx);
-        let mut entries: Vec<(u128, ObjectRecord)> = Vec::with_capacity(users.len());
-        for m in users {
-            let key = shell.key_for(m);
-            entries.push((key, ObjectRecord::from_moving_point(m)));
-            let t_lab = shell.part.label_timestamp(m.t_update);
-            shell.current_key.insert(m.uid, key);
-            shell.partition_labels.insert(shell.part.partition_of_label(t_lab), t_lab);
+    #[test]
+    fn stats_track_population_and_partitions() {
+        let space = SpaceConfig::default();
+        let ctx = Arc::new(PrivacyContext::build(
+            PolicyStore::new(),
+            space,
+            100,
+            SvAssignmentParams::default(),
+        ));
+        let mut t = PebTree::new(
+            Arc::new(BufferPool::new(64)),
+            space,
+            TimePartitioning::default(),
+            3.0,
+            ctx,
+        );
+        for i in 0..100u64 {
+            let tu = if i % 2 == 0 { 10.0 } else { 70.0 }; // two phases
+            t.upsert(MovingPoint::new(
+                UserId(i),
+                Point::new(i as f64 * 9.0, 500.0),
+                Vec2::ZERO,
+                tu,
+            ));
         }
-        entries.sort_unstable_by_key(|(k, _)| *k);
-        shell.btree = peb_btree::BTree::bulk_load(pool, entries, fill);
-        shell
+        let s = t.stats();
+        assert_eq!(s.objects, 100);
+        assert_eq!(s.tree.entries, 100);
+        assert_eq!(s.partitions.len(), 2);
+        assert!(s.tree.avg_leaf_fill > 0.0);
     }
 }
 
@@ -316,8 +349,7 @@ mod bulk_tests {
         for o in 1..200u64 {
             store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, whole, always));
         }
-        let ctx =
-            Arc::new(PrivacyContext::build(store, space, 200, SvAssignmentParams::default()));
+        let ctx = Arc::new(PrivacyContext::build(store, space, 200, SvAssignmentParams::default()));
         let users: Vec<MovingPoint> = (0..200u64)
             .map(|i| {
                 MovingPoint::new(
@@ -357,44 +389,6 @@ mod bulk_tests {
     }
 }
 
-impl PebTree {
-    /// Garbage-collect expired partitions (see `BxTree::expire_stale`):
-    /// removes entries whose partition label has passed and returns the
-    /// number of dropped objects.
-    pub fn expire_stale(&mut self, now: Timestamp) -> usize {
-        let stale: Vec<u8> = self
-            .live_partitions()
-            .into_iter()
-            .filter(|(_, t_lab)| *t_lab < now)
-            .map(|(tid, _)| tid)
-            .collect();
-        let max_sv = (1u64 << crate::keys::SV_BITS) - 1;
-        let max_zv = (1u64 << self.layout.zv_bits) - 1;
-        let mut dropped = 0usize;
-        for tid in stale {
-            let lo = self.layout.range_start(tid, 0, 0);
-            let hi = self.layout.range_end(tid, max_sv, max_zv);
-            let victims: Vec<(u128, u64)> = {
-                let mut v = Vec::new();
-                self.btree.range_scan(lo, hi, |k, rec| {
-                    v.push((k, rec.uid));
-                    true
-                });
-                v
-            };
-            for (key, uid) in victims {
-                self.btree.delete(key);
-                if self.current_key.get(&UserId(uid)) == Some(&key) {
-                    self.current_key.remove(&UserId(uid));
-                }
-                dropped += 1;
-            }
-            self.partition_labels.remove(&tid);
-        }
-        dropped
-    }
-}
-
 #[cfg(test)]
 mod expiry_tests {
     use super::*;
@@ -425,66 +419,5 @@ mod expiry_tests {
         assert_eq!(dropped, 1);
         let got = t.prq(UserId(0), &Rect::new(0.0, 300.0, 0.0, 300.0), 200.0);
         assert_eq!(got.iter().map(|m| m.uid.0).collect::<Vec<_>>(), vec![2]);
-    }
-}
-
-/// Operational summary of a PEB-tree.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PebTreeStats {
-    /// Underlying B+-tree structure.
-    pub tree: peb_btree::TreeStats,
-    /// Live `(partition id, label timestamp)` pairs.
-    pub partitions: Vec<(u8, Timestamp)>,
-    /// Objects currently indexed.
-    pub objects: usize,
-}
-
-impl PebTree {
-    /// O(1) diagnostics: B+-tree shape, live partitions, object count.
-    pub fn stats(&self) -> PebTreeStats {
-        PebTreeStats {
-            tree: self.btree.stats(),
-            partitions: self.live_partitions(),
-            objects: self.current_key.len(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod stats_tests {
-    use super::*;
-    use peb_common::{Point, Vec2};
-    use peb_policy::{PolicyStore, SvAssignmentParams};
-
-    #[test]
-    fn stats_track_population_and_partitions() {
-        let space = SpaceConfig::default();
-        let ctx = Arc::new(PrivacyContext::build(
-            PolicyStore::new(),
-            space,
-            100,
-            SvAssignmentParams::default(),
-        ));
-        let mut t = PebTree::new(
-            Arc::new(BufferPool::new(64)),
-            space,
-            TimePartitioning::default(),
-            3.0,
-            ctx,
-        );
-        for i in 0..100u64 {
-            let tu = if i % 2 == 0 { 10.0 } else { 70.0 }; // two phases
-            t.upsert(MovingPoint::new(
-                UserId(i),
-                Point::new(i as f64 * 9.0, 500.0),
-                Vec2::ZERO,
-                tu,
-            ));
-        }
-        let s = t.stats();
-        assert_eq!(s.objects, 100);
-        assert_eq!(s.tree.entries, 100);
-        assert_eq!(s.partitions.len(), 2);
-        assert!(s.tree.avg_leaf_fill > 0.0);
     }
 }

@@ -89,8 +89,8 @@ fn friends_straddling_grid_cell_boundaries() {
         store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, WHOLE, ALWAYS));
     }
     let mut t = tree_with(store, 3);
-    let cell = SpaceConfig::default().cell_size(); // ≈ 0.9766
-    // One friend just below a cell boundary, one just above it.
+    // cell ≈ 0.9766: one friend just below a cell boundary, one just above.
+    let cell = SpaceConfig::default().cell_size();
     t.upsert(still(1, cell * 512.0 - 1e-9, 500.0));
     t.upsert(still(2, cell * 512.0 + 1e-9, 500.0));
     let w = Rect::new(cell * 511.0, cell * 513.0, 400.0, 600.0);
@@ -126,11 +126,8 @@ fn pknn_ties_break_deterministically() {
     t.upsert(still(2, 400.0, 500.0));
     t.upsert(still(3, 500.0, 600.0));
     t.upsert(still(4, 500.0, 400.0));
-    let got: Vec<u64> = t
-        .pknn(UserId(0), Point::new(500.0, 500.0), 2, 10.0)
-        .iter()
-        .map(|(m, _)| m.uid.0)
-        .collect();
+    let got: Vec<u64> =
+        t.pknn(UserId(0), Point::new(500.0, 500.0), 2, 10.0).iter().map(|(m, _)| m.uid.0).collect();
     assert_eq!(got, vec![1, 2], "equal distances break ties by uid");
 }
 

@@ -22,9 +22,12 @@ struct World {
     baseline: SpatialBaseline,
 }
 
+/// owner, viewer, rect, interval
+type PolicyTuple = (u64, u64, (f64, f64, f64, f64), (f64, f64));
+
 fn build_world(
     positions: Vec<(f64, f64, f64, f64, f64)>, // x, y, vx, vy, tu
-    policies: Vec<(u64, u64, (f64, f64, f64, f64), (f64, f64))>, // owner, viewer, rect, interval
+    policies: Vec<PolicyTuple>,
 ) -> World {
     let space = SpaceConfig::default();
     let n = positions.len();
@@ -84,7 +87,7 @@ fn update_time() -> impl Strategy<Value = f64> {
     (0u32..480).prop_map(|v| v as f64 * 0.25) // 0 .. 120 (one ∆tmu)
 }
 
-fn arb_policy_tuple() -> impl Strategy<Value = (u64, u64, (f64, f64, f64, f64), (f64, f64))> {
+fn arb_policy_tuple() -> impl Strategy<Value = PolicyTuple> {
     (
         any::<u64>(),
         any::<u64>(),

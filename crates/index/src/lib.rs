@@ -1,0 +1,32 @@
+//! The generic moving-object index core shared by the Bx-tree and the
+//! PEB-tree.
+//!
+//! Both indexes of the paper are the *same machine* — a B+-tree over `u128`
+//! keys whose high bits select a rotating time partition (Fig 1), with a
+//! per-object current-key map for exact update/delete and a label-timestamp
+//! map per live partition — differing **only** in how a key is composed
+//! from a partition id, a Z-curve value and a user id:
+//!
+//! ```text
+//! Bx  key = [TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂
+//! PEB key = [TID]₂ ⊕ [SV]₂ ⊕ [ZV]₂ ⊕ [UID]₂
+//! ```
+//!
+//! [`MovingIndex`] owns everything that is identical (B+-tree handle, space
+//! config, time partitioning, `current_key` tracking, partition labels,
+//! insert/update/delete, bulk load, partition expiry/rollover, I/O
+//! accounting through the [`peb_storage::BufferPool`]); the [`KeyLayout`]
+//! trait is the single seam where the two engines differ. `BxTree` is
+//! `MovingIndex<BxKeyLayout>` and `PebTree` is `MovingIndex<PebIndexLayout>`
+//! plus the privacy context — neither re-implements any of the shared
+//! paths, which is what future sharding/batching work hangs off.
+
+pub mod layout;
+pub mod moving;
+pub mod partition;
+pub mod record;
+
+pub use layout::KeyLayout;
+pub use moving::{IndexStats, MovingIndex};
+pub use partition::TimePartitioning;
+pub use record::ObjectRecord;

@@ -1,0 +1,427 @@
+//! [`MovingIndex`]: the moving-object index shell shared by both engines.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use peb_btree::{BTree, TreeStats};
+use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
+use peb_storage::{BufferPool, IoStats};
+use peb_zorder::encode;
+
+use crate::layout::KeyLayout;
+use crate::partition::TimePartitioning;
+use crate::record::ObjectRecord;
+
+/// A B+-tree based moving-object index, generic over the key layout.
+///
+/// Owns every piece of state the Bx-tree and the PEB-tree share: the
+/// B+-tree handle (and through it the buffer pool doing the paper's I/O
+/// accounting), the space/time configuration, the `current_key` map that
+/// makes updates exact delete+insert pairs, and the label timestamp of each
+/// live partition. Engine-specific query algorithms layer on top via
+/// [`MovingIndex::scan_keys`] and [`MovingIndex::layout`].
+pub struct MovingIndex<L: KeyLayout> {
+    btree: BTree<ObjectRecord>,
+    layout: L,
+    space: SpaceConfig,
+    part: TimePartitioning,
+    max_speed: f64,
+    /// Current index key of each live object, for exact update/delete.
+    current_key: HashMap<UserId, u128>,
+    /// Label timestamp of the data stored in each live partition.
+    partition_labels: HashMap<u8, Timestamp>,
+}
+
+impl<L: KeyLayout> MovingIndex<L> {
+    pub fn new(
+        pool: Arc<BufferPool>,
+        layout: L,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+    ) -> Self {
+        assert!(max_speed > 0.0);
+        MovingIndex {
+            btree: BTree::new(pool),
+            layout,
+            space,
+            part,
+            max_speed,
+            current_key: HashMap::new(),
+            partition_labels: HashMap::new(),
+        }
+    }
+
+    /// Bulk-load an initial population (each user must appear once).
+    /// Equivalent to upserting every user, but builds the B+-tree bottom-up
+    /// at the given fill factor.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        layout: L,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+        users: &[MovingPoint],
+        fill: f64,
+    ) -> Self {
+        let mut shell = MovingIndex::new(Arc::clone(&pool), layout, space, part, max_speed);
+        let mut entries: Vec<(u128, ObjectRecord)> = Vec::with_capacity(users.len());
+        for m in users {
+            let (key, tid, t_lab) = shell.placement(m);
+            entries.push((key, ObjectRecord::from_moving_point(m)));
+            shell.current_key.insert(m.uid, key);
+            shell.partition_labels.insert(tid, t_lab);
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        shell.btree = BTree::bulk_load(pool, entries, fill);
+        shell
+    }
+
+    pub fn space(&self) -> &SpaceConfig {
+        &self.space
+    }
+
+    pub fn partitioning(&self) -> &TimePartitioning {
+        &self.part
+    }
+
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    pub fn layout_mut(&mut self) -> &mut L {
+        &mut self.layout
+    }
+
+    pub fn len(&self) -> usize {
+        self.btree.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.btree.is_empty()
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.btree.pool()
+    }
+
+    /// Physical/logical I/O counters of the underlying buffer pool — the
+    /// paper's Sec 7.1 metric, identical for every engine built on this
+    /// layer.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool().stats()
+    }
+
+    /// Number of leaf pages, `Nl` in the paper's cost model.
+    pub fn leaf_page_count(&self) -> usize {
+        self.btree.leaf_page_count()
+    }
+
+    /// Total pages of the underlying B+-tree.
+    pub fn page_count(&self) -> usize {
+        self.btree.page_count()
+    }
+
+    /// The key an object updated at `m.t_update` is indexed under: the
+    /// object's position is forwarded to the nearest later label timestamp
+    /// (Fig 1), grid-quantized, Z-encoded, and packed by the layout.
+    pub fn key_for(&self, m: &MovingPoint) -> u128 {
+        self.placement(m).0
+    }
+
+    /// `(key, tid, t_lab)` for one object — the single derivation both
+    /// `key_for` and the update path share, so the stored key and the
+    /// partition-label bookkeeping can never disagree.
+    fn placement(&self, m: &MovingPoint) -> (u128, u8, Timestamp) {
+        let t_lab = self.part.label_timestamp(m.t_update);
+        let tid = self.part.partition_of_label(t_lab);
+        let pos_at_label = m.position_at(t_lab);
+        let (gx, gy) = self.space.to_grid(&pos_at_label);
+        let zv = self.layout.mask_zv(encode(gx, gy));
+        (self.layout.key(tid, zv, m.uid.0), tid, t_lab)
+    }
+
+    /// Insert or update an object (an update is an exact delete of the old
+    /// key followed by an insert, as in the Bx-tree).
+    pub fn upsert(&mut self, m: MovingPoint) {
+        debug_assert!(
+            m.speed() <= self.max_speed + 1e-9,
+            "object {} exceeds the declared max speed",
+            m.uid
+        );
+        if let Some(old_key) = self.current_key.remove(&m.uid) {
+            self.btree.delete(old_key);
+        }
+        let (key, tid, t_lab) = self.placement(&m);
+        self.btree.insert(key, ObjectRecord::from_moving_point(&m));
+        self.current_key.insert(m.uid, key);
+        self.partition_labels.insert(tid, t_lab);
+    }
+
+    /// Remove an object entirely.
+    pub fn remove(&mut self, uid: UserId) -> bool {
+        match self.current_key.remove(&uid) {
+            Some(key) => self.btree.delete(key).is_some(),
+            None => false,
+        }
+    }
+
+    /// Fetch an object's current record by id (point lookup through disk).
+    pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
+        let key = self.current_key.get(&uid)?;
+        self.btree.get(*key).map(|r| r.to_moving_point())
+    }
+
+    /// The current index key of a live object, if any.
+    pub fn current_key_of(&self, uid: UserId) -> Option<u128> {
+        self.current_key.get(&uid).copied()
+    }
+
+    /// The live `(tid, label timestamp)` pairs, sorted by tid.
+    pub fn live_partitions(&self) -> Vec<(u8, Timestamp)> {
+        let mut v: Vec<(u8, Timestamp)> =
+            self.partition_labels.iter().map(|(a, b)| (*a, *b)).collect();
+        v.sort_by_key(|a| a.0);
+        v
+    }
+
+    /// Enlarge a query rectangle for one partition: every object stored as
+    /// of `t_lab` that can reach `r` by `tq` lies within
+    /// `max_speed · |t_lab − tq|` of it (Fig 2 of the paper). The enlarged
+    /// rectangle is *not* clamped to the space bounds — objects may drift
+    /// outside the domain between updates, and the grid quantization clamps
+    /// cells on its own — so coverage of boundary-clamped stored cells is
+    /// preserved.
+    pub fn enlarge(&self, r: &Rect, t_lab: Timestamp, tq: Timestamp) -> Rect {
+        let d = self.max_speed * (t_lab - tq).abs();
+        Rect::new(r.xl - d, r.xu + d, r.yl - d, r.yu + d)
+    }
+
+    /// Scan the stored records with keys in `[lo, hi]`, in key order,
+    /// stopping early if `visit` returns `false`. Returns `false` if the
+    /// scan was stopped. This is the primitive engine-specific query
+    /// algorithms build their interval probes from.
+    pub fn scan_keys(
+        &self,
+        lo: u128,
+        hi: u128,
+        visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> bool {
+        self.btree.range_scan(lo, hi, visit)
+    }
+
+    /// Garbage-collect expired partitions. An object must update at least
+    /// once per `∆tmu`; entries still sitting in a partition whose label
+    /// timestamp has passed (`t_lab < now`) belong to objects that broke
+    /// that contract, and the partition is due for reuse. Removes them and
+    /// returns how many objects were dropped.
+    pub fn expire_stale(&mut self, now: Timestamp) -> usize {
+        let stale: Vec<u8> = self
+            .live_partitions()
+            .into_iter()
+            .filter(|(_, t_lab)| *t_lab < now)
+            .map(|(tid, _)| tid)
+            .collect();
+        let mut dropped = 0usize;
+        for tid in stale {
+            let (lo, hi) = self.layout.partition_range(tid);
+            let victims: Vec<(u128, u64)> = {
+                let mut v = Vec::new();
+                self.btree.range_scan(lo, hi, |k, rec| {
+                    v.push((k, rec.uid));
+                    true
+                });
+                v
+            };
+            for (key, uid) in victims {
+                self.btree.delete(key);
+                // Only unlink the object if this key is still its current one.
+                if self.current_key.get(&UserId(uid)) == Some(&key) {
+                    self.current_key.remove(&UserId(uid));
+                }
+                dropped += 1;
+            }
+            self.partition_labels.remove(&tid);
+        }
+        dropped
+    }
+
+    /// O(1) diagnostics: B+-tree shape, live partitions, object count.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            tree: self.btree.stats(),
+            partitions: self.live_partitions(),
+            objects: self.current_key.len(),
+        }
+    }
+}
+
+/// Operational summary of a [`MovingIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Underlying B+-tree structure.
+    pub tree: TreeStats,
+    /// Live `(partition id, label timestamp)` pairs.
+    pub partitions: Vec<(u8, Timestamp)>,
+    /// Objects currently indexed.
+    pub objects: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_common::{Point, Vec2};
+
+    /// A minimal layout for exercising the shared machinery in isolation:
+    /// `[TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂` with a fixed 20-bit ZV.
+    #[derive(Debug, Clone, Copy)]
+    struct TestLayout;
+
+    const ZV_BITS: u32 = 20;
+    const UID_BITS: u32 = 32;
+
+    impl KeyLayout for TestLayout {
+        fn zv_bits(&self) -> u32 {
+            ZV_BITS
+        }
+
+        fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+            ((tid as u128) << (ZV_BITS + UID_BITS)) | ((zv as u128) << UID_BITS) | uid as u128
+        }
+
+        fn partition_range(&self, tid: u8) -> (u128, u128) {
+            (self.key(tid, 0, 0), self.key(tid, (1 << ZV_BITS) - 1, (1 << UID_BITS) - 1))
+        }
+    }
+
+    fn index(cap: usize) -> MovingIndex<TestLayout> {
+        MovingIndex::new(
+            Arc::new(BufferPool::new(cap)),
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        )
+    }
+
+    fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+        MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+    }
+
+    #[test]
+    fn upsert_get_remove_roundtrip() {
+        let mut idx = index(64);
+        idx.upsert(still(1, 100.0, 200.0, 0.0));
+        idx.upsert(still(2, 300.0, 400.0, 0.0));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(UserId(1)).unwrap().pos, Point::new(100.0, 200.0));
+        idx.upsert(still(1, 111.0, 222.0, 5.0));
+        assert_eq!(idx.len(), 2, "update must not duplicate");
+        assert!(idx.remove(UserId(1)));
+        assert!(!idx.remove(UserId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn partition_migration_on_phase_rollover() {
+        // ∆tmu = 120, n = 2: updates at t=10 land in the label-120
+        // partition, updates at t=70 in label-180, updates at t=130 in
+        // label-240. An object that keeps updating MIGRATES across
+        // partitions: its old entry is deleted from the old partition and
+        // re-inserted in the new one, and the old partition's label map
+        // entry disappears once no object holds it live.
+        let mut idx = index(64);
+        idx.upsert(still(7, 100.0, 100.0, 10.0));
+        let k1 = idx.current_key_of(UserId(7)).unwrap();
+        let parts1 = idx.live_partitions();
+        assert_eq!(parts1.len(), 1);
+        assert_eq!(parts1[0].1, 120.0);
+
+        // Next phase: the same object updates; key must move partitions.
+        idx.upsert(still(7, 110.0, 110.0, 70.0));
+        let k2 = idx.current_key_of(UserId(7)).unwrap();
+        assert_ne!(k1, k2, "rollover must re-key the object");
+        assert_eq!(idx.len(), 1, "migration is delete+insert, not copy");
+
+        // The old partition still has a label entry (labels are dropped by
+        // expiry, not by updates), but scanning its key range finds nothing.
+        let (lo, hi) = idx.layout().partition_range(parts1[0].0);
+        let mut leftovers = 0;
+        idx.scan_keys(lo, hi, |_, _| {
+            leftovers += 1;
+            true
+        });
+        assert_eq!(leftovers, 0, "no ghost entry in the vacated partition");
+
+        // Expiry at t=150 (label 120 passed, label 180 still ahead)
+        // reclaims the vacated partition without touching the migrated
+        // object.
+        assert_eq!(idx.expire_stale(150.0), 0);
+        assert_eq!(idx.live_partitions().len(), 1);
+        assert!(idx.get(UserId(7)).is_some());
+    }
+
+    #[test]
+    fn expire_stale_drops_objects_that_stopped_updating() {
+        let mut idx = index(64);
+        idx.upsert(still(1, 100.0, 100.0, 10.0)); // label 120
+        idx.upsert(still(2, 200.0, 200.0, 130.0)); // label 240
+        assert_eq!(idx.live_partitions().len(), 2);
+        let dropped = idx.expire_stale(200.0);
+        assert_eq!(dropped, 1);
+        assert!(idx.get(UserId(1)).is_none());
+        assert!(idx.get(UserId(2)).is_some());
+        assert_eq!(idx.live_partitions().len(), 1);
+        assert_eq!(idx.expire_stale(200.0), 0, "idempotent");
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let users: Vec<MovingPoint> = (0..300u64)
+            .map(|i| still(i, (i % 50) as f64 * 20.0 + 3.0, (i / 50) as f64 * 150.0 + 3.0, 0.0))
+            .collect();
+        let bulk = MovingIndex::bulk_load(
+            Arc::new(BufferPool::new(64)),
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+            &users,
+            1.0,
+        );
+        let mut inc = index(64);
+        for m in &users {
+            inc.upsert(*m);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        for m in &users {
+            assert_eq!(bulk.current_key_of(m.uid), inc.current_key_of(m.uid));
+            assert_eq!(bulk.get(m.uid), inc.get(m.uid));
+        }
+        assert_eq!(bulk.live_partitions(), inc.live_partitions());
+    }
+
+    #[test]
+    fn io_accounting_flows_through_the_pool() {
+        let mut idx = index(8);
+        for i in 0..2_000u64 {
+            idx.upsert(still(i, (i % 100) as f64 * 10.0 + 5.0, (i / 100) as f64 * 45.0 + 5.0, 0.0));
+        }
+        let pool = Arc::clone(idx.pool());
+        pool.clear();
+        pool.reset_stats();
+        let (lo, hi) = idx.layout().partition_range(idx.live_partitions()[0].0);
+        let mut n = 0;
+        idx.scan_keys(lo, hi, |_, _| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 2_000);
+        assert!(idx.io_stats().physical_reads > 0, "cold scan must do I/O");
+        assert_eq!(idx.io_stats(), pool.stats(), "io_stats is the pool's counters");
+    }
+}

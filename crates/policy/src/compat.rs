@@ -141,7 +141,10 @@ mod tests {
         let mut s = PolicyStore::new();
         // Overlap area 100x100 of 1000x1000 => 0.01; time overlap 100/1000 => 0.1.
         s.add(UserId(2), pol(1, Rect::new(0.0, 200.0, 0.0, 200.0), TimeInterval::new(0.0, 200.0)));
-        s.add(UserId(1), pol(2, Rect::new(100.0, 300.0, 100.0, 300.0), TimeInterval::new(100.0, 300.0)));
+        s.add(
+            UserId(1),
+            pol(2, Rect::new(100.0, 300.0, 100.0, 300.0), TimeInterval::new(100.0, 300.0)),
+        );
         assert_eq!(relation(&s, UserId(1), UserId(2)), Relation::Mutual);
         let a = alpha(s.policy(UserId(1), UserId(2)), s.policy(UserId(2), UserId(1)), &space());
         assert!((a - 0.01 * 0.1).abs() < 1e-12);
@@ -157,7 +160,10 @@ mod tests {
         let mut s = PolicyStore::new();
         // Regions overlap but intervals do not -> non-mutual.
         s.add(UserId(2), pol(1, Rect::new(0.0, 100.0, 0.0, 100.0), TimeInterval::new(0.0, 100.0)));
-        s.add(UserId(1), pol(2, Rect::new(0.0, 100.0, 0.0, 100.0), TimeInterval::new(200.0, 300.0)));
+        s.add(
+            UserId(1),
+            pol(2, Rect::new(0.0, 100.0, 0.0, 100.0), TimeInterval::new(200.0, 300.0)),
+        );
         assert_eq!(relation(&s, UserId(1), UserId(2)), Relation::NonMutual);
         let c = compatibility(&s, &space(), UserId(1), UserId(2));
         // Each volume: 0.01 * 0.1 = 0.001; alpha = (0.001+0.001)/2 = 0.001.
@@ -168,7 +174,10 @@ mod tests {
     #[test]
     fn one_sided_policy_halves_the_volume() {
         let mut s = PolicyStore::new();
-        s.add(UserId(2), pol(1, Rect::new(0.0, 1000.0, 0.0, 1000.0), TimeInterval::new(0.0, 1000.0)));
+        s.add(
+            UserId(2),
+            pol(1, Rect::new(0.0, 1000.0, 0.0, 1000.0), TimeInterval::new(0.0, 1000.0)),
+        );
         assert_eq!(relation(&s, UserId(1), UserId(2)), Relation::NonMutual);
         let c = compatibility(&s, &space(), UserId(1), UserId(2));
         // "If P2→1 does not exist, the second term is omitted": α = 1/2 · 1.
@@ -334,7 +343,8 @@ mod multi_policy_tests {
         let r2 = Rect::new(100.0, 300.0, 100.0, 300.0);
         s.add(UserId(2), pol(1, r1, TimeInterval::new(0.0, 200.0)));
         s.add(UserId(1), pol(2, r2, TimeInterval::new(100.0, 300.0)));
-        let single = alpha(s.policy(UserId(1), UserId(2)), s.policy(UserId(2), UserId(1)), &space());
+        let single =
+            alpha(s.policy(UserId(1), UserId(2)), s.policy(UserId(2), UserId(1)), &space());
         let multi = alpha_multi(
             s.policies(UserId(1), UserId(2)),
             s.policies(UserId(2), UserId(1)),

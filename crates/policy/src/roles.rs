@@ -169,7 +169,12 @@ mod tests {
 
         let store = materialize(
             &reg,
-            &[RolePolicy { owner: bob, role: RoleId::COLLEAGUE, locr: downtown(), tint: work_hours() }],
+            &[RolePolicy {
+                owner: bob,
+                role: RoleId::COLLEAGUE,
+                locr: downtown(),
+                tint: work_hours(),
+            }],
         );
         let in_town = Point::new(500.0, 500.0);
         for colleague in [2u64, 3, 4] {
@@ -190,7 +195,12 @@ mod tests {
         let store = materialize(
             &reg,
             &[
-                RolePolicy { owner, role: RoleId::FRIEND, locr: downtown(), tint: TimeInterval::new(0.0, 100.0) },
+                RolePolicy {
+                    owner,
+                    role: RoleId::FRIEND,
+                    locr: downtown(),
+                    tint: TimeInterval::new(0.0, 100.0),
+                },
                 RolePolicy { owner, role: RoleId::COLLEAGUE, locr: downtown(), tint: work_hours() },
             ],
         );

@@ -260,8 +260,8 @@ mod proptests {
             // any two users in the same connected component assigned in one
             // group pass are within 1.0 of the leader. Weak global check:
             // values are at least spaced by construction rules.
-            for i in 0..n {
-                for &(j, _) in &g[i] {
+            for (i, neighbors) in g.iter().enumerate() {
+                for &(j, _) in neighbors {
                     let d = (sv.value(UserId(i as u64)) - sv.value(UserId(j as u64))).abs();
                     // Related users are never two full δ-groups apart unless
                     // assigned via different leaders; sanity-bound it.

@@ -130,11 +130,8 @@ impl PolicyStore {
     /// All unordered pairs `{a, b}` connected by at least one policy, each
     /// reported once. Drives the pair-wise compatibility computation.
     pub fn connected_pairs(&self) -> Vec<(UserId, UserId)> {
-        let mut pairs: Vec<(UserId, UserId)> = self
-            .by_pair
-            .keys()
-            .map(|&(o, v)| if o <= v { (o, v) } else { (v, o) })
-            .collect();
+        let mut pairs: Vec<(UserId, UserId)> =
+            self.by_pair.keys().map(|&(o, v)| if o <= v { (o, v) } else { (v, o) }).collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs

@@ -136,10 +136,7 @@ mod tests {
         // Open a hole at slot 1: shift slots 1..4 right by one slot.
         p.shift(4, 8, 12);
         p.put_u32(4, 99);
-        assert_eq!(
-            (0..5).map(|i| p.get_u32(i * 4)).collect::<Vec<_>>(),
-            vec![1, 99, 2, 3, 4]
-        );
+        assert_eq!((0..5).map(|i| p.get_u32(i * 4)).collect::<Vec<_>>(), vec![1, 99, 2, 3, 4]);
     }
 
     #[test]

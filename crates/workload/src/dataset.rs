@@ -126,11 +126,7 @@ mod tests {
 
     #[test]
     fn small_uniform_dataset() {
-        let d = DatasetBuilder::default()
-            .num_users(300)
-            .policies_per_user(5)
-            .seed(1)
-            .build();
+        let d = DatasetBuilder::default().num_users(300).policies_per_user(5).seed(1).build();
         assert_eq!(d.users.len(), 300);
         assert_eq!(d.store.len(), 300 * 5);
         assert!(d.network.is_none());

@@ -42,10 +42,8 @@ impl RoadNetwork {
         // Connect each hub to its DEGREE nearest neighbors (two-way).
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_hubs];
         for i in 0..num_hubs {
-            let mut by_dist: Vec<(f64, usize)> = (0..num_hubs)
-                .filter(|&j| j != i)
-                .map(|j| (hubs[i].dist_sq(&hubs[j]), j))
-                .collect();
+            let mut by_dist: Vec<(f64, usize)> =
+                (0..num_hubs).filter(|&j| j != i).map(|j| (hubs[i].dist_sq(&hubs[j]), j)).collect();
             by_dist.sort_by(|a, b| a.0.total_cmp(&b.0));
             for &(_, j) in by_dist.iter().take(DEGREE.min(num_hubs - 1)) {
                 if !adj[i].contains(&j) {
@@ -170,8 +168,7 @@ impl NetworkSimulation {
             let mut remaining = dt * self.speed_of(&self.travelers[i]);
             loop {
                 let t = &mut self.travelers[i];
-                let edge_len =
-                    self.network.hubs[t.from].dist(&self.network.hubs[t.to]).max(1e-9);
+                let edge_len = self.network.hubs[t.from].dist(&self.network.hubs[t.to]).max(1e-9);
                 let left_on_edge = edge_len - t.progress;
                 if remaining < left_on_edge {
                     t.progress += remaining;
@@ -239,11 +236,7 @@ mod tests {
         s.step(&mut rng, 30.0);
         let after = s.snapshot_all();
         assert_eq!(s.time(), 30.0);
-        let moved = before
-            .iter()
-            .zip(&after)
-            .filter(|(a, b)| a.pos.dist(&b.pos) > 1.0)
-            .count();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a.pos.dist(&b.pos) > 1.0).count();
         assert!(moved > 50, "only {moved} of 100 objects moved");
         // Everyone still in bounds after travel.
         let space = SpaceConfig::default();
@@ -272,7 +265,13 @@ mod tests {
     #[test]
     fn speed_ramps_near_destinations() {
         let s = sim(10, 0);
-        let t = Traveler { uid: UserId(0), class_speed: 3.0, from: 0, to: s.network.neighbors(0)[0], progress: 0.0 };
+        let t = Traveler {
+            uid: UserId(0),
+            class_speed: 3.0,
+            from: 0,
+            to: s.network.neighbors(0)[0],
+            progress: 0.0,
+        };
         let sim_ref = &s;
         let at_start = sim_ref.speed_of(&t);
         let edge_len = s.network.hub(t.from).dist(&s.network.hub(t.to));

@@ -60,10 +60,7 @@ pub fn generate(
     n: usize,
     cfg: &PolicyGenConfig,
 ) -> PolicyStore {
-    assert!(
-        (0.0..=1.0).contains(&cfg.grouping_factor),
-        "grouping factor must be in [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&cfg.grouping_factor), "grouping factor must be in [0, 1]");
     assert!(cfg.group_size >= 2);
 
     // Random group assignment: shuffle ids, then chunk.

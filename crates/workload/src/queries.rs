@@ -51,10 +51,7 @@ impl QueryGenerator {
     pub fn knn_query(&self, rng: &mut impl Rng, k: usize, tq: Timestamp) -> KnnQuerySpec {
         KnnQuerySpec {
             issuer: UserId(rng.gen_range(0..self.num_users as u64)),
-            q: Point::new(
-                rng.gen_range(0.0..self.space.side),
-                rng.gen_range(0.0..self.space.side),
-            ),
+            q: Point::new(rng.gen_range(0.0..self.space.side), rng.gen_range(0.0..self.space.side)),
             k,
             tq,
         }

@@ -24,11 +24,8 @@ use crate::dataset::Dataset;
 pub fn to_string(ds: &Dataset) -> String {
     let mut out = String::new();
     out.push_str("#peb-trace v1\n");
-    let _ = writeln!(
-        out,
-        "space\t{}\t{}\t{}",
-        ds.space.side, ds.space.grid_bits, ds.space.time_domain
-    );
+    let _ =
+        writeln!(out, "space\t{}\t{}\t{}", ds.space.side, ds.space.grid_bits, ds.space.time_domain);
     for m in &ds.users {
         let _ = writeln!(
             out,
@@ -42,8 +39,15 @@ pub fn to_string(ds: &Dataset) -> String {
         let _ = writeln!(
             out,
             "p\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            owner.0, viewer.0, p.role.0, p.locr.xl, p.locr.xu, p.locr.yl, p.locr.yu,
-            p.tint.start, p.tint.end
+            owner.0,
+            viewer.0,
+            p.role.0,
+            p.locr.xl,
+            p.locr.xu,
+            p.locr.yl,
+            p.locr.yu,
+            p.tint.start,
+            p.tint.end
         );
     }
     out
@@ -164,10 +168,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(
-            from_str("space\t1000\t10\t1440\n"),
-            Err(TraceError::MissingHeader)
-        ));
+        assert!(matches!(from_str("space\t1000\t10\t1440\n"), Err(TraceError::MissingHeader)));
     }
 
     #[test]
@@ -196,7 +197,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "#peb-trace v1\n# a comment\n\nspace\t1000\t10\t1440\nu\t0\t5\t6\t0.5\t-0.5\t2\n";
+        let text =
+            "#peb-trace v1\n# a comment\n\nspace\t1000\t10\t1440\nu\t0\t5\t6\t0.5\t-0.5\t2\n";
         let ds = from_str(text).expect("parse");
         assert_eq!(ds.users.len(), 1);
         assert_eq!(ds.users[0].pos, Point::new(5.0, 6.0));

@@ -57,7 +57,16 @@ pub fn decompose(x0: u32, x1: u32, y0: u32, y1: u32, grid_bits: u32) -> Vec<ZRan
 /// Visit the quad block whose lower-left corner is `(bx, by)` and whose side
 /// is `2^level` cells.
 #[allow(clippy::too_many_arguments)]
-fn recurse(bx: u32, by: u32, level: u32, x0: u32, x1: u32, y0: u32, y1: u32, out: &mut Vec<ZRange>) {
+fn recurse(
+    bx: u32,
+    by: u32,
+    level: u32,
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+    out: &mut Vec<ZRange>,
+) {
     let side = 1u32 << level;
     let (bx1, by1) = (bx + side - 1, by + side - 1);
 
@@ -170,7 +179,11 @@ mod tests {
             &[(0, 0, 0, 0), (1, 6, 2, 5), (0, 7, 3, 3), (2, 3, 2, 3), (1, 2, 5, 7), (0, 3, 0, 1)]
         {
             let rs = decompose(x0, x1, y0, y1, 3);
-            assert_eq!(cells_of_ranges(&rs), cells_of_rect(x0, x1, y0, y1), "rect {x0}..{x1} x {y0}..{y1}");
+            assert_eq!(
+                cells_of_ranges(&rs),
+                cells_of_rect(x0, x1, y0, y1),
+                "rect {x0}..{x1} x {y0}..{y1}"
+            );
             // Maximality: no two output ranges touch or overlap.
             for w in rs.windows(2) {
                 assert!(w[0].hi + 1 < w[1].lo, "ranges not maximal: {rs:?}");

@@ -33,12 +33,7 @@ fn measure(n: usize, theta: f64) -> (CostInputs, f64) {
     for (_, viewer, p) in ds.store.iter() {
         store2.add(viewer, p.clone());
     }
-    let ctx = Arc::new(PrivacyContext::build(
-        store2,
-        ds.space,
-        n,
-        SvAssignmentParams::default(),
-    ));
+    let ctx = Arc::new(PrivacyContext::build(store2, ds.space, n, SvAssignmentParams::default()));
     let mut tree = PebTree::new(
         Arc::new(BufferPool::new(50)),
         ds.space,

@@ -82,6 +82,10 @@ fn main() {
     let cfg = PolicyGenConfig::default();
     println!(
         "defaults: Np = {}, θ = {}, group size = {}, region sides {:?}, interval {:?} min",
-        cfg.policies_per_user, cfg.grouping_factor, cfg.group_size, cfg.region_side, cfg.interval_len
+        cfg.policies_per_user,
+        cfg.grouping_factor,
+        cfg.group_size,
+        cfg.region_side,
+        cfg.interval_len
     );
 }

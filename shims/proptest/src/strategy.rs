@@ -1,0 +1,230 @@
+//! Value-generation strategies: ranges, tuples, `any::<T>()`, `Just`, and
+//! `prop_map` composition.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values (no shrinking in this shim).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// References to strategies are strategies (lets helpers hand out `&S`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---- Range strategies -----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (self.start as i128 + (wide % span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as i128 + (wide % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// u128 spans do not fit the i128 arithmetic above; handle separately.
+impl Strategy for core::ops::Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = self.end - self.start;
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start + wide % span
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        if lo == 0 && hi == u128::MAX {
+            return ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        }
+        let span = hi - lo + 1;
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + wide % span
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $ty) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + (rng.unit_f64() as $ty) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- Tuple strategies -----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident.$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+// ---- any::<T>() -----------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($S:ident),+) => {
+        impl<$($S: Arbitrary),+> Arbitrary for ($($S,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($S::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A);
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+/// Full-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimal `rand` 0.8 shim (see shims/README.md).
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64: deterministic per
+//! seed, excellent statistical quality, but a different stream than
+//! upstream's ChaCha12-based `StdRng` — callers in this workspace only
+//! assert structural properties of the samples, never exact values.
+
+/// Low-level uniform bit source. Blanket-implemented for `&mut R` so
+/// generic `&mut impl Rng` call chains pass references through naturally.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A uniform f64 in `[0, 1)` with 53 random mantissa bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The user-facing sampling trait (subset of rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types `gen()` can produce (rand's `Standard` distribution, flattened).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+/// Ranges that `gen_range` accepts (rand 0.8's `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (unit_f64(rng) as $ty) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                lo + (unit_f64(rng) as $ty) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Seedable construction (subset of rand's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ (Blackman & Vigna), seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers (subset of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        /// Fisher–Yates.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.5..=2.5f64);
+            assert!((0.5..=2.5).contains(&f));
+            let n: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "p=0.3 gave {hits}/100000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never is identity");
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut rng = rngs::StdRng::seed_from_u64(5);
+        let v = [7, 8, 9];
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,12 +1,13 @@
 //! Umbrella crate for the PEB-tree reproduction: re-exports the public API of
 //! every workspace crate so examples and integration tests have one import
 //! root.
+pub use peb_btree as btree;
+pub use peb_bx as bx;
 pub use peb_common as common;
 pub use peb_costmodel as costmodel;
+pub use peb_index as index;
 pub use peb_policy as policy;
 pub use peb_storage as storage;
 pub use peb_workload as workload;
 pub use peb_zorder as zorder;
-pub use peb_btree as btree;
-pub use peb_bx as bx;
 pub use pebtree;

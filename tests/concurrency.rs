@@ -59,8 +59,7 @@ fn parallel_queries_match_oracle() {
                 for (i, q) in queries.iter().enumerate().skip(t * 16).take(32) {
                     let got: Vec<UserId> =
                         tree.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
-                    let want =
-                        oracle_prq(&users, &tree.context().store, q.issuer, &q.window, q.tq);
+                    let want = oracle_prq(&users, &tree.context().store, q.issuer, &q.window, q.tq);
                     assert_eq!(got, want, "thread {t} query {i}");
                 }
                 for q in knn_queries.iter().skip(t * 8).take(16) {

@@ -167,9 +167,7 @@ fn issuer_without_policies_costs_nothing_on_peb() {
     let rig = rig(3_000, 10, 0.7, Distribution::Uniform, 106);
     // User ids are 0..n; policies target existing users, so invent an
     // issuer by using one with no granters if present, else skip.
-    let issuer = (0..3_000u64)
-        .map(UserId)
-        .find(|u| rig.ctx.friends.friends(*u).is_empty());
+    let issuer = (0..3_000u64).map(UserId).find(|u| rig.ctx.friends.friends(*u).is_empty());
     let Some(issuer) = issuer else {
         return; // dense policy graph: nothing to assert
     };
