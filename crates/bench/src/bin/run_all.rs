@@ -2,12 +2,16 @@
 //!
 //! Flags:
 //! * `--baseline-only` — skip the figures; measure the fixed perf baseline
-//!   and write it to `BENCH_seed.json` (what CI runs). The baseline is
-//!   *only* written under this flag so casual figure runs never clobber
-//!   the committed trajectory file.
-//! * `PEB_BASELINE_OUT` — override the baseline output path.
+//!   and write it to `BENCH_seed.json` (what CI runs), plus the
+//!   update-throughput trajectory entry to `BENCH_updates.json`.
+//!   `BENCH_seed.json` keeps the seed configuration and is never edited —
+//!   new measurement shapes get new files, so the trajectory extends
+//!   instead of rewriting history. Neither file is written by casual
+//!   figure runs.
+//! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` — override the output paths.
 use peb_bench::experiments;
 use peb_bench::report;
+use peb_bench::updates;
 
 fn main() {
     if std::env::args().any(|a| a == "--baseline-only") {
@@ -17,6 +21,13 @@ fn main() {
         std::fs::write(&out_path, baseline.to_json())
             .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
         eprintln!("baseline written to {out_path}");
+
+        let upd_path =
+            std::env::var("PEB_UPDATES_OUT").unwrap_or_else(|_| "BENCH_updates.json".to_string());
+        let upd = updates::measure_updates();
+        std::fs::write(&upd_path, upd.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {upd_path}: {e}"));
+        eprintln!("update-throughput trajectory written to {upd_path}");
         return;
     }
 
@@ -52,4 +63,10 @@ fn main() {
     println!();
     report::header("Fig 19", "cost function estimate vs actual PEB-tree PRQ I/O");
     report::cost_table(&experiments::fig19_cost_model());
+    println!();
+    report::header(
+        "Updates",
+        "update throughput: sequential vs batched (sharded) vs unsharded single-tree",
+    );
+    updates::print_table(&updates::measure_updates());
 }

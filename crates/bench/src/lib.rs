@@ -14,5 +14,6 @@ pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod updates;
 
 pub use harness::{Measured, RunConfig};

@@ -19,9 +19,11 @@
 //! Embedding the uid makes keys unique, so the underlying B+-tree never
 //! sees duplicates and updates are exact delete+insert pairs.
 //!
-//! All of the engine-independent machinery (updates, bulk load, partition
-//! expiry, I/O accounting) lives in [`peb_index::MovingIndex`]; this crate
-//! contributes the Bx key layout and the privacy-unaware query algorithms.
+//! All of the engine-independent machinery (updates — single-object and
+//! batched, bulk load, partition expiry, I/O accounting) lives in
+//! [`peb_index::ShardedMovingIndex`], which keeps one B+-tree per rotating
+//! time partition behind its own lock; this crate contributes the Bx key
+//! layout and the privacy-unaware query algorithms.
 
 pub mod keys;
 pub mod tree;

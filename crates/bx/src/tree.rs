@@ -1,20 +1,21 @@
-//! The Bx-tree proper: a [`MovingIndex`] with the Bx key layout, plus the
-//! privacy-unaware range and kNN query algorithms.
+//! The Bx-tree proper: a [`ShardedMovingIndex`] with the Bx key layout,
+//! plus the privacy-unaware range and kNN query algorithms.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use peb_common::{MovingPoint, Point, Rect, SpaceConfig, Timestamp, UserId};
-use peb_index::{IndexStats, MovingIndex, TimePartitioning};
+use peb_index::{IndexStats, ShardedMovingIndex, TimePartitioning};
 use peb_storage::BufferPool;
 use peb_zorder::{decompose, IntervalSet};
 
 use crate::keys::BxKeyLayout;
 
 /// A B+-tree based moving-object index: the update/storage machinery is
-/// the shared [`MovingIndex`]; this type adds the Bx query algorithms.
+/// the shared [`ShardedMovingIndex`] (one tree per rotating time
+/// partition); this type adds the Bx query algorithms.
 pub struct BxTree {
-    idx: MovingIndex<BxKeyLayout>,
+    idx: ShardedMovingIndex<BxKeyLayout>,
 }
 
 impl BxTree {
@@ -25,12 +26,12 @@ impl BxTree {
         max_speed: f64,
     ) -> Self {
         let layout = BxKeyLayout::new(space.grid_bits);
-        BxTree { idx: MovingIndex::new(pool, layout, space, part, max_speed) }
+        BxTree { idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed) }
     }
 
     /// Bulk-load an initial user population (each user must appear once).
-    /// Equivalent to upserting every user, but builds the B+-tree bottom-up
-    /// at the given fill factor.
+    /// Equivalent to upserting every user, but builds each partition's
+    /// B+-tree bottom-up at the given fill factor.
     pub fn bulk_load(
         pool: Arc<BufferPool>,
         space: SpaceConfig,
@@ -40,11 +41,13 @@ impl BxTree {
         fill: f64,
     ) -> Self {
         let layout = BxKeyLayout::new(space.grid_bits);
-        BxTree { idx: MovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill) }
+        BxTree {
+            idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
+        }
     }
 
     /// The shared moving-object index core.
-    pub fn index(&self) -> &MovingIndex<BxKeyLayout> {
+    pub fn index(&self) -> &ShardedMovingIndex<BxKeyLayout> {
         &self.idx
     }
 
@@ -93,6 +96,16 @@ impl BxTree {
         self.idx.upsert(m);
     }
 
+    /// Apply a batch of updates: grouped by target partition, each group
+    /// merged into its partition's leaves as one sorted run. Takes `&self`
+    /// — batches bound for different partitions may be applied from
+    /// different threads concurrently (see
+    /// [`ShardedMovingIndex::upsert_batch`]). Returns the number of
+    /// distinct objects applied.
+    pub fn upsert_batch(&self, updates: &[MovingPoint]) -> usize {
+        self.idx.upsert_batch(updates)
+    }
+
     /// Remove an object entirely.
     pub fn remove(&mut self, uid: UserId) -> bool {
         self.idx.remove(uid)
@@ -114,7 +127,8 @@ impl BxTree {
     }
 
     /// Garbage-collect expired partitions; see
-    /// [`MovingIndex::expire_stale`].
+    /// [`ShardedMovingIndex::expire_stale`]. Each stale partition's whole
+    /// shard tree is dropped in O(1).
     pub fn expire_stale(&mut self, now: Timestamp) -> usize {
         self.idx.expire_stale(now)
     }

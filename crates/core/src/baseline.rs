@@ -33,6 +33,11 @@ impl SpatialBaseline {
         self.bx.upsert(m);
     }
 
+    /// Batched update path (see [`BxTree::upsert_batch`]).
+    pub fn upsert_batch(&self, updates: &[MovingPoint]) -> usize {
+        self.bx.upsert_batch(updates)
+    }
+
     pub fn remove(&mut self, uid: UserId) -> bool {
         self.bx.remove(uid)
     }

@@ -7,15 +7,16 @@
 //! the update performance that motivated building on the B+-tree.
 //!
 //! All engine-independent machinery is the shared
-//! [`peb_index::MovingIndex`]; this module contributes the PEB key layout
-//! (which folds the privacy-policy sequence value into every key) and the
-//! handle the privacy-aware query algorithms ([`crate::prq`],
+//! [`peb_index::ShardedMovingIndex`] (one B+-tree per rotating time
+//! partition, each behind its own lock); this module contributes the PEB
+//! key layout (which folds the privacy-policy sequence value into every
+//! key) and the handle the privacy-aware query algorithms ([`crate::prq`],
 //! [`crate::pknn`], [`crate::circle`]) hang off.
 
 use std::sync::Arc;
 
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
-use peb_index::{IndexStats, KeyLayout, MovingIndex, ObjectRecord, TimePartitioning};
+use peb_index::{IndexStats, KeyLayout, ObjectRecord, ShardedMovingIndex, TimePartitioning};
 use peb_storage::BufferPool;
 
 use crate::context::PrivacyContext;
@@ -23,8 +24,8 @@ use crate::keys::{PebKeyLayout, SV_BITS};
 
 /// The PEB key layout *bound to a privacy context*: key composition needs
 /// the owner's sequence value, which [`PrivacyContext`] maps from the uid.
-/// This is the [`KeyLayout`] the shared [`MovingIndex`] machinery calls
-/// into; the pure bit packing lives in [`PebKeyLayout`].
+/// This is the [`KeyLayout`] the shared [`ShardedMovingIndex`] machinery
+/// calls into; the pure bit packing lives in [`PebKeyLayout`].
 pub struct PebIndexLayout {
     pub keys: PebKeyLayout,
     pub ctx: Arc<PrivacyContext>,
@@ -48,7 +49,7 @@ impl KeyLayout for PebIndexLayout {
 
 /// The Policy-Embedded Bx-tree.
 pub struct PebTree {
-    idx: MovingIndex<PebIndexLayout>,
+    idx: ShardedMovingIndex<PebIndexLayout>,
 }
 
 impl PebTree {
@@ -60,12 +61,12 @@ impl PebTree {
         ctx: Arc<PrivacyContext>,
     ) -> Self {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
-        PebTree { idx: MovingIndex::new(pool, layout, space, part, max_speed) }
+        PebTree { idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed) }
     }
 
     /// Bulk-load an initial user population (each user must appear once).
-    /// Builds the B+-tree bottom-up at the given fill factor; equivalent to
-    /// upserting every user one by one.
+    /// Builds each partition's B+-tree bottom-up at the given fill factor;
+    /// equivalent to upserting every user one by one.
     pub fn bulk_load(
         pool: Arc<BufferPool>,
         space: SpaceConfig,
@@ -76,11 +77,13 @@ impl PebTree {
         fill: f64,
     ) -> Self {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
-        PebTree { idx: MovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill) }
+        PebTree {
+            idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
+        }
     }
 
     /// The shared moving-object index core.
-    pub fn index(&self) -> &MovingIndex<PebIndexLayout> {
+    pub fn index(&self) -> &ShardedMovingIndex<PebIndexLayout> {
         &self.idx
     }
 
@@ -148,6 +151,16 @@ impl PebTree {
         self.idx.upsert(m);
     }
 
+    /// Apply a batch of updates: grouped by target partition, each group
+    /// merged into its partition's leaves as one sorted run. Takes `&self`
+    /// — batches bound for different partitions may be applied from
+    /// different threads concurrently (see
+    /// [`ShardedMovingIndex::upsert_batch`]). Returns the number of
+    /// distinct objects applied.
+    pub fn upsert_batch(&self, updates: &[MovingPoint]) -> usize {
+        self.idx.upsert_batch(updates)
+    }
+
     /// Remove an object entirely.
     pub fn remove(&mut self, uid: UserId) -> bool {
         self.idx.remove(uid)
@@ -169,8 +182,9 @@ impl PebTree {
     }
 
     /// Garbage-collect expired partitions (see
-    /// [`peb_index::MovingIndex::expire_stale`]): removes entries whose
-    /// partition label has passed and returns the number of dropped objects.
+    /// [`peb_index::ShardedMovingIndex::expire_stale`]): drops each stale
+    /// partition's whole shard tree in O(1) and returns the number of
+    /// dropped objects.
     pub fn expire_stale(&mut self, now: Timestamp) -> usize {
         self.idx.expire_stale(now)
     }

@@ -1,4 +1,10 @@
-//! [`MovingIndex`]: the moving-object index shell shared by both engines.
+//! [`MovingIndex`]: the exclusive-access, single-tree moving-object index
+//! core.
+//!
+//! All partitions live in one B+-tree and every update takes `&mut self`.
+//! The engines run on the lock-per-partition [`crate::ShardedMovingIndex`]
+//! instead; this core remains the simpler embedding and the unsharded
+//! comparison point for the update-throughput benchmarks.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,6 +39,7 @@ pub struct MovingIndex<L: KeyLayout> {
 }
 
 impl<L: KeyLayout> MovingIndex<L> {
+    /// An empty index whose single B+-tree performs I/O through `pool`.
     pub fn new(
         pool: Arc<BufferPool>,
         layout: L,
@@ -77,34 +84,43 @@ impl<L: KeyLayout> MovingIndex<L> {
         shell
     }
 
+    /// The space configuration keys are quantized against.
     pub fn space(&self) -> &SpaceConfig {
         &self.space
     }
 
+    /// The rotating time-partitioning parameters.
     pub fn partitioning(&self) -> &TimePartitioning {
         &self.part
     }
 
+    /// The declared maximum object speed (drives query enlargement).
     pub fn max_speed(&self) -> f64 {
         self.max_speed
     }
 
+    /// The key layout (the engine seam).
     pub fn layout(&self) -> &L {
         &self.layout
     }
 
+    /// Mutable access to the layout (e.g. to swap the PEB privacy
+    /// context).
     pub fn layout_mut(&mut self) -> &mut L {
         &mut self.layout
     }
 
+    /// Objects currently indexed.
     pub fn len(&self) -> usize {
         self.btree.len()
     }
 
+    /// Whether no object is indexed.
     pub fn is_empty(&self) -> bool {
         self.btree.is_empty()
     }
 
+    /// The buffer pool the index performs I/O through.
     pub fn pool(&self) -> &Arc<BufferPool> {
         self.btree.pool()
     }

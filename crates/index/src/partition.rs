@@ -14,7 +14,10 @@ use peb_common::Timestamp;
 /// (adopted by the PEB paper, Sec 7.1) is `n = 2`.
 #[derive(Debug, Clone, Copy)]
 pub struct TimePartitioning {
+    /// Maximum update interval `∆tmu`: every object must report at least
+    /// this often, which is what lets whole partitions expire at once.
     pub delta_tmu: f64,
+    /// Number of phases `∆tmu` is split into (`n = 2` in the papers).
     pub n: u32,
 }
 
@@ -25,8 +28,12 @@ impl Default for TimePartitioning {
 }
 
 impl TimePartitioning {
+    /// Partitioning with maximum update interval `delta_tmu` split into
+    /// `n >= 1` phases.
     pub fn new(delta_tmu: f64, n: u32) -> Self {
-        assert!(delta_tmu > 0.0 && n >= 1);
+        // Partition ids are u8 everywhere (key layouts pack TID into 8
+        // bits), so at most 256 partitions (`n + 1`) can exist.
+        assert!(delta_tmu > 0.0 && (1..=255).contains(&n));
         TimePartitioning { delta_tmu, n }
     }
 
@@ -57,6 +64,12 @@ impl TimePartitioning {
     /// Convenience: partition for an update at `tu`.
     pub fn partition_of_update(&self, tu: Timestamp) -> u8 {
         self.partition_of_label(self.label_timestamp(tu))
+    }
+
+    /// Every partition id, ascending (`0..n+1`). The sharded index keeps
+    /// one shard per id.
+    pub fn partition_ids(&self) -> impl Iterator<Item = u8> {
+        0..self.num_partitions() as u8
     }
 }
 

@@ -11,15 +11,22 @@ use peb_common::{MovingPoint, Point, UserId, Vec2};
 /// On-disk moving-object record (28 bytes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectRecord {
+    /// Dense user id (doubles as the paper's policy pointer `Pntp`).
     pub uid: u64,
+    /// Reference position at `t_update`, x coordinate.
     pub x: f32,
+    /// Reference position at `t_update`, y coordinate.
     pub y: f32,
+    /// Velocity, x component.
     pub vx: f32,
+    /// Velocity, y component.
     pub vy: f32,
+    /// Timestamp of the update that produced this record.
     pub t_update: f32,
 }
 
 impl ObjectRecord {
+    /// Narrow a live [`MovingPoint`] to the on-disk f32 record.
     pub fn from_moving_point(m: &MovingPoint) -> Self {
         ObjectRecord {
             uid: m.uid.0,
@@ -31,6 +38,7 @@ impl ObjectRecord {
         }
     }
 
+    /// Widen back to the in-memory [`MovingPoint`] form.
     pub fn to_moving_point(&self) -> MovingPoint {
         MovingPoint::new(
             UserId(self.uid),

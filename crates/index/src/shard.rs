@@ -1,0 +1,817 @@
+//! [`ShardedMovingIndex`]: the moving-object index core, sharded by time
+//! partition for parallel batched updates.
+//!
+//! The Bx/PEB design already implies the sharding: the paper's rotating
+//! time partitions (Fig 1) are disjoint key ranges that never exchange
+//! entries except through an update's delete+insert pair. This type makes
+//! the implication structural — **each live partition owns its own
+//! B+-tree behind its own lock**, with the `current_key` map split into
+//! per-shard maps — so that:
+//!
+//! * upserts targeting *different* partitions proceed in parallel instead
+//!   of serializing on one `&mut` over the whole index;
+//! * a batch of updates is applied per partition as one sorted merge into
+//!   the leaves ([`ShardedMovingIndex::upsert_batch`], built on
+//!   [`peb_btree::BTree::merge_sorted`]);
+//! * partition expiry drops a whole shard tree in O(1) instead of deleting
+//!   entries one key at a time.
+//!
+//! Every shard shares one [`BufferPool`], so the paper's I/O accounting
+//! keeps flowing through a single set of counters:
+//! [`ShardedMovingIndex::io_stats`] is still "the pool's numbers",
+//! aggregated across shards by construction.
+//!
+//! # Concurrency contract
+//!
+//! All update methods take `&self` (interior mutability through the
+//! per-shard locks). Concurrent calls are safe for **disjoint objects**;
+//! two threads upserting the *same* `uid` concurrently race shard-locally
+//! (last writer wins per shard, and a cross-partition migration may
+//! transiently duplicate the object). Partition the update stream by uid —
+//! as [`ShardedMovingIndex::upsert_batch`] does internally — to get
+//! deterministic results. Aggregating reads (`len`, `stats`,
+//! `live_partitions`) and multi-shard scans
+//! ([`ShardedMovingIndex::scan_keys`]) lock shards one at a time and are
+//! therefore not atomic
+//! snapshots: concurrently with an update that migrates an object across
+//! partitions, a scan may observe the object twice (old and new entry) or
+//! not at all — read-committed isolation, not snapshot isolation. Once
+//! updates quiesce, scans are exact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use peb_btree::{BTree, TreeStats};
+use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
+use peb_storage::{BufferPool, IoStats};
+use peb_zorder::encode;
+
+use crate::layout::KeyLayout;
+use crate::moving::IndexStats;
+use crate::partition::TimePartitioning;
+use crate::record::ObjectRecord;
+
+/// One time partition's slice of the index: its own B+-tree, the current
+/// keys of the objects living in it, and the label timestamp of the data
+/// it stores (`None` while the partition is empty/expired).
+struct Shard {
+    btree: BTree<ObjectRecord>,
+    current_key: HashMap<UserId, u128>,
+    label: Option<Timestamp>,
+}
+
+impl Shard {
+    fn new(pool: &Arc<BufferPool>) -> Self {
+        Shard { btree: BTree::new(Arc::clone(pool)), current_key: HashMap::new(), label: None }
+    }
+}
+
+/// A moving-object index sharded by rotating time partition (see the
+/// module docs). Drop-in core for the Bx-tree and the PEB-tree: identical
+/// key placement and query surface as [`crate::MovingIndex`], plus
+/// lock-per-partition updates and the batched update path.
+pub struct ShardedMovingIndex<L: KeyLayout> {
+    /// One shard per partition id, indexed by `tid`.
+    shards: Vec<RwLock<Shard>>,
+    layout: L,
+    space: SpaceConfig,
+    part: TimePartitioning,
+    max_speed: f64,
+    pool: Arc<BufferPool>,
+}
+
+impl<L: KeyLayout> ShardedMovingIndex<L> {
+    /// An empty index with one shard per rotating partition, all sharing
+    /// `pool` for I/O accounting.
+    pub fn new(
+        pool: Arc<BufferPool>,
+        layout: L,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+    ) -> Self {
+        assert!(max_speed > 0.0);
+        let shards = part.partition_ids().map(|_| RwLock::new(Shard::new(&pool))).collect();
+        ShardedMovingIndex { shards, layout, space, part, max_speed, pool }
+    }
+
+    /// Bulk-load an initial population (each user must appear once): users
+    /// are grouped by target partition and each shard tree is built
+    /// bottom-up at the given fill factor.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        layout: L,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+        users: &[MovingPoint],
+        fill: f64,
+    ) -> Self {
+        let shell = ShardedMovingIndex::new(pool, layout, space, part, max_speed);
+        let mut groups: Vec<Vec<(u128, ObjectRecord, UserId)>> =
+            (0..shell.shards.len()).map(|_| Vec::new()).collect();
+        let mut labels: Vec<Option<Timestamp>> = vec![None; shell.shards.len()];
+        for m in users {
+            let (key, tid, t_lab) = shell.placement(m);
+            groups[tid as usize].push((key, ObjectRecord::from_moving_point(m), m.uid));
+            let lab = &mut labels[tid as usize];
+            *lab = Some(lab.map_or(t_lab, |l: f64| l.max(t_lab)));
+        }
+        for (tid, mut group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            group.sort_unstable_by_key(|(k, _, _)| *k);
+            let mut s = shell.shards[tid].write();
+            s.current_key = group.iter().map(|(k, _, uid)| (*uid, *k)).collect();
+            s.label = labels[tid];
+            s.btree = BTree::bulk_load(
+                Arc::clone(&shell.pool),
+                group.into_iter().map(|(k, rec, _)| (k, rec)),
+                fill,
+            );
+        }
+        shell
+    }
+
+    /// The space configuration keys are quantized against.
+    pub fn space(&self) -> &SpaceConfig {
+        &self.space
+    }
+
+    /// The rotating time-partitioning parameters.
+    pub fn partitioning(&self) -> &TimePartitioning {
+        &self.part
+    }
+
+    /// The declared maximum object speed (drives query enlargement).
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+
+    /// The key layout (the engine seam, shared by every shard).
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    /// Mutable access to the layout (e.g. to swap the PEB privacy
+    /// context); requires exclusive access to the whole index.
+    pub fn layout_mut(&mut self) -> &mut L {
+        &mut self.layout
+    }
+
+    /// Number of shards (= `n + 1` rotating partitions).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Objects currently indexed, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().btree.len()).sum()
+    }
+
+    /// Whether no object is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().btree.is_empty())
+    }
+
+    /// The buffer pool all shards perform I/O through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Physical/logical I/O counters — the paper's Sec 7.1 metric. All
+    /// shards share one pool, so this aggregates across shards for free.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Leaf pages across all shard trees, `Nl` in the paper's cost model.
+    pub fn leaf_page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().btree.leaf_page_count()).sum()
+    }
+
+    /// Total live pages across all shard trees.
+    pub fn page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().btree.page_count()).sum()
+    }
+
+    /// The key an object updated at `m.t_update` is indexed under (same
+    /// derivation as the unsharded core: position forwarded to the label
+    /// timestamp, grid-quantized, Z-encoded, packed by the layout).
+    pub fn key_for(&self, m: &MovingPoint) -> u128 {
+        self.placement(m).0
+    }
+
+    /// `(key, tid, t_lab)` for one object — the single derivation every
+    /// update path shares.
+    fn placement(&self, m: &MovingPoint) -> (u128, u8, Timestamp) {
+        let t_lab = self.part.label_timestamp(m.t_update);
+        let tid = self.part.partition_of_label(t_lab);
+        let pos_at_label = m.position_at(t_lab);
+        let (gx, gy) = self.space.to_grid(&pos_at_label);
+        let zv = self.layout.mask_zv(encode(gx, gy));
+        (self.layout.key(tid, zv, m.uid.0), tid, t_lab)
+    }
+
+    /// Insert or update one object: the old entry (in whichever shard
+    /// holds it) is deleted exactly, then the new entry is inserted into
+    /// the target shard. Locks are taken one shard at a time, so
+    /// concurrent upserts to different partitions only contend on the
+    /// shards they actually touch; an update that stays within its
+    /// partition (the common case — repeated reports in one phase) locks
+    /// only that one shard.
+    pub fn upsert(&self, m: MovingPoint) {
+        debug_assert!(
+            m.speed() <= self.max_speed + 1e-9,
+            "object {} exceeds the declared max speed",
+            m.uid
+        );
+        let (key, tid, t_lab) = self.placement(&m);
+        // Fast path: the object already lives in the target shard — a uid
+        // is in at most one shard, so no other shard needs to be touched.
+        {
+            let mut s = self.shards[tid as usize].write();
+            if let Some(old) = s.current_key.remove(&m.uid) {
+                s.btree.delete(old);
+                s.btree.insert(key, ObjectRecord::from_moving_point(&m));
+                s.current_key.insert(m.uid, key);
+                s.label = Some(t_lab);
+                return;
+            }
+        }
+        // Slow path (migration or first sighting): evict the old entry
+        // from any *other* shard, then insert into the target.
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == tid as usize {
+                continue;
+            }
+            if shard.read().current_key.contains_key(&m.uid) {
+                let mut s = shard.write();
+                if let Some(old) = s.current_key.remove(&m.uid) {
+                    s.btree.delete(old);
+                }
+            }
+        }
+        let mut s = self.shards[tid as usize].write();
+        if let Some(old) = s.current_key.remove(&m.uid) {
+            // A concurrent same-uid upsert slipped in between the two
+            // lock acquisitions; replace its entry exactly.
+            s.btree.delete(old);
+        }
+        s.btree.insert(key, ObjectRecord::from_moving_point(&m));
+        s.current_key.insert(m.uid, key);
+        s.label = Some(t_lab);
+    }
+
+    /// Apply a batch of updates: group by target partition, delete stale
+    /// entries shard by shard, then merge each partition's new entries
+    /// into its tree as one sorted run
+    /// ([`peb_btree::BTree::merge_sorted`]). When the same uid appears
+    /// more than once in `updates`, the last occurrence wins. Returns the
+    /// number of distinct objects applied.
+    ///
+    /// Batches bound for different partitions can be applied from
+    /// different threads concurrently — this is the parallel update path
+    /// the sharding exists for.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use peb_common::{MovingPoint, Point, SpaceConfig, UserId, Vec2};
+    /// use peb_index::{KeyLayout, ShardedMovingIndex, TimePartitioning};
+    /// use peb_storage::BufferPool;
+    ///
+    /// /// `[TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂` with a 20-bit Z-value, 32-bit uid.
+    /// struct DemoLayout;
+    /// impl KeyLayout for DemoLayout {
+    ///     fn zv_bits(&self) -> u32 {
+    ///         20
+    ///     }
+    ///     fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+    ///         ((tid as u128) << 52) | ((zv as u128) << 32) | uid as u128
+    ///     }
+    ///     fn partition_range(&self, tid: u8) -> (u128, u128) {
+    ///         (self.key(tid, 0, 0), self.key(tid, (1 << 20) - 1, u64::from(u32::MAX)))
+    ///     }
+    /// }
+    ///
+    /// let idx = ShardedMovingIndex::new(
+    ///     Arc::new(BufferPool::new(64)),
+    ///     DemoLayout,
+    ///     SpaceConfig::new(1000.0, 10, 1440.0),
+    ///     TimePartitioning::new(120.0, 2),
+    ///     3.0,
+    /// );
+    /// let updates: Vec<MovingPoint> = (0..100)
+    ///     .map(|i| MovingPoint::new(UserId(i), Point::new(i as f64 * 9.0, 500.0), Vec2::ZERO, 10.0))
+    ///     .collect();
+    /// assert_eq!(idx.upsert_batch(&updates), 100);
+    /// assert_eq!(idx.len(), 100);
+    /// assert_eq!(idx.get(UserId(42)).unwrap().pos, Point::new(378.0, 500.0));
+    /// ```
+    pub fn upsert_batch(&self, updates: &[MovingPoint]) -> usize {
+        // Last write per uid wins, as if the batch were applied in order.
+        let mut latest: HashMap<UserId, MovingPoint> = HashMap::with_capacity(updates.len());
+        for m in updates {
+            debug_assert!(
+                m.speed() <= self.max_speed + 1e-9,
+                "object {} exceeds the declared max speed",
+                m.uid
+            );
+            latest.insert(m.uid, *m);
+        }
+
+        // Placement for every survivor, grouped by target shard.
+        let mut targets: HashMap<UserId, (u8, u128)> = HashMap::with_capacity(latest.len());
+        let mut groups: Vec<Vec<(u128, ObjectRecord, UserId)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut labels: Vec<Option<Timestamp>> = vec![None; self.shards.len()];
+        for m in latest.values() {
+            let (key, tid, t_lab) = self.placement(m);
+            targets.insert(m.uid, (tid, key));
+            groups[tid as usize].push((key, ObjectRecord::from_moving_point(m), m.uid));
+            let lab = &mut labels[tid as usize];
+            *lab = Some(lab.map_or(t_lab, |l: f64| l.max(t_lab)));
+        }
+
+        // Phase 1 — evict stale entries, one shard lock at a time. An
+        // entry survives in place only if it is already under its new key
+        // in its new shard (then the merge just replaces the value).
+        for (tid, shard) in self.shards.iter().enumerate() {
+            let present: Vec<UserId> = {
+                let s = shard.read();
+                if s.current_key.is_empty() {
+                    continue;
+                }
+                targets
+                    .iter()
+                    .filter(|(uid, &(ttid, tkey))| {
+                        s.current_key
+                            .get(uid)
+                            .is_some_and(|&old| ttid as usize != tid || tkey != old)
+                    })
+                    .map(|(uid, _)| *uid)
+                    .collect()
+            };
+            if present.is_empty() {
+                continue;
+            }
+            let mut s = shard.write();
+            for uid in present {
+                // Re-check under the write lock (another batch may have
+                // moved the object in between).
+                if let Some(&old) = s.current_key.get(&uid) {
+                    let (ttid, tkey) = targets[&uid];
+                    if ttid as usize != tid || tkey != old {
+                        s.current_key.remove(&uid);
+                        s.btree.delete(old);
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — merge each partition's run into its shard tree.
+        for (tid, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut entries: Vec<(u128, ObjectRecord)> = Vec::with_capacity(group.len());
+            let mut keys: Vec<(UserId, u128)> = Vec::with_capacity(group.len());
+            let mut sorted = group;
+            sorted.sort_unstable_by_key(|(k, _, _)| *k);
+            for (k, rec, uid) in sorted {
+                entries.push((k, rec));
+                keys.push((uid, k));
+            }
+            let mut s = self.shards[tid].write();
+            s.btree.merge_sorted(entries);
+            for (uid, k) in keys {
+                s.current_key.insert(uid, k);
+            }
+            if let Some(lab) = labels[tid] {
+                s.label = Some(lab);
+            }
+        }
+        targets.len()
+    }
+
+    /// Remove an object entirely. Returns whether it was present.
+    pub fn remove(&self, uid: UserId) -> bool {
+        for shard in &self.shards {
+            if shard.read().current_key.contains_key(&uid) {
+                let mut s = shard.write();
+                if let Some(old) = s.current_key.remove(&uid) {
+                    return s.btree.delete(old).is_some();
+                }
+            }
+        }
+        false
+    }
+
+    /// Fetch an object's current record by id (point lookup through disk).
+    pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
+        for shard in &self.shards {
+            let s = shard.read();
+            if let Some(&key) = s.current_key.get(&uid) {
+                return s.btree.get(key).map(|r| r.to_moving_point());
+            }
+        }
+        None
+    }
+
+    /// The current index key of a live object, if any.
+    pub fn current_key_of(&self, uid: UserId) -> Option<u128> {
+        self.shards.iter().find_map(|shard| shard.read().current_key.get(&uid).copied())
+    }
+
+    /// The live `(tid, label timestamp)` pairs, sorted by tid.
+    pub fn live_partitions(&self) -> Vec<(u8, Timestamp)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, shard)| shard.read().label.map(|l| (tid as u8, l)))
+            .collect()
+    }
+
+    /// Bx query-window enlargement for one partition (Fig 2 of the paper);
+    /// identical to the unsharded core's.
+    pub fn enlarge(&self, r: &Rect, t_lab: Timestamp, tq: Timestamp) -> Rect {
+        let d = self.max_speed * (t_lab - tq).abs();
+        Rect::new(r.xl - d, r.xu + d, r.yl - d, r.yu + d)
+    }
+
+    /// Scan the stored records with keys in `[lo, hi]`, in key order,
+    /// stopping early if `visit` returns `false`; returns `false` if the
+    /// scan was stopped. The range is routed to the shards whose partition
+    /// ranges it intersects, visited in ascending key order (partition
+    /// ranges are disjoint, so this preserves the global order).
+    ///
+    /// The visiting closure runs under the shard's read lock: it must not
+    /// call update methods on this index, but concurrent scans are free.
+    pub fn scan_keys(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> bool {
+        if lo > hi {
+            return true;
+        }
+        let mut spans: Vec<(u128, u128, usize)> = (0..self.shards.len())
+            .filter_map(|tid| {
+                let (plo, phi) = self.layout.partition_range(tid as u8);
+                (phi >= lo && plo <= hi).then_some((plo.max(lo), phi.min(hi), tid))
+            })
+            .collect();
+        spans.sort_unstable_by_key(|span| span.0);
+        for (l, h, tid) in spans {
+            let s = self.shards[tid].read();
+            if !s.btree.range_scan(l, h, &mut visit) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Garbage-collect expired partitions: a shard whose label timestamp
+    /// has passed (`label < now`) holds only objects that broke the "update
+    /// at least once per `∆tmu`" contract, so the **whole shard tree is
+    /// dropped in O(1)** (its pages leak on the simulated disk, which has
+    /// no free list) instead of deleting entries key by key. Returns the
+    /// number of objects dropped.
+    pub fn expire_stale(&self, now: Timestamp) -> usize {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            if !matches!(shard.read().label, Some(l) if l < now) {
+                continue;
+            }
+            let mut s = shard.write();
+            if matches!(s.label, Some(l) if l < now) {
+                dropped += s.current_key.len();
+                s.current_key = HashMap::new();
+                s.btree = BTree::new(Arc::clone(&self.pool));
+                s.label = None;
+            }
+        }
+        dropped
+    }
+
+    /// O(1)-per-shard diagnostics, aggregated: entry/page counts summed,
+    /// height is the tallest shard, leaf fill weighted by leaf pages.
+    pub fn stats(&self) -> IndexStats {
+        let mut tree =
+            TreeStats { entries: 0, height: 0, leaf_pages: 0, total_pages: 0, avg_leaf_fill: 0.0 };
+        let mut objects = 0usize;
+        let mut fill_weight = 0.0f64;
+        for shard in &self.shards {
+            let s = shard.read();
+            let ts = s.btree.stats();
+            tree.entries += ts.entries;
+            tree.height = tree.height.max(ts.height);
+            tree.leaf_pages += ts.leaf_pages;
+            tree.total_pages += ts.total_pages;
+            fill_weight += ts.avg_leaf_fill * ts.leaf_pages as f64;
+            objects += s.current_key.len();
+        }
+        tree.avg_leaf_fill =
+            if tree.leaf_pages == 0 { 0.0 } else { fill_weight / tree.leaf_pages as f64 };
+        IndexStats { tree, partitions: self.live_partitions(), objects }
+    }
+
+    /// Per-shard tree shapes, for load-balance diagnostics: `(tid, stats)`
+    /// for every shard, including empty ones.
+    pub fn shard_stats(&self) -> Vec<(u8, TreeStats)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(tid, shard)| (tid as u8, shard.read().btree.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_common::{Point, Vec2};
+
+    /// Same minimal layout as the `MovingIndex` tests: `[TID]₂ ⊕ [ZV]₂ ⊕
+    /// [UID]₂` with a fixed 20-bit ZV.
+    #[derive(Debug, Clone, Copy)]
+    struct TestLayout;
+
+    const ZV_BITS: u32 = 20;
+    const UID_BITS: u32 = 32;
+
+    impl KeyLayout for TestLayout {
+        fn zv_bits(&self) -> u32 {
+            ZV_BITS
+        }
+
+        fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+            ((tid as u128) << (ZV_BITS + UID_BITS)) | ((zv as u128) << UID_BITS) | uid as u128
+        }
+
+        fn partition_range(&self, tid: u8) -> (u128, u128) {
+            (self.key(tid, 0, 0), self.key(tid, (1 << ZV_BITS) - 1, (1 << UID_BITS) - 1))
+        }
+    }
+
+    fn index(cap: usize) -> ShardedMovingIndex<TestLayout> {
+        ShardedMovingIndex::new(
+            Arc::new(BufferPool::new(cap)),
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        )
+    }
+
+    fn unsharded(cap: usize) -> crate::MovingIndex<TestLayout> {
+        crate::MovingIndex::new(
+            Arc::new(BufferPool::new(cap)),
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        )
+    }
+
+    fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+        MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+    }
+
+    #[test]
+    fn upsert_get_remove_roundtrip() {
+        let idx = index(64);
+        idx.upsert(still(1, 100.0, 200.0, 0.0));
+        idx.upsert(still(2, 300.0, 400.0, 0.0));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(UserId(1)).unwrap().pos, Point::new(100.0, 200.0));
+        idx.upsert(still(1, 111.0, 222.0, 5.0));
+        assert_eq!(idx.len(), 2, "update must not duplicate");
+        assert!(idx.remove(UserId(1)));
+        assert!(!idx.remove(UserId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn keys_and_partitions_match_the_unsharded_core() {
+        // The sharded index must place every object exactly where the
+        // single-tree core places it — same keys, same partition labels.
+        let sharded = index(64);
+        let mut single = unsharded(64);
+        for i in 0..200u64 {
+            let m = still(
+                i,
+                (i % 40) as f64 * 25.0 + 2.0,
+                (i / 40) as f64 * 190.0 + 2.0,
+                (i % 3) as f64 * 55.0,
+            );
+            sharded.upsert(m);
+            single.upsert(m);
+        }
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.live_partitions(), single.live_partitions());
+        for i in 0..200u64 {
+            assert_eq!(sharded.current_key_of(UserId(i)), single.current_key_of(UserId(i)));
+            assert_eq!(sharded.get(UserId(i)), single.get(UserId(i)));
+        }
+    }
+
+    #[test]
+    fn partition_migration_on_phase_rollover() {
+        let idx = index(64);
+        idx.upsert(still(7, 100.0, 100.0, 10.0));
+        let k1 = idx.current_key_of(UserId(7)).unwrap();
+        let parts1 = idx.live_partitions();
+        assert_eq!(parts1.len(), 1);
+        assert_eq!(parts1[0].1, 120.0);
+
+        idx.upsert(still(7, 110.0, 110.0, 70.0));
+        let k2 = idx.current_key_of(UserId(7)).unwrap();
+        assert_ne!(k1, k2, "rollover must re-key the object");
+        assert_eq!(idx.len(), 1, "migration is delete+insert, not copy");
+
+        // The vacated partition's tree holds nothing.
+        let (lo, hi) = idx.layout().partition_range(parts1[0].0);
+        let mut leftovers = 0;
+        idx.scan_keys(lo, hi, |_, _| {
+            leftovers += 1;
+            true
+        });
+        assert_eq!(leftovers, 0, "no ghost entry in the vacated shard");
+
+        assert_eq!(idx.expire_stale(150.0), 0);
+        assert_eq!(idx.live_partitions().len(), 1);
+        assert!(idx.get(UserId(7)).is_some());
+    }
+
+    #[test]
+    fn expire_drops_whole_shards() {
+        let idx = index(64);
+        for i in 0..500u64 {
+            idx.upsert(still(i, (i % 50) as f64 * 20.0 + 3.0, (i / 50) as f64 * 95.0 + 3.0, 10.0));
+        }
+        idx.upsert(still(900, 200.0, 200.0, 130.0)); // label 240
+        assert_eq!(idx.live_partitions().len(), 2);
+
+        // Expiry is an O(1) shard drop: no per-key page reads.
+        idx.pool().reset_stats();
+        let dropped = idx.expire_stale(200.0);
+        assert_eq!(dropped, 500);
+        // Dropping the shard costs exactly one page touch (initializing
+        // the replacement root leaf), not a walk over 500 entries.
+        assert_eq!(idx.pool().stats().logical_reads, 1, "shard drop must not walk the tree");
+        assert_eq!(idx.len(), 1);
+        assert!(idx.get(UserId(0)).is_none());
+        assert!(idx.get(UserId(900)).is_some());
+        assert_eq!(idx.expire_stale(200.0), 0, "idempotent");
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let users: Vec<MovingPoint> = (0..300u64)
+            .map(|i| {
+                still(
+                    i,
+                    (i % 50) as f64 * 20.0 + 3.0,
+                    (i / 50) as f64 * 150.0 + 3.0,
+                    (i % 2) as f64 * 70.0,
+                )
+            })
+            .collect();
+        let bulk = ShardedMovingIndex::bulk_load(
+            Arc::new(BufferPool::new(64)),
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+            &users,
+            1.0,
+        );
+        let inc = index(64);
+        for m in &users {
+            inc.upsert(*m);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        for m in &users {
+            assert_eq!(bulk.current_key_of(m.uid), inc.current_key_of(m.uid));
+            assert_eq!(bulk.get(m.uid), inc.get(m.uid));
+        }
+        assert_eq!(bulk.live_partitions(), inc.live_partitions());
+    }
+
+    #[test]
+    fn batch_equals_single_object_path() {
+        // Two phases of updates: the batch path must land the index in
+        // exactly the same state as the one-at-a-time path, including
+        // cross-partition migrations and same-uid-twice batches.
+        let round1: Vec<MovingPoint> = (0..300u64)
+            .map(|i| still(i, (i % 60) as f64 * 16.0 + 4.0, (i / 60) as f64 * 190.0 + 4.0, 10.0))
+            .collect();
+        let mut round2: Vec<MovingPoint> = (0..300u64)
+            .map(|i| still(i, (i % 55) as f64 * 18.0 + 1.0, (i / 55) as f64 * 160.0 + 1.0, 70.0))
+            .collect();
+        // Duplicate a few uids in the second batch: last write must win.
+        round2.push(still(5, 900.0, 900.0, 71.0));
+        round2.push(still(6, 910.0, 910.0, 71.0));
+
+        let batched = index(256);
+        assert_eq!(batched.upsert_batch(&round1), 300);
+        assert_eq!(batched.upsert_batch(&round2), 300);
+
+        let single = index(256);
+        for m in round1.iter().chain(round2.iter()) {
+            single.upsert(*m);
+        }
+
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.live_partitions(), single.live_partitions());
+        for i in 0..300u64 {
+            assert_eq!(batched.current_key_of(UserId(i)), single.current_key_of(UserId(i)));
+            assert_eq!(batched.get(UserId(i)), single.get(UserId(i)));
+        }
+        assert_eq!(batched.get(UserId(5)).unwrap().pos, Point::new(900.0, 900.0));
+    }
+
+    #[test]
+    fn batch_within_one_partition_replaces_in_place() {
+        // Same partition, same keys (unchanged positions): the merge must
+        // replace values without growing the tree.
+        let idx = index(64);
+        let users: Vec<MovingPoint> =
+            (0..100u64).map(|i| still(i, i as f64 * 9.0 + 2.0, 500.0, 10.0)).collect();
+        idx.upsert_batch(&users);
+        let keys_before: Vec<_> =
+            (0..100u64).map(|i| idx.current_key_of(UserId(i)).unwrap()).collect();
+        idx.upsert_batch(&users);
+        assert_eq!(idx.len(), 100);
+        for (i, k) in keys_before.iter().enumerate() {
+            assert_eq!(idx.current_key_of(UserId(i as u64)), Some(*k));
+        }
+    }
+
+    #[test]
+    fn scan_keys_preserves_global_order_across_shards() {
+        let idx = index(128);
+        for i in 0..200u64 {
+            // Spread over two partitions.
+            let t = if i % 2 == 0 { 10.0 } else { 70.0 };
+            idx.upsert(still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 190.0 + 2.0, t));
+        }
+        let mut keys = Vec::new();
+        idx.scan_keys(0, u128::MAX, |k, _| {
+            keys.push(k);
+            true
+        });
+        assert_eq!(keys.len(), 200);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "global key order across shards");
+
+        // Early exit propagates across shard boundaries.
+        let mut seen = 0;
+        let completed = idx.scan_keys(0, u128::MAX, |_, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!completed);
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn io_accounting_flows_through_the_shared_pool() {
+        let idx = index(8);
+        for i in 0..2_000u64 {
+            idx.upsert(still(i, (i % 100) as f64 * 10.0 + 5.0, (i / 100) as f64 * 45.0 + 5.0, 0.0));
+        }
+        let pool = Arc::clone(idx.pool());
+        pool.clear();
+        pool.reset_stats();
+        let (lo, hi) = idx.layout().partition_range(idx.live_partitions()[0].0);
+        let mut n = 0;
+        idx.scan_keys(lo, hi, |_, _| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 2_000);
+        assert!(idx.io_stats().physical_reads > 0, "cold scan must do I/O");
+        assert_eq!(idx.io_stats(), pool.stats(), "io_stats is the shared pool's counters");
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let idx = index(64);
+        for i in 0..100u64 {
+            let t = if i % 2 == 0 { 10.0 } else { 70.0 };
+            idx.upsert(still(i, i as f64 * 9.0 + 2.0, 500.0, t));
+        }
+        let s = idx.stats();
+        assert_eq!(s.objects, 100);
+        assert_eq!(s.tree.entries, 100);
+        assert_eq!(s.partitions.len(), 2);
+        assert!(s.tree.avg_leaf_fill > 0.0);
+        assert_eq!(idx.shard_stats().len(), idx.num_shards());
+        let per_shard: usize = idx.shard_stats().iter().map(|(_, t)| t.entries).sum();
+        assert_eq!(per_shard, 100);
+    }
+}

@@ -1,0 +1,220 @@
+//! Parallel batched updates through the sharded index: batches bound for
+//! distinct time partitions (or disjoint objects in the same partition)
+//! applied from multiple threads must land the index in exactly the state
+//! the sequential single-object path produces — same keys, same records,
+//! same partitions, and the same physical I/O (the paper's metric).
+
+use std::sync::Arc;
+
+use peb_repro::bx::{BxKeyLayout, BxTree, TimePartitioning};
+use peb_repro::common::{MovingPoint, Point, Rect, SpaceConfig, UserId, Vec2};
+use peb_repro::index::ShardedMovingIndex;
+use peb_repro::storage::BufferPool;
+
+fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+    MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+}
+
+fn space() -> SpaceConfig {
+    SpaceConfig::new(1000.0, 10, 1440.0)
+}
+
+/// A grid population updated at `t`.
+fn population(n: u64, t: f64) -> Vec<MovingPoint> {
+    (0..n)
+        .map(|i| still(i, (i % 64) as f64 * 15.0 + 3.0, (i / 64) as f64 * 47.0 + 3.0, t))
+        .collect()
+}
+
+#[test]
+fn parallel_cross_partition_batches_match_sequential() {
+    let n = 1_200u64;
+    let users = population(n, 10.0); // all in the label-120 partition
+    let part = TimePartitioning::new(120.0, 2);
+    // Ample buffer capacity so physical I/O is deterministic.
+    let build =
+        || BxTree::bulk_load(Arc::new(BufferPool::new(4096)), space(), part, 3.0, &users, 1.0);
+
+    // Two batches with disjoint uids bound for two *different* partitions.
+    let batch_a: Vec<MovingPoint> =
+        (0..n / 2).map(|i| still(i, (i % 50) as f64 * 19.0 + 1.0, 400.0, 70.0)).collect();
+    let batch_b: Vec<MovingPoint> =
+        (n / 2..n).map(|i| still(i, (i % 45) as f64 * 21.0 + 2.0, 600.0, 130.0)).collect();
+    assert_ne!(
+        part.partition_of_update(70.0),
+        part.partition_of_update(130.0),
+        "the two batches must target distinct partitions"
+    );
+
+    // Parallel batched application.
+    let parallel = Arc::new(build());
+    parallel.pool().reset_stats();
+    let threads: Vec<_> = [batch_a.clone(), batch_b.clone()]
+        .into_iter()
+        .map(|batch| {
+            let tree = Arc::clone(&parallel);
+            std::thread::spawn(move || tree.upsert_batch(&batch))
+        })
+        .collect();
+    let applied: usize =
+        threads.into_iter().map(|t| t.join().expect("batch thread panicked")).sum();
+    assert_eq!(applied, n as usize);
+
+    // Sequential single-object reference.
+    let mut sequential = build();
+    sequential.pool().reset_stats();
+    for m in batch_a.iter().chain(batch_b.iter()) {
+        sequential.upsert(*m);
+    }
+
+    // Final index state matches exactly.
+    assert_eq!(parallel.len(), sequential.len());
+    assert_eq!(parallel.live_partitions(), sequential.live_partitions());
+    for i in 0..n {
+        assert_eq!(
+            parallel.index().current_key_of(UserId(i)),
+            sequential.index().current_key_of(UserId(i)),
+            "key of user {i}"
+        );
+        assert_eq!(parallel.get(UserId(i)), sequential.get(UserId(i)), "record of user {i}");
+    }
+
+    // And so do the physical I/O counters — the paper's metric. (Logical
+    // page accesses legitimately differ: touching fewer pages is the whole
+    // point of the batched path.) With an ample buffer neither path needs
+    // a single physical read.
+    let (p, s) = (parallel.pool().stats(), sequential.pool().stats());
+    assert_eq!(p.physical_reads, s.physical_reads, "physical reads must match");
+    assert_eq!(p.physical_reads, 0, "warm pools: no physical I/O at all");
+    assert_eq!(p.physical_writes, s.physical_writes, "physical writes must match");
+
+    // Queries agree on the merged result across all partitions.
+    let window = Rect::new(0.0, 1000.0, 0.0, 1000.0);
+    let mut got: Vec<u64> = parallel.range_query(&window, 140.0).iter().map(|m| m.uid.0).collect();
+    let mut want: Vec<u64> =
+        sequential.range_query(&window, 140.0).iter().map(|m| m.uid.0).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+    assert_eq!(got.len(), n as usize);
+}
+
+#[test]
+fn parallel_same_partition_batches_with_disjoint_uids_match_sequential() {
+    // Four threads hammer the *same* target partition with disjoint uid
+    // ranges: the per-shard lock serializes the merges, and the result
+    // must still equal the sequential single-object path.
+    let n = 1_000u64;
+    let users = population(n, 10.0);
+    let sp = space();
+    let part = TimePartitioning::new(120.0, 2);
+    let layout = BxKeyLayout::new(sp.grid_bits);
+    let build = || {
+        ShardedMovingIndex::bulk_load(
+            Arc::new(BufferPool::new(4096)),
+            layout,
+            sp,
+            part,
+            3.0,
+            &users,
+            1.0,
+        )
+    };
+
+    // All updates land at t = 70 -> one target partition for every thread.
+    let batches: Vec<Vec<MovingPoint>> = (0..4)
+        .map(|t| {
+            (t * 250..(t + 1) * 250)
+                .map(|i| still(i, (i % 61) as f64 * 16.0 + 1.0, 800.0, 70.0))
+                .collect()
+        })
+        .collect();
+
+    let parallel = Arc::new(build());
+    let threads: Vec<_> = batches
+        .iter()
+        .cloned()
+        .map(|batch| {
+            let idx = Arc::clone(&parallel);
+            std::thread::spawn(move || idx.upsert_batch(&batch))
+        })
+        .collect();
+    for t in threads {
+        assert_eq!(t.join().expect("batch thread panicked"), 250);
+    }
+
+    let sequential = build();
+    for m in batches.iter().flatten() {
+        sequential.upsert(*m);
+    }
+
+    assert_eq!(parallel.len(), sequential.len());
+    assert_eq!(parallel.live_partitions(), sequential.live_partitions());
+    for i in 0..n {
+        assert_eq!(parallel.current_key_of(UserId(i)), sequential.current_key_of(UserId(i)));
+        assert_eq!(parallel.get(UserId(i)), sequential.get(UserId(i)));
+    }
+}
+
+#[test]
+fn queries_run_concurrently_with_batched_updates() {
+    // Readers scan while writers merge batches into distinct partitions:
+    // no deadlock, no panic, and the final state is the fully-updated one.
+    let n = 800u64;
+    let users = population(n, 10.0);
+    let part = TimePartitioning::new(120.0, 2);
+    let tree = Arc::new(BxTree::bulk_load(
+        Arc::new(BufferPool::new(256)),
+        space(),
+        part,
+        3.0,
+        &users,
+        1.0,
+    ));
+
+    let writer_batches: Vec<Vec<MovingPoint>> = vec![
+        (0..n / 2).map(|i| still(i, (i % 40) as f64 * 24.0 + 1.0, 300.0, 70.0)).collect(),
+        (n / 2..n).map(|i| still(i, (i % 40) as f64 * 24.0 + 1.0, 700.0, 130.0)).collect(),
+    ];
+    let writers: Vec<_> = writer_batches
+        .into_iter()
+        .map(|batch| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                // Split each batch in chunks so readers interleave.
+                for chunk in batch.chunks(100) {
+                    tree.upsert_batch(chunk);
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                let window = Rect::new(0.0, 1000.0, 0.0, 1000.0);
+                let mut last = 0usize;
+                for i in 0..30 {
+                    let tq = 60.0 + ((r * 30 + i) % 90) as f64;
+                    // Shards are scanned one lock at a time (read-committed,
+                    // not a snapshot): a concurrent cross-partition migration
+                    // may transiently be seen twice or not at all, so no
+                    // count bound holds mid-flight — only that the scan
+                    // completes without panicking or deadlocking.
+                    last = tree.range_query(&window, tq).len();
+                }
+                last
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    assert_eq!(tree.len(), n as usize);
+    let found = tree.range_query(&Rect::new(0.0, 1000.0, 0.0, 1000.0), 140.0).len();
+    assert_eq!(found, n as usize, "every object visible after the dust settles");
+}
