@@ -126,17 +126,10 @@ pub fn measure() -> BaselineReport {
 }
 
 impl BaselineReport {
-    /// Hand-rolled JSON (the workspace has no serde): flat object, stable
-    /// key order, numbers rounded to sensible precision.
+    /// Flat JSON trajectory entry with stable key order, assembled by
+    /// [`crate::report::json_object`].
     pub fn to_json(&self) -> String {
-        fn f(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v:.2}")
-            } else {
-                "null".to_string()
-            }
-        }
-        let mut s = String::from("{\n");
+        use crate::report::json_f64 as f;
         let rows: Vec<(&str, String)> = vec![
             ("users", self.users.to_string()),
             ("policies_per_user", self.policies_per_user.to_string()),
@@ -155,12 +148,7 @@ impl BaselineReport {
             ("peb_upsert_per_sec", f(self.peb_upsert_per_sec)),
             ("base_upsert_per_sec", f(self.base_upsert_per_sec)),
         ];
-        for (i, (k, v)) in rows.iter().enumerate() {
-            s.push_str(&format!("  \"{k}\": {v}{}\n", if i + 1 < rows.len() { "," } else { "" }));
-        }
-        s.push('}');
-        s.push('\n');
-        s
+        crate::report::json_object(&rows)
     }
 }
 

@@ -3,14 +3,17 @@
 //! Flags:
 //! * `--baseline-only` — skip the figures; measure the fixed perf baseline
 //!   and write it to `BENCH_seed.json` (what CI runs), plus the
-//!   update-throughput trajectory entry to `BENCH_updates.json`.
+//!   update-throughput trajectory entry to `BENCH_updates.json` and the
+//!   concurrent-scan trajectory entry to `BENCH_scans.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
-//!   instead of rewriting history. Neither file is written by casual
-//!   figure runs.
-//! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` — override the output paths.
+//!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
+//!   the files is written by casual figure runs.
+//! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` — override
+//!   the output paths.
 use peb_bench::experiments;
 use peb_bench::report;
+use peb_bench::scans;
 use peb_bench::updates;
 
 fn main() {
@@ -28,6 +31,13 @@ fn main() {
         std::fs::write(&upd_path, upd.to_json())
             .unwrap_or_else(|e| panic!("cannot write {upd_path}: {e}"));
         eprintln!("update-throughput trajectory written to {upd_path}");
+
+        let scans_path =
+            std::env::var("PEB_SCANS_OUT").unwrap_or_else(|_| "BENCH_scans.json".to_string());
+        let scan = scans::measure_scans();
+        std::fs::write(&scans_path, scan.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {scans_path}: {e}"));
+        eprintln!("concurrent-scan trajectory written to {scans_path}");
         return;
     }
 
@@ -69,4 +79,10 @@ fn main() {
         "update throughput: sequential vs batched (sharded) vs unsharded single-tree",
     );
     updates::print_table(&updates::measure_updates());
+    println!();
+    report::header(
+        "Scans",
+        "concurrent read qps: single-shard vs sharded buffer pool, 1-8 threads",
+    );
+    scans::print_table(&scans::measure_scans());
 }

@@ -1,0 +1,9 @@
+//! Concurrent-scan throughput: read qps at 1/2/4/8 threads, single-shard
+//! vs sharded buffer pool, both engines. See `peb_bench::scans` and
+//! docs/BENCHMARKS.md; `run_all --baseline-only` writes the same
+//! measurement to `BENCH_scans.json`.
+
+fn main() {
+    let report = peb_bench::scans::measure_scans();
+    peb_bench::scans::print_table(&report);
+}

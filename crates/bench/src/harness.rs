@@ -21,6 +21,11 @@ pub struct RunConfig {
     pub k: usize,
     pub queries: usize,
     pub buffer_pages: usize,
+    /// Buffer-pool lock shards. The default of 1 is the paper-exact
+    /// single-LRU configuration every I/O measurement uses (per-shard LRU
+    /// domains change eviction, so I/O counts are only comparable at a
+    /// fixed shard count); the concurrent-scan bench raises it.
+    pub pool_shards: usize,
     pub seed: u64,
     /// Query time (users are inserted with `t_update = 0`).
     pub tq: f64,
@@ -40,6 +45,7 @@ impl Default for RunConfig {
             k: 5,
             queries: queries_env(),
             buffer_pages: 50,
+            pool_shards: 1,
             seed: 0xC0FFEE,
             tq: 30.0,
             sv_params: SvAssignmentParams::default(),
@@ -111,14 +117,14 @@ impl World {
 
         let part = TimePartitioning::default();
         let mut peb = PebTree::new(
-            Arc::new(BufferPool::new(cfg.buffer_pages)),
+            Arc::new(BufferPool::with_shards(cfg.buffer_pages, cfg.pool_shards)),
             space,
             part,
             cfg.max_speed,
             Arc::clone(&ctx),
         );
         let mut baseline = SpatialBaseline::new(BxTree::new(
-            Arc::new(BufferPool::new(cfg.buffer_pages)),
+            Arc::new(BufferPool::with_shards(cfg.buffer_pages, cfg.pool_shards)),
             space,
             part,
             cfg.max_speed,

@@ -47,6 +47,35 @@ fn fmt_x(x: f64) -> String {
     }
 }
 
+/// A float rendered for a trajectory entry: two decimals, or `null` when
+/// not finite (the workspace has no serde; see docs/BENCHMARKS.md).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Assemble a flat JSON object from pre-rendered `(key, value)` rows —
+/// the one emitter behind every `BENCH_*.json` trajectory entry, so the
+/// format (indentation, comma placement, trailing newline) cannot drift
+/// between files.
+pub fn json_object<K: AsRef<str>>(rows: &[(K, String)]) -> String {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            k.as_ref(),
+            v,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push('}');
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

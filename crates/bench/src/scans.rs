@@ -1,0 +1,374 @@
+//! Concurrent-scan experiment: read-query throughput at 1/2/4/8 threads
+//! with the buffer pool's lock sharding on vs off, for both engines.
+//!
+//! This is the workload the sharded pool exists for. PR 2 removed the
+//! per-index `&mut` bottleneck, leaving the pool's single mutex as the
+//! last global lock: every page touch — even a buffer hit — serialized on
+//! it, so adding reader threads bought nothing. With the pool sharded by
+//! page id, a hit takes only the owning shard's lock and concurrent
+//! readers mostly touch different shards.
+//!
+//! Two identically built copies of each index run the identical
+//! pre-generated PRQ batch: one over a **single-shard** pool (the
+//! paper-exact single-mutex configuration) and one over a pool with
+//! [`SCAN_POOL_SHARDS`] lock shards. The pool is sized so the working set
+//! stays resident after a warm-up pass — the measurement isolates lock
+//! contention on the buffer-hit fast path, not disk-miss behavior (misses
+//! serialize on the simulated disk in either configuration). The warm-up
+//! pass doubles as a correctness cross-check: both pool configurations
+//! must return identical result sets for every query.
+//!
+//! Reported per engine and thread count: wall-clock queries/second for
+//! both pool configurations, plus the deterministic **hot-lock share** —
+//! the fraction of the engine's page touches that funnel through its
+//! hottest pool lock. The single-mutex pool is 1.0 by construction; the
+//! sharded pool spreads touches toward `1 / shards`. Wall-clock scaling
+//! additionally requires actual cores (on a single-core container every
+//! thread count measures the same CPU, so the qps curve is flat there);
+//! the hot-lock share is the machine-independent signal that the read
+//! path no longer serializes, and it is what the tests assert on.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_workload::queries::RangeQuerySpec;
+use peb_workload::QueryGenerator;
+
+use crate::harness::{RunConfig, World};
+
+/// Lock shards of the sharded pool variant. Frozen (not derived from the
+/// running machine's parallelism) so the trajectory entry measures the
+/// same configuration everywhere.
+pub const SCAN_POOL_SHARDS: usize = 8;
+
+/// Reader thread counts measured, in order.
+pub const SCAN_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One engine's throughput at one thread count, single-shard vs sharded
+/// pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanPoint {
+    /// Concurrent reader threads issuing queries.
+    pub threads: usize,
+    /// Queries/second with the single-shard (single-mutex) pool.
+    pub single_qps: f64,
+    /// Queries/second with the [`SCAN_POOL_SHARDS`]-shard pool.
+    pub sharded_qps: f64,
+}
+
+impl ScanPoint {
+    /// Sharded-over-single throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.sharded_qps / self.single_qps.max(1e-9)
+    }
+}
+
+/// The whole experiment: both engines over every thread count.
+#[derive(Debug, Clone)]
+pub struct ScanBenchReport {
+    /// Users in the dataset (the frozen seed shape).
+    pub users: usize,
+    /// Queries in the shared PRQ batch each thread iterates.
+    pub queries: usize,
+    /// Passes each thread makes over the batch per measurement.
+    pub reps: usize,
+    /// Total frame budget of each pool.
+    pub pool_pages: usize,
+    /// Lock shards of the sharded variant.
+    pub pool_shards: usize,
+    /// PEB-tree scaling curve, one point per entry of [`SCAN_THREADS`].
+    pub peb: Vec<ScanPoint>,
+    /// Bx-tree (spatial baseline) scaling curve.
+    pub bx: Vec<ScanPoint>,
+    /// Hot-lock share of the PEB query batch: `(single pool, sharded
+    /// pool)`. Deterministic for a fixed seed.
+    pub peb_hot_lock_share: (f64, f64),
+    /// Hot-lock share of the Bx query batch: `(single, sharded)`.
+    pub bx_hot_lock_share: (f64, f64),
+}
+
+/// Run `work` with counters zeroed, then return the hottest pool shard's
+/// fraction of the logical page touches — 1.0 means every touch took the
+/// same lock (total serialization), `1 / num_shards` is a perfect spread.
+fn hot_lock_share(pool: &std::sync::Arc<peb_storage::BufferPool>, work: impl FnOnce()) -> f64 {
+    pool.reset_stats();
+    work();
+    let per_shard = pool.shard_stats();
+    let total: u64 = per_shard.iter().map(|s| s.logical_reads).sum();
+    let hottest: u64 = per_shard.iter().map(|s| s.logical_reads).max().unwrap_or(0);
+    hottest as f64 / total.max(1) as f64
+}
+
+/// The frozen concurrent-scan configuration: the `BENCH_seed.json` 8K-user
+/// dataset shape, with the pool grown to keep the working set resident
+/// (the experiment measures the buffer-hit fast path).
+pub fn scan_config() -> RunConfig {
+    RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        theta: 0.7,
+        queries: 64,
+        seed: 0xBA5E,
+        buffer_pages: 2_048,
+        ..Default::default()
+    }
+}
+
+/// Run the experiment on the frozen configuration.
+pub fn measure_scans() -> ScanBenchReport {
+    measure_scans_with(&scan_config(), SCAN_POOL_SHARDS, &SCAN_THREADS, 4)
+}
+
+/// Run the experiment on an arbitrary configuration (tests use a small
+/// one). Builds each engine twice — over a 1-shard pool and over a
+/// `pool_shards`-shard pool — warms both, cross-checks that the two pool
+/// configurations return identical results for every query, then times
+/// each thread count.
+pub fn measure_scans_with(
+    cfg: &RunConfig,
+    pool_shards: usize,
+    threads: &[usize],
+    reps: usize,
+) -> ScanBenchReport {
+    let single = World::build(&RunConfig { pool_shards: 1, ..cfg.clone() });
+    let sharded = World::build(&RunConfig { pool_shards, ..cfg.clone() });
+
+    let gen = QueryGenerator::new(single.dataset.space, cfg.num_users);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5CA2);
+    let ranges = gen.range_batch(&mut rng, cfg.queries, cfg.window_side, cfg.tq);
+
+    // Warm both pools and cross-check: pool sharding must not change any
+    // result set.
+    for (i, q) in ranges.iter().enumerate() {
+        let a: Vec<_> = single.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        let b: Vec<_> = sharded.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        assert_eq!(a, b, "PEB query {i}: sharded pool changed the result");
+        let a: Vec<_> = single
+            .baseline
+            .prq(&single.ctx.store, q.issuer, &q.window, q.tq)
+            .iter()
+            .map(|m| m.uid)
+            .collect();
+        let b: Vec<_> = sharded
+            .baseline
+            .prq(&sharded.ctx.store, q.issuer, &q.window, q.tq)
+            .iter()
+            .map(|m| m.uid)
+            .collect();
+        assert_eq!(a, b, "Bx query {i}: sharded pool changed the result");
+    }
+
+    // Deterministic decontention signal: how concentrated are the page
+    // touches of one serial pass over the batch?
+    let peb_hot_lock_share = (
+        hot_lock_share(single.peb.pool(), || {
+            ranges.iter().for_each(|q| {
+                let _ = single.peb.prq(q.issuer, &q.window, q.tq);
+            })
+        }),
+        hot_lock_share(sharded.peb.pool(), || {
+            ranges.iter().for_each(|q| {
+                let _ = sharded.peb.prq(q.issuer, &q.window, q.tq);
+            })
+        }),
+    );
+    let bx_hot_lock_share = (
+        hot_lock_share(single.baseline.pool(), || {
+            ranges.iter().for_each(|q| {
+                let _ = single.baseline.prq(&single.ctx.store, q.issuer, &q.window, q.tq);
+            })
+        }),
+        hot_lock_share(sharded.baseline.pool(), || {
+            ranges.iter().for_each(|q| {
+                let _ = sharded.baseline.prq(&sharded.ctx.store, q.issuer, &q.window, q.tq);
+            })
+        }),
+    );
+
+    let peb = threads
+        .iter()
+        .map(|&t| ScanPoint {
+            threads: t,
+            single_qps: timed(t, reps, &ranges, |q| {
+                let _ = single.peb.prq(q.issuer, &q.window, q.tq);
+            }),
+            sharded_qps: timed(t, reps, &ranges, |q| {
+                let _ = sharded.peb.prq(q.issuer, &q.window, q.tq);
+            }),
+        })
+        .collect();
+    let bx = threads
+        .iter()
+        .map(|&t| ScanPoint {
+            threads: t,
+            single_qps: timed(t, reps, &ranges, |q| {
+                let _ = single.baseline.prq(&single.ctx.store, q.issuer, &q.window, q.tq);
+            }),
+            sharded_qps: timed(t, reps, &ranges, |q| {
+                let _ = sharded.baseline.prq(&sharded.ctx.store, q.issuer, &q.window, q.tq);
+            }),
+        })
+        .collect();
+
+    ScanBenchReport {
+        users: single.dataset.users.len(),
+        queries: cfg.queries,
+        reps,
+        pool_pages: cfg.buffer_pages,
+        pool_shards: sharded.peb.pool().num_shards(),
+        peb,
+        bx,
+        peb_hot_lock_share,
+        bx_hot_lock_share,
+    }
+}
+
+/// Run `threads` readers, each making `reps` passes over `queries` from a
+/// thread-specific offset (so concurrent readers are spread over the
+/// batch, not in lockstep), and return aggregate queries/second.
+fn timed(
+    threads: usize,
+    reps: usize,
+    queries: &[RangeQuerySpec],
+    op: impl Fn(&RangeQuerySpec) + Sync,
+) -> f64 {
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let op = &op;
+            s.spawn(move || {
+                let offset = t * queries.len() / threads.max(1);
+                for _ in 0..reps {
+                    for j in 0..queries.len() {
+                        op(&queries[(j + offset) % queries.len()]);
+                    }
+                }
+            });
+        }
+    });
+    let total = threads * reps * queries.len();
+    total as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+impl ScanBenchReport {
+    /// Flat JSON trajectory entry (same style as
+    /// [`crate::baseline::BaselineReport::to_json`], assembled by
+    /// [`crate::report::json_object`]): one
+    /// `<engine>_<pool>_qps_t<threads>` key per measured point, plus the
+    /// sharded-over-single speedup at the highest thread count.
+    pub fn to_json(&self) -> String {
+        use crate::report::json_f64 as f;
+        let mut rows: Vec<(String, String)> = vec![
+            ("users".into(), self.users.to_string()),
+            ("queries".into(), self.queries.to_string()),
+            ("reps".into(), self.reps.to_string()),
+            ("pool_pages".into(), self.pool_pages.to_string()),
+            ("pool_shards".into(), self.pool_shards.to_string()),
+        ];
+        for (engine, points) in [("peb", &self.peb), ("bx", &self.bx)] {
+            for p in points.iter() {
+                rows.push((format!("{engine}_single_qps_t{}", p.threads), f(p.single_qps)));
+                rows.push((format!("{engine}_sharded_qps_t{}", p.threads), f(p.sharded_qps)));
+            }
+            if let Some(last) = points.last() {
+                rows.push((
+                    format!("{engine}_sharded_speedup_t{}", last.threads),
+                    f(last.speedup()),
+                ));
+            }
+        }
+        for (engine, (single, sharded)) in
+            [("peb", self.peb_hot_lock_share), ("bx", self.bx_hot_lock_share)]
+        {
+            rows.push((format!("{engine}_single_hot_lock_share"), f(single)));
+            rows.push((format!("{engine}_sharded_hot_lock_share"), f(sharded)));
+        }
+        crate::report::json_object(&rows)
+    }
+}
+
+/// Print the experiment as a paper-style tab-separated table.
+pub fn print_table(r: &ScanBenchReport) {
+    println!(
+        "engine\tthreads\tsingle_pool_qps\tsharded_pool_qps\tspeedup\t({} users, {}-page pool, {} shards)",
+        r.users, r.pool_pages, r.pool_shards
+    );
+    for (engine, points) in [("peb", &r.peb), ("bx", &r.bx)] {
+        for p in points {
+            println!(
+                "{engine}\t{}\t{:.0}\t{:.0}\t{:.2}x",
+                p.threads,
+                p.single_qps,
+                p.sharded_qps,
+                p.speedup()
+            );
+        }
+    }
+    println!(
+        "hot_lock_share\tpeb {:.2} -> {:.2}\tbx {:.2} -> {:.2}\t(1.00 = every page touch takes the same lock)",
+        r.peb_hot_lock_share.0, r.peb_hot_lock_share.1, r.bx_hot_lock_share.0, r.bx_hot_lock_share.1
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_bench_runs_and_cross_checks_results() {
+        // The result-equality cross-check between the single-shard and
+        // sharded pools runs inside measure_scans_with; this exercises it
+        // on a small shape along with the report structure.
+        let cfg = RunConfig {
+            num_users: 1_000,
+            policies_per_user: 8,
+            queries: 12,
+            seed: 0x5CA7,
+            buffer_pages: 512,
+            ..Default::default()
+        };
+        let r = measure_scans_with(&cfg, 4, &[1, 2], 1);
+        assert_eq!(r.pool_shards, 4);
+        assert_eq!(r.peb.len(), 2);
+        assert_eq!(r.bx.len(), 2);
+        for p in r.peb.iter().chain(r.bx.iter()) {
+            assert!(p.single_qps > 0.0 && p.sharded_qps > 0.0);
+        }
+        // The decontention signal is deterministic: one lock takes every
+        // touch on the single pool; sharding must spread them.
+        for (single, sharded) in [r.peb_hot_lock_share, r.bx_hot_lock_share] {
+            assert_eq!(single, 1.0, "single-shard pool serializes every touch");
+            assert!(
+                sharded < 0.75,
+                "sharded pool must spread page touches off the hottest lock, got {sharded}"
+            );
+            assert!(sharded >= 1.0 / 4.0 - 1e-9, "share cannot beat a perfect spread");
+        }
+    }
+
+    #[test]
+    fn json_entry_is_well_formed() {
+        let point = |t| ScanPoint { threads: t, single_qps: 1000.0, sharded_qps: 2000.0 };
+        let r = ScanBenchReport {
+            users: 8000,
+            queries: 64,
+            reps: 3,
+            pool_pages: 2048,
+            pool_shards: 8,
+            peb: vec![point(1), point(8)],
+            bx: vec![point(1), point(8)],
+            peb_hot_lock_share: (1.0, 0.25),
+            bx_hot_lock_share: (1.0, 0.3),
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        // 5 config keys + 2 engines x (2 points x 2 + 1 speedup)
+        // + 2 engines x 2 hot-lock shares.
+        assert_eq!(j.matches(':').count(), 19, "one key per field");
+        assert!(j.contains("\"peb_sharded_qps_t8\": 2000.00"));
+        assert!(j.contains("\"bx_sharded_speedup_t8\": 2.00"));
+        assert!(j.contains("\"peb_sharded_hot_lock_share\": 0.25"));
+    }
+}

@@ -63,17 +63,11 @@ impl UpdateBenchReport {
         self.batch.upserts_per_sec / self.seq.upserts_per_sec.max(1e-9)
     }
 
-    /// Hand-rolled JSON trajectory entry (same style as
-    /// [`crate::baseline::BaselineReport::to_json`]).
+    /// Flat JSON trajectory entry (same style as
+    /// [`crate::baseline::BaselineReport::to_json`], assembled by
+    /// [`crate::report::json_object`]).
     pub fn to_json(&self) -> String {
-        fn f(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v:.2}")
-            } else {
-                "null".to_string()
-            }
-        }
-        let mut s = String::from("{\n");
+        use crate::report::json_f64 as f;
         let rows: Vec<(&str, String)> = vec![
             ("users", self.users.to_string()),
             ("rounds", self.rounds.to_string()),
@@ -90,12 +84,7 @@ impl UpdateBenchReport {
             ("unsharded_physical_io", self.unsharded.physical_io.to_string()),
             ("batch_speedup_over_seq", f(self.batch_speedup())),
         ];
-        for (i, (k, v)) in rows.iter().enumerate() {
-            s.push_str(&format!("  \"{k}\": {v}{}\n", if i + 1 < rows.len() { "," } else { "" }));
-        }
-        s.push('}');
-        s.push('\n');
-        s
+        crate::report::json_object(&rows)
     }
 }
 

@@ -1,0 +1,57 @@
+//! Exact-IoStats equivalence on a frozen workload.
+//!
+//! The expected numbers below were measured with the **seed single-mutex
+//! pool implementation** (before the pool was sharded) on this exact
+//! configuration. The sharded pool's 1-shard configuration — what every
+//! I/O measurement runs on — must reproduce them to the last digit:
+//! same eviction decisions, same dirty write-backs, same per-query
+//! averages. The config thrashes the 50-frame buffer (the tree has ~82
+//! leaf pages), so the numbers are sensitive to any change in eviction
+//! policy, not just to gross miscounting.
+
+use peb_bench::harness::{run, RunConfig};
+use peb_bench::updates::measure_updates_with;
+
+#[test]
+fn frozen_workload_io_is_byte_identical_to_the_seed_pool() {
+    let cfg = RunConfig {
+        num_users: 5_000,
+        policies_per_user: 12,
+        theta: 0.7,
+        queries: 80,
+        seed: 0xF02E,
+        ..Default::default()
+    };
+    let m = run(&cfg);
+    assert_eq!(m.peb_leaf_pages, 82);
+    // Averages over 80 queries; exact equality is intended — the
+    // underlying counters are integers divided by the query count.
+    assert_eq!(m.peb_prq_io, 4.45, "PEB PRQ I/O drifted from the seed pool");
+    assert_eq!(m.base_prq_io, 7.8625, "baseline PRQ I/O drifted from the seed pool");
+    assert_eq!(m.peb_knn_io, 4.225, "PEB kNN I/O drifted from the seed pool");
+    assert_eq!(m.base_knn_io, 58.9, "baseline kNN I/O drifted from the seed pool");
+}
+
+#[test]
+fn update_counters_are_reproducible_run_to_run() {
+    // The batched update path deletes stale entries in sorted-uid order
+    // precisely so that a fixed workload produces a fixed ledger; two
+    // fresh runs must agree counter-for-counter.
+    let cfg = RunConfig {
+        num_users: 1_000,
+        policies_per_user: 8,
+        queries: 0,
+        seed: 0xD17E,
+        ..Default::default()
+    };
+    let a = measure_updates_with(&cfg, 2, 0.25);
+    let b = measure_updates_with(&cfg, 2, 0.25);
+    for (x, y, name) in [
+        (a.seq, b.seq, "seq"),
+        (a.batch, b.batch, "batch"),
+        (a.unsharded, b.unsharded, "unsharded"),
+    ] {
+        assert_eq!(x.logical_io, y.logical_io, "{name} logical I/O not reproducible");
+        assert_eq!(x.physical_io, y.physical_io, "{name} physical I/O not reproducible");
+    }
+}

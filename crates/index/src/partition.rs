@@ -67,9 +67,11 @@ impl TimePartitioning {
     }
 
     /// Every partition id, ascending (`0..n+1`). The sharded index keeps
-    /// one shard per id.
+    /// one shard per id. (Iterates in `u32` and casts each id: at the
+    /// maximum `n = 255` there are 256 ids and `0..(256 as u8)` would be
+    /// an empty range.)
     pub fn partition_ids(&self) -> impl Iterator<Item = u8> {
-        0..self.num_partitions() as u8
+        (0..self.num_partitions()).map(|tid| tid as u8)
     }
 }
 
@@ -88,6 +90,18 @@ mod tests {
             assert_eq!(p.label_timestamp(tu), 120.0);
             assert_eq!(p.partition_of_update(tu), 1);
         }
+    }
+
+    #[test]
+    fn partition_ids_cover_all_ids_at_maximum_n() {
+        // Regression: `0..(256 as u8)` is empty; n = 255 must still yield
+        // all 256 ids or the sharded index is built with zero shards.
+        let p = TimePartitioning::new(120.0, 255);
+        let ids: Vec<u8> = p.partition_ids().collect();
+        assert_eq!(ids.len(), 256);
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[255], 255);
+        assert_eq!(TimePartitioning::new(120.0, 2).partition_ids().count(), 3);
     }
 
     #[test]

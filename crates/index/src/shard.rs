@@ -19,7 +19,15 @@
 //! Every shard shares one [`BufferPool`], so the paper's I/O accounting
 //! keeps flowing through a single set of counters:
 //! [`ShardedMovingIndex::io_stats`] is still "the pool's numbers",
-//! aggregated across shards by construction.
+//! aggregated across shards by construction. The pool itself may be lock-
+//! sharded too ([`BufferPool::sharded`]); its `stats()` sums its own
+//! shard-local counters, so the aggregation here is unchanged either way.
+//!
+//! Lock ordering across the whole stack is strictly downward:
+//! **index shard lock → pool shard lock → disk lock**, never more than
+//! one lock of the same level at a time, and never upward — which is what
+//! makes the layered locking deadlock-free (see the `peb_storage::pool`
+//! module docs for the pool's half of the contract).
 //!
 //! # Concurrency contract
 //!
@@ -182,7 +190,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     }
 
     /// Physical/logical I/O counters — the paper's Sec 7.1 metric. All
-    /// shards share one pool, so this aggregates across shards for free.
+    /// index shards share one pool, so this aggregates across index
+    /// shards for free; if the pool is itself lock-sharded,
+    /// [`BufferPool::stats`] additionally sums the pool-shard counters,
+    /// keeping this one ledger exact in every configuration.
     pub fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
@@ -339,7 +350,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         // entry survives in place only if it is already under its new key
         // in its new shard (then the merge just replaces the value).
         for (tid, shard) in self.shards.iter().enumerate() {
-            let present: Vec<UserId> = {
+            let mut present: Vec<UserId> = {
                 let s = shard.read();
                 if s.current_key.is_empty() {
                     continue;
@@ -357,6 +368,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if present.is_empty() {
                 continue;
             }
+            // `targets` iterates in HashMap order, which varies run to
+            // run; deletes touch pages, so the order must be pinned for
+            // the I/O ledger of a fixed workload to be reproducible.
+            present.sort_unstable();
             let mut s = shard.write();
             for uid in present {
                 // Re-check under the write lock (another batch may have

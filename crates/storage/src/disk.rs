@@ -21,6 +21,7 @@ impl Default for DiskSim {
 }
 
 impl DiskSim {
+    /// An empty disk with zeroed access counters.
     pub fn new() -> Self {
         DiskSim { pages: Vec::new(), reads: 0, writes: 0 }
     }
@@ -44,18 +45,22 @@ impl DiskSim {
         self.pages[pid.0 as usize] = page.clone();
     }
 
+    /// Number of pages allocated so far.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
     }
 
+    /// Physical page reads since the last counter reset.
     pub fn physical_reads(&self) -> u64 {
         self.reads
     }
 
+    /// Physical page writes since the last counter reset.
     pub fn physical_writes(&self) -> u64 {
         self.writes
     }
 
+    /// Zero both access counters.
     pub fn reset_counters(&mut self) {
         self.reads = 0;
         self.writes = 0;

@@ -1,4 +1,5 @@
-//! Simulated disk storage with an LRU buffer pool and I/O accounting.
+//! Simulated disk storage with a sharded LRU buffer pool and I/O
+//! accounting.
 //!
 //! The paper evaluates every query algorithm by **I/O cost**: the number of
 //! 4 KB disk pages physically read/written while a 50-page LRU buffer is in
@@ -7,6 +8,16 @@
 //! counts physical accesses, and [`pool::BufferPool`] is the LRU cache both
 //! indexes run through. A buffer hit is free; a miss costs one physical
 //! read (plus one write if the evicted frame was dirty).
+//!
+//! The pool is sharded by page id so that concurrent readers only contend
+//! on the shard they touch, while [`pool::BufferPool::stats`] keeps
+//! summing one exact pool-wide ledger; [`pool::BufferPool::new`] pins a
+//! single shard — the paper-exact configuration every frozen benchmark
+//! uses — and [`pool::BufferPool::sharded`] enables the concurrent
+//! configuration. See the [`pool`] module docs for the lock ordering and
+//! determinism contract.
+
+#![warn(missing_docs)]
 
 pub mod disk;
 pub mod page;
@@ -14,4 +25,4 @@ pub mod pool;
 
 pub use disk::DiskSim;
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use pool::{BufferPool, IoStats};
+pub use pool::{default_shard_count, BufferPool, IoStats};

@@ -11,6 +11,7 @@ impl PageId {
     /// Sentinel "no page" value used for absent sibling/child pointers.
     pub const INVALID: PageId = PageId(u32::MAX);
 
+    /// Whether this id refers to a real page (is not the sentinel).
     pub fn is_valid(&self) -> bool {
         *self != PageId::INVALID
     }
@@ -32,12 +33,14 @@ impl Default for Page {
 
 macro_rules! scalar_accessors {
     ($get:ident, $put:ident, $ty:ty) => {
+        #[doc = concat!("Read a little-endian `", stringify!($ty), "` at byte offset `off`.")]
         #[inline]
         pub fn $get(&self, off: usize) -> $ty {
             const N: usize = std::mem::size_of::<$ty>();
             <$ty>::from_le_bytes(self.data[off..off + N].try_into().unwrap())
         }
 
+        #[doc = concat!("Write `v` as a little-endian `", stringify!($ty), "` at byte offset `off`.")]
         #[inline]
         pub fn $put(&mut self, off: usize, v: $ty) {
             const N: usize = std::mem::size_of::<$ty>();
@@ -60,21 +63,25 @@ impl Page {
     scalar_accessors!(get_f32, put_f32, f32);
     scalar_accessors!(get_f64, put_f64, f64);
 
+    /// Read a [`PageId`] (stored as a little-endian `u32`) at `off`.
     #[inline]
     pub fn get_page_id(&self, off: usize) -> PageId {
         PageId(self.get_u32(off))
     }
 
+    /// Write a [`PageId`] (as a little-endian `u32`) at `off`.
     #[inline]
     pub fn put_page_id(&mut self, off: usize, pid: PageId) {
         self.put_u32(off, pid.0);
     }
 
+    /// Borrow `len` raw bytes starting at `off`.
     #[inline]
     pub fn bytes(&self, off: usize, len: usize) -> &[u8] {
         &self.data[off..off + len]
     }
 
+    /// Mutably borrow `len` raw bytes starting at `off`.
     #[inline]
     pub fn bytes_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
         &mut self.data[off..off + len]

@@ -1,0 +1,118 @@
+//! Shard-local state of the sharded buffer pool: the frame table and its
+//! LRU bookkeeping.
+//!
+//! One [`PoolShard`] lives behind each of the pool's lock shards. Nothing
+//! in this module takes a lock — [`super::BufferPool`] owns all locking
+//! and the shard ↔ disk interplay — so the types here are plain mutable
+//! state and their methods are trivially deterministic: given the same
+//! sequence of calls, a shard makes the same eviction decisions.
+
+use std::collections::HashMap;
+
+use crate::page::{Page, PageId};
+use crate::pool::IoStats;
+
+/// One resident page plus its buffer-management metadata.
+pub(super) struct Frame {
+    /// The cached page contents.
+    pub(super) page: Page,
+    /// Whether the cached contents differ from the disk copy. A dirty
+    /// frame is written back (and counted) on eviction, flush, or clear.
+    pub(super) dirty: bool,
+    /// Shard-local LRU clock value of the frame's most recent touch.
+    pub(super) last_used: u64,
+}
+
+/// A bounded `PageId → Frame` map with least-recently-used victim
+/// selection.
+///
+/// The table never holds more than `capacity` frames: callers evict via
+/// [`FrameTable::take_victim`] while [`FrameTable::is_full`] before
+/// inserting. Victim selection is deterministic because every resident
+/// frame carries a distinct `last_used` tick (the owning shard's clock
+/// advances on every touch), so the minimum is unique.
+pub(super) struct FrameTable {
+    frames: HashMap<PageId, Frame>,
+    capacity: usize,
+}
+
+impl FrameTable {
+    /// An empty table that will hold at most `capacity` frames.
+    pub(super) fn new(capacity: usize) -> Self {
+        debug_assert!(capacity >= 1, "every pool shard owns at least one frame");
+        FrameTable { frames: HashMap::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Number of resident frames.
+    pub(super) fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Maximum number of resident frames.
+    pub(super) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether an insert must be preceded by an eviction.
+    pub(super) fn is_full(&self) -> bool {
+        self.frames.len() >= self.capacity
+    }
+
+    /// Whether `pid` is resident.
+    pub(super) fn contains(&self, pid: PageId) -> bool {
+        self.frames.contains_key(&pid)
+    }
+
+    /// Mutable access to a resident frame.
+    pub(super) fn get_mut(&mut self, pid: PageId) -> Option<&mut Frame> {
+        self.frames.get_mut(&pid)
+    }
+
+    /// Make `pid` resident. The caller must have evicted first if the
+    /// table was full.
+    pub(super) fn insert(&mut self, pid: PageId, frame: Frame) {
+        debug_assert!(self.frames.len() < self.capacity);
+        self.frames.insert(pid, frame);
+    }
+
+    /// Remove and return the least-recently-used frame, if any. The
+    /// caller writes it back to disk when dirty.
+    pub(super) fn take_victim(&mut self) -> Option<(PageId, Frame)> {
+        let victim = self.frames.iter().min_by_key(|(_, f)| f.last_used).map(|(pid, _)| *pid)?;
+        let frame = self.frames.remove(&victim).expect("victim resident");
+        Some((victim, frame))
+    }
+
+    /// Remove every frame, returning them for write-back.
+    pub(super) fn drain(&mut self) -> Vec<(PageId, Frame)> {
+        self.frames.drain().collect()
+    }
+
+    /// Iterate over all resident frames mutably (flush path).
+    pub(super) fn iter_mut(&mut self) -> impl Iterator<Item = (&PageId, &mut Frame)> {
+        self.frames.iter_mut()
+    }
+}
+
+/// Everything one lock shard protects: its slice of the frame budget, its
+/// own LRU clock, and its local slice of the I/O ledger.
+///
+/// Keeping the clock and counters shard-local is what makes the buffer-hit
+/// fast path touch *only* this shard's lock; [`super::BufferPool::stats`]
+/// reconstitutes the pool-wide ledger by summing the per-shard counters.
+pub(super) struct PoolShard {
+    /// The shard's resident pages.
+    pub(super) table: FrameTable,
+    /// Shard-local LRU clock; advances on every touch, so `last_used`
+    /// values within a shard are distinct and eviction is deterministic.
+    pub(super) tick: u64,
+    /// Shard-local I/O counters (summed across shards by `stats()`).
+    pub(super) stats: IoStats,
+}
+
+impl PoolShard {
+    /// An empty shard owning `capacity` frames of the pool's budget.
+    pub(super) fn new(capacity: usize) -> Self {
+        PoolShard { table: FrameTable::new(capacity), tick: 0, stats: IoStats::default() }
+    }
+}

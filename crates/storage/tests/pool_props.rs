@@ -1,0 +1,92 @@
+//! Property tests for the sharded buffer pool: residency never exceeds
+//! the configured total capacity, and `stats()` is exactly the sum of the
+//! per-shard counters — including under interleaved concurrent readers.
+
+use std::sync::Arc;
+
+use peb_storage::{BufferPool, IoStats, PageId};
+use proptest::prelude::*;
+
+fn summed(pool: &BufferPool) -> IoStats {
+    pool.shard_stats().iter().fold(IoStats::default(), |acc, s| acc.merged(s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn eviction_never_exceeds_total_capacity(
+        cap in 1usize..24,
+        shards in 1usize..9,
+        ops in proptest::collection::vec((0u32..48, any::<bool>()), 1..150),
+    ) {
+        let pool = BufferPool::with_shards(cap, shards);
+        prop_assert_eq!(
+            pool.shard_capacities().iter().sum::<usize>(),
+            cap,
+            "remainder rule must preserve the total budget"
+        );
+        let pids: Vec<PageId> = (0..48).map(|_| pool.allocate()).collect();
+        prop_assert!(pool.resident_pages() <= cap);
+        for &(i, write) in &ops {
+            let pid = pids[i as usize];
+            if write {
+                pool.write(pid, |p| p.put_u32(0, i));
+            } else {
+                pool.read(pid, |_| ());
+            }
+            prop_assert!(
+                pool.resident_pages() <= cap,
+                "residency {} exceeded capacity {}",
+                pool.resident_pages(),
+                cap
+            );
+        }
+        prop_assert_eq!(pool.stats(), summed(&pool));
+        let total = pool.stats();
+        prop_assert_eq!(total.logical_reads, ops.len() as u64);
+        // Writes only happen on dirty eviction/flush/clear; every miss is
+        // one physical read, so the ledger stays internally consistent.
+        prop_assert!(total.physical_reads <= total.logical_reads);
+    }
+
+    #[test]
+    fn stats_sum_exactly_under_interleaved_readers(
+        shards in 1usize..9,
+        reads_per_thread in 50usize..200,
+    ) {
+        let pool = Arc::new(BufferPool::with_shards(16, shards));
+        let pids: Vec<PageId> = (0..64).map(|_| pool.allocate()).collect();
+        for (i, pid) in pids.iter().enumerate() {
+            pool.write(*pid, |p| p.put_u64(0, i as u64));
+        }
+        pool.clear();
+        pool.reset_stats();
+
+        let threads = 4usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let pids = pids.clone();
+                std::thread::spawn(move || {
+                    for j in 0..reads_per_thread {
+                        let idx = (t * 17 + j * 7) % pids.len();
+                        let v = pool.read(pids[idx], |p| p.get_u64(0));
+                        assert_eq!(v, idx as u64, "page content must survive eviction races");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("reader thread panicked");
+        }
+
+        prop_assert!(pool.resident_pages() <= pool.capacity());
+        let total = pool.stats();
+        prop_assert_eq!(total, summed(&pool));
+        // Every read increments exactly one shard's counter under its
+        // lock, so the aggregate is exact even though the readers raced.
+        prop_assert_eq!(total.logical_reads, (threads * reads_per_thread) as u64);
+        prop_assert!(total.physical_reads >= 1, "cold pool must miss at least once");
+    }
+}
