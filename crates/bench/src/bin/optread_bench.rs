@@ -1,0 +1,9 @@
+//! Run the optimistic-read locking experiment on the frozen configuration
+//! and print the table; writes nothing (the trajectory entry is written by
+//! `run_all --baseline-only`, see docs/BENCHMARKS.md).
+use peb_bench::optreads;
+
+fn main() {
+    let r = optreads::measure_optreads();
+    optreads::print_table(&r);
+}

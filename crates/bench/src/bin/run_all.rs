@@ -3,15 +3,17 @@
 //! Flags:
 //! * `--baseline-only` — skip the figures; measure the fixed perf baseline
 //!   and write it to `BENCH_seed.json` (what CI runs), plus the
-//!   update-throughput trajectory entry to `BENCH_updates.json` and the
-//!   concurrent-scan trajectory entry to `BENCH_scans.json`.
+//!   update-throughput trajectory entry to `BENCH_updates.json`, the
+//!   concurrent-scan trajectory entry to `BENCH_scans.json`, and the
+//!   optimistic-read trajectory entry to `BENCH_optreads.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
-//! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` — override
-//!   the output paths.
+//! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
+//!   `PEB_OPTREADS_OUT` — override the output paths.
 use peb_bench::experiments;
+use peb_bench::optreads;
 use peb_bench::report;
 use peb_bench::scans;
 use peb_bench::updates;
@@ -38,6 +40,13 @@ fn main() {
         std::fs::write(&scans_path, scan.to_json())
             .unwrap_or_else(|e| panic!("cannot write {scans_path}: {e}"));
         eprintln!("concurrent-scan trajectory written to {scans_path}");
+
+        let opt_path =
+            std::env::var("PEB_OPTREADS_OUT").unwrap_or_else(|_| "BENCH_optreads.json".to_string());
+        let opt = optreads::measure_optreads();
+        std::fs::write(&opt_path, opt.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {opt_path}: {e}"));
+        eprintln!("optimistic-read trajectory written to {opt_path}");
         return;
     }
 
@@ -85,4 +94,10 @@ fn main() {
         "concurrent read qps: single-shard vs sharded buffer pool, 1-8 threads",
     );
     scans::print_table(&scans::measure_scans());
+    println!();
+    report::header(
+        "OptReads",
+        "locks acquired per warm query: locked vs optimistic read path, both engines",
+    );
+    optreads::print_table(&optreads::measure_optreads());
 }

@@ -26,6 +26,11 @@ pub struct RunConfig {
     /// domains change eviction, so I/O counts are only comparable at a
     /// fixed shard count); the concurrent-scan bench raises it.
     pub pool_shards: usize,
+    /// Whether the pool's lock-free versioned read path is active
+    /// (default `true` — the production configuration; I/O counters are
+    /// identical either way). The optimistic-reads experiment builds a
+    /// `false` world as its locked-path comparison point.
+    pub optimistic_reads: bool,
     pub seed: u64,
     /// Query time (users are inserted with `t_update = 0`).
     pub tq: f64,
@@ -46,6 +51,7 @@ impl Default for RunConfig {
             queries: queries_env(),
             buffer_pages: 50,
             pool_shards: 1,
+            optimistic_reads: true,
             seed: 0xC0FFEE,
             tq: 30.0,
             sv_params: SvAssignmentParams::default(),
@@ -116,19 +122,14 @@ impl World {
         let encode_secs = started.elapsed().as_secs_f64();
 
         let part = TimePartitioning::default();
-        let mut peb = PebTree::new(
-            Arc::new(BufferPool::with_shards(cfg.buffer_pages, cfg.pool_shards)),
-            space,
-            part,
-            cfg.max_speed,
-            Arc::clone(&ctx),
-        );
-        let mut baseline = SpatialBaseline::new(BxTree::new(
-            Arc::new(BufferPool::with_shards(cfg.buffer_pages, cfg.pool_shards)),
-            space,
-            part,
-            cfg.max_speed,
-        ));
+        let pool = |cfg: &RunConfig| {
+            Arc::new(
+                BufferPool::with_shards(cfg.buffer_pages, cfg.pool_shards)
+                    .optimistic(cfg.optimistic_reads),
+            )
+        };
+        let mut peb = PebTree::new(pool(cfg), space, part, cfg.max_speed, Arc::clone(&ctx));
+        let mut baseline = SpatialBaseline::new(BxTree::new(pool(cfg), space, part, cfg.max_speed));
         for m in &dataset.users {
             peb.upsert(*m);
             baseline.upsert(*m);

@@ -19,11 +19,19 @@
 //!   separator, as in textbook B+-trees.
 //! * **Sibling-linked leaves.** Range scans descend once and then walk the
 //!   leaf chain, which is what makes the Bx/PEB interval probes cheap.
+//! * **Lock-free optimistic reads.** [`BTree::get`] and
+//!   [`BTree::range_scan`] traverse via the pool's versioned page
+//!   snapshots (optimistic lock coupling: validate each parent's version
+//!   after following its child pointer, restart from the root on a
+//!   mismatch) and fall back to the locked read path per page or — after
+//!   bounded restarts — wholesale; see the [`tree`] module docs.
+
+#![warn(missing_docs)]
 
 pub mod bulk;
 pub mod node;
 pub mod tree;
 pub mod value;
 
-pub use tree::{BTree, TreeStats};
+pub use tree::{BTree, TreeStats, OPT_MAX_RESTARTS};
 pub use value::RecordValue;

@@ -33,7 +33,9 @@ pub const HEADER: usize = 16;
 /// Branch entry stride: 16-byte key + 4-byte child id.
 pub const BRANCH_ENTRY: usize = 20;
 
+/// Node-type tag of a leaf page.
 pub const TYPE_LEAF: u8 = 0;
+/// Node-type tag of a branch (inner) page.
 pub const TYPE_BRANCH: u8 = 1;
 
 /// Number of `(key, child)` entries a branch page can hold.
@@ -47,21 +49,25 @@ pub const fn leaf_capacity(vsize: usize) -> usize {
     (PAGE_SIZE - HEADER) / (16 + vsize)
 }
 
+/// Whether the page is a leaf node.
 #[inline]
 pub fn is_leaf(p: &Page) -> bool {
     p.get_u8(OFF_TYPE) == TYPE_LEAF
 }
 
+/// The page's entry count.
 #[inline]
 pub fn count(p: &Page) -> usize {
     p.get_u16(OFF_COUNT) as usize
 }
 
+/// Overwrite the page's entry count.
 #[inline]
 pub fn set_count(p: &mut Page, n: usize) {
     p.put_u16(OFF_COUNT, n as u16);
 }
 
+/// Format the page as an empty leaf with no right sibling.
 #[inline]
 pub fn init_leaf(p: &mut Page) {
     p.put_u8(OFF_TYPE, TYPE_LEAF);
@@ -69,6 +75,7 @@ pub fn init_leaf(p: &mut Page) {
     p.put_page_id(OFF_RIGHT, PageId::INVALID);
 }
 
+/// Format the page as an empty branch whose leftmost child is `leftmost`.
 #[inline]
 pub fn init_branch(p: &mut Page, leftmost: PageId) {
     p.put_u8(OFF_TYPE, TYPE_BRANCH);
@@ -78,21 +85,25 @@ pub fn init_branch(p: &mut Page, leftmost: PageId) {
 
 // ---- leaf accessors -------------------------------------------------------
 
+/// Byte offset of leaf entry `i` for values of `vsize` bytes.
 #[inline]
 pub fn leaf_entry_off(i: usize, vsize: usize) -> usize {
     HEADER + i * (16 + vsize)
 }
 
+/// Key of leaf entry `i`.
 #[inline]
 pub fn leaf_key(p: &Page, i: usize, vsize: usize) -> u128 {
     p.get_u128(leaf_entry_off(i, vsize))
 }
 
+/// The leaf's right-sibling pointer (`INVALID` at the end of the chain).
 #[inline]
 pub fn right_sibling(p: &Page) -> PageId {
     p.get_page_id(OFF_RIGHT)
 }
 
+/// Overwrite the leaf's right-sibling pointer.
 #[inline]
 pub fn set_right_sibling(p: &mut Page, pid: PageId) {
     p.put_page_id(OFF_RIGHT, pid);
@@ -114,11 +125,13 @@ pub fn leaf_lower_bound(p: &Page, key: u128, vsize: usize) -> usize {
 
 // ---- branch accessors -----------------------------------------------------
 
+/// Separator key of branch entry `i`.
 #[inline]
 pub fn branch_key(p: &Page, i: usize) -> u128 {
     p.get_u128(HEADER + i * BRANCH_ENTRY)
 }
 
+/// Overwrite the separator key of branch entry `i`.
 #[inline]
 pub fn set_branch_key(p: &mut Page, i: usize, k: u128) {
     p.put_u128(HEADER + i * BRANCH_ENTRY, k);
@@ -130,16 +143,19 @@ pub fn branch_entry_child(p: &Page, i: usize) -> PageId {
     p.get_page_id(HEADER + i * BRANCH_ENTRY + 16)
 }
 
+/// Overwrite the child pointer of branch entry `i`.
 #[inline]
 pub fn set_branch_entry_child(p: &mut Page, i: usize, c: PageId) {
     p.put_page_id(HEADER + i * BRANCH_ENTRY + 16, c);
 }
 
+/// The branch's leftmost child (the subtree below every separator).
 #[inline]
 pub fn leftmost_child(p: &Page) -> PageId {
     p.get_page_id(OFF_LEFTMOST)
 }
 
+/// Overwrite the branch's leftmost child pointer.
 #[inline]
 pub fn set_leftmost_child(p: &mut Page, c: PageId) {
     p.put_page_id(OFF_LEFTMOST, c);
@@ -157,6 +173,7 @@ pub fn child_at(p: &Page, j: usize) -> PageId {
     }
 }
 
+/// Overwrite child pointer number `j` (see [`child_at`]).
 #[inline]
 pub fn set_child_at(p: &mut Page, j: usize, c: PageId) {
     if j == 0 {

@@ -1,13 +1,42 @@
 //! B+-tree operations: search, insert with split propagation, delete with
 //! borrow/merge rebalancing, and sibling-chain range scans.
+//!
+//! # Optimistic read path
+//!
+//! [`BTree::get`] and [`BTree::range_scan`] descend the tree through the
+//! buffer pool's lock-free versioned reads
+//! ([`BufferPool::read_versioned`]) in the style of optimistic lock
+//! coupling: each page is copied out under no lock with its publication
+//! version validated around the copy, and after following a child pointer
+//! the parent's version is re-checked ([`BufferPool::read_version`]) so a
+//! page that changed underneath the descent restarts it from the root.
+//! Restarts are bounded ([`OPT_MAX_RESTARTS`]); pages that are not
+//! published lock-free (cold pages, mirror-slot collisions) are read
+//! through the ordinary locked path *within* the descent, which keeps the
+//! per-page I/O accounting identical to a fully locked traversal. The
+//! write path ([`BTree::insert`], [`BTree::delete`], bulk loading) is
+//! unchanged and locked; it requires `&mut self`, so traversals racing a
+//! *tree* writer are excluded by Rust's borrow rules — the version
+//! protocol defends against the page-level churn (evictions, reloads,
+//! cross-tree pool traffic) that shared-pool concurrency can cause.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use peb_storage::{BufferPool, PageId};
+use peb_storage::{BufferPool, OptimisticRead, Page, PageId};
 
 use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
 use crate::value::RecordValue;
+
+/// Bound on root-restarts of an optimistic descent before it falls back
+/// to the fully locked path. Conflicts need a racing page writer, so on a
+/// quiesced tree the first attempt always succeeds; under churn the bound
+/// keeps the read path from livelocking against a steady writer.
+pub const OPT_MAX_RESTARTS: usize = 3;
+
+/// Signal that an optimistic descent observed a version conflict and must
+/// restart from the root (internal to the read path).
+struct Restart;
 
 /// A disk-based B+-tree mapping unique `u128` keys to fixed-size records.
 pub struct BTree<V: RecordValue> {
@@ -54,6 +83,7 @@ impl<V: RecordValue> BTree<V> {
         self.len
     }
 
+    /// Whether the tree stores no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -101,21 +131,125 @@ impl<V: RecordValue> BTree<V> {
 
     // ---- point lookup ------------------------------------------------------
 
-    /// Exact-key lookup.
-    pub fn get(&self, key: u128) -> Option<V> {
+    /// One page read of an optimistic descent: lock-free when the page is
+    /// published, locked otherwise, restarting on version conflicts.
+    /// `prev` carries the `(page, version)` the current `pid` was read
+    /// from; it is re-validated *after* this page is read (the optimistic
+    /// lock coupling handshake — a parent that was rewritten while we
+    /// followed its child pointer invalidates the route) and then
+    /// replaced by this page's version for the next step. A locked read
+    /// yields no version, so the chain restarts from it.
+    ///
+    /// A parent that merely became *unpublished* (evicted or displaced
+    /// from its mirror slot — its content survives on disk unchanged)
+    /// does **not** restart the descent: page contents only change under
+    /// exclusive tree access, so an unpublished parent cannot have
+    /// rerouted us, and tolerating it keeps buffer churn from perturbing
+    /// the deterministic I/O ledger. Only a parent republished at a
+    /// *different version* — a genuine rewrite — forces the restart.
+    fn descend_step<R>(
+        &self,
+        pid: PageId,
+        prev: &mut Option<(PageId, u64)>,
+        f: impl Fn(&Page) -> R,
+    ) -> Result<R, Restart> {
+        let (r, version) = match self.pool.read_versioned(pid, &f) {
+            OptimisticRead::Hit(r, v) => (r, Some(v)),
+            // Not published lock-free (cold page, mirror collision): the
+            // locked read is authoritative and counts the touch exactly
+            // like a fully locked descent would.
+            OptimisticRead::Unpublished => (self.pool.read(pid, &f), None),
+            OptimisticRead::Conflict => return Err(Restart),
+        };
+        if let Some((ppid, pv)) = *prev {
+            match self.pool.read_version(ppid) {
+                Some(v) if v != pv => return Err(Restart),
+                _ => {}
+            }
+        }
+        *prev = version.map(|v| (pid, v));
+        Ok(r)
+    }
+
+    /// One optimistic root-to-leaf descent for `key`; `Err` means a
+    /// version conflict invalidated the route and the caller restarts.
+    fn try_get_optimistic(&self, key: u128) -> Result<Option<V>, Restart> {
+        let vsize = Self::vsize();
+        let mut prev: Option<(PageId, u64)> = None;
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.descend_step(pid, &mut prev, |p| {
+                node::child_at(p, node::branch_child_index(p, key))
+            })?;
+        }
+        self.descend_step(pid, &mut prev, |p| {
+            let i = node::leaf_lower_bound(p, key, vsize);
+            if i < node::count(p) && node::leaf_key(p, i, vsize) == key {
+                Some(V::read(p.bytes(node::leaf_entry_off(i, vsize) + 16, vsize)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The fully locked point lookup — the universal fallback of
+    /// [`BTree::get`] and the reference behavior the optimistic descent
+    /// is tested against.
+    fn get_locked(&self, key: u128) -> Option<V> {
         let mut pid = self.root;
         for _ in 1..self.height {
             pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, key)));
         }
-        let found = self.pool.read(pid, |p| {
+        self.pool.read(pid, |p| {
             let i = node::leaf_lower_bound(p, key, Self::vsize());
             if i < node::count(p) && node::leaf_key(p, i, Self::vsize()) == key {
                 Some(V::read(p.bytes(node::leaf_entry_off(i, Self::vsize()) + 16, Self::vsize())))
             } else {
                 None
             }
-        });
-        found
+        })
+    }
+
+    /// Exact-key lookup.
+    ///
+    /// Descends optimistically — lock-free versioned page snapshots with
+    /// an OLC-style validation chain — and transparently falls back to
+    /// the locked read path, per page when a page is not published
+    /// lock-free and wholesale after [`OPT_MAX_RESTARTS`] version
+    /// conflicts. Both paths return the same answer and count the same
+    /// I/O; only the pool's [`peb_storage::LockStats`] can tell them
+    /// apart:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use peb_btree::BTree;
+    /// use peb_storage::BufferPool;
+    ///
+    /// let optimistic = Arc::new(BufferPool::new(32));
+    /// let locked = Arc::new(BufferPool::with_shards(32, 1).optimistic(false));
+    /// let mut a: BTree<u64> = BTree::new(Arc::clone(&optimistic));
+    /// let mut b: BTree<u64> = BTree::new(locked);
+    /// for k in 0..2_000u128 {
+    ///     a.insert(k * 3, k as u64);
+    ///     b.insert(k * 3, k as u64);
+    /// }
+    /// // The fallback contract: the optimistic tree answers exactly like
+    /// // the locked-only tree, present keys and misses alike...
+    /// for probe in [0u128, 1, 2_997, 2_998, 5_997, 9_000] {
+    ///     assert_eq!(a.get(probe), b.get(probe));
+    /// }
+    /// // ...and on a warm tree it did so without acquiring any lock.
+    /// optimistic.reset_stats();
+    /// assert_eq!(a.get(2_997), Some(999));
+    /// assert_eq!(optimistic.lock_stats().lock_acquisitions, 0);
+    /// ```
+    pub fn get(&self, key: u128) -> Option<V> {
+        for _ in 0..OPT_MAX_RESTARTS {
+            if let Ok(found) = self.try_get_optimistic(key) {
+                return found;
+            }
+        }
+        self.get_locked(key)
     }
 
     /// Whether `key` is present.
@@ -484,24 +618,58 @@ impl<V: RecordValue> BTree<V> {
 
     // ---- range scans -------------------------------------------------------
 
+    /// Optimistic descent for [`BTree::range_scan`]: the leaf that would
+    /// contain `lo`, plus the index of its first entry `>= lo`.
+    fn try_find_start_leaf(&self, lo: u128) -> Result<(PageId, usize), Restart> {
+        let vsize = Self::vsize();
+        let mut prev: Option<(PageId, u64)> = None;
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.descend_step(pid, &mut prev, |p| {
+                node::child_at(p, node::branch_child_index(p, lo))
+            })?;
+        }
+        let start = self.descend_step(pid, &mut prev, |p| node::leaf_lower_bound(p, lo, vsize))?;
+        Ok((pid, start))
+    }
+
     /// Visit all entries with `lo <= key <= hi` in key order. The callback
     /// returns `false` to stop early; `range_scan` returns whether the scan
     /// ran to completion.
+    ///
+    /// The descent to the starting leaf is optimistic with bounded
+    /// restarts (nothing has been emitted yet, so restarting is free);
+    /// the sibling-chain walk reads each leaf from a lock-free versioned
+    /// snapshot when one is published and from the locked page otherwise.
+    /// Once entries have reached the visitor the walk never restarts — a
+    /// version conflict mid-chain defers to the locked read of the same
+    /// leaf — so the visitor sees every in-range entry exactly once, in
+    /// order, just like the fully locked scan.
     pub fn range_scan(&self, lo: u128, hi: u128, mut visit: impl FnMut(u128, V) -> bool) -> bool {
         if lo > hi {
             return true;
         }
         let vsize = Self::vsize();
-        // Descend to the leaf that would contain `lo`.
-        let mut pid = self.root;
-        for _ in 1..self.height {
-            pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)));
+        let mut found = None;
+        for _ in 0..OPT_MAX_RESTARTS {
+            if let Ok(start) = self.try_find_start_leaf(lo) {
+                found = Some(start);
+                break;
+            }
         }
-        let mut start = self.pool.read(pid, |p| node::leaf_lower_bound(p, lo, vsize));
+        let (mut pid, mut start) = found.unwrap_or_else(|| {
+            // Locked fallback descent (same page touches, same answer).
+            let mut pid = self.root;
+            for _ in 1..self.height {
+                pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)));
+            }
+            (pid, self.pool.read(pid, |p| node::leaf_lower_bound(p, lo, vsize)))
+        });
         loop {
-            // Collect this leaf's in-range entries, then release the page
-            // before invoking the callback (no borrow held across it).
-            let (batch, next) = self.pool.read(pid, |p| {
+            // Collect this leaf's in-range entries from one consistent
+            // page image, then emit with no page borrow (and no lock)
+            // held across the callback.
+            let read_leaf = |p: &Page| {
                 let n = node::count(p);
                 let mut batch = Vec::new();
                 let mut i = start;
@@ -514,7 +682,13 @@ impl<V: RecordValue> BTree<V> {
                     i += 1;
                 }
                 (batch, node::right_sibling(p))
-            });
+            };
+            let (batch, next) = match self.pool.read_versioned(pid, read_leaf) {
+                OptimisticRead::Hit(r, _) => r,
+                OptimisticRead::Unpublished | OptimisticRead::Conflict => {
+                    self.pool.read(pid, read_leaf)
+                }
+            };
             for (k, v) in batch {
                 if !visit(k, v) {
                     return false;
@@ -906,6 +1080,95 @@ mod proptests {
 }
 
 #[cfg(test)]
+mod optimistic_tests {
+    use super::*;
+
+    /// Two structurally identical trees, one over a pool with the
+    /// lock-free read path on and one with it off.
+    fn twin_trees(cap: usize, n: u128) -> (BTree<u64>, BTree<u64>) {
+        let mut opt: BTree<u64> = BTree::new(Arc::new(BufferPool::new(cap)));
+        let mut locked: BTree<u64> =
+            BTree::new(Arc::new(BufferPool::with_shards(cap, 1).optimistic(false)));
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % (1 << 24);
+            opt.insert(k, i as u64);
+            locked.insert(k, i as u64);
+        }
+        for i in (0..n).step_by(5) {
+            let k = (i * 2_654_435_761) % (1 << 24);
+            opt.delete(k);
+            locked.delete(k);
+        }
+        (opt, locked)
+    }
+
+    #[test]
+    fn quiesced_optimistic_reads_converge_to_locked_reads() {
+        // The equivalence half of the acceptance bar: on a quiesced tree
+        // the optimistic get/range answers are exactly the locked ones.
+        let (opt, locked) = twin_trees(64, 8_000);
+        assert_eq!(opt.len(), locked.len());
+        for probe in (0..1 << 24).step_by(97_003) {
+            assert_eq!(opt.get(probe), locked.get(probe), "get({probe})");
+        }
+        for (lo, hi) in [(0u128, 1 << 24), (12_345, 999_999), (1 << 20, (1 << 20) + 50_000)] {
+            assert_eq!(opt.range(lo, hi), locked.range(lo, hi), "range({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn io_ledger_is_identical_with_and_without_optimistic_reads() {
+        // The frozen-I/O property at unit scale: same inserts, same
+        // reads, same thrashing 8-frame pool — the IoStats ledgers must
+        // agree counter for counter even though one side reads lock-free.
+        let (opt, locked) = twin_trees(8, 4_000);
+        for t in [&opt, &locked] {
+            t.pool().flush_all();
+            t.pool().clear();
+            t.pool().reset_stats();
+        }
+        let probe = |t: &BTree<u64>| {
+            for k in (0..1 << 24).step_by(131_071) {
+                t.get(k);
+            }
+            let mut n = 0usize;
+            t.range_scan(1 << 20, (1 << 20) + 200_000, |_, _| {
+                n += 1;
+                true
+            });
+            n
+        };
+        assert_eq!(probe(&opt), probe(&locked));
+        assert_eq!(opt.pool().stats(), locked.pool().stats(), "ledgers diverged");
+        // And the optimistic side really did exercise the lock-free path
+        // once pages warmed up.
+        assert!(opt.pool().lock_stats().optimistic_hits > 0);
+        assert_eq!(locked.pool().lock_stats().optimistic_attempts(), 0);
+    }
+
+    #[test]
+    fn warm_tree_reads_acquire_no_locks() {
+        // Pool large enough to hold the whole tree: after one warming
+        // pass every path page is published and reads go fully lock-free.
+        let pool = Arc::new(BufferPool::new(256));
+        let mut t: BTree<u64> = BTree::new(Arc::clone(&pool));
+        for k in 0..10_000u128 {
+            t.insert(k, k as u64);
+        }
+        assert!(t.height() >= 2);
+        t.get(5_000);
+        t.range(2_000, 2_200);
+        pool.reset_stats();
+        assert_eq!(t.get(5_000), Some(5_000));
+        assert_eq!(t.range(2_000, 2_200).len(), 201);
+        let locks = pool.lock_stats();
+        assert_eq!(locks.lock_acquisitions, 0, "warm reads must not touch a mutex");
+        assert!(locks.optimistic_hits as u32 >= t.height(), "every page touch was optimistic");
+        assert!(pool.stats().logical_reads > 0, "touches still land on the I/O ledger");
+    }
+}
+
+#[cfg(test)]
 mod stress_tests {
     use super::*;
 
@@ -964,9 +1227,13 @@ mod stress_tests {
 /// Structural summary of a tree, for diagnostics and capacity planning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeStats {
+    /// Stored entries.
     pub entries: usize,
+    /// Tree height in levels (1 = the root is a leaf).
     pub height: u32,
+    /// Live leaf pages (`Nl` in the paper's cost model).
     pub leaf_pages: usize,
+    /// Live pages across all levels.
     pub total_pages: usize,
     /// Average leaf occupancy in `[0, 1]`.
     pub avg_leaf_fill: f64,

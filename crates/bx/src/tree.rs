@@ -75,6 +75,12 @@ impl BxTree {
         self.idx.pool()
     }
 
+    /// Locking counters of the shared pool: optimistic hits vs shard-mutex
+    /// acquisitions on the read path (see [`peb_storage::LockStats`]).
+    pub fn lock_stats(&self) -> peb_storage::LockStats {
+        self.idx.lock_stats()
+    }
+
     /// Number of leaf pages, `Nl` in the paper's cost model.
     pub fn leaf_page_count(&self) -> usize {
         self.idx.leaf_page_count()

@@ -54,6 +54,12 @@ impl SpatialBaseline {
         self.bx.pool()
     }
 
+    /// Locking counters of the underlying pool: how much of the read path
+    /// ran lock-free (see [`peb_storage::LockStats`]).
+    pub fn lock_stats(&self) -> peb_storage::LockStats {
+        self.bx.lock_stats()
+    }
+
     /// Privacy-aware range query, filtering style: spatial query first,
     /// policy evaluation on everything retrieved. Sorted by uid.
     pub fn prq(

@@ -134,6 +134,16 @@ impl PebTree {
         self.idx.pool()
     }
 
+    /// Locking counters of the shared pool: how much of the query read
+    /// path (interval scans and the refinement lookups behind them) ran
+    /// lock-free vs through a shard mutex (see
+    /// [`peb_storage::LockStats`]). Deterministic for a fixed workload —
+    /// the companion of [`PebTree::pool`]'s I/O ledger for the optimistic
+    /// read path.
+    pub fn lock_stats(&self) -> peb_storage::LockStats {
+        self.idx.lock_stats()
+    }
+
     /// Number of leaf pages — `Nl` in the paper's cost model (Sec 6).
     pub fn leaf_page_count(&self) -> usize {
         self.idx.leaf_page_count()

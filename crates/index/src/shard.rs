@@ -38,21 +38,41 @@
 //! transiently duplicate the object). Partition the update stream by uid —
 //! as [`ShardedMovingIndex::upsert_batch`] does internally — to get
 //! deterministic results. Aggregating reads (`len`, `stats`,
-//! `live_partitions`) and multi-shard scans
-//! ([`ShardedMovingIndex::scan_keys`]) lock shards one at a time and are
-//! therefore not atomic
-//! snapshots: concurrently with an update that migrates an object across
-//! partitions, a scan may observe the object twice (old and new entry) or
-//! not at all — read-committed isolation, not snapshot isolation. Once
-//! updates quiesce, scans are exact.
+//! `live_partitions`) lock shards one at a time and are therefore not
+//! atomic snapshots.
+//!
+//! Multi-shard scans ([`ShardedMovingIndex::scan_keys`]), however, **are
+//! migration-consistent**: every update path that re-keys a live object
+//! outside a single shard-lock critical section (a cross-partition
+//! migration, or a batch's evict-then-merge within one partition) wraps
+//! the re-key in a per-index *migration epoch* — a seqlock-style pair of
+//! counters bumped when such a span starts and when it completes. A
+//! multi-shard scan buffers its result while holding shard locks one at
+//! a time, then revalidates the epoch: if a migration span overlapped
+//! the scan, the scan retries, and after a bounded number of retries it
+//! falls back to waiting out in-flight spans and acquiring **all**
+//! intersecting shard locks (in ascending tid order, a superset of every
+//! writer's single-lock order, so deadlock-free) for a true snapshot.
+//! Such a scan therefore never observes a migrating object twice (old
+//! and new entry) nor misses it entirely — the read-committed anomaly
+//! documented in PR 2/PR 3 is closed. Two semantics notes: a
+//! **single-shard** scan (every interval the query algorithms issue)
+//! streams under its one read lock — atomic against cross-shard
+//! migrations by construction, but a batch's *same-shard* evict→merge
+//! gap can still transiently hide the re-keyed object from it
+//! (read-committed, exactly as before this PR); and object *insertions*
+//! and *removals* remain read-committed everywhere — a scan racing a
+//! brand-new object or a genuine delete may or may not see it, as
+//! before.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use peb_btree::{BTree, TreeStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
-use peb_storage::{BufferPool, IoStats};
+use peb_storage::{BufferPool, IoStats, LockStats};
 use peb_zorder::encode;
 
 use crate::layout::KeyLayout;
@@ -82,12 +102,25 @@ impl Shard {
 pub struct ShardedMovingIndex<L: KeyLayout> {
     /// One shard per partition id, indexed by `tid`.
     shards: Vec<RwLock<Shard>>,
+    /// Migration spans *started*: bumped before the first stale-entry
+    /// eviction of any re-keying span that is not atomic under a single
+    /// shard lock (see the module docs). Together with `mig_done` it
+    /// forms the index's migration epoch.
+    mig_started: AtomicU64,
+    /// Migration spans *completed*: bumped after the span's final insert.
+    /// `mig_done == mig_started` means no migration is in flight.
+    mig_done: AtomicU64,
     layout: L,
     space: SpaceConfig,
     part: TimePartitioning,
     max_speed: f64,
     pool: Arc<BufferPool>,
 }
+
+/// Buffered-scan attempts [`ShardedMovingIndex::scan_keys`] makes against
+/// the migration epoch before falling back to locking every intersecting
+/// shard at once.
+const SCAN_EPOCH_RETRIES: usize = 3;
 
 impl<L: KeyLayout> ShardedMovingIndex<L> {
     /// An empty index with one shard per rotating partition, all sharing
@@ -101,7 +134,16 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     ) -> Self {
         assert!(max_speed > 0.0);
         let shards = part.partition_ids().map(|_| RwLock::new(Shard::new(&pool))).collect();
-        ShardedMovingIndex { shards, layout, space, part, max_speed, pool }
+        ShardedMovingIndex {
+            shards,
+            mig_started: AtomicU64::new(0),
+            mig_done: AtomicU64::new(0),
+            layout,
+            space,
+            part,
+            max_speed,
+            pool,
+        }
     }
 
     /// Bulk-load an initial population (each user must appear once): users
@@ -198,6 +240,14 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         self.pool.stats()
     }
 
+    /// Locking counters of the shared pool ([`BufferPool::lock_stats`]):
+    /// how many page touches went lock-free vs through a shard mutex —
+    /// the deterministic companion of [`ShardedMovingIndex::io_stats`]
+    /// for the optimistic read path.
+    pub fn lock_stats(&self) -> LockStats {
+        self.pool.lock_stats()
+    }
+
     /// Leaf pages across all shard trees, `Nl` in the paper's cost model.
     pub fn leaf_page_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().btree.leaf_page_count()).sum()
@@ -253,7 +303,11 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             }
         }
         // Slow path (migration or first sighting): evict the old entry
-        // from any *other* shard, then insert into the target.
+        // from any *other* shard, then insert into the target. A found
+        // old entry makes this a cross-partition migration — the object
+        // is briefly in no shard (or, interleaved badly, in two) — so the
+        // span is bracketed by the migration epoch for scans to detect.
+        let mut migrating = false;
         for (i, shard) in self.shards.iter().enumerate() {
             if i == tid as usize {
                 continue;
@@ -261,6 +315,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if shard.read().current_key.contains_key(&m.uid) {
                 let mut s = shard.write();
                 if let Some(old) = s.current_key.remove(&m.uid) {
+                    if !migrating {
+                        migrating = true;
+                        self.mig_started.fetch_add(1, Ordering::SeqCst);
+                    }
                     s.btree.delete(old);
                 }
             }
@@ -274,6 +332,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         s.btree.insert(key, ObjectRecord::from_moving_point(&m));
         s.current_key.insert(m.uid, key);
         s.label = Some(t_lab);
+        drop(s);
+        if migrating {
+            self.mig_done.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Apply a batch of updates: group by target partition, delete stale
@@ -346,16 +408,19 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             *lab = Some(lab.map_or(t_lab, |l: f64| l.max(t_lab)));
         }
 
-        // Phase 1 — evict stale entries, one shard lock at a time. An
-        // entry survives in place only if it is already under its new key
-        // in its new shard (then the merge just replaces the value).
-        for (tid, shard) in self.shards.iter().enumerate() {
-            let mut present: Vec<UserId> = {
+        // Phase 1a — find stale entries, one shard *read* lock at a time.
+        // An entry survives in place only if it is already under its new
+        // key in its new shard (then the merge just replaces the value).
+        let stale: Vec<(usize, Vec<UserId>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, shard)| {
                 let s = shard.read();
                 if s.current_key.is_empty() {
-                    continue;
+                    return None;
                 }
-                targets
+                let mut present: Vec<UserId> = targets
                     .iter()
                     .filter(|(uid, &(ttid, tkey))| {
                         s.current_key
@@ -363,16 +428,33 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                             .is_some_and(|&old| ttid as usize != tid || tkey != old)
                     })
                     .map(|(uid, _)| *uid)
-                    .collect()
-            };
-            if present.is_empty() {
-                continue;
-            }
-            // `targets` iterates in HashMap order, which varies run to
-            // run; deletes touch pages, so the order must be pinned for
-            // the I/O ledger of a fixed workload to be reproducible.
-            present.sort_unstable();
-            let mut s = shard.write();
+                    .collect();
+                if present.is_empty() {
+                    return None;
+                }
+                // `targets` iterates in HashMap order, which varies run
+                // to run; deletes touch pages, so the order must be
+                // pinned for the I/O ledger of a fixed workload to be
+                // reproducible.
+                present.sort_unstable();
+                Some((tid, present))
+            })
+            .collect();
+
+        // Any stale entry means this batch re-keys live objects across
+        // two lock critical sections (evict now under one lock, merge
+        // later under another — same shard or not), so the whole
+        // evict→merge span is bracketed by the migration epoch: a
+        // concurrent scan overlapping it retries instead of seeing a
+        // re-keyed object twice or not at all.
+        let migrating = !stale.is_empty();
+        if migrating {
+            self.mig_started.fetch_add(1, Ordering::SeqCst);
+        }
+
+        // Phase 1b — evict, one shard write lock at a time.
+        for (tid, present) in stale {
+            let mut s = self.shards[tid].write();
             for uid in present {
                 // Re-check under the write lock (another batch may have
                 // moved the object in between).
@@ -407,6 +489,9 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if let Some(lab) = labels[tid] {
                 s.label = Some(lab);
             }
+        }
+        if migrating {
+            self.mig_done.fetch_add(1, Ordering::SeqCst);
         }
         targets.len()
     }
@@ -462,7 +547,28 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     /// ranges it intersects, visited in ascending key order (partition
     /// ranges are disjoint, so this preserves the global order).
     ///
-    /// The visiting closure runs under the shard's read lock: it must not
+    /// The scan is **migration-consistent** (see the module docs).
+    /// Ranges intersecting a **single** shard — every `scan_interval` the
+    /// query algorithms issue is one, since a PEB/Bx interval lives inside
+    /// one partition — stream directly under that shard's read lock: one
+    /// lock is already atomic against everything except a same-shard
+    /// evict→merge gap (see the module docs), and the early-exit contract
+    /// costs exactly the pages scanned until `visit` stops (the original
+    /// behavior). Multi-shard ranges take the
+    /// epoch-validated path: buffer the matching records while locking
+    /// shards one at a time, then revalidate the migration epoch before
+    /// handing anything to `visit` — if a cross-shard (or evict-then-
+    /// merge) re-key overlapped the scan, the buffer is discarded and the
+    /// scan retried; after `SCAN_EPOCH_RETRIES` failed attempts it waits
+    /// for in-flight spans to land, acquires every intersecting shard
+    /// lock at once (ascending tid — a strict superset of the writers'
+    /// one-lock-at-a-time order, so deadlock-free), and streams a true
+    /// snapshot. On that path the whole range is read before the stop
+    /// signal is consulted (the snapshot must be taken to be validated),
+    /// and persistent migration traffic delays — but with the cooperative
+    /// yield below cannot permanently starve — the scan.
+    ///
+    /// The visiting closure may run under shard read locks: it must not
     /// call update methods on this index, but concurrent scans are free.
     pub fn scan_keys(
         &self,
@@ -480,13 +586,87 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             })
             .collect();
         spans.sort_unstable_by_key(|span| span.0);
-        for (l, h, tid) in spans {
-            let s = self.shards[tid].read();
-            if !s.btree.range_scan(l, h, &mut visit) {
-                return false;
+
+        // Single-shard fast path: atomic under one read lock, streams
+        // with the visitor's early exit intact (the hot query path).
+        if let [(l, h, tid)] = spans[..] {
+            return self.shards[tid].read().btree.range_scan(l, h, &mut visit);
+        }
+
+        for _ in 0..SCAN_EPOCH_RETRIES {
+            // Valid start state: no migration in flight. (`mig_done` is
+            // read first so a span completing in between reads as "in
+            // flight" — conservative, never unsound.)
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                // Let the migrator finish its span instead of burning the
+                // scheduling quantum (the CI box has one CPU).
+                std::thread::yield_now();
+                continue;
+            }
+            let mut buf: Vec<(u128, ObjectRecord)> = Vec::new();
+            for (l, h, tid) in &spans {
+                let s = self.shards[*tid].read();
+                s.btree.range_scan(*l, *h, |k, rec| {
+                    buf.push((k, rec));
+                    true
+                });
+            }
+            // No migration started during the scan (and none was in
+            // flight when it began) ⇒ no re-key overlapped any part of
+            // it: the buffer is migration-consistent and can be emitted.
+            if self.mig_started.load(Ordering::SeqCst) == started {
+                for (k, rec) in buf {
+                    if !visit(k, rec) {
+                        return false;
+                    }
+                }
+                return true;
             }
         }
-        true
+
+        // Migrations keep racing us: wait for every in-flight span to
+        // land, then take every intersecting shard lock at once and
+        // re-verify the epoch *under* the locks. Holding all the locks
+        // blocks any further re-key (a writer needs a write lock per
+        // shard it touches), and the under-lock epoch check rules out a
+        // span that slipped a delete in before we finished acquiring —
+        // the mid-air case where the object is momentarily in no shard
+        // and no locking alone could make the scan see it. Each wait
+        // yields the CPU so the migration being waited on can complete;
+        // every span is finite, so the scan makes progress as soon as a
+        // gap in the migration traffic lets one lock-acquisition window
+        // pass undisturbed.
+        loop {
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                std::thread::yield_now();
+                continue;
+            }
+            let guards: Vec<_> = spans.iter().map(|(_, _, tid)| self.shards[*tid].read()).collect();
+            if self.mig_started.load(Ordering::SeqCst) != started
+                || self.mig_done.load(Ordering::SeqCst) != started
+            {
+                drop(guards);
+                std::thread::yield_now();
+                continue;
+            }
+            for ((l, h, _), s) in spans.iter().zip(guards.iter()) {
+                if !s.btree.range_scan(*l, *h, &mut visit) {
+                    return false;
+                }
+            }
+            return true;
+        }
+    }
+
+    /// The number of migration spans ever started on this index (the
+    /// migration epoch's leading edge). Exposed for tests and diagnostics;
+    /// `scan_keys` consumes it internally.
+    pub fn migration_epoch(&self) -> u64 {
+        self.mig_started.load(Ordering::SeqCst)
     }
 
     /// Garbage-collect expired partitions: a shard whose label timestamp
@@ -791,6 +971,37 @@ mod tests {
         });
         assert!(!completed);
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn migration_epoch_tracks_rekeying_spans() {
+        let idx = index(64);
+        assert_eq!(idx.migration_epoch(), 0);
+        // First sighting: an insert, not a migration.
+        idx.upsert(still(1, 100.0, 100.0, 10.0));
+        assert_eq!(idx.migration_epoch(), 0);
+        // Same-partition update: atomic under one shard lock, no span.
+        idx.upsert(still(1, 120.0, 120.0, 20.0));
+        assert_eq!(idx.migration_epoch(), 0);
+        // Phase rollover: the object crosses partitions — one span.
+        idx.upsert(still(1, 130.0, 130.0, 70.0));
+        assert_eq!(idx.migration_epoch(), 1);
+        // A batch whose objects only re-key (same or cross shard) opens
+        // exactly one span for the whole batch.
+        let batch: Vec<MovingPoint> =
+            (0..50u64).map(|i| still(i, i as f64 * 18.0 + 1.0, 400.0, 130.0)).collect();
+        idx.upsert_batch(&batch);
+        assert_eq!(idx.migration_epoch(), 2, "uid 1 re-keyed; one span per batch");
+        // A batch that changes nothing (same keys) opens no span.
+        idx.upsert_batch(&batch);
+        assert_eq!(idx.migration_epoch(), 2);
+        // Scans still work and see each object exactly once afterwards.
+        let mut seen = std::collections::HashSet::new();
+        idx.scan_keys(0, u128::MAX, |_, rec| {
+            assert!(seen.insert(rec.uid), "duplicate uid {}", rec.uid);
+            true
+        });
+        assert_eq!(seen.len(), idx.len());
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //! summing one exact pool-wide ledger; [`pool::BufferPool::new`] pins a
 //! single shard — the paper-exact configuration every frozen benchmark
 //! uses — and [`pool::BufferPool::sharded`] enables the concurrent
-//! configuration. See the [`pool`] module docs for the lock ordering and
-//! determinism contract.
+//! configuration. On top of the shards sits a lock-free **versioned read
+//! path**: every resident page can be published in a seqlock-style mirror
+//! and copied out by [`pool::BufferPool::try_read_optimistic`] without
+//! touching any mutex, with the [`pool::LockStats`] ledger counting how
+//! much locking the read path avoided. See the [`pool`] module docs for
+//! the lock ordering, versioning, and determinism contract.
 
 #![warn(missing_docs)]
 
@@ -24,5 +28,5 @@ pub mod page;
 pub mod pool;
 
 pub use disk::DiskSim;
-pub use page::{Page, PageId, PAGE_SIZE};
-pub use pool::{default_shard_count, BufferPool, IoStats};
+pub use page::{Page, PageId, PAGE_SIZE, PAGE_WORDS};
+pub use pool::{default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead};

@@ -17,6 +17,10 @@ impl PageId {
     }
 }
 
+/// Number of machine words ([`u64`]) in a page; the versioned-read mirror
+/// copies pages word-at-a-time through atomics at this granularity.
+pub const PAGE_WORDS: usize = PAGE_SIZE / 8;
+
 /// A 4 KB page. Scalar accessors read/write little-endian values at byte
 /// offsets; callers (the B+-tree node layout) are responsible for offsets
 /// staying in bounds, which the accessors assert.
@@ -93,6 +97,48 @@ impl Page {
     pub fn shift(&mut self, src: usize, dst: usize, len: usize) {
         self.data.copy_within(src..src + len, dst);
     }
+
+    /// Word `i` of the page in native endianness (`i < `[`PAGE_WORDS`]).
+    ///
+    /// Words are an opaque transport format for whole-page copies (the
+    /// versioned-read mirror stores pages as atomic words); they round-trip
+    /// through [`Page::set_word`] bit-exactly on any platform but carry no
+    /// cross-platform meaning of their own — use the little-endian scalar
+    /// accessors for field access.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        u64::from_ne_bytes(self.data[i * 8..i * 8 + 8].try_into().unwrap())
+    }
+
+    /// Overwrite word `i` with a value previously read by [`Page::word`].
+    #[inline]
+    pub fn set_word(&mut self, i: usize, w: u64) {
+        self.data[i * 8..i * 8 + 8].copy_from_slice(&w.to_ne_bytes());
+    }
+
+    /// Fill the whole page from an atomic word image of length
+    /// [`PAGE_WORDS`] (relaxed loads — callers supply the fences, see the
+    /// pool's mirror). The bulk loop is what makes a 4 KB optimistic copy
+    /// cheap; per-word [`Page::set_word`] calls cost an order of magnitude
+    /// more in unoptimized builds.
+    #[inline]
+    pub fn load_atomic_words(&mut self, words: &[std::sync::atomic::AtomicU64]) {
+        debug_assert_eq!(words.len(), PAGE_WORDS);
+        for (chunk, w) in self.data.chunks_exact_mut(8).zip(words) {
+            chunk.copy_from_slice(&w.load(std::sync::atomic::Ordering::Relaxed).to_ne_bytes());
+        }
+    }
+
+    /// Publish the whole page into an atomic word image of length
+    /// [`PAGE_WORDS`] (relaxed stores — callers supply the fences).
+    #[inline]
+    pub fn store_atomic_words(&self, words: &[std::sync::atomic::AtomicU64]) {
+        debug_assert_eq!(words.len(), PAGE_WORDS);
+        for (chunk, w) in self.data.chunks_exact(8).zip(words) {
+            let v = u64::from_ne_bytes(chunk.try_into().unwrap());
+            w.store(v, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +190,21 @@ mod tests {
         p.shift(4, 8, 12);
         p.put_u32(4, 99);
         assert_eq!((0..5).map(|i| p.get_u32(i * 4)).collect::<Vec<_>>(), vec![1, 99, 2, 3, 4]);
+    }
+
+    #[test]
+    fn words_round_trip_whole_pages() {
+        let mut src = Page::new();
+        src.put_u128(0, u128::MAX / 7);
+        src.put_u64(4088, 0xFEED_F00D);
+        src.put_u8(1234, 0x5A);
+        let mut dst = Page::new();
+        for i in 0..PAGE_WORDS {
+            dst.set_word(i, src.word(i));
+        }
+        assert_eq!(dst.get_u128(0), u128::MAX / 7);
+        assert_eq!(dst.get_u64(4088), 0xFEED_F00D);
+        assert_eq!(dst.get_u8(1234), 0x5A);
     }
 
     #[test]

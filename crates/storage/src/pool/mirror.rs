@@ -1,0 +1,223 @@
+//! Lock-free versioned page mirror: the optimistic-read half of a pool
+//! shard.
+//!
+//! Each shard keeps, **beside** its mutex-protected frame table, a
+//! direct-mapped array of [`MirrorSlot`]s readable without any lock. A
+//! slot publishes one resident page as a seqlock:
+//!
+//! * `version` — even means the slot content is stable, odd means a
+//!   writer (always under the shard mutex) is mid-update;
+//! * `pid` — which page the slot currently publishes (`INVALID` = empty);
+//! * `words` — the page image as relaxed-atomic machine words.
+//!
+//! Writers are serialized by the shard mutex, so the only race is
+//! writer-vs-reader, which the version protocol resolves: a reader loads
+//! the version (acquire), checks it is even and the pid matches, copies
+//! every word into a private scratch page, then re-loads the version. If
+//! it moved, the copy may be torn and is discarded; if it did not, the
+//! copy is a consistent snapshot of the page at that version. All data
+//! words are atomics, so the racing access is defined behavior — no
+//! `unsafe` anywhere.
+//!
+//! The mirror is a *cache*, not the truth: the frame table (under the
+//! mutex) stays authoritative, and every mirror update happens while the
+//! shard mutex is held. Direct mapping means two resident pages can
+//! collide on one slot; the loser simply isn't published and optimistic
+//! reads of it fall back to the locked path — correctness never depends
+//! on a page being mirrored. An entry is published on load, steal, or
+//! write; it is invalidated (version bumped through odd back to even,
+//! pid cleared) on eviction and on [`Mirror::reset`].
+//!
+//! `last_used` carries LRU recency for optimistic touches: the locked
+//! path cannot see them (they take no lock), so eviction reads the slot's
+//! recency (see `BufferPool::evict_one`) and a steal folds the displaced
+//! page's recency back into its frame. That bookkeeping is what keeps the
+//! single-shard pool's eviction decisions — and therefore the frozen I/O
+//! ledger — byte-identical to the seed pool even with optimistic reads on.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::page::{Page, PageId, PAGE_WORDS};
+
+/// One seqlock-published page image. See the [module docs](self).
+pub(super) struct MirrorSlot {
+    /// Seqlock version: even = stable, odd = write in progress. Bumped to
+    /// odd before and back to even after every content change.
+    version: AtomicU64,
+    /// The page this slot currently publishes (`PageId::INVALID` = none).
+    pid: AtomicU32,
+    /// Shard-clock value of the page's most recent *optimistic* touch.
+    last_used: AtomicU64,
+    /// The page image, word by word.
+    words: Box<[AtomicU64]>,
+}
+
+impl MirrorSlot {
+    fn new() -> Self {
+        MirrorSlot {
+            version: AtomicU64::new(0),
+            pid: AtomicU32::new(PageId::INVALID.0),
+            last_used: AtomicU64::new(0),
+            words: (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Outcome of one lock-free read attempt against the mirror.
+pub(super) enum TryRead {
+    /// The scratch page now holds a consistent snapshot published at this
+    /// (even) version.
+    Hit(u64),
+    /// The page is not published (empty slot or a colliding page owns it).
+    Unpublished,
+    /// A concurrent writer moved the version while we copied; the copy was
+    /// discarded.
+    Conflict,
+}
+
+/// A shard's direct-mapped array of versioned page images.
+pub(super) struct Mirror {
+    slots: Box<[MirrorSlot]>,
+    /// Shift dividing out the pool's shard bits: pages of one shard have
+    /// pids that are congruent mod the shard count, so slot selection uses
+    /// `(pid >> shard_bits) % slots`.
+    shard_bits: u32,
+}
+
+impl Mirror {
+    /// A mirror with one slot per frame of the owning shard.
+    pub(super) fn new(slots: usize, shard_bits: u32) -> Self {
+        Mirror { slots: (0..slots.max(1)).map(|_| MirrorSlot::new()).collect(), shard_bits }
+    }
+
+    fn slot_of(&self, pid: PageId) -> &MirrorSlot {
+        &self.slots[(pid.0 as usize >> self.shard_bits) % self.slots.len()]
+    }
+
+    /// Whether `pid` is currently published (racy answer; exact under the
+    /// shard mutex since all publishers hold it).
+    pub(super) fn holds(&self, pid: PageId) -> bool {
+        self.slot_of(pid).pid.load(Ordering::Relaxed) == pid.0
+    }
+
+    /// The stable version `pid` is currently published at, or `None` if it
+    /// is unpublished or mid-update. Lock-free.
+    pub(super) fn version_of(&self, pid: PageId) -> Option<u64> {
+        let slot = self.slot_of(pid);
+        let v = slot.version.load(Ordering::Acquire);
+        (v & 1 == 0 && slot.pid.load(Ordering::Relaxed) == pid.0).then_some(v)
+    }
+
+    /// The slot's optimistic-touch recency, if the slot publishes `pid`.
+    /// Called under the shard mutex by eviction's victim selection.
+    pub(super) fn recency_of(&self, pid: PageId) -> Option<u64> {
+        let slot = self.slot_of(pid);
+        (slot.pid.load(Ordering::Relaxed) == pid.0).then(|| slot.last_used.load(Ordering::Relaxed))
+    }
+
+    /// Record an optimistic touch of `pid` at shard-clock value `tick`.
+    /// Racy by design (no lock); `fetch_max` keeps recency monotonic.
+    pub(super) fn touch(&self, pid: PageId, tick: u64) {
+        self.slot_of(pid).last_used.fetch_max(tick, Ordering::Relaxed);
+    }
+
+    /// Publish `pid`'s current image, bumping the slot version through odd.
+    /// Must be called with the shard mutex held (writers never race).
+    ///
+    /// Returns the displaced page and its optimistic recency when the slot
+    /// previously published a *different* page — the caller folds that
+    /// recency back into the displaced page's frame so no LRU information
+    /// is lost when a slot is stolen.
+    pub(super) fn publish(&self, pid: PageId, page: &Page) -> Option<(PageId, u64)> {
+        let slot = self.slot_of(pid);
+        let old_pid = PageId(slot.pid.load(Ordering::Relaxed));
+        let displaced = (old_pid != pid && old_pid.is_valid())
+            .then(|| (old_pid, slot.last_used.load(Ordering::Relaxed)));
+        let v = slot.version.load(Ordering::Relaxed);
+        // Mark odd (readers back off), then a release fence: the odd
+        // marker is ordered before the content stores below, so a reader
+        // that observes any new word and then re-checks the version
+        // (through its acquire fence) sees ≥ v + 1 and discards the copy.
+        slot.version.store(v + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.pid.store(pid.0, Ordering::Relaxed);
+        if displaced.is_some() {
+            // Fresh occupant: recency restarts from its frame's view.
+            slot.last_used.store(0, Ordering::Relaxed);
+        }
+        page.store_atomic_words(&slot.words);
+        slot.version.store(v + 2, Ordering::Release); // even: stable again
+        displaced
+    }
+
+    /// Unpublish `pid` if its slot currently publishes it (eviction path).
+    /// Must be called with the shard mutex held.
+    pub(super) fn invalidate(&self, pid: PageId) {
+        let slot = self.slot_of(pid);
+        if slot.pid.load(Ordering::Relaxed) != pid.0 {
+            return;
+        }
+        let v = slot.version.load(Ordering::Relaxed);
+        slot.version.store(v + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
+        slot.last_used.store(0, Ordering::Relaxed);
+        slot.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Unpublish every slot and force every version even (defensive: a
+    /// version that somehow stayed odd would permanently poison its slot
+    /// for optimistic readers). Used by `clear` and `reset_stats`; must be
+    /// called with the shard mutex held and readers quiesced-or-retrying.
+    pub(super) fn reset(&self) {
+        for slot in self.slots.iter() {
+            let v = slot.version.load(Ordering::Relaxed);
+            slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
+            slot.last_used.store(0, Ordering::Relaxed);
+            // Advance to the next even value strictly above v: readers
+            // holding a pre-reset version always fail revalidation.
+            slot.version.store((v | 1) + 1, Ordering::Release);
+        }
+    }
+
+    /// Force any slot stuck at an odd version back to a stable state
+    /// (unpublished, even version), leaving healthy slots untouched.
+    /// Defensive companion of [`Mirror::reset`] used by `reset_stats`:
+    /// publishers complete their version bumps under the shard mutex, so
+    /// an odd version here indicates a bug — but left alone it would
+    /// silently poison the slot for optimistic readers forever.
+    pub(super) fn repair(&self) {
+        for slot in self.slots.iter() {
+            let v = slot.version.load(Ordering::Relaxed);
+            if v & 1 == 1 {
+                slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
+                slot.last_used.store(0, Ordering::Relaxed);
+                slot.version.store(v + 1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Attempt a lock-free snapshot of `pid` into `scratch`. See
+    /// [`TryRead`] for the outcomes; on [`TryRead::Hit`] the scratch page
+    /// is a consistent image published at the returned version.
+    pub(super) fn try_read(&self, pid: PageId, scratch: &mut Page) -> TryRead {
+        let slot = self.slot_of(pid);
+        let v1 = slot.version.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return TryRead::Conflict;
+        }
+        if slot.pid.load(Ordering::Relaxed) != pid.0 {
+            return TryRead::Unpublished;
+        }
+        scratch.load_atomic_words(&slot.words);
+        // Acquire fence: the word loads above cannot drift after this
+        // re-load of the version.
+        std::sync::atomic::fence(Ordering::Acquire);
+        if slot.version.load(Ordering::Relaxed) != v1 {
+            return TryRead::Conflict;
+        }
+        // The pid could only change together with the version, so the
+        // snapshot is both untorn and the right page.
+        TryRead::Hit(v1)
+    }
+}

@@ -1,21 +1,29 @@
-//! Sharded LRU buffer pool in front of the simulated disk.
+//! Sharded LRU buffer pool with a lock-free optimistic read path in front
+//! of the simulated disk.
 //!
 //! The pool is the unit both indexes talk to, and — since the index cores
 //! went lock-per-partition — it is the hottest shared state in the system:
 //! every page touch, even a buffer hit, must update LRU recency and the
-//! I/O counters. To keep that off the global critical path the pool is
-//! **sharded**: a [`PageId`] hashes to one of N lock shards (N a power of
-//! two), and each shard owns
+//! I/O counters. Two mechanisms keep that off the global critical path:
 //!
-//! * its own frame table (its slice of the frame budget),
-//! * its own LRU clock, and
-//! * its own slice of the [`IoStats`] ledger.
+//! 1. **Lock sharding** (PR 3): a [`PageId`] hashes to one of N lock
+//!    shards (N a power of two), each owning its own frame table (its
+//!    slice of the frame budget), its own LRU clock, and its own slice of
+//!    the [`IoStats`] ledger. A locked hit takes exactly one mutex — the
+//!    owning shard's — and hits on different shards never contend.
+//! 2. **Versioned pages** (this PR): beside each shard's mutex sits a
+//!    lock-free *mirror* of its resident pages, each published
+//!    under a seqlock-style version counter (even = stable, odd = write
+//!    in progress; bumped by [`BufferPool::write`] and eviction).
+//!    [`BufferPool::try_read_optimistic`] copies a page out **under no
+//!    lock**, validating the version before and after the copy, so a
+//!    warm read-mostly workload stops acquiring mutexes at all; the
+//!    locked [`BufferPool::read`] remains the universal fallback. The
+//!    [`LockStats`] ledger counts how often each path ran.
 //!
-//! A buffer **hit** therefore takes exactly one lock — the owning shard's
-//! — and hits on different shards never contend. Only a **miss** (or a
-//! dirty eviction) additionally takes the shared disk lock, mirroring the
-//! real-world cost structure where hits are memory-speed and misses pay
-//! for I/O anyway.
+//! Only a **miss** (or a dirty eviction) additionally takes the shared
+//! disk lock, mirroring the real-world cost structure where hits are
+//! memory-speed and misses pay for I/O anyway.
 //!
 //! # Lock ordering
 //!
@@ -23,21 +31,32 @@
 //! time. The disk lock is only ever acquired while holding at most one
 //! shard lock, and no code path acquires a shard lock while holding the
 //! disk lock, so the hierarchy is acyclic and deadlock-free. (Index-level
-//! locks sit *above* both: index shard → pool shard → disk.)
+//! locks sit *above* both: index shard → pool shard → disk.) The
+//! optimistic path acquires nothing, so it cannot participate in a cycle.
 //!
 //! # Determinism and the paper's I/O ledger
 //!
-//! [`BufferPool::stats`] sums the per-shard counters, so the paper's
-//! single I/O ledger stays exact regardless of the shard count. Eviction
-//! *within* a shard is deterministic (distinct LRU ticks, unique victim),
-//! so any single-threaded page-access trace produces identical counters
-//! on every run for a fixed shard count. Across *different* shard counts
-//! the counters legitimately differ — N shards are N independent LRU
-//! domains, not one global LRU — which is why the frozen benchmark
-//! configurations pin `shards = 1`: [`BufferPool::new`] is the
-//! paper-exact configuration and behaves identically to the original
-//! single-mutex pool, byte for byte. [`BufferPool::sharded`] is the
-//! concurrent-serving configuration.
+//! [`BufferPool::stats`] sums the per-shard counters (locked and
+//! optimistic), so the paper's single I/O ledger stays exact regardless
+//! of the shard count or the read path taken: a successful optimistic
+//! read counts one logical read and zero physical reads — exactly what
+//! the locked read of the same resident page would have counted — and a
+//! failed attempt counts nothing (the locked fallback that follows does
+//! the counting). That makes any single-threaded execution ledger-
+//! identical to its locked-only equivalent. Under *concurrent* page
+//! writers a traversal that restarts after a mid-descent version
+//! conflict legitimately re-counts the pages it re-reads — those touches
+//! really happen — so logical counts can exceed a hypothetical
+//! conflict-free serial replay; physical counts still reflect actual
+//! disk traffic. Optimistic touches also advance the shard's LRU clock
+//! and record their recency in the mirror, which eviction folds back in,
+//! so the single-shard default configuration makes byte-for-byte the
+//! same eviction decisions as the seed single-mutex pool
+//! (`crates/bench/tests/frozen_io.rs` pins this). Across *different*
+//! shard counts the counters legitimately differ — N shards are N
+//! independent LRU domains — which is why the frozen benchmark
+//! configurations pin `shards = 1` via [`BufferPool::new`];
+//! [`BufferPool::sharded`] is the concurrent-serving configuration.
 //!
 //! # Capacity split
 //!
@@ -46,12 +65,17 @@
 //! remainder goes to the lowest-numbered shards). The shard count is
 //! clamped so every shard owns at least one frame.
 
+mod mirror;
 mod shard;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::disk::DiskSim;
 use crate::page::{Page, PageId};
+use mirror::{Mirror, TryRead};
 use shard::{Frame, PoolShard};
 
 /// I/O counters accumulated by a [`BufferPool`].
@@ -65,7 +89,7 @@ pub struct IoStats {
     pub physical_reads: u64,
     /// Dirty pages written back on eviction or flush.
     pub physical_writes: u64,
-    /// All page requests, hits included.
+    /// All page requests, hits included (locked and optimistic alike).
     pub logical_reads: u64,
 }
 
@@ -107,16 +131,141 @@ impl IoStats {
     }
 }
 
+/// Locking counters accumulated by a [`BufferPool`] — the machine-
+/// independent signal of how much locking the read path avoids (wall-clock
+/// scaling needs cores; these counters are exact on any box).
+///
+/// Successful optimistic reads and shard-mutex acquisitions are mutually
+/// exclusive events: a page touch is either an `optimistic_hit` (zero
+/// locks) or part of a `lock_acquisitions` (one shard mutex). Failed
+/// optimistic attempts are classified as `optimistic_retries` (version
+/// conflict — a writer raced the copy) or `locked_fallbacks` (the page was
+/// not published, e.g. not resident) and are always followed by a locked
+/// access that does the I/O accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Successful lock-free page reads (no mutex touched).
+    pub optimistic_hits: u64,
+    /// Optimistic attempts aborted by a concurrent version change.
+    pub optimistic_retries: u64,
+    /// Optimistic attempts that found the page unpublished and deferred
+    /// to the locked path.
+    pub locked_fallbacks: u64,
+    /// Shard-mutex acquisitions by the data path ([`BufferPool::read`],
+    /// [`BufferPool::write`], [`BufferPool::allocate`]); administrative
+    /// sweeps (`stats`, `flush_all`, `clear`, …) are not counted.
+    pub lock_acquisitions: u64,
+}
+
+impl LockStats {
+    /// Element-wise sum of two counter sets (shard aggregation).
+    pub fn merged(&self, other: &LockStats) -> LockStats {
+        LockStats {
+            optimistic_hits: self.optimistic_hits + other.optimistic_hits,
+            optimistic_retries: self.optimistic_retries + other.optimistic_retries,
+            locked_fallbacks: self.locked_fallbacks + other.locked_fallbacks,
+            lock_acquisitions: self.lock_acquisitions + other.lock_acquisitions,
+        }
+    }
+
+    /// All optimistic attempts, successful or not.
+    pub fn optimistic_attempts(&self) -> u64 {
+        self.optimistic_hits + self.optimistic_retries + self.locked_fallbacks
+    }
+
+    /// Fraction of optimistic attempts that succeeded (`1.0` when none
+    /// were made, mirroring [`IoStats::hit_ratio`]'s convention).
+    pub fn optimistic_hit_rate(&self) -> f64 {
+        let attempts = self.optimistic_attempts();
+        if attempts == 0 {
+            return 1.0;
+        }
+        self.optimistic_hits as f64 / attempts as f64
+    }
+}
+
+/// Outcome of a versioned lock-free read attempt
+/// ([`BufferPool::read_versioned`]).
+pub enum OptimisticRead<R> {
+    /// The closure ran on a consistent snapshot published at this (even)
+    /// version; re-check it later with [`BufferPool::read_version`] to
+    /// detect intervening writes (optimistic lock coupling).
+    Hit(R, u64),
+    /// The page is not published lock-free (not resident, displaced from
+    /// its mirror slot by a colliding page, or optimistic reads are
+    /// disabled on this pool). Fall back to [`BufferPool::read`].
+    Unpublished,
+    /// A concurrent writer raced the copy; retry or fall back.
+    Conflict,
+}
+
+/// One lock shard: the mutex-protected half plus the lock-free half.
+struct ShardState {
+    /// Frame table and locked-path I/O counters.
+    shard: Mutex<PoolShard>,
+    /// The shard's LRU clock. Atomic (not inside the mutex) because
+    /// optimistic hits advance it without locking; every touch — locked
+    /// or optimistic — gets a distinct tick, which keeps eviction
+    /// deterministic.
+    tick: AtomicU64,
+    /// The versioned page mirror optimistic reads copy from.
+    mirror: Mirror,
+    /// Logical reads performed by successful optimistic reads (summed
+    /// into [`IoStats::logical_reads`] by `stats()`).
+    opt_logical: AtomicU64,
+    /// [`LockStats::optimistic_hits`] slice.
+    opt_hits: AtomicU64,
+    /// [`LockStats::optimistic_retries`] slice.
+    opt_conflicts: AtomicU64,
+    /// [`LockStats::locked_fallbacks`] slice.
+    opt_fallbacks: AtomicU64,
+    /// [`LockStats::lock_acquisitions`] slice.
+    lock_acqs: AtomicU64,
+}
+
+impl ShardState {
+    fn new(capacity: usize, shard_bits: u32) -> Self {
+        ShardState {
+            shard: Mutex::new(PoolShard::new(capacity)),
+            tick: AtomicU64::new(0),
+            mirror: Mirror::new(capacity, shard_bits),
+            opt_logical: AtomicU64::new(0),
+            opt_hits: AtomicU64::new(0),
+            opt_conflicts: AtomicU64::new(0),
+            opt_fallbacks: AtomicU64::new(0),
+            lock_acqs: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_stats(&self) -> LockStats {
+        LockStats {
+            optimistic_hits: self.opt_hits.load(Ordering::Relaxed),
+            optimistic_retries: self.opt_conflicts.load(Ordering::Relaxed),
+            locked_fallbacks: self.opt_fallbacks.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acqs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable per-thread scratch page for optimistic copies, so the
+    /// lock-free hot path allocates nothing.
+    static SCRATCH: RefCell<Page> = RefCell::new(Page::new());
+}
+
 /// The shared buffer manager: a sharded LRU page cache over a
 /// [`DiskSim`]. See the [module docs](self) for the sharding, locking,
-/// and determinism contract.
+/// versioned-read, and determinism contract.
 pub struct BufferPool {
     /// The lock shards; length is always a power of two.
-    shards: Box<[Mutex<PoolShard>]>,
+    shards: Box<[ShardState]>,
     /// `shards.len() - 1`, used to mask a page id onto its shard.
     shard_mask: usize,
     /// Total frame budget across all shards.
     total_capacity: usize,
+    /// Whether the lock-free read path is active (it is by default;
+    /// [`BufferPool::optimistic`] opts out for A/B measurements).
+    optimistic_reads: bool,
     /// The simulated disk, behind its own lock **below** every shard lock.
     disk: Mutex<DiskSim>,
 }
@@ -171,15 +320,34 @@ impl BufferPool {
         while n > capacity {
             n >>= 1;
         }
+        let shard_bits = n.trailing_zeros();
         let (base, rem) = (capacity / n, capacity % n);
-        let shards: Box<[Mutex<PoolShard>]> =
-            (0..n).map(|i| Mutex::new(PoolShard::new(base + usize::from(i < rem)))).collect();
+        let shards: Box<[ShardState]> =
+            (0..n).map(|i| ShardState::new(base + usize::from(i < rem), shard_bits)).collect();
         BufferPool {
             shards,
             shard_mask: n - 1,
             total_capacity: capacity,
+            optimistic_reads: true,
             disk: Mutex::new(DiskSim::new()),
         }
+    }
+
+    /// Toggle the lock-free read path (builder-style, before the pool is
+    /// shared). With optimistic reads off, [`BufferPool::read_versioned`]
+    /// always reports [`OptimisticRead::Unpublished`] without counting any
+    /// optimistic traffic, so every read takes the locked path — the
+    /// configuration the `BENCH_optreads.json` experiment compares
+    /// against. I/O counters are identical either way; only [`LockStats`]
+    /// differs.
+    pub fn optimistic(mut self, enabled: bool) -> Self {
+        self.optimistic_reads = enabled;
+        self
+    }
+
+    /// Whether the lock-free read path is active on this pool.
+    pub fn optimistic_reads_enabled(&self) -> bool {
+        self.optimistic_reads
     }
 
     /// The shard a page id maps to: the id's low bits. Pages are
@@ -195,54 +363,171 @@ impl BufferPool {
         // Disk lock first for the id, *released* before the shard lock —
         // the ordering shard → disk must never be inverted.
         let pid = self.disk.lock().allocate();
-        let s = &mut *self.shards[self.shard_of(pid)].lock();
+        let state = &self.shards[self.shard_of(pid)];
+        state.lock_acqs.fetch_add(1, Ordering::Relaxed);
+        let s = &mut *state.shard.lock();
         if s.table.is_full() {
-            Self::evict_one(s, &self.disk);
+            Self::evict_one(state, s, &self.disk);
         }
-        s.tick += 1;
-        let tick = s.tick;
+        let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
         s.table.insert(pid, Frame { page: Page::new(), dirty: true, last_used: tick });
+        if self.optimistic_reads {
+            Self::publish_locked(state, s, pid, true);
+        }
         pid
     }
 
-    /// Read access to a page through the buffer. A hit takes only the
-    /// owning shard's lock.
+    /// Read access to a page through the buffer, taking the owning
+    /// shard's lock (a hit touches nothing else). This is the universal
+    /// fallback of the lock-free [`BufferPool::try_read_optimistic`] and
+    /// the only read path that can fault a page in from disk.
     pub fn read<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> R {
         self.with_page(pid, false, |page| f(page))
     }
 
-    /// Write access to a page through the buffer; marks the frame dirty.
+    /// Write access to a page through the buffer; marks the frame dirty
+    /// and republishes the page's mirror image under a bumped version, so
+    /// in-flight optimistic readers of the old image fail validation.
     pub fn write<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
         self.with_page(pid, true, f)
+    }
+
+    /// Lock-free versioned read: run `f` on a consistent copy of `pid`
+    /// without acquiring any lock, returning the copy's publication
+    /// version for later revalidation ([`BufferPool::read_version`]) —
+    /// the primitive optimistic lock coupling builds on.
+    ///
+    /// On [`OptimisticRead::Hit`] the touch is accounted exactly like a
+    /// locked buffer hit (one logical read, LRU recency advanced); failed
+    /// attempts count nothing toward [`IoStats`] so the locked fallback's
+    /// accounting keeps the ledger identical to a locked-only execution.
+    pub fn read_versioned<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> OptimisticRead<R> {
+        if !self.optimistic_reads {
+            return OptimisticRead::Unpublished;
+        }
+        let state = &self.shards[self.shard_of(pid)];
+        let outcome = SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => Self::attempt(state, pid, &mut scratch, f),
+            // `f` of an outer optimistic read is itself reading
+            // optimistically; give the nested copy its own page instead
+            // of aliasing the scratch buffer.
+            Err(_) => Self::attempt(state, pid, &mut Page::new(), f),
+        });
+        match outcome {
+            OptimisticRead::Hit(..) => {
+                let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                state.mirror.touch(pid, tick);
+                state.opt_logical.fetch_add(1, Ordering::Relaxed);
+                state.opt_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            OptimisticRead::Unpublished => {
+                state.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            OptimisticRead::Conflict => {
+                state.opt_conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn attempt<R>(
+        state: &ShardState,
+        pid: PageId,
+        scratch: &mut Page,
+        f: impl FnOnce(&Page) -> R,
+    ) -> OptimisticRead<R> {
+        match state.mirror.try_read(pid, scratch) {
+            TryRead::Hit(version) => OptimisticRead::Hit(f(scratch), version),
+            TryRead::Unpublished => OptimisticRead::Unpublished,
+            TryRead::Conflict => OptimisticRead::Conflict,
+        }
+    }
+
+    /// Lock-free read without version plumbing: `Some(r)` when a
+    /// consistent snapshot was read (validated before use), `None` when
+    /// the caller must retry or fall back to the locked
+    /// [`BufferPool::read`].
+    pub fn try_read_optimistic<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Option<R> {
+        match self.read_versioned(pid, f) {
+            OptimisticRead::Hit(r, _) => Some(r),
+            OptimisticRead::Unpublished | OptimisticRead::Conflict => None,
+        }
+    }
+
+    /// The stable version `pid` is currently published at, or `None` if
+    /// it is unpublished, mid-write, or optimistic reads are disabled.
+    /// Lock-free; used to revalidate a parent page after following a
+    /// child pointer read from its snapshot.
+    pub fn read_version(&self, pid: PageId) -> Option<u64> {
+        if !self.optimistic_reads {
+            return None;
+        }
+        self.shards[self.shard_of(pid)].mirror.version_of(pid)
     }
 
     /// Fetch `pid` into its shard (counting a hit or a miss), bump LRU
     /// recency, and run `f` on the frame under the shard lock.
     fn with_page<R>(&self, pid: PageId, mark_dirty: bool, f: impl FnOnce(&mut Page) -> R) -> R {
-        let s = &mut *self.shards[self.shard_of(pid)].lock();
-        s.tick += 1;
+        let state = &self.shards[self.shard_of(pid)];
+        state.lock_acqs.fetch_add(1, Ordering::Relaxed);
+        let s = &mut *state.shard.lock();
+        let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
         s.stats.logical_reads += 1;
+        let mut content_changed = mark_dirty;
         if !s.table.contains(pid) {
             if s.table.is_full() {
-                Self::evict_one(s, &self.disk);
+                Self::evict_one(state, s, &self.disk);
             }
             s.stats.physical_reads += 1;
             let page = self.disk.lock().read(pid);
             s.table.insert(pid, Frame { page, dirty: false, last_used: 0 });
+            content_changed = true;
         }
-        let tick = s.tick;
         let frame = s.table.get_mut(pid).expect("frame resident after fetch");
         frame.last_used = tick;
         if mark_dirty {
             frame.dirty = true;
         }
-        f(&mut frame.page)
+        let r = f(&mut frame.page);
+        if self.optimistic_reads {
+            Self::publish_locked(state, s, pid, content_changed);
+        }
+        r
+    }
+
+    /// Publish `pid`'s current frame contents to the shard mirror (caller
+    /// holds the shard lock). `force` republishes even when the slot
+    /// already holds `pid` (required after any content change); otherwise
+    /// an already-published page is left at its current version so
+    /// concurrent optimistic readers are not needlessly invalidated. When
+    /// the slot was occupied by a different page, that page's optimistic
+    /// recency is folded back into its frame so eviction keeps seeing it.
+    fn publish_locked(state: &ShardState, s: &mut PoolShard, pid: PageId, force: bool) {
+        if !force && state.mirror.holds(pid) {
+            return;
+        }
+        let displaced = {
+            let page = &s.table.get(pid).expect("published page resident").page;
+            state.mirror.publish(pid, page)
+        };
+        if let Some((old_pid, recency)) = displaced {
+            if let Some(frame) = s.table.get_mut(old_pid) {
+                frame.last_used = frame.last_used.max(recency);
+            }
+        }
     }
 
     /// Evict the shard's LRU frame, writing it back (counted) if dirty.
     /// Caller holds the shard lock; the disk lock is taken below it.
-    fn evict_one(s: &mut PoolShard, disk: &Mutex<DiskSim>) {
-        let (vpid, frame) = s.table.take_victim().expect("evict called on empty shard");
+    /// Victim selection folds in optimistic-touch recency from the mirror
+    /// so lock-free hits protect hot pages exactly like locked hits.
+    fn evict_one(state: &ShardState, s: &mut PoolShard, disk: &Mutex<DiskSim>) {
+        let mirror = &state.mirror;
+        let (vpid, frame) = s
+            .table
+            .take_victim_by(|pid, f| f.last_used.max(mirror.recency_of(pid).unwrap_or(0)))
+            .expect("evict called on empty shard");
+        mirror.invalidate(vpid);
         if frame.dirty {
             s.stats.physical_writes += 1;
             disk.lock().write(vpid, &frame.page);
@@ -250,9 +535,11 @@ impl BufferPool {
     }
 
     /// Write every dirty frame back to disk (counted), keeping residency.
+    /// Page contents do not change, so mirror versions are left alone and
+    /// concurrent optimistic readers stay valid.
     pub fn flush_all(&self) {
-        for shard in self.shards.iter() {
-            let s = &mut *shard.lock();
+        for state in self.shards.iter() {
+            let s = &mut *state.shard.lock();
             let mut disk = self.disk.lock();
             for (pid, frame) in s.table.iter_mut() {
                 if frame.dirty {
@@ -265,10 +552,13 @@ impl BufferPool {
     }
 
     /// Drop every frame (writing back dirty ones). Used by experiments to
-    /// cold-start the buffer between measurement rounds.
+    /// cold-start the buffer between measurement rounds. Every mirror
+    /// slot is unpublished and its version forced to a fresh even value,
+    /// so no slot can stay poisoned for future optimistic readers.
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            let s = &mut *shard.lock();
+        for state in self.shards.iter() {
+            let s = &mut *state.shard.lock();
+            state.mirror.reset();
             let mut disk = self.disk.lock();
             for (pid, frame) in s.table.drain() {
                 if frame.dirty {
@@ -280,10 +570,12 @@ impl BufferPool {
     }
 
     /// The pool-wide I/O ledger: the element-wise sum of every shard's
-    /// counters, so the paper's single set of numbers survives sharding.
-    /// Shards are read one lock at a time, so under concurrent traffic
-    /// this is a read-committed aggregate, exact once accesses quiesce
-    /// (any single-threaded measurement reads exact totals).
+    /// counters — locked-path counters plus the logical reads performed
+    /// optimistically — so the paper's single set of numbers survives
+    /// both sharding and the lock-free read path. Shards are read one
+    /// lock at a time, so under concurrent traffic this is a
+    /// read-committed aggregate, exact once accesses quiesce (any
+    /// single-threaded measurement reads exact totals).
     ///
     /// ```
     /// use peb_storage::BufferPool;
@@ -303,19 +595,70 @@ impl BufferPool {
     /// assert_eq!(s.hit_ratio(), 0.5); // 1 hit out of 2 logical reads
     /// ```
     pub fn stats(&self) -> IoStats {
-        self.shards.iter().fold(IoStats::default(), |acc, s| acc.merged(&s.lock().stats))
+        self.shards.iter().fold(IoStats::default(), |acc, s| acc.merged(&Self::shard_io(s)))
+    }
+
+    fn shard_io(state: &ShardState) -> IoStats {
+        let mut io = state.shard.lock().stats;
+        io.logical_reads += state.opt_logical.load(Ordering::Relaxed);
+        io
     }
 
     /// Each shard's local I/O counters, in shard order. `stats()` is
     /// exactly the element-wise sum of these.
     pub fn shard_stats(&self) -> Vec<IoStats> {
-        self.shards.iter().map(|s| s.lock().stats).collect()
+        self.shards.iter().map(Self::shard_io).collect()
     }
 
-    /// Zero every shard's counters.
+    /// The pool-wide locking ledger: optimistic hit/retry/fallback counts
+    /// and shard-mutex acquisitions, summed across shards. Deterministic
+    /// for a fixed single-threaded workload — the machine-independent
+    /// measure of read-path decontention.
+    ///
+    /// ```
+    /// use peb_storage::BufferPool;
+    ///
+    /// let pool = BufferPool::new(4);
+    /// let pid = pool.allocate();
+    /// pool.reset_stats();
+    ///
+    /// // Resident and published: the lock-free path succeeds.
+    /// assert!(pool.try_read_optimistic(pid, |p| p.get_u64(0)).is_some());
+    /// let s = pool.lock_stats();
+    /// assert_eq!(s.optimistic_hits, 1);
+    /// assert_eq!(s.lock_acquisitions, 0, "no mutex on the optimistic path");
+    ///
+    /// // The locked path counts an acquisition instead.
+    /// pool.read(pid, |_| ());
+    /// assert_eq!(pool.lock_stats().lock_acquisitions, 1);
+    /// ```
+    pub fn lock_stats(&self) -> LockStats {
+        self.shards.iter().fold(LockStats::default(), |acc, s| acc.merged(&s.lock_stats()))
+    }
+
+    /// Each shard's locking counters, in shard order ([`BufferPool::lock_stats`]
+    /// is the element-wise sum). The per-shard `lock_acquisitions` column
+    /// is what the acquired-lock hot-share metric is computed from.
+    pub fn shard_lock_stats(&self) -> Vec<LockStats> {
+        self.shards.iter().map(ShardState::lock_stats).collect()
+    }
+
+    /// Zero every shard's I/O and locking counters. Also repairs any
+    /// mirror slot whose version is odd (none should be — publishers
+    /// complete under the shard lock — but a poisoned slot would silently
+    /// disable optimistic reads of its page forever, so the reset is
+    /// defensive about it). Published pages stay published: resetting
+    /// counters must not cool the cache.
     pub fn reset_stats(&self) {
-        for shard in self.shards.iter() {
-            shard.lock().stats = IoStats::default();
+        for state in self.shards.iter() {
+            let s = &mut *state.shard.lock();
+            s.stats = IoStats::default();
+            state.mirror.repair();
+            state.opt_logical.store(0, Ordering::Relaxed);
+            state.opt_hits.store(0, Ordering::Relaxed);
+            state.opt_conflicts.store(0, Ordering::Relaxed);
+            state.opt_fallbacks.store(0, Ordering::Relaxed);
+            state.lock_acqs.store(0, Ordering::Relaxed);
         }
     }
 
@@ -333,13 +676,13 @@ impl BufferPool {
     /// [`BufferPool::capacity`] (see the remainder rule in the module
     /// docs).
     pub fn shard_capacities(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.lock().table.capacity()).collect()
+        self.shards.iter().map(|s| s.shard.lock().table.capacity()).collect()
     }
 
     /// Frames currently resident across all shards; never exceeds
     /// [`BufferPool::capacity`].
     pub fn resident_pages(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().table.len()).sum()
+        self.shards.iter().map(|s| s.shard.lock().table.len()).sum()
     }
 
     /// Pages allocated on the simulated disk.
@@ -373,6 +716,24 @@ mod tests {
         let b = pool.allocate(); // pool now holds {a, b}
         pool.read(a, |_| ()); // a is now more recent than b
         let c = pool.allocate(); // must evict b
+        pool.reset_stats();
+        pool.read(a, |_| ());
+        pool.read(c, |_| ());
+        assert_eq!(pool.stats().physical_reads, 0, "a and c stayed resident");
+        pool.read(b, |_| ());
+        assert_eq!(pool.stats().physical_reads, 1, "b was the LRU victim");
+    }
+
+    #[test]
+    fn optimistic_touches_protect_pages_from_eviction() {
+        // Same shape as `lru_evicts_least_recently_used`, but the
+        // recency-refreshing touch of `a` is optimistic: eviction must
+        // still pick `b`, proving lock-free hits feed the LRU clock.
+        let pool = BufferPool::new(2);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        assert!(pool.try_read_optimistic(a, |_| ()).is_some());
+        let c = pool.allocate(); // must evict b, not a
         pool.reset_stats();
         pool.read(a, |_| ());
         pool.read(c, |_| ());
@@ -516,5 +877,106 @@ mod tests {
             8,
             "shard 1 residents were never evicted by shard 0 pressure"
         );
+    }
+
+    #[test]
+    fn optimistic_read_sees_written_data_without_locks() {
+        let pool = BufferPool::new(4);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(8, 4242));
+        pool.reset_stats();
+        assert_eq!(pool.try_read_optimistic(pid, |p| p.get_u64(8)), Some(4242));
+        let locks = pool.lock_stats();
+        assert_eq!(locks.optimistic_hits, 1);
+        assert_eq!(locks.lock_acquisitions, 0);
+        // The hit is a normal logical read on the I/O ledger.
+        let io = pool.stats();
+        assert_eq!(io.logical_reads, 1);
+        assert_eq!(io.physical_reads, 0);
+    }
+
+    #[test]
+    fn optimistic_read_of_cold_page_reports_unpublished() {
+        let pool = BufferPool::new(2);
+        let pid = pool.allocate();
+        pool.clear(); // evicted: no longer published
+        pool.reset_stats();
+        assert!(pool.try_read_optimistic(pid, |_| ()).is_none());
+        let locks = pool.lock_stats();
+        assert_eq!(locks.locked_fallbacks, 1);
+        assert_eq!(locks.optimistic_hits, 0);
+        // Failed attempts count nothing on the I/O ledger.
+        assert_eq!(pool.stats().logical_reads, 0);
+        // The locked fallback faults it in and republishes it.
+        pool.read(pid, |_| ());
+        assert!(pool.try_read_optimistic(pid, |_| ()).is_some());
+    }
+
+    #[test]
+    fn write_bumps_version_and_read_version_tracks_it() {
+        let pool = BufferPool::new(4);
+        let pid = pool.allocate();
+        let v1 = pool.read_version(pid).expect("allocate publishes");
+        assert_eq!(v1 & 1, 0, "published versions are even");
+        pool.write(pid, |p| p.put_u64(0, 1));
+        let v2 = pool.read_version(pid).expect("still published");
+        assert!(v2 > v1, "a write must advance the version");
+        // A plain locked read leaves the version alone.
+        pool.read(pid, |_| ());
+        assert_eq!(pool.read_version(pid), Some(v2));
+    }
+
+    #[test]
+    fn disabled_pool_never_reads_optimistically() {
+        let pool = BufferPool::with_shards(4, 1).optimistic(false);
+        assert!(!pool.optimistic_reads_enabled());
+        let pid = pool.allocate();
+        assert!(pool.try_read_optimistic(pid, |_| ()).is_none());
+        assert_eq!(pool.read_version(pid), None);
+        // Disabled pools report no optimistic traffic at all.
+        let locks = pool.lock_stats();
+        assert_eq!(locks.optimistic_attempts(), 0);
+        assert!(locks.lock_acquisitions > 0, "allocate still took the shard lock");
+    }
+
+    #[test]
+    fn clear_and_reset_stats_leave_versions_usable() {
+        // Regression for the poisoning bug class: after clear() every
+        // slot must be unpublished at an even version, and reset_stats()
+        // must keep already-published pages readable optimistically.
+        let pool = BufferPool::new(4);
+        let pids: Vec<PageId> = (0..4).map(|_| pool.allocate()).collect();
+        pool.clear();
+        for pid in &pids {
+            assert_eq!(pool.read_version(*pid), None, "clear unpublishes everything");
+        }
+        pool.read(pids[0], |_| ()); // fault in + publish
+        pool.reset_stats();
+        assert!(
+            pool.try_read_optimistic(pids[0], |_| ()).is_some(),
+            "reset_stats must not cool the published cache"
+        );
+        assert_eq!(pool.lock_stats().optimistic_hits, 1, "counters restarted from zero");
+    }
+
+    #[test]
+    fn identical_traces_give_identical_lock_stats() {
+        // LockStats is deterministic for a fixed single-threaded trace —
+        // the property the BENCH_optreads trajectory entry relies on.
+        let run = || {
+            let pool = BufferPool::new(4);
+            let pids: Vec<PageId> = (0..8).map(|_| pool.allocate()).collect();
+            for round in 0..3 {
+                for (i, pid) in pids.iter().enumerate() {
+                    if (i + round) % 3 == 0 {
+                        pool.write(*pid, |p| p.put_u64(0, round as u64));
+                    } else if pool.try_read_optimistic(*pid, |_| ()).is_none() {
+                        pool.read(*pid, |_| ());
+                    }
+                }
+            }
+            (pool.lock_stats(), pool.stats())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -6,6 +6,13 @@
 //! and the shard ↔ disk interplay — so the types here are plain mutable
 //! state and their methods are trivially deterministic: given the same
 //! sequence of calls, a shard makes the same eviction decisions.
+//!
+//! The shard's LRU *clock* does not live here: it is an atomic beside the
+//! mutex (see `ShardState` in the parent module) because optimistic reads
+//! advance it without taking the lock. A frame's `last_used` records only
+//! the page's most recent **locked** touch; optimistic touches land in
+//! the shard's lock-free mirror and are folded in by
+//! [`FrameTable::take_victim_by`]'s caller-supplied recency function.
 
 use std::collections::HashMap;
 
@@ -19,7 +26,8 @@ pub(super) struct Frame {
     /// Whether the cached contents differ from the disk copy. A dirty
     /// frame is written back (and counted) on eviction, flush, or clear.
     pub(super) dirty: bool,
-    /// Shard-local LRU clock value of the frame's most recent touch.
+    /// Shard clock value of the frame's most recent *locked* touch (see
+    /// the module docs for where optimistic touches live).
     pub(super) last_used: u64,
 }
 
@@ -27,10 +35,11 @@ pub(super) struct Frame {
 /// selection.
 ///
 /// The table never holds more than `capacity` frames: callers evict via
-/// [`FrameTable::take_victim`] while [`FrameTable::is_full`] before
+/// [`FrameTable::take_victim_by`] while [`FrameTable::is_full`] before
 /// inserting. Victim selection is deterministic because every resident
-/// frame carries a distinct `last_used` tick (the owning shard's clock
-/// advances on every touch), so the minimum is unique.
+/// frame carries a distinct effective recency (the owning shard's clock
+/// advances on every touch, locked or optimistic), so the minimum is
+/// unique.
 pub(super) struct FrameTable {
     frames: HashMap<PageId, Frame>,
     capacity: usize,
@@ -63,6 +72,11 @@ impl FrameTable {
         self.frames.contains_key(&pid)
     }
 
+    /// Shared access to a resident frame.
+    pub(super) fn get(&self, pid: PageId) -> Option<&Frame> {
+        self.frames.get(&pid)
+    }
+
     /// Mutable access to a resident frame.
     pub(super) fn get_mut(&mut self, pid: PageId) -> Option<&mut Frame> {
         self.frames.get_mut(&pid)
@@ -75,10 +89,15 @@ impl FrameTable {
         self.frames.insert(pid, frame);
     }
 
-    /// Remove and return the least-recently-used frame, if any. The
-    /// caller writes it back to disk when dirty.
-    pub(super) fn take_victim(&mut self) -> Option<(PageId, Frame)> {
-        let victim = self.frames.iter().min_by_key(|(_, f)| f.last_used).map(|(pid, _)| *pid)?;
+    /// Remove and return the frame with the lowest recency as computed by
+    /// `recency` (the caller folds in optimistic touches from the mirror).
+    /// The caller writes it back to disk when dirty.
+    pub(super) fn take_victim_by(
+        &mut self,
+        recency: impl Fn(PageId, &Frame) -> u64,
+    ) -> Option<(PageId, Frame)> {
+        let victim =
+            self.frames.iter().min_by_key(|(pid, f)| recency(**pid, f)).map(|(pid, _)| *pid)?;
         let frame = self.frames.remove(&victim).expect("victim resident");
         Some((victim, frame))
     }
@@ -94,25 +113,25 @@ impl FrameTable {
     }
 }
 
-/// Everything one lock shard protects: its slice of the frame budget, its
-/// own LRU clock, and its local slice of the I/O ledger.
+/// Everything one lock shard's **mutex** protects: its slice of the frame
+/// budget and its local slice of the I/O ledger. (The shard clock, the
+/// versioned page mirror, and the lock-statistics counters sit beside the
+/// mutex as atomics — see `ShardState` in the parent module.)
 ///
-/// Keeping the clock and counters shard-local is what makes the buffer-hit
-/// fast path touch *only* this shard's lock; [`super::BufferPool::stats`]
+/// Keeping the counters shard-local is what makes the buffer-hit locked
+/// path touch *only* this shard's lock; [`super::BufferPool::stats`]
 /// reconstitutes the pool-wide ledger by summing the per-shard counters.
 pub(super) struct PoolShard {
     /// The shard's resident pages.
     pub(super) table: FrameTable,
-    /// Shard-local LRU clock; advances on every touch, so `last_used`
-    /// values within a shard are distinct and eviction is deterministic.
-    pub(super) tick: u64,
-    /// Shard-local I/O counters (summed across shards by `stats()`).
+    /// Shard-local I/O counters for *locked* accesses (summed with the
+    /// shard's atomic optimistic counters by `stats()`).
     pub(super) stats: IoStats,
 }
 
 impl PoolShard {
     /// An empty shard owning `capacity` frames of the pool's budget.
     pub(super) fn new(capacity: usize) -> Self {
-        PoolShard { table: FrameTable::new(capacity), tick: 0, stats: IoStats::default() }
+        PoolShard { table: FrameTable::new(capacity), stats: IoStats::default() }
     }
 }
