@@ -1,0 +1,100 @@
+//! All paper figures behind one binary: `figures <id> [<id> ...]`.
+//!
+//! `<id>` is a figure number (`11`–`19`, with or without a `fig` prefix)
+//! or `all`. Replaces the nine copy-pasted per-figure binaries; `run_all`
+//! still prints every figure in sequence. Respects `PEB_SCALE` /
+//! `PEB_QUERIES` like every experiment.
+//!
+//! ```text
+//! cargo run --release --bin figures 12        # one figure
+//! cargo run --release --bin figures 11 15     # several
+//! cargo run --release --bin figures all       # the whole set
+//! ```
+
+use peb_bench::experiments;
+use peb_bench::report;
+
+/// Print one figure's table(s); returns `false` for an unknown id.
+fn print_figure(id: u32) -> bool {
+    match id {
+        11 => {
+            report::header(
+                "Fig 11(a)",
+                "policy-encoding preprocessing time, varying number of users",
+            );
+            report::time_table("users", &experiments::fig11a_users());
+            println!();
+            report::header(
+                "Fig 11(b)",
+                "policy-encoding preprocessing time, varying policies per user (60K users)",
+            );
+            report::time_table("policies_per_user", &experiments::fig11b_policies());
+        }
+        12 => {
+            report::header("Fig 12", "query I/O vs total number of users (PRQ and PkNN)");
+            report::io_table("users", &experiments::fig12_users());
+        }
+        13 => {
+            report::header("Fig 13", "query I/O vs policies per user");
+            report::io_table("policies_per_user", &experiments::fig13_policies());
+        }
+        14 => {
+            report::header("Fig 14", "query I/O vs grouping factor");
+            report::io_table("theta", &experiments::fig14_theta());
+        }
+        15 => {
+            report::header("Fig 15(a)", "PRQ I/O vs query-window side length");
+            report::io_table("window_side", &experiments::fig15a_window());
+            println!();
+            report::header("Fig 15(b)", "PkNN I/O vs k");
+            report::io_table("k", &experiments::fig15b_k());
+        }
+        16 => {
+            report::header("Fig 16", "query I/O vs number of destinations (network data)");
+            report::io_table("destinations", &experiments::fig16_destinations());
+        }
+        17 => {
+            report::header("Fig 17", "query I/O vs maximum object speed");
+            report::io_table("max_speed", &experiments::fig17_speed());
+        }
+        18 => {
+            report::header("Fig 18", "query I/O after each 25% update round");
+            report::io_table("percent_updated", &experiments::fig18_updates());
+        }
+        19 => {
+            report::header("Fig 19", "cost function estimate vs actual PEB-tree PRQ I/O");
+            report::cost_table(&experiments::fig19_cost_model());
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <11..19|all> [<id> ...]");
+        std::process::exit(2);
+    }
+    let ids: Vec<u32> = if args.iter().any(|a| a == "all") {
+        (11..=19).collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                a.trim_start_matches("fig").parse::<u32>().unwrap_or_else(|_| {
+                    eprintln!("unknown figure id {a:?} (expected 11..19 or all)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if !print_figure(*id) {
+            eprintln!("unknown figure id {id} (expected 11..19 or all)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fused-scan query I/O: logical page accesses and descents per query,
+//! per-interval vs fused plans, both engines. See `peb_bench::queryio`
+//! and docs/BENCHMARKS.md; `run_all --baseline-only` writes the same
+//! measurement to `BENCH_queryio.json`.
+
+fn main() {
+    let report = peb_bench::queryio::measure_queryio();
+    peb_bench::queryio::print_table(&report);
+}

@@ -4,16 +4,18 @@
 //! * `--baseline-only` — skip the figures; measure the fixed perf baseline
 //!   and write it to `BENCH_seed.json` (what CI runs), plus the
 //!   update-throughput trajectory entry to `BENCH_updates.json`, the
-//!   concurrent-scan trajectory entry to `BENCH_scans.json`, and the
-//!   optimistic-read trajectory entry to `BENCH_optreads.json`.
+//!   concurrent-scan trajectory entry to `BENCH_scans.json`, the
+//!   optimistic-read trajectory entry to `BENCH_optreads.json`, and the
+//!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
-//!   `PEB_OPTREADS_OUT` — override the output paths.
+//!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` — override the output paths.
 use peb_bench::experiments;
 use peb_bench::optreads;
+use peb_bench::queryio;
 use peb_bench::report;
 use peb_bench::scans;
 use peb_bench::updates;
@@ -47,6 +49,13 @@ fn main() {
         std::fs::write(&opt_path, opt.to_json())
             .unwrap_or_else(|e| panic!("cannot write {opt_path}: {e}"));
         eprintln!("optimistic-read trajectory written to {opt_path}");
+
+        let qio_path =
+            std::env::var("PEB_QUERYIO_OUT").unwrap_or_else(|_| "BENCH_queryio.json".to_string());
+        let qio = queryio::measure_queryio();
+        std::fs::write(&qio_path, qio.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {qio_path}: {e}"));
+        eprintln!("fused-scan query-I/O trajectory written to {qio_path}");
         return;
     }
 
@@ -100,4 +109,10 @@ fn main() {
         "locks acquired per warm query: locked vs optimistic read path, both engines",
     );
     optreads::print_table(&optreads::measure_optreads());
+    println!();
+    report::header(
+        "QueryIO",
+        "logical page accesses and descents per warm query: per-interval vs fused plans",
+    );
+    queryio::print_table(&queryio::measure_queryio());
 }

@@ -31,6 +31,13 @@ pub struct RunConfig {
     /// identical either way). The optimistic-reads experiment builds a
     /// `false` world as its locked-path comparison point.
     pub optimistic_reads: bool,
+    /// Whether queries run through the fused multi-interval scan
+    /// pipeline. The default of `false` is the paper-exact per-interval
+    /// plan every frozen I/O measurement uses (fusing changes which pages
+    /// a query touches, so ledgers are only comparable at a fixed plan);
+    /// the query-I/O experiment builds a `true` world as its fused
+    /// comparison point.
+    pub fused_scans: bool,
     pub seed: u64,
     /// Query time (users are inserted with `t_update = 0`).
     pub tq: f64,
@@ -52,6 +59,7 @@ impl Default for RunConfig {
             buffer_pages: 50,
             pool_shards: 1,
             optimistic_reads: true,
+            fused_scans: false,
             seed: 0xC0FFEE,
             tq: 30.0,
             sv_params: SvAssignmentParams::default(),
@@ -130,6 +138,8 @@ impl World {
         };
         let mut peb = PebTree::new(pool(cfg), space, part, cfg.max_speed, Arc::clone(&ctx));
         let mut baseline = SpatialBaseline::new(BxTree::new(pool(cfg), space, part, cfg.max_speed));
+        peb.set_fused_scans(cfg.fused_scans);
+        baseline.set_fused_scans(cfg.fused_scans);
         for m in &dataset.users {
             peb.upsert(*m);
             baseline.upsert(*m);

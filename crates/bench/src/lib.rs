@@ -14,6 +14,7 @@ pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod optreads;
+pub mod queryio;
 pub mod report;
 pub mod scans;
 pub mod updates;

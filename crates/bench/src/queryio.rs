@@ -1,0 +1,319 @@
+//! Fused-scan query-I/O experiment: how many pages a query touches.
+//!
+//! The previous trajectory entries attacked lock traffic
+//! (`BENCH_scans.json`, `BENCH_optreads.json`); this one is the first to
+//! shrink the *logical* page accesses a query performs. PRQ and PkNN
+//! decompose into many key intervals (partition × SV group × Z-range),
+//! and the per-interval plan pays one root-to-leaf descent per interval;
+//! the fused plan (`RunConfig.fused_scans`) builds the whole interval set
+//! up front and executes it as coalesced multi-interval scans — one
+//! descent plus a leaf-chain walk per partition, upper-level pages served
+//! from a version-validated descent cache.
+//!
+//! For each engine the same warm query batches run once over a
+//! per-interval world and once over a fused world, recording **logical
+//! page accesses per query** and **descents per query** — both exact,
+//! machine-independent counters (`IoStats::logical_reads`,
+//! `peb_btree::ScanStats`). The experiment cross-checks that both plans
+//! return identical results, so the entry isolates plan quality, not
+//! workload drift. The pool is sized to keep the working set resident;
+//! committed `BENCH_seed/updates/scans/optreads` files are untouched per
+//! docs/BENCHMARKS.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_workload::QueryGenerator;
+
+use crate::harness::{RunConfig, World};
+
+/// One (engine × query kind × plan) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryIoPoint {
+    /// Logical page accesses per query (warm pool: hits, not faults).
+    pub logical_per_q: f64,
+    /// Root-to-leaf descents per query.
+    pub descents_per_q: f64,
+}
+
+/// Both plans of one engine × query kind.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanPair {
+    /// The per-interval reference plan (one descent per interval).
+    pub per_interval: QueryIoPoint,
+    /// The fused multi-interval plan.
+    pub fused: QueryIoPoint,
+}
+
+impl PlanPair {
+    /// Fraction of logical page accesses the fused plan sheds
+    /// (the acceptance metric: ≥ 0.25 for PRQ on the frozen config).
+    pub fn logical_reduction(&self) -> f64 {
+        if self.per_interval.logical_per_q <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.fused.logical_per_q / self.per_interval.logical_per_q
+    }
+
+    /// How many times fewer descents the fused plan performs
+    /// (the acceptance metric: ≥ 2.0 for PRQ on the frozen config).
+    pub fn descent_factor(&self) -> f64 {
+        if self.fused.descents_per_q <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.per_interval.descents_per_q / self.fused.descents_per_q
+    }
+}
+
+/// One engine's PRQ and PkNN plan pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineQueryIo {
+    /// Privacy-aware range query.
+    pub prq: PlanPair,
+    /// Privacy-aware kNN query.
+    pub knn: PlanPair,
+}
+
+/// The whole experiment: both engines on the frozen dataset shape.
+#[derive(Debug, Clone)]
+pub struct QueryIoReport {
+    /// Users in the dataset (the frozen seed shape).
+    pub users: usize,
+    /// Queries per batch.
+    pub queries: usize,
+    /// Total frame budget of each pool (working set stays resident).
+    pub pool_pages: usize,
+    /// PEB-tree measurements.
+    pub peb: EngineQueryIo,
+    /// Bx-tree (spatial baseline) measurements.
+    pub bx: EngineQueryIo,
+}
+
+/// The frozen query-I/O configuration: the `BENCH_optreads.json` dataset
+/// shape with the same warm 2048-page pool.
+pub fn queryio_config() -> RunConfig {
+    RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        theta: 0.7,
+        queries: 64,
+        seed: 0xBA5E,
+        buffer_pages: 2_048,
+        ..Default::default()
+    }
+}
+
+/// Run the experiment on the frozen configuration.
+pub fn measure_queryio() -> QueryIoReport {
+    measure_queryio_with(&queryio_config())
+}
+
+/// Run the experiment on an arbitrary configuration (tests use a small
+/// one): build a per-interval world and a fused world per engine, warm
+/// both, cross-check results, then measure one warm pass of each batch.
+pub fn measure_queryio_with(cfg: &RunConfig) -> QueryIoReport {
+    let gen = QueryGenerator::new(peb_common::SpaceConfig::default(), cfg.num_users);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF0_5E);
+    let ranges = gen.range_batch(&mut rng, cfg.queries, cfg.window_side, cfg.tq);
+    let knns = gen.knn_batch(&mut rng, cfg.queries, cfg.k, cfg.tq);
+
+    let perint = World::build(&RunConfig { fused_scans: false, ..cfg.clone() });
+    let fused = World::build(&RunConfig { fused_scans: true, ..cfg.clone() });
+
+    // Warm both worlds; the warm pass doubles as the result cross-check
+    // between the two plans.
+    for (i, q) in ranges.iter().enumerate() {
+        let a: Vec<_> = perint.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        let b: Vec<_> = fused.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        assert_eq!(a, b, "PEB PRQ {i}: the fused plan changed the result");
+        let a: Vec<_> = perint
+            .baseline
+            .prq(&perint.ctx.store, q.issuer, &q.window, q.tq)
+            .iter()
+            .map(|m| m.uid)
+            .collect();
+        let b: Vec<_> = fused
+            .baseline
+            .prq(&fused.ctx.store, q.issuer, &q.window, q.tq)
+            .iter()
+            .map(|m| m.uid)
+            .collect();
+        assert_eq!(a, b, "Bx PRQ {i}: the fused plan changed the result");
+    }
+    for (i, q) in knns.iter().enumerate() {
+        let a: Vec<_> =
+            perint.peb.pknn(q.issuer, q.q, q.k, q.tq).iter().map(|(m, _)| m.uid).collect();
+        let b: Vec<_> =
+            fused.peb.pknn(q.issuer, q.q, q.k, q.tq).iter().map(|(m, _)| m.uid).collect();
+        assert_eq!(a, b, "PEB PkNN {i}: the fused plan changed the result");
+        let a: Vec<_> = perint
+            .baseline
+            .pknn(&perint.ctx.store, q.issuer, q.q, q.k, q.tq)
+            .iter()
+            .map(|(m, _)| m.uid)
+            .collect();
+        let b: Vec<_> = fused
+            .baseline
+            .pknn(&fused.ctx.store, q.issuer, q.q, q.k, q.tq)
+            .iter()
+            .map(|(m, _)| m.uid)
+            .collect();
+        assert_eq!(a, b, "Bx PkNN {i}: the fused plan changed the result");
+    }
+
+    let n = cfg.queries.max(1) as f64;
+    // One warm measured pass: reset counters, run the batch, divide.
+    let measure = |w: &World, peb_side: bool, prq: bool| -> QueryIoPoint {
+        let pool = if peb_side {
+            w.peb.reset_scan_stats();
+            std::sync::Arc::clone(w.peb.pool())
+        } else {
+            w.baseline.reset_scan_stats();
+            std::sync::Arc::clone(w.baseline.pool())
+        };
+        pool.reset_stats();
+        match (peb_side, prq) {
+            (true, true) => {
+                for q in &ranges {
+                    let _ = w.peb.prq(q.issuer, &q.window, q.tq);
+                }
+            }
+            (true, false) => {
+                for q in &knns {
+                    let _ = w.peb.pknn(q.issuer, q.q, q.k, q.tq);
+                }
+            }
+            (false, true) => {
+                for q in &ranges {
+                    let _ = w.baseline.prq(&w.ctx.store, q.issuer, &q.window, q.tq);
+                }
+            }
+            (false, false) => {
+                for q in &knns {
+                    let _ = w.baseline.pknn(&w.ctx.store, q.issuer, q.q, q.k, q.tq);
+                }
+            }
+        }
+        let scans = if peb_side { w.peb.scan_stats() } else { w.baseline.scan_stats() };
+        QueryIoPoint {
+            logical_per_q: pool.stats().logical_reads as f64 / n,
+            descents_per_q: scans.descents as f64 / n,
+        }
+    };
+    let pair = |peb_side: bool, prq: bool| PlanPair {
+        per_interval: measure(&perint, peb_side, prq),
+        fused: measure(&fused, peb_side, prq),
+    };
+
+    QueryIoReport {
+        users: cfg.num_users,
+        queries: cfg.queries,
+        pool_pages: cfg.buffer_pages,
+        peb: EngineQueryIo { prq: pair(true, true), knn: pair(true, false) },
+        bx: EngineQueryIo { prq: pair(false, true), knn: pair(false, false) },
+    }
+}
+
+impl QueryIoReport {
+    /// Flat JSON trajectory entry (append-never-edit protocol, see
+    /// docs/BENCHMARKS.md): per engine and query kind, logical page
+    /// accesses and descents per query on each plan, plus the derived
+    /// reduction/factor fields. All fields are deterministic counters.
+    pub fn to_json(&self) -> String {
+        use crate::report::json_f64 as f;
+        let mut rows: Vec<(String, String)> = vec![
+            ("users".into(), self.users.to_string()),
+            ("queries".into(), self.queries.to_string()),
+            ("pool_pages".into(), self.pool_pages.to_string()),
+        ];
+        for (engine, e) in [("peb", &self.peb), ("bx", &self.bx)] {
+            for (kind, p) in [("prq", &e.prq), ("knn", &e.knn)] {
+                let key = |name: &str| format!("{engine}_{kind}_{name}");
+                rows.push((key("perint_logical_per_q"), f(p.per_interval.logical_per_q)));
+                rows.push((key("perint_descents_per_q"), f(p.per_interval.descents_per_q)));
+                rows.push((key("fused_logical_per_q"), f(p.fused.logical_per_q)));
+                rows.push((key("fused_descents_per_q"), f(p.fused.descents_per_q)));
+                rows.push((key("logical_reduction"), f(p.logical_reduction())));
+                rows.push((key("descent_factor"), f(p.descent_factor())));
+            }
+        }
+        crate::report::json_object(&rows)
+    }
+}
+
+/// Print the experiment as a paper-style tab-separated table.
+pub fn print_table(r: &QueryIoReport) {
+    println!(
+        "engine\tquery\tperint_logical/q\tfused_logical/q\treduction\tperint_descents/q\tfused_descents/q\tfactor\t({} users, {}-page pool, warm)",
+        r.users, r.pool_pages
+    );
+    for (engine, e) in [("peb", &r.peb), ("bx", &r.bx)] {
+        for (kind, p) in [("prq", &e.prq), ("knn", &e.knn)] {
+            println!(
+                "{engine}\t{kind}\t{:.2}\t{:.2}\t{:.0}%\t{:.2}\t{:.2}\t{:.1}x",
+                p.per_interval.logical_per_q,
+                p.fused.logical_per_q,
+                p.logical_reduction() * 100.0,
+                p.per_interval.descents_per_q,
+                p.fused.descents_per_q,
+                p.descent_factor(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_prq_sheds_a_quarter_of_the_page_accesses() {
+        // The acceptance bar at a small shape: >= 25% fewer logical page
+        // accesses per PRQ and >= 2x fewer descents, both engines,
+        // results cross-checked inside measure_queryio_with.
+        let cfg = RunConfig {
+            num_users: 1_200,
+            policies_per_user: 10,
+            queries: 12,
+            seed: 0xF05E,
+            buffer_pages: 1_024,
+            ..Default::default()
+        };
+        let r = measure_queryio_with(&cfg);
+        for (engine, e) in [("peb", &r.peb), ("bx", &r.bx)] {
+            assert!(
+                e.prq.logical_reduction() >= 0.25,
+                "{engine} PRQ reduction {:.2} below the 25% bar ({:.1} -> {:.1} logical/q)",
+                e.prq.logical_reduction(),
+                e.prq.per_interval.logical_per_q,
+                e.prq.fused.logical_per_q,
+            );
+            assert!(
+                e.prq.descent_factor() >= 2.0,
+                "{engine} PRQ descent factor {:.2} below 2x",
+                e.prq.descent_factor()
+            );
+            // PkNN's incremental cells bound its factor; it must still
+            // never regress.
+            assert!(
+                e.knn.fused.logical_per_q <= e.knn.per_interval.logical_per_q,
+                "{engine} PkNN fused plan regressed logical I/O"
+            );
+        }
+    }
+
+    #[test]
+    fn json_entry_is_well_formed() {
+        let point = |l, d| QueryIoPoint { logical_per_q: l, descents_per_q: d };
+        let pair = PlanPair { per_interval: point(100.0, 40.0), fused: point(50.0, 4.0) };
+        let engine = EngineQueryIo { prq: pair, knn: pair };
+        let r =
+            QueryIoReport { users: 8_000, queries: 64, pool_pages: 2_048, peb: engine, bx: engine };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        // 3 config keys + 2 engines x 2 kinds x 6 fields.
+        assert_eq!(j.matches(':').count(), 27, "one key per field");
+        assert!(j.contains("\"peb_prq_logical_reduction\": 0.50"));
+        assert!(j.contains("\"bx_knn_descent_factor\": 10.00"));
+    }
+}

@@ -249,7 +249,11 @@ impl<V: RecordValue> BTree<V> {
         }
         merged.extend(new_it);
         let added = merged.len() - old_len;
+        let scans = self.scan_stats();
         *self = BTree::bulk_load(Arc::clone(self.pool()), merged, MERGE_FILL);
+        // The rebuild replaced `self` wholesale; the scan ledger outlives
+        // structural maintenance like every other counter does.
+        self.restore_scan_stats(scans);
         added
     }
 }

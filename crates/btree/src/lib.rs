@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
+pub mod multiscan;
 pub mod node;
 pub mod tree;
 pub mod value;
 
+pub use multiscan::{coalesce_intervals, ScanStats};
 pub use tree::{BTree, TreeStats, OPT_MAX_RESTARTS};
 pub use value::RecordValue;

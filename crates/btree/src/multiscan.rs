@@ -1,0 +1,414 @@
+//! Interval coalescing and scan-path counters for the fused
+//! multi-interval read path ([`BTree::multi_range_scan`]).
+//!
+//! The Bx/PEB query algorithms decompose one query into many key
+//! intervals — (partition × SV group × Z-range) — and the per-interval
+//! path pays one root-to-leaf descent per interval. The fused path sorts
+//! and coalesces the whole interval set once ([`coalesce_intervals`]),
+//! descends once, and walks the leaf sibling chain across intervals,
+//! re-descending through a cached path only when the next interval lies
+//! beyond the current leaf's fence key. [`ScanStats`] is the
+//! deterministic ledger of that difference: descents performed and branch
+//! pages served from the descent cache instead of the buffer pool.
+//!
+//! [`BTree::multi_range_scan`]: crate::BTree::multi_range_scan
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic counters of a B+-tree's scan read path, the companion of
+/// the buffer pool's [`peb_storage::IoStats`] for the fused-scan
+/// experiment: `descents` tells how often the tree was entered by
+/// fetching the **root page through the pool** (once per
+/// [`BTree::range_scan`] call; on the fused path only when the cached
+/// root snapshot went stale — a re-route served from the descent cache is
+/// not a descent, it is the saving), and `cached_branch_pages` how many
+/// branch-page consultations the fused path served from its still-valid
+/// descent cache — page touches that never reached the pool and
+/// therefore never landed on the I/O ledger.
+///
+/// [`BTree::range_scan`]: crate::BTree::range_scan
+/// [`BTree::multi_range_scan`]: crate::BTree::multi_range_scan
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Root-to-leaf descents performed by the scan API.
+    pub descents: u64,
+    /// Branch-page consultations served from the fused path's descent
+    /// cache (validated against the pool's page versions, costing no pool
+    /// traffic).
+    pub cached_branch_pages: u64,
+}
+
+impl ScanStats {
+    /// Element-wise sum of two counter sets (shard aggregation).
+    pub fn merged(&self, other: &ScanStats) -> ScanStats {
+        ScanStats {
+            descents: self.descents + other.descents,
+            cached_branch_pages: self.cached_branch_pages + other.cached_branch_pages,
+        }
+    }
+}
+
+/// The tree-resident atomic half of [`ScanStats`] (scans take `&self`).
+#[derive(Default)]
+pub(crate) struct ScanCounters {
+    descents: AtomicU64,
+    cached_pages: AtomicU64,
+}
+
+impl ScanCounters {
+    pub(crate) fn bump_descent(&self) {
+        self.descents.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_cached(&self) {
+        self.cached_pages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ScanStats {
+        ScanStats {
+            descents: self.descents.load(Ordering::Relaxed),
+            cached_branch_pages: self.cached_pages.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn restore(&self, s: ScanStats) {
+        self.descents.store(s.descents, Ordering::Relaxed);
+        self.cached_pages.store(s.cached_branch_pages, Ordering::Relaxed);
+    }
+}
+
+/// Sort an inclusive interval list and merge overlapping or adjacent
+/// pairs; reversed pairs (`lo > hi`) are dropped. The result is the
+/// canonical form [`BTree::multi_range_scan`] executes: sorted, pairwise
+/// disjoint, non-adjacent intervals covering exactly the input's union —
+/// so the fused scan visits every key of the union once, in ascending
+/// order, no matter how redundantly the caller assembled the set.
+///
+/// [`BTree::multi_range_scan`]: crate::BTree::multi_range_scan
+///
+/// ```
+/// use peb_btree::coalesce_intervals;
+///
+/// let runs = coalesce_intervals(&[(40, 50), (10, 20), (21, 30), (45, 60), (9, 3)]);
+/// assert_eq!(runs, vec![(10, 30), (40, 60)]);
+/// ```
+pub fn coalesce_intervals(intervals: &[(u128, u128)]) -> Vec<(u128, u128)> {
+    let mut runs: Vec<(u128, u128)> =
+        intervals.iter().copied().filter(|(lo, hi)| lo <= hi).collect();
+    runs.sort_unstable();
+    let mut out: Vec<(u128, u128)> = Vec::with_capacity(runs.len());
+    for (lo, hi) in runs {
+        match out.last_mut() {
+            Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_overlap_adjacency_and_drops_reversed() {
+        assert!(coalesce_intervals(&[]).is_empty());
+        assert!(coalesce_intervals(&[(5, 1)]).is_empty());
+        assert_eq!(coalesce_intervals(&[(1, 5)]), vec![(1, 5)]);
+        // Overlap, containment, adjacency, and a genuine gap.
+        assert_eq!(
+            coalesce_intervals(&[(10, 20), (15, 18), (21, 25), (40, 41), (0, 0)]),
+            vec![(0, 0), (10, 25), (40, 41)]
+        );
+        // Full-domain edge: no overflow at u128::MAX.
+        assert_eq!(coalesce_intervals(&[(0, u128::MAX), (5, 10)]), vec![(0, u128::MAX)]);
+        assert_eq!(
+            coalesce_intervals(&[(u128::MAX, u128::MAX), (0, 1)]),
+            vec![(0, 1), (u128::MAX, u128::MAX)]
+        );
+    }
+
+    #[test]
+    fn scan_stats_merge_and_counters_roundtrip() {
+        let a = ScanStats { descents: 3, cached_branch_pages: 7 };
+        let b = ScanStats { descents: 1, cached_branch_pages: 2 };
+        assert_eq!(a.merged(&b), ScanStats { descents: 4, cached_branch_pages: 9 });
+        let c = ScanCounters::default();
+        c.bump_descent();
+        c.bump_cached();
+        c.bump_cached();
+        assert_eq!(c.snapshot(), ScanStats { descents: 1, cached_branch_pages: 2 });
+        c.restore(a);
+        assert_eq!(c.snapshot(), a);
+    }
+}
+
+#[cfg(test)]
+mod fused_tests {
+    use super::*;
+    use crate::BTree;
+    use peb_storage::BufferPool;
+    use std::sync::Arc;
+
+    fn tree_with(cap: usize, n: u128) -> BTree<u64> {
+        let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(cap)));
+        for i in 0..n {
+            // Multiplicative shuffle, stride-3 keys: gaps everywhere.
+            let k = ((i * 2_654_435_761) % (1 << 22)) * 3;
+            t.insert(k, i as u64);
+        }
+        t
+    }
+
+    /// The per-interval reference: one `range_scan` per coalesced run.
+    fn per_interval(t: &BTree<u64>, runs: &[(u128, u128)]) -> Vec<(u128, u64)> {
+        let mut out = Vec::new();
+        for (lo, hi) in runs {
+            t.range_scan(*lo, *hi, |k, v| {
+                out.push((k, v));
+                true
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn fused_matches_per_interval_and_spends_less_io() {
+        // The deterministic acceptance check at unit scale: same visit
+        // sequence, fewer logical page accesses, >= 2x fewer descents.
+        let t = tree_with(4096, 30_000);
+        assert!(t.height() >= 3, "height {}", t.height());
+        // A realistic interval set: many short runs, some overlapping,
+        // unsorted — like (SV group x Z-range) products.
+        let intervals: Vec<(u128, u128)> = (0..120u128)
+            .map(|j| {
+                let base = (j * 97_003) % (3 << 22);
+                (base, base + 400 + (j % 7) * 150)
+            })
+            .collect();
+        let runs = coalesce_intervals(&intervals);
+        assert!(runs.len() > 40, "coalescing must leave a real multi-interval set");
+
+        // Warm both paths once so the measurement window is hit-only and
+        // deterministic, then measure per-interval.
+        let pool = Arc::clone(t.pool());
+        per_interval(&t, &runs);
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let want = per_interval(&t, &runs);
+        let per_io = pool.stats();
+        let per_scans = t.scan_stats();
+        assert_eq!(per_scans.descents as usize, runs.len(), "one descent per interval");
+
+        // Measure fused on the identical warm pool.
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let mut got = Vec::new();
+        assert!(t.multi_range_scan(&intervals, |k, v| {
+            got.push((k, v));
+            true
+        }));
+        let fused_io = pool.stats();
+        let fused_scans = t.scan_stats();
+
+        assert_eq!(got, want, "fused scan must visit the identical (key, record) sequence");
+        assert!(
+            fused_io.logical_reads <= per_io.logical_reads,
+            "fused logical I/O {} exceeds per-interval {}",
+            fused_io.logical_reads,
+            per_io.logical_reads
+        );
+        assert!(
+            fused_io.total_io() <= per_io.total_io(),
+            "fused physical I/O {} exceeds per-interval {}",
+            fused_io.total_io(),
+            per_io.total_io()
+        );
+        assert!(
+            fused_scans.descents * 2 <= per_scans.descents,
+            "descents {} not halved vs {}",
+            fused_scans.descents,
+            per_scans.descents
+        );
+        assert!(
+            fused_scans.cached_branch_pages > 0,
+            "re-routes must reuse the cached descent path"
+        );
+        // The headline claim: strictly fewer page touches, not a tie.
+        assert!(
+            fused_io.logical_reads < per_io.logical_reads,
+            "fusing must actually shrink the ledger ({} vs {})",
+            fused_io.logical_reads,
+            per_io.logical_reads
+        );
+    }
+
+    #[test]
+    fn fused_scan_runs_lock_free_on_a_warm_pool() {
+        let t = tree_with(4096, 20_000);
+        let pool = Arc::clone(t.pool());
+        let intervals: Vec<(u128, u128)> =
+            (0..40u128).map(|j| (j * 200_003, j * 200_003 + 2_000)).collect();
+        t.multi_range_scan(&intervals, |_, _| true); // warm + publish
+        pool.reset_stats();
+        let mut n = 0usize;
+        t.multi_range_scan(&intervals, |_, _| {
+            n += 1;
+            true
+        });
+        assert!(n > 0, "the interval set must hit stored keys");
+        let locks = pool.lock_stats();
+        assert_eq!(locks.lock_acquisitions, 0, "warm fused scan must not touch a pool mutex");
+        assert!(locks.optimistic_hits > 0);
+        assert!(pool.stats().logical_reads > 0, "touches still land on the I/O ledger");
+    }
+
+    #[test]
+    fn early_exit_and_degenerate_sets() {
+        let t = tree_with(256, 2_000);
+        // Empty set, reversed-only set: complete immediately.
+        assert!(t.multi_range_scan(&[], |_, _| true));
+        assert!(t.multi_range_scan(&[(9, 3)], |_, _| true));
+        // Early exit propagates.
+        let mut seen = 0usize;
+        let completed = t.multi_range_scan(&[(0, u128::MAX)], |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(!completed);
+        assert_eq!(seen, 5);
+        // Single interval behaves exactly like range_scan.
+        let a = t.range(1_000, 500_000);
+        let mut b = Vec::new();
+        t.multi_range_scan(&[(1_000, 500_000)], |k, v| {
+            b.push((k, v));
+            true
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_single_leaf_trees() {
+        let empty: BTree<u64> = BTree::new(Arc::new(BufferPool::new(8)));
+        assert!(empty.multi_range_scan(&[(0, u128::MAX), (5, 10)], |_, _| true));
+        let mut tiny: BTree<u64> = BTree::new(Arc::new(BufferPool::new(8)));
+        for k in [4u128, 8, 15, 16, 23, 42] {
+            tiny.insert(k, k as u64);
+        }
+        assert_eq!(tiny.height(), 1);
+        let mut got = Vec::new();
+        tiny.multi_range_scan(&[(40, 100), (0, 5), (15, 16)], |k, _| {
+            got.push(k);
+            true
+        });
+        assert_eq!(got, vec![4, 15, 16, 42]);
+    }
+
+    #[test]
+    fn thrashing_pool_stays_correct_with_locked_fallbacks() {
+        // A 2-frame pool cannot keep the descent path resident: cached
+        // snapshots go stale (evicted pages fail validation) and leaves
+        // read through the locked path. Results must not change.
+        let t = tree_with(2, 8_000);
+        let intervals: Vec<(u128, u128)> =
+            (0..25u128).map(|j| (j * 480_007, j * 480_007 + 9_000)).collect();
+        let runs = coalesce_intervals(&intervals);
+        let want = per_interval(&t, &runs);
+        let mut got = Vec::new();
+        t.multi_range_scan(&intervals, |k, v| {
+            got.push((k, v));
+            true
+        });
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn coalesced_union_matches_model(
+            ivs in proptest::collection::vec((0u128..120, 0u128..120), 0..24)
+        ) {
+            let runs = coalesce_intervals(&ivs);
+            // Sorted, disjoint, non-adjacent.
+            for w in runs.windows(2) {
+                prop_assert!(w[0].1 + 1 < w[1].0, "not maximal: {runs:?}");
+            }
+            // Exact same covered set as the naive union.
+            let mut model = [false; 121];
+            for (lo, hi) in &ivs {
+                for v in (*lo)..=(*hi).min(120) {
+                    if lo <= hi { model[v as usize] = true; }
+                }
+            }
+            for v in 0u128..=120 {
+                let covered = runs.iter().any(|(lo, hi)| v >= *lo && v <= *hi);
+                prop_assert_eq!(covered, model[v as usize], "value {}", v);
+            }
+        }
+
+        /// The tentpole equivalence property: over random trees and
+        /// random interval sets, the fused scan visits exactly the
+        /// (key, record) sequence the per-interval scans of the coalesced
+        /// set visit — and never spends more logical page reads.
+        #[test]
+        fn fused_equals_per_interval_over_random_trees(
+            keys in proptest::collection::btree_set(0u128..6_000, 0..400),
+            ivs in proptest::collection::vec((0u128..6_000, 0u128..400), 1..30),
+            cap in 2usize..64,
+        ) {
+            use crate::BTree;
+            use peb_storage::BufferPool;
+            use std::sync::Arc;
+
+            let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(cap)));
+            for &k in &keys {
+                t.insert(k, (k as u64) ^ 0xABCD);
+            }
+            let intervals: Vec<(u128, u128)> =
+                ivs.iter().map(|(lo, len)| (*lo, lo + len)).collect();
+            let runs = coalesce_intervals(&intervals);
+
+            t.pool().reset_stats();
+            let mut want = Vec::new();
+            for (lo, hi) in &runs {
+                t.range_scan(*lo, *hi, |k, v| {
+                    want.push((k, v));
+                    true
+                });
+            }
+            let per_logical = t.pool().stats().logical_reads;
+
+            t.pool().reset_stats();
+            let mut got = Vec::new();
+            prop_assert!(t.multi_range_scan(&intervals, |k, v| {
+                got.push((k, v));
+                true
+            }));
+            let fused_logical = t.pool().stats().logical_reads;
+
+            prop_assert_eq!(got, want);
+            // Warmth differs between the passes (per-interval ran first on
+            // a colder pool), but logical reads are residency-independent:
+            // the fused bound must hold for any tree, pool, interval set.
+            prop_assert!(
+                fused_logical <= per_logical,
+                "fused {} > per-interval {} logical reads", fused_logical, per_logical
+            );
+            // Oracle cross-check against the key set itself.
+            let oracle: Vec<u128> = keys
+                .iter()
+                .copied()
+                .filter(|k| runs.iter().any(|(lo, hi)| k >= lo && k <= hi))
+                .collect();
+            let got_keys: Vec<u128> = got.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(got_keys, oracle);
+        }
+    }
+}

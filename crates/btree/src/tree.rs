@@ -23,8 +23,9 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use peb_storage::{BufferPool, OptimisticRead, Page, PageId};
+use peb_storage::{BufferPool, OptimisticRead, Page, PageId, PageSnapshot};
 
+use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats};
 use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
 use crate::value::RecordValue;
 
@@ -38,6 +39,17 @@ pub const OPT_MAX_RESTARTS: usize = 3;
 /// restart from the root (internal to the read path).
 struct Restart;
 
+/// One cached level of a fused scan's descent path: a versioned snapshot
+/// of the branch page last consulted at this depth. Reused by the next
+/// re-route while [`BufferPool::snapshot_valid`] holds (see
+/// [`BTree::multi_range_scan`]); re-read through the pool otherwise.
+#[derive(Default)]
+struct PathLevel {
+    snap: PageSnapshot,
+    /// Whether `snap` has ever been filled this scan.
+    filled: bool,
+}
+
 /// A disk-based B+-tree mapping unique `u128` keys to fixed-size records.
 pub struct BTree<V: RecordValue> {
     pool: Arc<BufferPool>,
@@ -47,6 +59,8 @@ pub struct BTree<V: RecordValue> {
     len: usize,
     leaf_pages: usize,
     total_pages: usize,
+    /// Deterministic scan-path counters (descents, cached branch pages).
+    scans: ScanCounters,
     _values: PhantomData<V>,
 }
 
@@ -55,7 +69,16 @@ impl<V: RecordValue> BTree<V> {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         let root = pool.allocate();
         pool.write(root, node::init_leaf);
-        BTree { pool, root, height: 1, len: 0, leaf_pages: 1, total_pages: 1, _values: PhantomData }
+        BTree {
+            pool,
+            root,
+            height: 1,
+            len: 0,
+            leaf_pages: 1,
+            total_pages: 1,
+            scans: ScanCounters::default(),
+            _values: PhantomData,
+        }
     }
 
     const fn vsize() -> usize {
@@ -118,7 +141,38 @@ impl<V: RecordValue> BTree<V> {
         leaf_pages: usize,
         total_pages: usize,
     ) -> Self {
-        BTree { pool, root, height, len, leaf_pages, total_pages, _values: PhantomData }
+        BTree {
+            pool,
+            root,
+            height,
+            len,
+            leaf_pages,
+            total_pages,
+            scans: ScanCounters::default(),
+            _values: PhantomData,
+        }
+    }
+
+    /// Deterministic scan-path counters: root-to-leaf descents performed
+    /// by [`BTree::range_scan`]/[`BTree::multi_range_scan`] and branch
+    /// pages the fused path served from its descent cache. The companion
+    /// of the pool's I/O ledger for the fused-scan experiment.
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scans.snapshot()
+    }
+
+    /// Zero the scan-path counters (measurement windows).
+    pub fn reset_scan_stats(&self) {
+        self.scans.restore(ScanStats::default());
+    }
+
+    /// Overwrite the scan-path counters — the carry half of the
+    /// "the scan ledger outlives structural maintenance" contract: code
+    /// that replaces a tree wholesale (`merge_sorted`'s rebuild, a
+    /// shard's O(1) expiry swap) snapshots [`BTree::scan_stats`] first
+    /// and restores it onto the replacement.
+    pub fn restore_scan_stats(&self, s: ScanStats) {
+        self.scans.restore(s);
     }
 
     // ---- leaf byte helpers -------------------------------------------------
@@ -649,6 +703,7 @@ impl<V: RecordValue> BTree<V> {
         if lo > hi {
             return true;
         }
+        self.scans.bump_descent();
         let vsize = Self::vsize();
         let mut found = None;
         for _ in 0..OPT_MAX_RESTARTS {
@@ -710,6 +765,188 @@ impl<V: RecordValue> BTree<V> {
             true
         });
         out
+    }
+
+    // ---- fused multi-interval scans -----------------------------------------
+
+    /// Route from the root to the leaf that would contain `key`, reusing
+    /// the still-valid cached branch pages of `path` (one slot per branch
+    /// level, root first). Returns the leaf's page id and its **fence
+    /// key** — the exclusive upper bound of keys the leaf can hold,
+    /// derived from the tightest separator along the path (`u128::MAX`
+    /// when the leaf tops the key space).
+    ///
+    /// Each branch level is served from the cache when its snapshot still
+    /// names the page the route wants *and* the pool still publishes that
+    /// page at the snapshot's version ([`BufferPool::snapshot_valid`] —
+    /// the PR 4 versioned-page machinery); a reused level costs no pool
+    /// traffic at all. Any other level is re-read through
+    /// [`BufferPool::read_snapshot`], which counts one logical read
+    /// exactly like a step of the per-interval descent (lock-free when
+    /// published, locked fallback otherwise). Routing through a cached
+    /// copy is sound because page contents of this tree cannot change
+    /// under `&self` (writers need `&mut`), so a validated copy is
+    /// bit-identical to the live page; a copy whose page was evicted or
+    /// republished since merely fails validation and is re-read — the
+    /// conservative fallback, never a wrong route.
+    fn descend_cached(&self, key: u128, path: &mut [PathLevel]) -> (PageId, u128) {
+        let mut pid = self.root;
+        let mut fence = u128::MAX;
+        for (depth, level) in path.iter_mut().enumerate() {
+            let cached =
+                level.filled && level.snap.pid() == pid && self.pool.snapshot_valid(&level.snap);
+            if cached {
+                self.scans.bump_cached();
+            } else {
+                self.pool.read_snapshot(pid, &mut level.snap);
+                level.filled = true;
+                if depth == 0 {
+                    // Only a route that had to fetch the root through the
+                    // pool counts as a descent; a re-route served from the
+                    // cache is the saving the counter exists to expose.
+                    self.scans.bump_descent();
+                }
+            }
+            let p = level.snap.page();
+            let j = node::branch_child_index(p, key);
+            if j < node::count(p) {
+                fence = node::branch_key(p, j);
+            }
+            pid = node::child_at(p, j);
+        }
+        if path.is_empty() {
+            // Single-leaf tree: every route lands straight on the root.
+            self.scans.bump_descent();
+        }
+        (pid, fence)
+    }
+
+    /// Visit every entry whose key falls in the union of `intervals`
+    /// (inclusive `(lo, hi)` pairs, in any order, overlap allowed),
+    /// exactly once, in ascending key order. The callback returns `false`
+    /// to stop early; `multi_range_scan` returns whether it ran to
+    /// completion.
+    ///
+    /// This is the fused counterpart of issuing one [`BTree::range_scan`]
+    /// per interval: the set is sorted and coalesced once
+    /// ([`crate::coalesce_intervals`]), the tree descends to the first
+    /// interval, and the scan then walks the leaf sibling chain across
+    /// intervals — re-descending **only when the next interval lies
+    /// beyond the current leaf's fence key**, and then through a cached
+    /// descent path whose still-valid upper-level pages cost no pool
+    /// traffic (see [`BTree::scan_stats`]). Page for page it touches a
+    /// subset of what the per-interval scans touch, so its I/O ledger is
+    /// bounded by theirs; the visit sequence is identical to per-interval
+    /// scans over the coalesced set.
+    ///
+    /// Leaves are read from lock-free versioned snapshots when published
+    /// and from the locked page otherwise, exactly like
+    /// [`BTree::range_scan`]'s chain walk; entries are handed to `visit`
+    /// with no page borrow or lock held.
+    pub fn multi_range_scan(
+        &self,
+        intervals: &[(u128, u128)],
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> bool {
+        let runs = coalesce_intervals(intervals);
+        if runs.is_empty() {
+            return true;
+        }
+        let vsize = Self::vsize();
+        let mut path: Vec<PathLevel> = (1..self.height).map(|_| PathLevel::default()).collect();
+        let mut i = 0usize;
+        'runs: while i < runs.len() {
+            let (mut pid, fence) = self.descend_cached(runs[i].0, &mut path);
+            // The fence is exact for the descended leaf; once the walk
+            // moves along the sibling chain the new leaves' fences are
+            // unknown (`None`) and the skip rule falls back to the last
+            // key actually seen.
+            let mut fence = Some(fence);
+            loop {
+                // Collect this leaf's in-union entries from one
+                // consistent page image, then emit with no page borrow
+                // (and no lock) held across the callback.
+                let read_leaf = |p: &Page| {
+                    let n = node::count(p);
+                    let mut batch: Vec<(u128, V)> = Vec::new();
+                    let mut ri = i;
+                    let mut idx = node::leaf_lower_bound(p, runs[ri].0, vsize);
+                    while idx < n && ri < runs.len() {
+                        let k = node::leaf_key(p, idx, vsize);
+                        while ri < runs.len() && runs[ri].1 < k {
+                            ri += 1;
+                        }
+                        if ri == runs.len() {
+                            break;
+                        }
+                        if k >= runs[ri].0 {
+                            batch.push((
+                                k,
+                                V::read(p.bytes(node::leaf_entry_off(idx, vsize) + 16, vsize)),
+                            ));
+                            idx += 1;
+                        } else {
+                            // Jump over the intra-leaf gap to the next
+                            // interval's first possible entry.
+                            idx = node::leaf_lower_bound(p, runs[ri].0, vsize);
+                        }
+                    }
+                    let last_key = if n > 0 { Some(node::leaf_key(p, n - 1, vsize)) } else { None };
+                    (batch, node::right_sibling(p), ri, last_key)
+                };
+                let (batch, next, mut ri, last_key) = match self.pool.read_versioned(pid, read_leaf)
+                {
+                    OptimisticRead::Hit(r, _) => r,
+                    OptimisticRead::Unpublished | OptimisticRead::Conflict => {
+                        self.pool.read(pid, read_leaf)
+                    }
+                };
+                for (k, v) in batch {
+                    if !visit(k, v) {
+                        return false;
+                    }
+                }
+                // Drop intervals this leaf fully consumed: everything up
+                // to the last key seen, plus — when the fence is known —
+                // everything below it (keys in the gap between the last
+                // entry and the fence exist nowhere else in the tree).
+                let covered = match (fence, last_key) {
+                    // `f - 1` is safe: f == u128::MAX means "unbounded",
+                    // already excluded by the match guard.
+                    (Some(f), _) if f != u128::MAX => f - 1,
+                    (_, Some(k)) => k,
+                    // An empty rightmost leaf (only the root can be
+                    // empty): nothing exists at all.
+                    _ => u128::MAX,
+                };
+                while ri < runs.len() && runs[ri].1 <= covered {
+                    ri += 1;
+                }
+                i = ri;
+                if i == runs.len() {
+                    return true;
+                }
+                if !next.is_valid() {
+                    // Rightmost leaf: no key beyond it, the remaining
+                    // intervals are empty.
+                    return true;
+                }
+                // The next needed interval starts at or beyond this
+                // leaf's coverage. If it starts within coverage (it
+                // straddles into the next leaf), follow the sibling
+                // pointer; otherwise the gap is of unknown width — re-
+                // descend through the cached path (upper levels are
+                // normally still valid, so the re-route costs one leaf
+                // read, like a sibling step).
+                if runs[i].0 <= covered {
+                    pid = next;
+                    fence = None;
+                } else {
+                    continue 'runs;
+                }
+            }
+        }
+        true
     }
 
     // ---- diagnostics -------------------------------------------------------

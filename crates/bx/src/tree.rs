@@ -7,7 +7,7 @@ use std::sync::Arc;
 use peb_common::{MovingPoint, Point, Rect, SpaceConfig, Timestamp, UserId};
 use peb_index::{IndexStats, ShardedMovingIndex, TimePartitioning};
 use peb_storage::BufferPool;
-use peb_zorder::{decompose, IntervalSet};
+use peb_zorder::{coarsen, decompose, IntervalSet};
 
 use crate::keys::BxKeyLayout;
 
@@ -16,6 +16,9 @@ use crate::keys::BxKeyLayout;
 /// partition); this type adds the Bx query algorithms.
 pub struct BxTree {
     idx: ShardedMovingIndex<BxKeyLayout>,
+    /// Whether candidate retrieval runs through the fused multi-interval
+    /// scan pipeline (off by default; see [`BxTree::set_fused_scans`]).
+    fused_scans: bool,
 }
 
 impl BxTree {
@@ -26,7 +29,39 @@ impl BxTree {
         max_speed: f64,
     ) -> Self {
         let layout = BxKeyLayout::new(space.grid_bits);
-        BxTree { idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed) }
+        BxTree {
+            idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed),
+            fused_scans: false,
+        }
+    }
+
+    /// Opt into the fused multi-interval query pipeline:
+    /// [`BxTree::for_each_candidate`] (and the incremental kNN variant)
+    /// build the full key-interval set — partitions × Z-ranges, coarsened
+    /// to [`peb_costmodel::interval_budget`] — and execute it through
+    /// [`ShardedMovingIndex::scan_keys_multi`]: one descent plus a
+    /// leaf-chain walk per partition instead of one descent per Z-range.
+    /// Query results are identical either way (refinement discards the
+    /// coarsening's extra candidates); only page accesses differ. Off by
+    /// default, keeping the frozen benchmark ledger byte-identical.
+    pub fn set_fused_scans(&mut self, enabled: bool) {
+        self.fused_scans = enabled;
+    }
+
+    /// Whether the fused multi-interval query pipeline is active.
+    pub fn fused_scans(&self) -> bool {
+        self.fused_scans
+    }
+
+    /// Deterministic scan-path counters summed across shard trees (see
+    /// [`peb_btree::ScanStats`]).
+    pub fn scan_stats(&self) -> peb_btree::ScanStats {
+        self.idx.scan_stats()
+    }
+
+    /// Zero the scan-path counters (measurement windows).
+    pub fn reset_scan_stats(&self) {
+        self.idx.reset_scan_stats()
     }
 
     /// Bulk-load an initial user population (each user must appear once).
@@ -43,6 +78,7 @@ impl BxTree {
         let layout = BxKeyLayout::new(space.grid_bits);
         BxTree {
             idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
+            fused_scans: false,
         }
     }
 
@@ -152,10 +188,47 @@ impl BxTree {
     }
 
     /// Run the Bx search (enlarge → Z-decompose → B+-tree interval scans)
-    /// and hand every *candidate* (pre-refinement) to the callback.
+    /// and hand every *candidate* (pre-refinement) to the callback. On
+    /// the fused plan ([`BxTree::set_fused_scans`]) the whole interval
+    /// set executes as one coalesced multi-interval scan; candidates may
+    /// then include the coarsened-in extras every caller already refines
+    /// away.
+    /// Walk the coarsened Z-ranges of `r`'s enlargement in every live
+    /// partition — the shared front half of both fused interval builders.
+    /// The coarsening budget clamps against the whole population: every
+    /// object is a candidate for a privacy-unaware query (unlike the PEB
+    /// side, whose candidates are the issuer's friends).
+    fn for_each_fused_zrange(
+        &self,
+        r: &Rect,
+        tq: Timestamp,
+        mut f: impl FnMut(u8, peb_zorder::ZRange),
+    ) {
+        let space = self.idx.space();
+        let budget = peb_costmodel::interval_budget(self.idx.len(), self.idx.leaf_page_count());
+        for (tid, t_lab) in self.idx.live_partitions() {
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = space.to_grid_rect(&enlarged);
+            for zr in coarsen(decompose(x0, x1, y0, y1, space.grid_bits), budget) {
+                f(tid, zr);
+            }
+        }
+    }
+
     pub fn for_each_candidate(&self, r: &Rect, tq: Timestamp, mut f: impl FnMut(MovingPoint)) {
         let layout = *self.idx.layout();
         let space = self.idx.space();
+        if self.fused_scans {
+            let mut intervals: Vec<(u128, u128)> = Vec::new();
+            self.for_each_fused_zrange(r, tq, |tid, zr| {
+                intervals.push((layout.range_start(tid, zr.lo), layout.range_end(tid, zr.hi)));
+            });
+            self.idx.scan_keys_multi(&intervals, |_, rec| {
+                f(rec.to_moving_point());
+                true
+            });
+            return;
+        }
         for (tid, t_lab) in self.idx.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
             let (x0, x1, y0, y1) = space.to_grid_rect(&enlarged);
@@ -184,6 +257,23 @@ impl BxTree {
     ) {
         let layout = *self.idx.layout();
         let space = self.idx.space();
+        if self.fused_scans {
+            // One multi-interval scan over every partition's fresh
+            // flanks (coarsened like `for_each_candidate`; the covered
+            // bookkeeping keeps later rounds from rescanning the extras).
+            let mut intervals: Vec<(u128, u128)> = Vec::new();
+            self.for_each_fused_zrange(r, tq, |tid, zr| {
+                let set = scanned.entry(tid).or_default();
+                for (zlo, zhi) in set.add_and_return_new(zr.lo, zr.hi) {
+                    intervals.push((layout.range_start(tid, zlo), layout.range_end(tid, zhi)));
+                }
+            });
+            self.idx.scan_keys_multi(&intervals, |_, rec| {
+                f(rec.to_moving_point());
+                true
+            });
+            return;
+        }
         for (tid, t_lab) in self.idx.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
             let (x0, x1, y0, y1) = space.to_grid_rect(&enlarged);
@@ -407,6 +497,48 @@ mod tests {
         assert!(
             (io as usize) < t.index().page_count(),
             "range query touches a fraction of the tree ({io} pages)"
+        );
+    }
+
+    #[test]
+    fn fused_range_query_and_knn_match_per_interval() {
+        let mut per = tree(256);
+        for i in 0..600u64 {
+            let t = if i % 3 == 0 { 70.0 } else { 10.0 }; // two partitions
+            per.upsert(still(i, (i % 60) as f64 * 16.0 + 3.0, (i / 60) as f64 * 95.0 + 3.0, t));
+        }
+        let pool = Arc::clone(per.pool());
+        let r = Rect::new(120.0, 640.0, 80.0, 700.0);
+
+        let _ = per.range_query(&r, 80.0); // warm
+        pool.reset_stats();
+        per.reset_scan_stats();
+        let want = per.range_query(&r, 80.0);
+        let want_knn = per.knn(Point::new(500.0, 480.0), 7, 80.0);
+        let per_logical = pool.stats().logical_reads;
+        let per_descents = per.scan_stats().descents;
+
+        per.set_fused_scans(true);
+        assert!(per.fused_scans());
+        let _ = per.range_query(&r, 80.0);
+        let _ = per.knn(Point::new(500.0, 480.0), 7, 80.0);
+        pool.reset_stats();
+        per.reset_scan_stats();
+        let got = per.range_query(&r, 80.0);
+        let got_knn = per.knn(Point::new(500.0, 480.0), 7, 80.0);
+        let fused_logical = pool.stats().logical_reads;
+        let fused_descents = per.scan_stats().descents;
+
+        assert_eq!(got, want, "fused range query must return identical results");
+        assert_eq!(got_knn, want_knn, "fused kNN must return the identical ranking");
+        assert!(!want.is_empty());
+        assert!(
+            fused_logical < per_logical,
+            "fused logical reads {fused_logical} not below per-interval {per_logical}"
+        );
+        assert!(
+            fused_descents * 2 <= per_descents,
+            "fused descents {fused_descents} vs per-interval {per_descents}"
         );
     }
 

@@ -60,6 +60,29 @@ impl SpatialBaseline {
         self.bx.lock_stats()
     }
 
+    /// Opt the underlying Bx-tree into the fused multi-interval query
+    /// pipeline (see [`BxTree::set_fused_scans`]); results are identical,
+    /// only page accesses differ.
+    pub fn set_fused_scans(&mut self, enabled: bool) {
+        self.bx.set_fused_scans(enabled);
+    }
+
+    /// Whether the fused query pipeline is active.
+    pub fn fused_scans(&self) -> bool {
+        self.bx.fused_scans()
+    }
+
+    /// Deterministic scan-path counters of the underlying Bx-tree (see
+    /// [`peb_btree::ScanStats`]).
+    pub fn scan_stats(&self) -> peb_btree::ScanStats {
+        self.bx.scan_stats()
+    }
+
+    /// Zero the scan-path counters (measurement windows).
+    pub fn reset_scan_stats(&self) {
+        self.bx.reset_scan_stats()
+    }
+
     /// Privacy-aware range query, filtering style: spatial query first,
     /// policy evaluation on everything retrieved. Sorted by uid.
     pub fn prq(

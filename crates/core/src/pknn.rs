@@ -18,6 +18,7 @@ use std::collections::{HashMap, HashSet};
 
 use peb_bx::estimated_knn_distance;
 use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
+use peb_index::ObjectRecord;
 
 use crate::tree::PebTree;
 
@@ -99,29 +100,136 @@ impl PebTree {
 
         // Vertical-scan refinement: make sure every friend row is covered
         // out to twice the current k'th candidate distance, then re-rank.
+        // On the fused plan the whole column is one multi-interval scan
+        // (every unresolved group's fresh intervals, all partitions)
+        // instead of one cell — and therefore one descent — per row.
         let kth_dist = pool[k - 1].1;
         let radius = kth_dist.max(self.space().cell_size() * 0.5);
-        for group in &groups {
-            self.scan_cell(
-                issuer,
-                q,
-                tq,
-                group,
-                radius,
-                &partitions,
-                &mut scanned,
-                &mut resolved,
-                &mut pool,
-            );
+        if self.fused_scans() {
+            let mut intervals: Vec<(u128, u128)> = Vec::new();
+            for (sv_code, members) in &groups {
+                if members.iter().all(|u| resolved.contains(u)) {
+                    continue;
+                }
+                intervals.extend(self.cell_intervals(
+                    *sv_code,
+                    q,
+                    tq,
+                    radius,
+                    &partitions,
+                    &mut scanned,
+                ));
+            }
+            self.scan_intervals_fused(&intervals, |rec| {
+                self.pknn_refine(issuer, q, tq, rec, &mut resolved, &mut pool);
+                // Once every friend is located no further record can
+                // qualify; stop the column scan early.
+                resolved.len() < total_friends
+            });
+        } else {
+            for group in &groups {
+                self.scan_cell(
+                    issuer,
+                    q,
+                    tq,
+                    group,
+                    radius,
+                    &partitions,
+                    &mut scanned,
+                    &mut resolved,
+                    &mut pool,
+                );
+            }
         }
         pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
         pool.truncate(k);
         pool
     }
 
-    /// Scan one search-matrix cell: the single Z-interval of the window of
-    /// half-side `radius`, for one SV group, in every live partition —
-    /// minus whatever previous (smaller, nested) rounds already covered.
+    /// The fresh key intervals of one search-matrix cell: the single
+    /// Z-interval of the window of half-side `radius` (the paper's
+    /// modification — `[min ZV; max ZV]` of the enlarged window, i.e. its
+    /// lower-left and upper-right cells), per live partition, minus
+    /// whatever previous (smaller, nested) rounds already covered.
+    /// Updates `scanned` to record the coverage.
+    fn cell_intervals(
+        &self,
+        sv_code: u64,
+        q: Point,
+        tq: Timestamp,
+        radius: f64,
+        partitions: &[(u8, Timestamp)],
+        scanned: &mut ScannedMap,
+    ) -> Vec<(u128, u128)> {
+        let keys = *self.key_layout();
+        let window = Rect::square(q, 2.0 * radius);
+        let mut out: Vec<(u128, u128)> = Vec::new();
+        for (tid, t_lab) in partitions {
+            let enlarged = self.enlarge(&window, *t_lab, tq);
+            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
+            let lo = peb_zorder::encode(x0, y0);
+            let hi = peb_zorder::encode(x1, y1);
+
+            // Subtract the nested interval scanned by earlier rounds.
+            let fresh: Vec<(u64, u64)> = match scanned.get(&(*tid, sv_code)) {
+                None => vec![(lo, hi)],
+                Some(&(plo, phi)) => {
+                    let mut v = Vec::new();
+                    if lo < plo {
+                        v.push((lo, plo - 1));
+                    }
+                    if hi > phi {
+                        v.push((phi + 1, hi));
+                    }
+                    v
+                }
+            };
+            let entry = scanned.entry((*tid, sv_code)).or_insert((lo, hi));
+            entry.0 = entry.0.min(lo);
+            entry.1 = entry.1.max(hi);
+
+            for (zlo, zhi) in fresh {
+                out.push((
+                    keys.range_start(*tid, sv_code, zlo),
+                    keys.range_end(*tid, sv_code, zhi),
+                ));
+            }
+        }
+        out
+    }
+
+    /// PkNN candidate refinement, shared by every scan plan: resolve the
+    /// friend (a user has only one location), check the policy, and rank
+    /// the qualified candidate by predicted distance.
+    fn pknn_refine(
+        &self,
+        issuer: UserId,
+        q: Point,
+        tq: Timestamp,
+        rec: ObjectRecord,
+        resolved: &mut HashSet<UserId>,
+        pool: &mut Vec<(MovingPoint, f64)>,
+    ) {
+        let uid = UserId(rec.uid);
+        if uid == issuer || resolved.contains(&uid) {
+            return;
+        }
+        if self.ctx().store.policy(uid, issuer).is_none() {
+            return;
+        }
+        resolved.insert(uid);
+        let mp = rec.to_moving_point();
+        let pos = mp.position_at(tq);
+        if self.ctx().store.permits(uid, issuer, &pos, tq) {
+            pool.push((mp, pos.dist(&q)));
+        }
+    }
+
+    /// Scan one search-matrix cell (one SV group at one radius, every
+    /// live partition). On the per-interval plan each fresh interval is
+    /// its own B+-tree scan; on the fused plan the cell's intervals
+    /// execute as one multi-interval scan (one descent instead of one per
+    /// partition × fresh flank).
     #[allow(clippy::too_many_arguments)]
     fn scan_cell(
         &self,
@@ -139,49 +247,18 @@ impl PebTree {
         if members.iter().all(|u| resolved.contains(u)) {
             return;
         }
-        let window = Rect::square(q, 2.0 * radius);
-        for (tid, t_lab) in partitions {
-            let enlarged = self.enlarge(&window, *t_lab, tq);
-            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
-            // The paper's single-interval modification: [min ZV; max ZV] of
-            // the window, which for the Z-curve are its lower-left and
-            // upper-right cells.
-            let lo = peb_zorder::encode(x0, y0);
-            let hi = peb_zorder::encode(x1, y1);
-
-            // Subtract the nested interval scanned by earlier rounds.
-            let fresh: Vec<(u64, u64)> = match scanned.get(&(*tid, *sv_code)) {
-                None => vec![(lo, hi)],
-                Some(&(plo, phi)) => {
-                    let mut v = Vec::new();
-                    if lo < plo {
-                        v.push((lo, plo - 1));
-                    }
-                    if hi > phi {
-                        v.push((phi + 1, hi));
-                    }
-                    v
-                }
-            };
-            let entry = scanned.entry((*tid, *sv_code)).or_insert((lo, hi));
-            entry.0 = entry.0.min(lo);
-            entry.1 = entry.1.max(hi);
-
-            for (zlo, zhi) in fresh {
-                self.scan_interval(*tid, *sv_code, zlo, zhi, |rec| {
-                    let uid = UserId(rec.uid);
-                    if uid == issuer || resolved.contains(&uid) {
-                        return true;
-                    }
-                    if self.ctx().store.policy(uid, issuer).is_none() {
-                        return true;
-                    }
-                    resolved.insert(uid);
-                    let mp = rec.to_moving_point();
-                    let pos = mp.position_at(tq);
-                    if self.ctx().store.permits(uid, issuer, &pos, tq) {
-                        pool.push((mp, pos.dist(&q)));
-                    }
+        let intervals = self.cell_intervals(*sv_code, q, tq, radius, partitions, scanned);
+        if self.fused_scans() {
+            self.scan_intervals_fused(&intervals, |rec| {
+                self.pknn_refine(issuer, q, tq, rec, resolved, pool);
+                // Only this SV group's friends appear under this SV code;
+                // once all of them are located the cell has nothing left.
+                !members.iter().all(|u| resolved.contains(u))
+            });
+        } else {
+            for (lo, hi) in intervals {
+                self.scan_key_interval(lo, hi, |rec| {
+                    self.pknn_refine(issuer, q, tq, rec, resolved, pool);
                     true
                 });
             }
@@ -302,6 +379,49 @@ mod tests {
         let locks = t.lock_stats();
         assert_eq!(locks.lock_acquisitions, 0, "warm PkNN must not touch a pool mutex");
         assert!(locks.optimistic_hits > 0);
+    }
+
+    #[test]
+    fn fused_pknn_is_identical_and_cheaper() {
+        let mut store = PolicyStore::new();
+        for f in 1..=40u64 {
+            store.add(UserId(0), Policy::new(UserId(f), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 41);
+        for f in 1..=40u64 {
+            t.upsert(still(f, (f as f64 * 173.0) % 1000.0, (f as f64 * 59.0) % 1000.0));
+        }
+        let q = Point::new(480.0, 510.0);
+        let pool = Arc::clone(t.pool());
+
+        let _ = t.pknn(UserId(0), q, 5, 10.0); // warm
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let per = t.pknn(UserId(0), q, 5, 10.0);
+        let per_logical = pool.stats().logical_reads;
+        let per_descents = t.scan_stats().descents;
+
+        t.set_fused_scans(true);
+        let _ = t.pknn(UserId(0), q, 5, 10.0);
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let fused = t.pknn(UserId(0), q, 5, 10.0);
+        let fused_logical = pool.stats().logical_reads;
+        let fused_descents = t.scan_stats().descents;
+
+        assert_eq!(per, fused, "fused PkNN must return the identical ranking");
+        assert_eq!(fused.len(), 5);
+        assert!(
+            fused_logical <= per_logical,
+            "fused logical reads {fused_logical} above per-interval {per_logical}"
+        );
+        // PkNN's incremental rounds keep one descent per visited cell, so
+        // the reduction is bounded by the cell structure (the 2x bar is
+        // PRQ's); it must still be a strict improvement.
+        assert!(
+            fused_descents < per_descents,
+            "fused descents {fused_descents} vs per-interval {per_descents}"
+        );
     }
 
     #[test]

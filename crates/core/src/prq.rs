@@ -20,17 +20,28 @@
 use std::collections::HashSet;
 
 use peb_common::{MovingPoint, Rect, Timestamp, UserId};
-use peb_zorder::decompose;
+use peb_zorder::{coarsen, decompose};
 
 use crate::tree::PebTree;
 
 impl PebTree {
     /// Definition 2: all users inside `r` at `tq` whose policy lets
     /// `issuer` see them there and then. Results are sorted by uid.
+    ///
+    /// Two execution strategies produce the identical result set: the
+    /// paper's per-interval plan (one B+-tree descent per partition × SV
+    /// group × Z-range — the default, and the frozen-ledger reference)
+    /// and, when [`PebTree::set_fused_scans`] opted in, the fused plan
+    /// that builds the whole key-interval set up front and executes it as
+    /// one coalesced multi-interval scan per partition (see
+    /// docs/ARCHITECTURE.md, "Query execution").
     pub fn prq(&self, issuer: UserId, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
         let groups = self.ctx().friend_sv_groups(issuer);
         if groups.is_empty() {
             return Vec::new();
+        }
+        if self.fused_scans() {
+            return self.prq_fused(issuer, &groups, r, tq);
         }
 
         let mut results: Vec<MovingPoint> = Vec::new();
@@ -74,6 +85,73 @@ impl PebTree {
                 }
             }
         }
+        results.sort_by_key(|m| m.uid);
+        results
+    }
+
+    /// The fused PRQ plan: one up-front interval set, one multi-interval
+    /// scan.
+    ///
+    /// Per live partition the enlarged window is Z-decomposed once and
+    /// coarsened to the cost model's interval budget
+    /// ([`peb_costmodel::interval_budget`] — more ranges than the
+    /// candidates' leaves cannot pay for themselves); the surviving
+    /// Z-ranges are crossed with every friend-SV group into key
+    /// intervals. The multi-scan coalesces the set (merging the adjacent
+    /// intervals that equal-SV neighbors and full-domain ranges produce),
+    /// descends once per partition, and walks the leaf chain across the
+    /// intervals, so the shared root/branch pages the per-interval plan
+    /// re-reads for every interval are touched once. Refinement is the
+    /// per-interval plan's: candidates outside the coarsened-in cells
+    /// fail the `r.contains` check exactly like any other enlargement
+    /// false positive, so the result set is provably identical.
+    fn prq_fused(
+        &self,
+        issuer: UserId,
+        groups: &[(u64, Vec<UserId>)],
+        r: &Rect,
+        tq: Timestamp,
+    ) -> Vec<MovingPoint> {
+        let total_friends: usize = groups.iter().map(|(_, m)| m.len()).sum();
+        let budget = self.query_interval_budget(total_friends);
+        let keys = *self.key_layout();
+
+        let mut intervals: Vec<(u128, u128)> = Vec::new();
+        for (tid, t_lab) in self.live_partitions() {
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
+            let zranges = coarsen(decompose(x0, x1, y0, y1, self.space().grid_bits), budget);
+            for (sv_code, _) in groups {
+                for zr in &zranges {
+                    intervals.push((
+                        keys.range_start(tid, *sv_code, zr.lo),
+                        keys.range_end(tid, *sv_code, zr.hi),
+                    ));
+                }
+            }
+        }
+
+        let mut results: Vec<MovingPoint> = Vec::new();
+        let mut resolved: HashSet<UserId> = HashSet::new();
+        self.scan_intervals_fused(&intervals, |rec| {
+            let uid = UserId(rec.uid);
+            if uid == issuer || resolved.contains(&uid) {
+                return true;
+            }
+            if self.ctx().store.policy(uid, issuer).is_none() {
+                return true;
+            }
+            resolved.insert(uid);
+            let m = rec.to_moving_point();
+            let pos = m.position_at(tq);
+            if r.contains(&pos) && self.ctx().store.permits(uid, issuer, &pos, tq) {
+                results.push(m);
+            }
+            // A user has only one location, so once every friend is
+            // resolved no remaining interval can contribute — the fused
+            // counterpart of the per-interval plan's per-group early exit.
+            resolved.len() < total_friends
+        });
         results.sort_by_key(|m| m.uid);
         results
     }
@@ -193,6 +271,52 @@ mod tests {
         assert_eq!(locks.lock_acquisitions, 0, "warm PRQ must not touch a pool mutex");
         assert!(locks.optimistic_hits > 0, "page touches went through the lock-free path");
         assert!(t.pool().stats().logical_reads > 0, "touches still land on the I/O ledger");
+    }
+
+    #[test]
+    fn fused_prq_is_identical_and_cheaper() {
+        // The tentpole acceptance at unit scale: the fused plan returns
+        // the identical result set while spending fewer logical page
+        // accesses and at most half the descents.
+        let mut store = PolicyStore::new();
+        for o in 1..80u64 {
+            store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 80);
+        for o in 1..80u64 {
+            t.upsert(still(o, (o as f64 * 131.0) % 1000.0, (o as f64 * 47.0) % 1000.0));
+        }
+        let window = Rect::new(150.0, 650.0, 100.0, 700.0);
+        let pool = Arc::clone(t.pool());
+
+        let _ = t.prq(UserId(0), &window, 10.0); // warm the pool
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let per = t.prq(UserId(0), &window, 10.0);
+        let per_logical = pool.stats().logical_reads;
+        let per_descents = t.scan_stats().descents;
+        assert!(per_descents > 2, "the per-interval plan must issue many scans");
+
+        t.set_fused_scans(true);
+        assert!(t.fused_scans());
+        let _ = t.prq(UserId(0), &window, 10.0); // warm any coarsened-in pages
+        pool.reset_stats();
+        t.reset_scan_stats();
+        let fused = t.prq(UserId(0), &window, 10.0);
+        let fused_logical = pool.stats().logical_reads;
+        let fused_scans = t.scan_stats();
+
+        assert_eq!(per, fused, "fused PRQ must return the identical result set");
+        assert!(!fused.is_empty(), "the window must actually match friends");
+        assert!(
+            fused_logical < per_logical,
+            "fused logical reads {fused_logical} not below per-interval {per_logical}"
+        );
+        assert!(
+            fused_scans.descents * 2 <= per_descents,
+            "fused descents {} vs per-interval {per_descents}",
+            fused_scans.descents
+        );
     }
 
     #[test]

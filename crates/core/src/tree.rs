@@ -50,6 +50,9 @@ impl KeyLayout for PebIndexLayout {
 /// The Policy-Embedded Bx-tree.
 pub struct PebTree {
     idx: ShardedMovingIndex<PebIndexLayout>,
+    /// Whether queries execute through the fused multi-interval scan
+    /// pipeline (off by default; see [`PebTree::set_fused_scans`]).
+    fused_scans: bool,
 }
 
 impl PebTree {
@@ -61,7 +64,10 @@ impl PebTree {
         ctx: Arc<PrivacyContext>,
     ) -> Self {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
-        PebTree { idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed) }
+        PebTree {
+            idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed),
+            fused_scans: false,
+        }
     }
 
     /// Bulk-load an initial user population (each user must appear once).
@@ -79,7 +85,26 @@ impl PebTree {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
         PebTree {
             idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
+            fused_scans: false,
         }
+    }
+
+    /// Opt into the fused multi-interval query pipeline: [`PebTree::prq`]
+    /// and [`PebTree::pknn`] construct their whole key-interval set up
+    /// front (partitions × friend-SV groups × Z-ranges, coarsened to the
+    /// cost model's [`peb_costmodel::interval_budget`]) and execute it
+    /// through [`peb_index::ShardedMovingIndex::scan_keys_multi`] — one
+    /// descent plus a leaf-chain walk per partition instead of one
+    /// descent per interval. Results are identical either way; only page
+    /// accesses differ. Off by default so the frozen benchmark
+    /// configurations keep their byte-exact per-interval I/O ledger.
+    pub fn set_fused_scans(&mut self, enabled: bool) {
+        self.fused_scans = enabled;
+    }
+
+    /// Whether the fused multi-interval query pipeline is active.
+    pub fn fused_scans(&self) -> bool {
+        self.fused_scans
     }
 
     /// The shared moving-object index core.
@@ -204,6 +229,19 @@ impl PebTree {
         self.idx.stats()
     }
 
+    /// Deterministic scan-path counters summed across shard trees: root
+    /// descents and cache-served branch pages (see
+    /// [`peb_btree::ScanStats`]) — the fused-scan experiment's companion
+    /// to the I/O ledger.
+    pub fn scan_stats(&self) -> peb_btree::ScanStats {
+        self.idx.scan_stats()
+    }
+
+    /// Zero the scan-path counters (measurement windows).
+    pub fn reset_scan_stats(&self) {
+        self.idx.reset_scan_stats()
+    }
+
     /// Scan one `(tid, sv, zv_lo..=zv_hi)` PEB-key interval, handing every
     /// stored record to the callback. Returns `false` if the callback
     /// stopped the scan.
@@ -219,6 +257,37 @@ impl PebTree {
         let lo = keys.range_start(tid, sv_code, zv_lo);
         let hi = keys.range_end(tid, sv_code, zv_hi);
         self.idx.scan_keys(lo, hi, |_, rec| f(rec))
+    }
+
+    /// Scan one pre-built PEB-key interval per-interval style (the
+    /// frozen-ledger reference plan).
+    pub(crate) fn scan_key_interval(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut f: impl FnMut(ObjectRecord) -> bool,
+    ) -> bool {
+        self.idx.scan_keys(lo, hi, |_, rec| f(rec))
+    }
+
+    /// Scan the union of pre-built PEB-key intervals through the fused
+    /// multi-interval pipeline (see
+    /// [`peb_index::ShardedMovingIndex::scan_keys_multi`]), handing every
+    /// stored record to the callback once, in key order.
+    pub(crate) fn scan_intervals_fused(
+        &self,
+        intervals: &[(u128, u128)],
+        mut f: impl FnMut(ObjectRecord) -> bool,
+    ) -> bool {
+        self.idx.scan_keys_multi(intervals, |_, rec| f(rec))
+    }
+
+    /// The cost-model interval budget for this tree's current shape: how
+    /// many Z-ranges per partition a fused query keeps
+    /// ([`peb_costmodel::interval_budget`] over the issuer's friend count
+    /// and the live leaf count).
+    pub(crate) fn query_interval_budget(&self, candidates: usize) -> usize {
+        peb_costmodel::interval_budget(candidates, self.leaf_page_count())
     }
 }
 

@@ -63,6 +63,42 @@ pub fn cost(inputs: &CostInputs, params: &CostModelParams) -> f64 {
     1.0 + (params.a1 * density + params.a2) * (np.min(nl) - benefit)
 }
 
+/// Fewest Z-intervals a fused query keeps per partition regardless of the
+/// cost-model estimate (very coarse decompositions over-approximate the
+/// window too aggressively).
+pub const MIN_QUERY_INTERVALS: usize = 4;
+
+/// Most Z-intervals a fused query keeps per partition: beyond this the
+/// interval set itself (candidates × SV groups × partitions) dominates
+/// query setup cost without adding distinct candidate leaves.
+pub const MAX_QUERY_INTERVALS: usize = 64;
+
+/// The cost-model pick for how many Z-intervals a fused query scan
+/// should keep per partition (the `max_ranges` handed to
+/// `peb_zorder::coarsen`).
+///
+/// Eq. 6's `min(Np, Nl)` clamp is the rationale: a query's candidates
+/// occupy at most `min(candidates, leaf_pages)` distinct leaves, so
+/// probing more intervals than that adds interval bookkeeping and leaf
+/// probes without ever adding a candidate leaf — coarsening down to the
+/// clamp trades those extra probes for a few false-positive records that
+/// refinement discards anyway. The result is clamped to
+/// [[`MIN_QUERY_INTERVALS`], [`MAX_QUERY_INTERVALS`]].
+///
+/// ```
+/// use peb_costmodel::interval_budget;
+///
+/// // 20 friends over a 130-leaf tree: the friends bound the budget.
+/// assert_eq!(interval_budget(20, 130), 20);
+/// // A tiny tree bounds it the other way (floored at the minimum).
+/// assert_eq!(interval_budget(500, 2), 4);
+/// // Huge on both axes: capped.
+/// assert_eq!(interval_budget(10_000, 9_000), 64);
+/// ```
+pub fn interval_budget(candidates: usize, leaf_pages: usize) -> usize {
+    candidates.min(leaf_pages).clamp(MIN_QUERY_INTERVALS, MAX_QUERY_INTERVALS)
+}
+
 /// Calibrate `a1`/`a2` from two measured sample points `(inputs, observed
 /// I/O)` that share `Np`, θ and the location distribution but differ in `N`
 /// (the procedure the paper describes). Returns `None` if the system is
@@ -158,6 +194,19 @@ mod tests {
         let got = calibrate((&i1, c1_obs), (&i2, c2_obs)).unwrap();
         assert!((got.a1 - truth.a1).abs() < 1e-9);
         assert!((got.a2 - truth.a2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_budget_follows_the_eq6_clamp() {
+        // Monotone in both axes inside the clamp window...
+        assert!(interval_budget(10, 800) <= interval_budget(30, 800));
+        assert!(interval_budget(200, 10) <= interval_budget(200, 40));
+        // ...equal to min(candidates, leaves) there...
+        assert_eq!(interval_budget(33, 800), 33);
+        assert_eq!(interval_budget(800, 33), 33);
+        // ...and clamped outside it.
+        assert_eq!(interval_budget(0, 0), MIN_QUERY_INTERVALS);
+        assert_eq!(interval_budget(usize::MAX, usize::MAX), MAX_QUERY_INTERVALS);
     }
 
     #[test]

@@ -70,7 +70,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use peb_btree::{BTree, TreeStats};
+use peb_btree::{coalesce_intervals, BTree, ScanStats, TreeStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
 use peb_storage::{BufferPool, IoStats, LockStats};
 use peb_zorder::encode;
@@ -662,6 +662,140 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         }
     }
 
+    /// Scan the stored records whose keys fall in the **union** of
+    /// `intervals` (inclusive, any order, overlap allowed), each exactly
+    /// once, in ascending key order — the fused counterpart of one
+    /// [`ShardedMovingIndex::scan_keys`] call per interval. Returns
+    /// `false` if `visit` stopped the scan.
+    ///
+    /// The set is coalesced once ([`peb_btree::coalesce_intervals`]),
+    /// clipped to each shard's partition range, and executed per shard by
+    /// [`peb_btree::BTree::multi_range_scan`]: one descent per shard plus
+    /// a leaf-chain walk across that shard's intervals, with upper-level
+    /// pages re-routed through a version-validated descent cache instead
+    /// of fresh root-to-leaf descents. Partition ranges are disjoint and
+    /// ascending in `tid`, so per-shard execution preserves the global
+    /// key order.
+    ///
+    /// Consistency matches [`ShardedMovingIndex::scan_keys`] exactly: a
+    /// set touching a **single** shard (every PEB/Bx query's interval
+    /// set for one partition is one) streams under that shard's read
+    /// lock with the early-exit contract intact; a multi-shard set takes
+    /// the migration-epoch validated path — buffer, revalidate, retry,
+    /// and after `SCAN_EPOCH_RETRIES` failures wait out in-flight
+    /// migration spans and hold every intersecting shard lock (in
+    /// ascending key order, the same total order `scan_keys` uses) for a
+    /// true snapshot.
+    pub fn scan_keys_multi(
+        &self,
+        intervals: &[(u128, u128)],
+        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> bool {
+        let runs = coalesce_intervals(intervals);
+        if runs.is_empty() {
+            return true;
+        }
+        // Clip the coalesced runs to each shard's partition range, then
+        // order the shards by their first clipped key: partition ranges
+        // are disjoint (the `KeyLayout` contract), so per-shard execution
+        // in that order preserves the global ascending key order even for
+        // layouts whose ranges do not ascend with tid.
+        let mut spans: Vec<(usize, Vec<(u128, u128)>)> = Vec::new();
+        for tid in 0..self.shards.len() {
+            let (plo, phi) = self.layout.partition_range(tid as u8);
+            let clipped: Vec<(u128, u128)> = runs
+                .iter()
+                .filter(|(lo, hi)| *hi >= plo && *lo <= phi)
+                .map(|(lo, hi)| ((*lo).max(plo), (*hi).min(phi)))
+                .collect();
+            if !clipped.is_empty() {
+                spans.push((tid, clipped));
+            }
+        }
+        spans.sort_unstable_by_key(|(_, clipped)| clipped[0].0);
+        if spans.is_empty() {
+            return true;
+        }
+
+        // Single-shard fast path: atomic under one read lock, streams
+        // with the visitor's early exit intact (the hot query path).
+        if let [(tid, clipped)] = &spans[..] {
+            return self.shards[*tid].read().btree.multi_range_scan(clipped, &mut visit);
+        }
+
+        for _ in 0..SCAN_EPOCH_RETRIES {
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                std::thread::yield_now();
+                continue;
+            }
+            let mut buf: Vec<(u128, ObjectRecord)> = Vec::new();
+            for (tid, clipped) in &spans {
+                let s = self.shards[*tid].read();
+                s.btree.multi_range_scan(clipped, |k, rec| {
+                    buf.push((k, rec));
+                    true
+                });
+            }
+            if self.mig_started.load(Ordering::SeqCst) == started {
+                for (k, rec) in buf {
+                    if !visit(k, rec) {
+                        return false;
+                    }
+                }
+                return true;
+            }
+        }
+
+        // Persistent migration traffic: same fallback as `scan_keys` —
+        // wait out in-flight spans, hold every intersecting shard lock at
+        // once (ascending key order, the same total order `scan_keys`
+        // acquires in; writers take one lock at a time, so any shared
+        // total order is deadlock-free), re-verify the epoch under the
+        // locks, stream.
+        loop {
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                std::thread::yield_now();
+                continue;
+            }
+            let guards: Vec<_> = spans.iter().map(|(tid, _)| self.shards[*tid].read()).collect();
+            if self.mig_started.load(Ordering::SeqCst) != started
+                || self.mig_done.load(Ordering::SeqCst) != started
+            {
+                drop(guards);
+                std::thread::yield_now();
+                continue;
+            }
+            for ((_, clipped), s) in spans.iter().zip(guards.iter()) {
+                if !s.btree.multi_range_scan(clipped, &mut visit) {
+                    return false;
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Deterministic scan-path counters summed across all shard trees:
+    /// root descents performed and branch pages the fused scans served
+    /// from their descent caches (see [`peb_btree::ScanStats`]). The
+    /// companion of [`ShardedMovingIndex::io_stats`] for the fused-scan
+    /// experiment.
+    pub fn scan_stats(&self) -> ScanStats {
+        self.shards
+            .iter()
+            .fold(ScanStats::default(), |acc, s| acc.merged(&s.read().btree.scan_stats()))
+    }
+
+    /// Zero every shard tree's scan-path counters (measurement windows).
+    pub fn reset_scan_stats(&self) {
+        for shard in &self.shards {
+            shard.read().btree.reset_scan_stats();
+        }
+    }
+
     /// The number of migration spans ever started on this index (the
     /// migration epoch's leading edge). Exposed for tests and diagnostics;
     /// `scan_keys` consumes it internally.
@@ -685,7 +819,12 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if matches!(s.label, Some(l) if l < now) {
                 dropped += s.current_key.len();
                 s.current_key = HashMap::new();
+                // The replacement tree inherits the scan ledger: expiry is
+                // structural maintenance, not a measurement reset (the
+                // same contract `merge_sorted`'s rebuild keeps).
+                let scans = s.btree.scan_stats();
                 s.btree = BTree::new(Arc::clone(&self.pool));
+                s.btree.restore_scan_stats(scans);
                 s.label = None;
             }
         }
@@ -851,10 +990,20 @@ mod tests {
         idx.upsert(still(900, 200.0, 200.0, 130.0)); // label 240
         assert_eq!(idx.live_partitions().len(), 2);
 
+        // Warm the scan ledger so the drop has counters to preserve.
+        idx.scan_keys(0, u128::MAX, |_, _| true);
+        let scans_before = idx.scan_stats();
+        assert!(scans_before.descents > 0);
+
         // Expiry is an O(1) shard drop: no per-key page reads.
         idx.pool().reset_stats();
         let dropped = idx.expire_stale(200.0);
         assert_eq!(dropped, 500);
+        assert_eq!(
+            idx.scan_stats(),
+            scans_before,
+            "the scan ledger must survive the expiry swap like every other counter"
+        );
         // Dropping the shard costs exactly one page touch (initializing
         // the replacement root leaf), not a walk over 500 entries.
         assert_eq!(idx.pool().stats().logical_reads, 1, "shard drop must not walk the tree");
@@ -1002,6 +1151,98 @@ mod tests {
             true
         });
         assert_eq!(seen.len(), idx.len());
+    }
+
+    #[test]
+    fn scan_keys_multi_equals_per_interval_scan_keys() {
+        let idx = index(256);
+        for i in 0..400u64 {
+            // Two partitions, spread positions.
+            let t = if i % 2 == 0 { 10.0 } else { 70.0 };
+            idx.upsert(still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 95.0 + 2.0, t));
+        }
+        // Interval set spanning both partitions, unsorted, overlapping.
+        let (lo0, hi0) = idx.layout().partition_range(0);
+        let (lo1, hi1) = idx.layout().partition_range(1);
+        let mid0 = lo0 + (hi0 - lo0) / 2;
+        let mid1 = lo1 + (hi1 - lo1) / 2;
+        let intervals =
+            vec![(mid1, hi1), (lo0, mid0), (lo1, mid1), (mid0 / 2, mid0), (hi1, hi0.max(hi1))];
+        let runs = peb_btree::coalesce_intervals(&intervals);
+
+        let mut want = Vec::new();
+        for (lo, hi) in &runs {
+            idx.scan_keys(*lo, *hi, |k, rec| {
+                want.push((k, rec.uid));
+                true
+            });
+        }
+        let mut got = Vec::new();
+        assert!(idx.scan_keys_multi(&intervals, |k, rec| {
+            got.push((k, rec.uid));
+            true
+        }));
+        assert!(!got.is_empty());
+        assert_eq!(got, want, "fused multi-shard scan must match per-interval scans");
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "global key order across shards");
+
+        // Early exit propagates on the multi-shard path too.
+        let mut seen = 0;
+        let completed = idx.scan_keys_multi(&intervals, |_, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!completed);
+        assert_eq!(seen, 3);
+
+        // Degenerate sets.
+        assert!(idx.scan_keys_multi(&[], |_, _| true));
+        assert!(idx.scan_keys_multi(&[(5, 1)], |_, _| true));
+    }
+
+    #[test]
+    fn scan_keys_multi_single_shard_uses_fused_descents() {
+        let idx = index(256);
+        for i in 0..600u64 {
+            idx.upsert(still(i, (i % 60) as f64 * 16.0 + 1.0, (i / 60) as f64 * 95.0 + 1.0, 10.0));
+        }
+        let tid = idx.live_partitions()[0].0;
+        let l = *idx.layout();
+        // Many small single-partition intervals (one per slice of ZV space).
+        let intervals: Vec<(u128, u128)> = (0..30u64)
+            .map(|j| {
+                let zlo = j * 30_000;
+                (l.key(tid, zlo, 0), l.key(tid, zlo + 500, (1 << UID_BITS) - 1))
+            })
+            .collect();
+        let runs = peb_btree::coalesce_intervals(&intervals);
+        assert!(runs.len() > 1);
+
+        idx.reset_scan_stats();
+        let mut want = Vec::new();
+        for (lo, hi) in &runs {
+            idx.scan_keys(*lo, *hi, |k, rec| {
+                want.push((k, rec.uid));
+                true
+            });
+        }
+        let per = idx.scan_stats();
+        assert_eq!(per.descents as usize, runs.len());
+
+        idx.reset_scan_stats();
+        let mut got = Vec::new();
+        idx.scan_keys_multi(&intervals, |k, rec| {
+            got.push((k, rec.uid));
+            true
+        });
+        let fused = idx.scan_stats();
+        assert_eq!(got, want);
+        assert!(
+            fused.descents * 2 <= per.descents,
+            "fused descents {} vs per-interval {}",
+            fused.descents,
+            per.descents
+        );
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod pool;
 
 pub use disk::DiskSim;
 pub use page::{Page, PageId, PAGE_SIZE, PAGE_WORDS};
-pub use pool::{default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead};
+pub use pool::{default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead, PageSnapshot};

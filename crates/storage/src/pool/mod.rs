@@ -199,6 +199,57 @@ pub enum OptimisticRead<R> {
     Conflict,
 }
 
+/// A cached copy of one page plus the mirror version it was published
+/// at — the unit a descent-path cursor caches and revalidates
+/// ([`BufferPool::read_snapshot`] / [`BufferPool::snapshot_valid`]).
+///
+/// Fused multi-interval scans keep one snapshot per B+-tree level so that
+/// re-routing to a nearby key can reuse the upper-level pages already in
+/// hand: as long as [`BufferPool::snapshot_valid`] holds, the cached copy
+/// is bit-identical to the published page and consulting it costs no pool
+/// traffic at all (no lock, no logical read). A snapshot taken through
+/// the locked fallback carries no version and is never revalidatable —
+/// it is good for the single use it was taken for.
+pub struct PageSnapshot {
+    pid: PageId,
+    /// Publication version the copy was validated at; `None` when the
+    /// copy came from the locked path (cannot be revalidated later).
+    version: Option<u64>,
+    page: Page,
+}
+
+impl PageSnapshot {
+    /// An empty snapshot (refers to no page until filled by
+    /// [`BufferPool::read_snapshot`]).
+    pub fn new() -> Self {
+        PageSnapshot { pid: PageId::INVALID, version: None, page: Page::new() }
+    }
+
+    /// The page this snapshot copied (`PageId::INVALID` before first use).
+    pub fn pid(&self) -> PageId {
+        self.pid
+    }
+
+    /// The cached page image. Only meaningful after a successful
+    /// [`BufferPool::read_snapshot`], and only trustworthy for *reuse*
+    /// while [`BufferPool::snapshot_valid`] holds.
+    pub fn page(&self) -> &Page {
+        &self.page
+    }
+
+    /// Whether the copy was taken lock-free with a publication version
+    /// (the precondition for ever passing [`BufferPool::snapshot_valid`]).
+    pub fn is_versioned(&self) -> bool {
+        self.version.is_some()
+    }
+}
+
+impl Default for PageSnapshot {
+    fn default() -> Self {
+        PageSnapshot::new()
+    }
+}
+
 /// One lock shard: the mutex-protected half plus the lock-free half.
 struct ShardState {
     /// Frame table and locked-path I/O counters.
@@ -440,6 +491,72 @@ impl BufferPool {
             TryRead::Hit(version) => OptimisticRead::Hit(f(scratch), version),
             TryRead::Unpublished => OptimisticRead::Unpublished,
             TryRead::Conflict => OptimisticRead::Conflict,
+        }
+    }
+
+    /// Fill `snap` with a consistent copy of `pid` — the read primitive of
+    /// descent-path cursors. Tries the lock-free versioned path first
+    /// (retrying a transient conflict once) and falls back to the locked
+    /// read; either way the touch lands on the I/O ledger exactly like any
+    /// other page read. Returns `true` when the copy carries a publication
+    /// version, i.e. it can later pass [`BufferPool::snapshot_valid`] and
+    /// be *reused* without further pool traffic.
+    ///
+    /// ```
+    /// use peb_storage::{BufferPool, PageSnapshot};
+    ///
+    /// let pool = BufferPool::new(4);
+    /// let pid = pool.allocate();
+    /// pool.write(pid, |p| p.put_u64(0, 7));
+    ///
+    /// let mut snap = PageSnapshot::new();
+    /// assert!(pool.read_snapshot(pid, &mut snap), "resident page is published");
+    /// assert_eq!(snap.page().get_u64(0), 7);
+    /// assert!(pool.snapshot_valid(&snap), "nothing changed: reuse is free");
+    /// pool.write(pid, |p| p.put_u64(0, 8));
+    /// assert!(!pool.snapshot_valid(&snap), "a write invalidates the cached copy");
+    /// ```
+    pub fn read_snapshot(&self, pid: PageId, snap: &mut PageSnapshot) -> bool {
+        snap.pid = pid;
+        snap.version = None;
+        if self.optimistic_reads {
+            let state = &self.shards[self.shard_of(pid)];
+            // A conflict needs a writer mid-publication; one retry rides
+            // out the transient, then the locked path settles it.
+            for _ in 0..2 {
+                match state.mirror.try_read(pid, &mut snap.page) {
+                    TryRead::Hit(version) => {
+                        let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                        state.mirror.touch(pid, tick);
+                        state.opt_logical.fetch_add(1, Ordering::Relaxed);
+                        state.opt_hits.fetch_add(1, Ordering::Relaxed);
+                        snap.version = Some(version);
+                        return true;
+                    }
+                    TryRead::Unpublished => {
+                        state.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    TryRead::Conflict => {
+                        state.opt_conflicts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let copy = &mut snap.page;
+        self.read(pid, |p| copy.clone_from(p));
+        false
+    }
+
+    /// Whether `snap`'s cached copy is still current: the page is still
+    /// published at the very version the copy was taken at. A locked
+    /// (version-less) snapshot never validates, nor does a page that was
+    /// evicted, displaced from its mirror slot, or rewritten since — the
+    /// cursor must then re-read through the pool.
+    pub fn snapshot_valid(&self, snap: &PageSnapshot) -> bool {
+        match snap.version {
+            Some(v) => self.read_version(snap.pid) == Some(v),
+            None => false,
         }
     }
 
@@ -957,6 +1074,58 @@ mod tests {
             "reset_stats must not cool the published cache"
         );
         assert_eq!(pool.lock_stats().optimistic_hits, 1, "counters restarted from zero");
+    }
+
+    #[test]
+    fn snapshot_reads_count_like_any_other_touch() {
+        let pool = BufferPool::new(4);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 99));
+        pool.reset_stats();
+        let mut snap = PageSnapshot::new();
+        assert!(pool.read_snapshot(pid, &mut snap), "published page snapshots lock-free");
+        assert!(snap.is_versioned());
+        assert_eq!(snap.pid(), pid);
+        assert_eq!(snap.page().get_u64(0), 99);
+        let io = pool.stats();
+        assert_eq!(io.logical_reads, 1, "one snapshot = one logical read");
+        assert_eq!(pool.lock_stats().lock_acquisitions, 0, "taken without a mutex");
+        // Validation and reuse cost nothing further.
+        assert!(pool.snapshot_valid(&snap));
+        assert_eq!(pool.stats(), io, "revalidation is free on the ledger");
+    }
+
+    #[test]
+    fn snapshot_falls_back_locked_and_never_revalidates() {
+        let pool = BufferPool::new(2);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 123));
+        pool.flush_all();
+        pool.clear(); // unpublished: the snapshot must go through the lock
+        pool.reset_stats();
+        let mut snap = PageSnapshot::new();
+        assert!(!pool.read_snapshot(pid, &mut snap), "cold page needs the locked path");
+        assert!(!snap.is_versioned());
+        assert_eq!(snap.page().get_u64(0), 123, "the locked copy is still exact");
+        assert!(!pool.snapshot_valid(&snap), "locked snapshots are single-use");
+        let io = pool.stats();
+        assert_eq!(io.logical_reads, 1);
+        assert_eq!(io.physical_reads, 1, "faulted in once");
+        // Eviction invalidates a versioned snapshot too.
+        let mut warm = PageSnapshot::new();
+        assert!(pool.read_snapshot(pid, &mut warm), "resident again after the fault");
+        pool.clear();
+        assert!(!pool.snapshot_valid(&warm), "eviction unpublishes the page");
+    }
+
+    #[test]
+    fn disabled_pool_snapshots_through_the_lock() {
+        let pool = BufferPool::with_shards(4, 1).optimistic(false);
+        let pid = pool.allocate();
+        let mut snap = PageSnapshot::new();
+        assert!(!pool.read_snapshot(pid, &mut snap));
+        assert!(!pool.snapshot_valid(&snap));
+        assert_eq!(pool.lock_stats().optimistic_attempts(), 0);
     }
 
     #[test]

@@ -13,10 +13,12 @@ pub struct IntervalSet {
 }
 
 impl IntervalSet {
+    /// An empty set covering nothing.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Whether the set covers nothing.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
     }
@@ -31,6 +33,7 @@ impl IntervalSet {
         self.runs.iter().map(|(lo, hi)| (hi - lo) as u128 + 1).sum()
     }
 
+    /// Whether `v` is covered by some run.
     pub fn contains(&self, v: u64) -> bool {
         // Last run starting at or before v.
         match self.runs.partition_point(|r| r.0 <= v).checked_sub(1) {

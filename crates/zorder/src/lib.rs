@@ -11,10 +11,12 @@
 //!   algorithms: turning a grid-aligned query rectangle into the minimal
 //!   set of maximal intervals of consecutive Z-values that exactly cover it.
 
+#![warn(missing_docs)]
+
 pub mod intervals;
 pub mod morton;
 pub mod ranges;
 
 pub use intervals::IntervalSet;
 pub use morton::{decode, encode};
-pub use ranges::{decompose, ZRange};
+pub use ranges::{coarsen, decompose, ZRange};

@@ -13,27 +13,46 @@ use crate::morton::encode;
 /// An inclusive interval `[lo, hi]` of consecutive Z-curve values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ZRange {
+    /// First Z-value covered.
     pub lo: u64,
+    /// Last Z-value covered (inclusive).
     pub hi: u64,
 }
 
 impl ZRange {
+    /// An inclusive range; `lo` must not exceed `hi` (debug-asserted).
     pub fn new(lo: u64, hi: u64) -> Self {
         debug_assert!(lo <= hi);
         ZRange { lo, hi }
     }
 
+    /// Whether `z` falls inside the range.
     pub fn contains(&self, z: u64) -> bool {
         z >= self.lo && z <= self.hi
     }
 
-    /// Number of cells covered.
+    /// Number of cells covered, saturating at `u64::MAX`.
+    ///
+    /// The full-domain range `[0, u64::MAX]` covers `2^64` cells — one
+    /// more than `u64` can hold — so its length saturates instead of
+    /// panicking in debug builds (or silently wrapping to `0` in
+    /// release, which once made the widest possible range look empty):
+    ///
+    /// ```
+    /// use peb_zorder::ZRange;
+    ///
+    /// assert_eq!(ZRange::new(10, 20).len(), 11);
+    /// let full = ZRange::new(0, u64::MAX);
+    /// assert_eq!(full.len(), u64::MAX, "saturated, not wrapped to 0");
+    /// assert!(!full.is_empty());
+    /// ```
     pub fn len(&self) -> u64 {
-        self.hi - self.lo + 1
+        (self.hi - self.lo).saturating_add(1)
     }
 
+    /// Always `false`: an inclusive interval covers at least one cell.
     pub fn is_empty(&self) -> bool {
-        false // an inclusive interval always covers at least one cell
+        false
     }
 }
 
@@ -217,6 +236,15 @@ mod tests {
         assert!(r.contains(10) && r.contains(20) && !r.contains(21));
         assert_eq!(r.len(), 11);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn zrange_len_saturates_on_the_full_domain() {
+        // Regression: `hi - lo + 1` overflowed for [0, u64::MAX] (panic in
+        // debug, wrap-to-0 in release).
+        assert_eq!(ZRange::new(0, u64::MAX).len(), u64::MAX);
+        assert_eq!(ZRange::new(1, u64::MAX).len(), u64::MAX);
+        assert_eq!(ZRange::new(u64::MAX, u64::MAX).len(), 1);
     }
 }
 
