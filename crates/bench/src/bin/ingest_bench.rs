@@ -1,0 +1,9 @@
+//! Write-optimized ingestion: buffered vs direct update paths on both
+//! engines, frozen 8K-user configuration.
+
+use peb_bench::ingest;
+
+fn main() {
+    let r = ingest::measure_ingest();
+    ingest::print_table(&r);
+}

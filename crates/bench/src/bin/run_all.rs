@@ -6,14 +6,17 @@
 //!   update-throughput trajectory entry to `BENCH_updates.json`, the
 //!   concurrent-scan trajectory entry to `BENCH_scans.json`, the
 //!   optimistic-read trajectory entry to `BENCH_optreads.json`, and the
-//!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`.
+//!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, and
+//!   the buffered-ingestion trajectory entry to `BENCH_ingest.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
-//!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` — override the output paths.
+//!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` — override
+//!   the output paths.
 use peb_bench::experiments;
+use peb_bench::ingest;
 use peb_bench::optreads;
 use peb_bench::queryio;
 use peb_bench::report;
@@ -56,6 +59,13 @@ fn main() {
         std::fs::write(&qio_path, qio.to_json())
             .unwrap_or_else(|e| panic!("cannot write {qio_path}: {e}"));
         eprintln!("fused-scan query-I/O trajectory written to {qio_path}");
+
+        let ing_path =
+            std::env::var("PEB_INGEST_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+        let ing = ingest::measure_ingest();
+        std::fs::write(&ing_path, ing.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {ing_path}: {e}"));
+        eprintln!("buffered-ingestion trajectory written to {ing_path}");
         return;
     }
 
@@ -115,4 +125,10 @@ fn main() {
         "logical page accesses and descents per warm query: per-interval vs fused plans",
     );
     queryio::print_table(&queryio::measure_queryio());
+    println!();
+    report::header(
+        "Ingest",
+        "sustained upserts and leaf pages written: direct vs buffered write path, both engines",
+    );
+    ingest::print_table(&ingest::measure_ingest());
 }

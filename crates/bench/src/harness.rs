@@ -38,6 +38,13 @@ pub struct RunConfig {
     /// the query-I/O experiment builds a `true` world as its fused
     /// comparison point.
     pub fused_scans: bool,
+    /// Whether updates run through the B-epsilon-style message buffers.
+    /// The default of `false` is the paper-exact direct write path every
+    /// frozen I/O measurement uses (buffering changes which pages an
+    /// update touches, so ledgers are only comparable at a fixed write
+    /// path); the ingestion experiment builds a `true` world as its
+    /// buffered comparison point.
+    pub buffered_writes: bool,
     pub seed: u64,
     /// Query time (users are inserted with `t_update = 0`).
     pub tq: f64,
@@ -60,6 +67,7 @@ impl Default for RunConfig {
             pool_shards: 1,
             optimistic_reads: true,
             fused_scans: false,
+            buffered_writes: false,
             seed: 0xC0FFEE,
             tq: 30.0,
             sv_params: SvAssignmentParams::default(),
@@ -140,6 +148,8 @@ impl World {
         let mut baseline = SpatialBaseline::new(BxTree::new(pool(cfg), space, part, cfg.max_speed));
         peb.set_fused_scans(cfg.fused_scans);
         baseline.set_fused_scans(cfg.fused_scans);
+        peb.set_buffered_writes(cfg.buffered_writes);
+        baseline.set_buffered_writes(cfg.buffered_writes);
         for m in &dataset.users {
             peb.upsert(*m);
             baseline.upsert(*m);

@@ -1,0 +1,377 @@
+//! Write-optimized ingestion experiment: the B-epsilon-style message
+//! buffers vs the direct delete+insert write path, on both engines,
+//! measured on the same frozen 8K-user configuration as `BENCH_seed.json`.
+//!
+//! Four variants apply the **identical** pre-generated update rounds
+//! (same seed, same order) to identically bulk-loaded indexes:
+//!
+//! * `peb_direct`   — PEB-tree, direct write path (the frozen reference);
+//! * `peb_buffered` — PEB-tree, [`pebtree::PebTree::set_buffered_writes`]
+//!   on for the whole run, turned off at the end so the **final flush is
+//!   inside the measurement window** (no deferred work escapes the
+//!   ledger);
+//! * `bx_direct` / `bx_buffered` — the same pair over the raw Bx-tree.
+//!
+//! Reported per variant: wall-clock upserts/second, the deterministic
+//! buffer-pool counters, and the new [`peb_btree::WriteStats`] ledger —
+//! in particular **leaf pages written per upsert**, the quantity the
+//! message buffers exist to cut (a batched downward flush pays one
+//! read-merge-write per touched leaf instead of one per message). The
+//! tests assert on the deterministic counters; wall clock is reported for
+//! the trajectory but is machine noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_bx::BxTree;
+use peb_common::MovingPoint;
+use peb_storage::BufferPool;
+use peb_workload::{Dataset, DatasetBuilder, UpdateStream};
+use pebtree::{PebTree, PrivacyContext};
+
+use crate::harness::{clone_store, RunConfig};
+
+/// One variant's measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestVariant {
+    /// Wall-clock sustained upsert throughput.
+    pub upserts_per_sec: f64,
+    /// Buffer-pool page accesses during the run (hits included) —
+    /// deterministic for a fixed seed.
+    pub logical_io: u64,
+    /// Physical page reads + writes during the run.
+    pub physical_io: u64,
+    /// Leaf pages written ([`peb_btree::WriteStats::leaf_pages_written`]),
+    /// including any final flush.
+    pub leaf_pages_written: u64,
+    /// Messages that went through the buffers (0 on the direct path).
+    pub messages_buffered: u64,
+    /// Downward buffer flushes (0 on the direct path).
+    pub buffer_flushes: u64,
+}
+
+impl IngestVariant {
+    /// Leaf pages written per applied upsert.
+    pub fn leaf_writes_per_upsert(&self, updates: usize) -> f64 {
+        self.leaf_pages_written as f64 / updates.max(1) as f64
+    }
+}
+
+/// The whole experiment: direct vs buffered ingestion over identical
+/// update rounds, on both engines.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestBenchReport {
+    pub users: usize,
+    pub rounds: usize,
+    /// Fraction of the population updated per round.
+    pub round_fraction: f64,
+    /// Total updates applied per variant.
+    pub updates_total: usize,
+    pub peb_direct: IngestVariant,
+    pub peb_buffered: IngestVariant,
+    pub bx_direct: IngestVariant,
+    pub bx_buffered: IngestVariant,
+}
+
+impl IngestBenchReport {
+    /// Wall-clock speedup of buffered over direct ingestion (PEB-tree).
+    pub fn peb_speedup(&self) -> f64 {
+        self.peb_buffered.upserts_per_sec / self.peb_direct.upserts_per_sec.max(1e-9)
+    }
+
+    /// Wall-clock speedup of buffered over direct ingestion (Bx-tree).
+    pub fn bx_speedup(&self) -> f64 {
+        self.bx_buffered.upserts_per_sec / self.bx_direct.upserts_per_sec.max(1e-9)
+    }
+
+    /// Leaf-writes-per-upsert reduction factor, direct / buffered (PEB).
+    pub fn peb_leaf_write_reduction(&self) -> f64 {
+        self.peb_direct.leaf_pages_written as f64
+            / self.peb_buffered.leaf_pages_written.max(1) as f64
+    }
+
+    /// Leaf-writes-per-upsert reduction factor, direct / buffered (Bx).
+    pub fn bx_leaf_write_reduction(&self) -> f64 {
+        self.bx_direct.leaf_pages_written as f64 / self.bx_buffered.leaf_pages_written.max(1) as f64
+    }
+
+    /// Flat JSON trajectory entry (same style as
+    /// [`crate::updates::UpdateBenchReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        use crate::report::json_f64 as f;
+        let n = self.updates_total;
+        let variant = |name: &str, v: &IngestVariant| -> Vec<(String, String)> {
+            vec![
+                (format!("{name}_upserts_per_sec"), f(v.upserts_per_sec)),
+                (format!("{name}_logical_io"), v.logical_io.to_string()),
+                (format!("{name}_leaf_pages_written"), v.leaf_pages_written.to_string()),
+                (format!("{name}_leaf_writes_per_upsert"), f(v.leaf_writes_per_upsert(n))),
+            ]
+        };
+        let mut rows: Vec<(String, String)> = vec![
+            ("users".to_string(), self.users.to_string()),
+            ("rounds".to_string(), self.rounds.to_string()),
+            ("round_fraction".to_string(), f(self.round_fraction)),
+            ("updates_total".to_string(), n.to_string()),
+        ];
+        rows.extend(variant("peb_direct", &self.peb_direct));
+        rows.extend(variant("peb_buffered", &self.peb_buffered));
+        rows.extend(variant("bx_direct", &self.bx_direct));
+        rows.extend(variant("bx_buffered", &self.bx_buffered));
+        rows.extend([
+            ("peb_buffered_messages".to_string(), self.peb_buffered.messages_buffered.to_string()),
+            ("peb_buffered_flushes".to_string(), self.peb_buffered.buffer_flushes.to_string()),
+            ("bx_buffered_messages".to_string(), self.bx_buffered.messages_buffered.to_string()),
+            ("bx_buffered_flushes".to_string(), self.bx_buffered.buffer_flushes.to_string()),
+            ("peb_ingest_speedup".to_string(), f(self.peb_speedup())),
+            ("peb_leaf_write_reduction".to_string(), f(self.peb_leaf_write_reduction())),
+            ("bx_ingest_speedup".to_string(), f(self.bx_speedup())),
+            ("bx_leaf_write_reduction".to_string(), f(self.bx_leaf_write_reduction())),
+        ]);
+        let rows: Vec<(&str, String)> = rows.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        crate::report::json_object(&rows)
+    }
+}
+
+/// Run the experiment on the frozen baseline configuration (8K users, the
+/// `BENCH_seed.json` shape): four 25%-of-the-population update rounds.
+pub fn measure_ingest() -> IngestBenchReport {
+    measure_ingest_with(&crate::baseline::baseline_config(), 4, 0.25)
+}
+
+/// Run the experiment on an arbitrary configuration (tests use a small
+/// one). All variants see identical rounds and start from identically
+/// bulk-loaded indexes.
+pub fn measure_ingest_with(cfg: &RunConfig, rounds: usize, fraction: f64) -> IngestBenchReport {
+    let dataset = DatasetBuilder::default()
+        .num_users(cfg.num_users)
+        .max_speed(cfg.max_speed)
+        .distribution(cfg.distribution)
+        .policies_per_user(cfg.policies_per_user)
+        .grouping_factor(cfg.theta)
+        .seed(cfg.seed)
+        .build();
+    let ctx = Arc::new(PrivacyContext::build(
+        clone_store(&dataset.store),
+        dataset.space,
+        dataset.users.len(),
+        cfg.sv_params,
+    ));
+
+    // Pre-generate the rounds once so every variant applies the exact
+    // same updates in the exact same order.
+    let mut stream = UpdateStream::new(dataset.space, cfg.max_speed, dataset.users.clone(), 30.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x16E5);
+    let all_rounds: Vec<Vec<MovingPoint>> =
+        (0..rounds).map(|_| stream.next_round(&mut rng, fraction)).collect();
+    let updates_total: usize = all_rounds.iter().map(|r| r.len()).sum();
+
+    let peb_direct = run_peb(cfg, &dataset, &ctx, &all_rounds, updates_total, false);
+    let peb_buffered = run_peb(cfg, &dataset, &ctx, &all_rounds, updates_total, true);
+    let bx_direct = run_bx(cfg, &dataset, &all_rounds, updates_total, false);
+    let bx_buffered = run_bx(cfg, &dataset, &all_rounds, updates_total, true);
+
+    IngestBenchReport {
+        users: dataset.users.len(),
+        rounds,
+        round_fraction: fraction,
+        updates_total,
+        peb_direct,
+        peb_buffered,
+        bx_direct,
+        bx_buffered,
+    }
+}
+
+fn run_peb(
+    cfg: &RunConfig,
+    dataset: &Dataset,
+    ctx: &Arc<PrivacyContext>,
+    all_rounds: &[Vec<MovingPoint>],
+    updates_total: usize,
+    buffered: bool,
+) -> IngestVariant {
+    let mut tree = PebTree::bulk_load(
+        Arc::new(BufferPool::new(cfg.buffer_pages)),
+        dataset.space,
+        peb_index::TimePartitioning::default(),
+        cfg.max_speed,
+        Arc::clone(ctx),
+        &dataset.users,
+        1.0,
+    );
+    // The window measures sustained ingestion, not the bulk build.
+    tree.reset_write_stats();
+    let pool = Arc::clone(tree.pool());
+    pool.reset_stats();
+    tree.set_buffered_writes(buffered);
+    let started = Instant::now();
+    for round in all_rounds {
+        for m in round {
+            tree.upsert(*m);
+        }
+    }
+    if buffered {
+        // Final flush lands inside the window: buffering must pay for its
+        // own deferred work to claim a throughput win.
+        tree.set_buffered_writes(false);
+    }
+    variant(started, updates_total, &pool, tree.write_stats())
+}
+
+fn run_bx(
+    cfg: &RunConfig,
+    dataset: &Dataset,
+    all_rounds: &[Vec<MovingPoint>],
+    updates_total: usize,
+    buffered: bool,
+) -> IngestVariant {
+    let mut tree = BxTree::bulk_load(
+        Arc::new(BufferPool::new(cfg.buffer_pages)),
+        dataset.space,
+        peb_index::TimePartitioning::default(),
+        cfg.max_speed,
+        &dataset.users,
+        1.0,
+    );
+    tree.reset_write_stats();
+    let pool = Arc::clone(tree.pool());
+    pool.reset_stats();
+    tree.set_buffered_writes(buffered);
+    let started = Instant::now();
+    for round in all_rounds {
+        for m in round {
+            tree.upsert(*m);
+        }
+    }
+    if buffered {
+        tree.set_buffered_writes(false);
+    }
+    variant(started, updates_total, &pool, tree.write_stats())
+}
+
+fn variant(
+    started: Instant,
+    updates: usize,
+    pool: &Arc<BufferPool>,
+    w: peb_btree::WriteStats,
+) -> IngestVariant {
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let s = pool.stats();
+    IngestVariant {
+        upserts_per_sec: updates as f64 / wall,
+        logical_io: s.logical_reads,
+        physical_io: s.total_io(),
+        leaf_pages_written: w.leaf_pages_written,
+        messages_buffered: w.messages_buffered,
+        buffer_flushes: w.buffer_flushes,
+    }
+}
+
+/// Print the experiment as a paper-style tab-separated table.
+pub fn print_table(r: &IngestBenchReport) {
+    println!(
+        "variant\tupserts_per_sec\tlogical_page_accesses\tleaf_pages_written\tleaf_writes_per_upsert\t({} users, {} rounds x {:.0}%)",
+        r.users,
+        r.rounds,
+        r.round_fraction * 100.0
+    );
+    for (name, v) in [
+        ("peb_direct", &r.peb_direct),
+        ("peb_buffered", &r.peb_buffered),
+        ("bx_direct", &r.bx_direct),
+        ("bx_buffered", &r.bx_buffered),
+    ] {
+        println!(
+            "{name}\t{:.0}\t{}\t{}\t{:.3}",
+            v.upserts_per_sec,
+            v.logical_io,
+            v.leaf_pages_written,
+            v.leaf_writes_per_upsert(r.updates_total)
+        );
+    }
+    println!(
+        "peb: speedup {:.2}x, leaf-write reduction {:.2}x | bx: speedup {:.2}x, leaf-write reduction {:.2}x",
+        r.peb_speedup(),
+        r.peb_leaf_write_reduction(),
+        r.bx_speedup(),
+        r.bx_leaf_write_reduction()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_ingest_cuts_leaf_writes_on_both_engines() {
+        // Wall clock is machine noise; the WriteStats ledger is
+        // deterministic for a fixed seed — and leaf writes are what the
+        // buffers exist to cut. The 2x bound is the acceptance gate the
+        // full-size BENCH_ingest run must clear too.
+        let cfg = RunConfig {
+            num_users: 1_500,
+            policies_per_user: 8,
+            queries: 0,
+            seed: 0x16E57,
+            ..Default::default()
+        };
+        let r = measure_ingest_with(&cfg, 3, 0.25);
+        assert_eq!(r.updates_total, 3 * 375);
+        for (name, direct, buffered) in
+            [("peb", &r.peb_direct, &r.peb_buffered), ("bx", &r.bx_direct, &r.bx_buffered)]
+        {
+            assert!(
+                buffered.leaf_pages_written * 2 <= direct.leaf_pages_written,
+                "{name}: buffered {} vs direct {} leaf writes — batching must at least halve them",
+                buffered.leaf_pages_written,
+                direct.leaf_pages_written
+            );
+            assert_eq!(
+                buffered.messages_buffered as usize,
+                2 * r.updates_total,
+                "{name}: every upsert is one tombstone + one put message"
+            );
+            assert!(buffered.buffer_flushes > 0, "{name}: the run must actually flush");
+            assert_eq!(direct.messages_buffered, 0);
+            assert!(direct.upserts_per_sec > 0.0 && buffered.upserts_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_entry_is_well_formed() {
+        let v = IngestVariant {
+            upserts_per_sec: 1000.0,
+            logical_io: 10,
+            physical_io: 2,
+            leaf_pages_written: 100,
+            messages_buffered: 0,
+            buffer_flushes: 0,
+        };
+        let b = IngestVariant {
+            upserts_per_sec: 2000.0,
+            leaf_pages_written: 25,
+            messages_buffered: 400,
+            buffer_flushes: 3,
+            ..v
+        };
+        let r = IngestBenchReport {
+            users: 8000,
+            rounds: 4,
+            round_fraction: 0.25,
+            updates_total: 8000,
+            peb_direct: v,
+            peb_buffered: b,
+            bx_direct: v,
+            bx_buffered: b,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        assert_eq!(j.matches(':').count(), 28, "one key per field");
+        assert!(j.contains("\"peb_ingest_speedup\": 2.00"));
+        assert!(j.contains("\"peb_leaf_write_reduction\": 4.00"));
+    }
+}

@@ -13,6 +13,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod harness;
+pub mod ingest;
 pub mod optreads;
 pub mod queryio;
 pub mod report;

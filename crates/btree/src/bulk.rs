@@ -38,6 +38,9 @@ impl<V: RecordValue> BTree<V> {
         let leaf_target = ((leaf_cap as f64 * fill).floor() as usize).max(1);
         let vsize = V::SIZE;
         let stride = 16 + vsize;
+        // Leaf-page writes of this load, carried onto the finished tree's
+        // write ledger (a Cell because `seal` borrows it immutably).
+        let leaf_writes = std::cell::Cell::new(0u64);
 
         // ---- leaf level ----
         // Entries for the leaf being assembled are buffered in memory and
@@ -62,8 +65,10 @@ impl<V: RecordValue> BTree<V> {
                 }
                 node::set_count(p, buf.len());
             });
+            leaf_writes.set(leaf_writes.get() + 1);
             if let Some(&(_, prev_pid)) = leaves.last() {
                 pool.write(prev_pid, |p| node::set_right_sibling(p, pid));
+                leaf_writes.set(leaf_writes.get() + 1);
             }
             leaves.push((buf[0].0, pid));
             buf.clear();
@@ -86,7 +91,9 @@ impl<V: RecordValue> BTree<V> {
         if leaves.is_empty() {
             let root = pool.allocate();
             pool.write(root, node::init_leaf);
-            return BTree::from_raw(pool, root, 1, 0, 1, 1);
+            let t = BTree::from_raw(pool, root, 1, 0, 1, 1);
+            t.writes.bump_leaf_writes(1);
+            return t;
         }
 
         // Fix a potentially underfull last leaf: merge it into its left
@@ -109,6 +116,7 @@ impl<V: RecordValue> BTree<V> {
                         node::set_count(p, total);
                         node::set_right_sibling(p, PageId::INVALID);
                     });
+                    leaf_writes.set(leaf_writes.get() + 1);
                     leaves.pop(); // r_pid leaks on the simulated disk
                 } else {
                     // Even split: both halves are >= leaf_cap / 2.
@@ -123,6 +131,7 @@ impl<V: RecordValue> BTree<V> {
                         node::set_count(p, last_count + move_n);
                     });
                     pool.write(l_pid, |p| node::set_count(p, keep));
+                    leaf_writes.set(leaf_writes.get() + 2);
                     let new_first = pool.read(r_pid, |p| node::leaf_key(p, 0, vsize));
                     let last = leaves.len() - 1;
                     leaves[last].0 = new_first;
@@ -173,18 +182,21 @@ impl<V: RecordValue> BTree<V> {
         }
 
         let root = level[0].1;
-        BTree::from_raw(pool, root, height, len, leaf_pages, total_pages)
+        let t = BTree::from_raw(pool, root, height, len, leaf_pages, total_pages);
+        t.writes.bump_leaf_writes(leaf_writes.get());
+        t
     }
 }
 
 /// Batches at least this fraction of the tree's size are merged by
 /// rebuilding the tree through [`BTree::bulk_load`] instead of one
-/// root-to-leaf descent per entry (see [`BTree::merge_sorted`]).
-const MERGE_REBUILD_RATIO: usize = 4;
+/// root-to-leaf descent per entry (see [`BTree::merge_sorted`]; the
+/// message-buffer flush applies the same regime split).
+pub(crate) const MERGE_REBUILD_RATIO: usize = 4;
 
 /// Leaf fill factor used when a merge rebuilds the tree: slightly below
 /// full so the next few single-key inserts do not split immediately.
-const MERGE_FILL: f64 = 0.9;
+pub(crate) const MERGE_FILL: f64 = 0.9;
 
 impl<V: RecordValue> BTree<V> {
     /// Merge a batch of entries **sorted by strictly increasing key** into
@@ -207,6 +219,10 @@ impl<V: RecordValue> BTree<V> {
     /// # Panics
     /// Panics if the batch keys are not strictly increasing.
     pub fn merge_sorted(&mut self, entries: Vec<(u128, V)>) -> usize {
+        // A merge is a structural operation: anything still in the message
+        // buffer must reach the leaves first so the batch is ordered after
+        // it (no-op when buffering is off or drained).
+        self.flush_messages();
         if entries.is_empty() {
             return 0;
         }
@@ -250,10 +266,18 @@ impl<V: RecordValue> BTree<V> {
         merged.extend(new_it);
         let added = merged.len() - old_len;
         let scans = self.scan_stats();
+        let writes = self.write_stats();
+        let buffered = self.msgs.buffered;
+        let seq = self.msgs.seq;
         *self = BTree::bulk_load(Arc::clone(self.pool()), merged, MERGE_FILL);
-        // The rebuild replaced `self` wholesale; the scan ledger outlives
-        // structural maintenance like every other counter does.
+        // The rebuild replaced `self` wholesale; the scan and write
+        // ledgers outlive structural maintenance like every other counter
+        // does (the rebuild's own leaf writes are part of this merge's
+        // cost), and the buffering knob and sequence counter carry over.
         self.restore_scan_stats(scans);
+        self.restore_write_stats(writes.merged(&self.write_stats()));
+        self.msgs.buffered = buffered;
+        self.msgs.seq = seq;
         added
     }
 }

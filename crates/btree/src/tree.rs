@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use peb_storage::{BufferPool, OptimisticRead, Page, PageId, PageSnapshot};
 
+use crate::msg::{MsgState, WriteCounters};
 use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats};
 use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
 use crate::value::RecordValue;
@@ -52,15 +53,19 @@ struct PathLevel {
 
 /// A disk-based B+-tree mapping unique `u128` keys to fixed-size records.
 pub struct BTree<V: RecordValue> {
-    pool: Arc<BufferPool>,
-    root: PageId,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) root: PageId,
     /// Number of levels; 1 means the root is a leaf.
-    height: u32,
-    len: usize,
+    pub(crate) height: u32,
+    pub(crate) len: usize,
     leaf_pages: usize,
-    total_pages: usize,
+    pub(crate) total_pages: usize,
     /// Deterministic scan-path counters (descents, cached branch pages).
     scans: ScanCounters,
+    /// Deterministic write-path counters (messages, flushes, leaf writes).
+    pub(crate) writes: WriteCounters,
+    /// B-epsilon message-buffer state (see the [`crate::msg`] module).
+    pub(crate) msgs: MsgState,
     _values: PhantomData<V>,
 }
 
@@ -69,7 +74,7 @@ impl<V: RecordValue> BTree<V> {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         let root = pool.allocate();
         pool.write(root, node::init_leaf);
-        BTree {
+        let t = BTree {
             pool,
             root,
             height: 1,
@@ -77,8 +82,12 @@ impl<V: RecordValue> BTree<V> {
             leaf_pages: 1,
             total_pages: 1,
             scans: ScanCounters::default(),
+            writes: WriteCounters::default(),
+            msgs: MsgState::default(),
             _values: PhantomData,
-        }
+        };
+        t.writes.bump_leaf_writes(1);
+        t
     }
 
     const fn vsize() -> usize {
@@ -89,11 +98,11 @@ impl<V: RecordValue> BTree<V> {
         16 + V::SIZE
     }
 
-    const fn leaf_cap() -> usize {
+    pub(crate) const fn leaf_cap() -> usize {
         leaf_capacity(V::SIZE)
     }
 
-    const fn leaf_min() -> usize {
+    pub(crate) const fn leaf_min() -> usize {
         leaf_capacity(V::SIZE) / 2
     }
 
@@ -149,6 +158,8 @@ impl<V: RecordValue> BTree<V> {
             leaf_pages,
             total_pages,
             scans: ScanCounters::default(),
+            writes: WriteCounters::default(),
+            msgs: MsgState::default(),
             _values: PhantomData,
         }
     }
@@ -298,6 +309,15 @@ impl<V: RecordValue> BTree<V> {
     /// assert_eq!(optimistic.lock_stats().lock_acquisitions, 0);
     /// ```
     pub fn get(&self, key: u128) -> Option<V> {
+        // A pending buffered message is newer than anything in the leaves:
+        // the newest put answers, the newest tombstone hides the key. With
+        // nothing pending (always, when buffering is off) this costs one
+        // integer compare.
+        if self.msgs.pending > 0 {
+            if let Some(answer) = self.collect_overlay(&[(key, key)]).remove(&key) {
+                return answer;
+            }
+        }
         for _ in 0..OPT_MAX_RESTARTS {
             if let Ok(found) = self.try_get_optimistic(key) {
                 return found;
@@ -315,7 +335,15 @@ impl<V: RecordValue> BTree<V> {
 
     /// Insert a new entry. Returns the previous value if `key` was already
     /// present (the entry is replaced in place; no structural change).
+    ///
+    /// With buffered writes on, use [`BTree::buffered_insert`] instead: a
+    /// direct insert would be ordered *before* any in-flight message for
+    /// the same key.
     pub fn insert(&mut self, key: u128, value: V) -> Option<V> {
+        debug_assert_eq!(
+            self.msgs.pending, 0,
+            "plain insert with buffered messages pending; use buffered_insert"
+        );
         match self.insert_rec(self.root, self.height - 1, key, &value) {
             InsertOutcome::Replaced(old) => Some(old),
             InsertOutcome::Done => {
@@ -380,6 +408,7 @@ impl<V: RecordValue> BTree<V> {
                 self.pool.write(pid, |p| {
                     value.write(p.bytes_mut(node::leaf_entry_off(i, vsize) + 16, vsize));
                 });
+                self.writes.bump_leaf_writes(1);
                 InsertOutcome::Replaced(old)
             }
             Slot::Insert(i, n) if n < Self::leaf_cap() => {
@@ -390,6 +419,7 @@ impl<V: RecordValue> BTree<V> {
                     value.write(p.bytes_mut(off + 16, vsize));
                     node::set_count(p, n + 1);
                 });
+                self.writes.bump_leaf_writes(1);
                 InsertOutcome::Done
             }
             Slot::Insert(i, n) => {
@@ -426,6 +456,7 @@ impl<V: RecordValue> BTree<V> {
                     node::set_count(p, tn + 1);
                 });
 
+                self.writes.bump_leaf_writes(3);
                 let sep = self.pool.read(right, |p| node::leaf_key(p, 0, vsize));
                 InsertOutcome::Split(sep, right)
             }
@@ -472,7 +503,15 @@ impl<V: RecordValue> BTree<V> {
     // ---- deletion ----------------------------------------------------------
 
     /// Remove `key`, returning its value if present.
+    ///
+    /// With buffered writes on, use [`BTree::buffered_delete`] instead: a
+    /// direct delete would be ordered *before* any in-flight message for
+    /// the same key.
     pub fn delete(&mut self, key: u128) -> Option<V> {
+        debug_assert_eq!(
+            self.msgs.pending, 0,
+            "plain delete with buffered messages pending; use buffered_delete"
+        );
         let removed = self.delete_rec(self.root, self.height - 1, key);
         if removed.is_some() {
             self.len -= 1;
@@ -510,6 +549,7 @@ impl<V: RecordValue> BTree<V> {
                 p.shift(off + stride, off, (n - 1 - i) * stride);
                 node::set_count(p, n - 1);
             });
+            self.writes.bump_leaf_writes(1);
             return Some(old);
         }
 
@@ -579,6 +619,7 @@ impl<V: RecordValue> BTree<V> {
             });
             let new_sep = u128::from_le_bytes(entry[..16].try_into().unwrap());
             self.pool.write(pid, |p| node::set_branch_key(p, j - 1, new_sep));
+            self.writes.bump_leaf_writes(2);
         } else {
             // Rotate through the parent separator.
             let ln = self.pool.read(l, node::count);
@@ -614,6 +655,7 @@ impl<V: RecordValue> BTree<V> {
             });
             let new_sep = self.pool.read(r, |p| node::leaf_key(p, 0, vsize));
             self.pool.write(pid, |p| node::set_branch_key(p, j, new_sep));
+            self.writes.bump_leaf_writes(2);
         } else {
             let sep = self.pool.read(pid, |p| node::branch_key(p, j));
             let (r_first_key, r_leftmost) =
@@ -645,6 +687,7 @@ impl<V: RecordValue> BTree<V> {
                 node::set_count(p, n + rn);
                 node::set_right_sibling(p, r_sibling);
             });
+            self.writes.bump_leaf_writes(1);
             self.leaf_pages -= 1;
         } else {
             let sep = self.pool.read(pid, |p| node::branch_key(p, sep_idx));
@@ -699,7 +742,30 @@ impl<V: RecordValue> BTree<V> {
     /// version conflict mid-chain defers to the locked read of the same
     /// leaf — so the visitor sees every in-range entry exactly once, in
     /// order, just like the fully locked scan.
+    ///
+    /// With buffered messages pending, the scan overlays the newest
+    /// in-range message per key on the leaf emission (puts interleave and
+    /// replace, tombstones suppress), so the visitor sees exactly what it
+    /// would see after a flush. With nothing pending — always, when
+    /// buffering is off — this costs one integer compare.
     pub fn range_scan(&self, lo: u128, hi: u128, mut visit: impl FnMut(u128, V) -> bool) -> bool {
+        if self.msgs.pending == 0 {
+            return self.range_scan_leaves(lo, hi, visit);
+        }
+        if lo > hi {
+            return true;
+        }
+        let overlay = self.collect_overlay(&[(lo, hi)]);
+        self.scan_with_overlay(overlay, |f| self.range_scan_leaves(lo, hi, f), &mut visit)
+    }
+
+    /// The leaf-only body of [`BTree::range_scan`] (no message overlay).
+    fn range_scan_leaves(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> bool {
         if lo > hi {
             return true;
         }
@@ -843,7 +909,25 @@ impl<V: RecordValue> BTree<V> {
     /// and from the locked page otherwise, exactly like
     /// [`BTree::range_scan`]'s chain walk; entries are handed to `visit`
     /// with no page borrow or lock held.
+    ///
+    /// With buffered messages pending, the newest in-union message per key
+    /// is overlaid on the leaf emission exactly as in
+    /// [`BTree::range_scan`]; with nothing pending the fused path below
+    /// runs untouched.
     pub fn multi_range_scan(
+        &self,
+        intervals: &[(u128, u128)],
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> bool {
+        if self.msgs.pending == 0 {
+            return self.multi_range_scan_leaves(intervals, visit);
+        }
+        let overlay = self.collect_overlay(intervals);
+        self.scan_with_overlay(overlay, |f| self.multi_range_scan_leaves(intervals, f), &mut visit)
+    }
+
+    /// The leaf-only body of [`BTree::multi_range_scan`] (no overlay).
+    fn multi_range_scan_leaves(
         &self,
         intervals: &[(u128, u128)],
         mut visit: impl FnMut(u128, V) -> bool,

@@ -29,6 +29,7 @@ pub const UID_BITS: u32 = 32;
 pub const TID_BITS: u32 = 8;
 
 impl BxKeyLayout {
+    /// The layout for a `2^grid_bits × 2^grid_bits` Z-order grid.
     pub fn new(grid_bits: u32) -> Self {
         assert!((1..=16).contains(&grid_bits));
         BxKeyLayout { zv_bits: 2 * grid_bits }
@@ -54,16 +55,19 @@ impl BxKeyLayout {
         self.key(tid, zv_hi, (1u64 << UID_BITS) - 1)
     }
 
+    /// The time-partition id packed into `key`.
     #[inline]
     pub fn tid_of(&self, key: u128) -> u8 {
         (key >> (self.zv_bits + UID_BITS)) as u8
     }
 
+    /// The Z-curve value packed into `key`.
     #[inline]
     pub fn zv_of(&self, key: u128) -> u64 {
         ((key >> UID_BITS) & ((1u128 << self.zv_bits) - 1)) as u64
     }
 
+    /// The user id packed into `key`.
     #[inline]
     pub fn uid_of(&self, key: u128) -> u64 {
         (key & ((1u128 << UID_BITS) - 1)) as u64

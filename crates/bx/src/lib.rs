@@ -25,6 +25,8 @@
 //! time partition behind its own lock; this crate contributes the Bx key
 //! layout and the privacy-unaware query algorithms.
 
+#![warn(missing_docs)]
+
 pub mod keys;
 pub mod tree;
 

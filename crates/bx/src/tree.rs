@@ -22,6 +22,8 @@ pub struct BxTree {
 }
 
 impl BxTree {
+    /// An empty Bx-tree over the given space, partitioning and speed
+    /// bound, performing all I/O through `pool`.
     pub fn new(
         pool: Arc<BufferPool>,
         space: SpaceConfig,
@@ -51,6 +53,38 @@ impl BxTree {
     /// Whether the fused multi-interval query pipeline is active.
     pub fn fused_scans(&self) -> bool {
         self.fused_scans
+    }
+
+    /// Switch the write path between direct leaf updates (off, the
+    /// default) and B-epsilon-style buffered writes (on): upserts and
+    /// deletes append messages to per-partition buffer chains that flush
+    /// downward in sorted batches (see
+    /// [`ShardedMovingIndex::set_buffered_writes`]). Query results are
+    /// identical either way; turning the knob off flushes everything.
+    pub fn set_buffered_writes(&mut self, enabled: bool) {
+        self.idx.set_buffered_writes(enabled);
+    }
+
+    /// Whether buffered writes are active.
+    pub fn buffered_writes(&self) -> bool {
+        self.idx.buffered_writes()
+    }
+
+    /// Deterministic write-path counters summed across shard trees (see
+    /// [`peb_btree::WriteStats`]).
+    pub fn write_stats(&self) -> peb_btree::WriteStats {
+        self.idx.write_stats()
+    }
+
+    /// Zero the write-path counters (measurement windows).
+    pub fn reset_write_stats(&self) {
+        self.idx.reset_write_stats()
+    }
+
+    /// Flush any pending buffered messages down to the leaves without
+    /// changing the buffering knob. A no-op when nothing is pending.
+    pub fn flush_messages(&self) {
+        self.idx.flush_messages()
     }
 
     /// Deterministic scan-path counters summed across shard trees (see
@@ -87,26 +121,32 @@ impl BxTree {
         &self.idx
     }
 
+    /// The space configuration keys are quantized against.
     pub fn space(&self) -> &SpaceConfig {
         self.idx.space()
     }
 
+    /// The rotating time-partitioning parameters.
     pub fn partitioning(&self) -> &TimePartitioning {
         self.idx.partitioning()
     }
 
+    /// The declared maximum object speed (drives query enlargement).
     pub fn max_speed(&self) -> f64 {
         self.idx.max_speed()
     }
 
+    /// Objects currently indexed.
     pub fn len(&self) -> usize {
         self.idx.len()
     }
 
+    /// Whether no object is indexed.
     pub fn is_empty(&self) -> bool {
         self.idx.is_empty()
     }
 
+    /// The buffer pool all partitions perform I/O through.
     pub fn pool(&self) -> &Arc<BufferPool> {
         self.idx.pool()
     }
@@ -215,6 +255,10 @@ impl BxTree {
         }
     }
 
+    /// Hand every candidate of the enlarged window `r` at `tq` to `f`:
+    /// the raw retrieval step both query algorithms refine (per-interval
+    /// scans by default, one fused multi-interval scan per partition with
+    /// [`BxTree::set_fused_scans`] on).
     pub fn for_each_candidate(&self, r: &Rect, tq: Timestamp, mut f: impl FnMut(MovingPoint)) {
         let layout = *self.idx.layout();
         let space = self.idx.space();

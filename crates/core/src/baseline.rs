@@ -72,6 +72,29 @@ impl SpatialBaseline {
         self.bx.fused_scans()
     }
 
+    /// Switch the underlying Bx-tree between direct and B-epsilon-style
+    /// buffered writes (see [`BxTree::set_buffered_writes`]); query
+    /// results are identical, only write-path page accesses differ.
+    pub fn set_buffered_writes(&mut self, enabled: bool) {
+        self.bx.set_buffered_writes(enabled);
+    }
+
+    /// Whether buffered writes are active.
+    pub fn buffered_writes(&self) -> bool {
+        self.bx.buffered_writes()
+    }
+
+    /// Deterministic write-path counters of the underlying Bx-tree (see
+    /// [`peb_btree::WriteStats`]).
+    pub fn write_stats(&self) -> peb_btree::WriteStats {
+        self.bx.write_stats()
+    }
+
+    /// Zero the write-path counters (measurement windows).
+    pub fn reset_write_stats(&self) {
+        self.bx.reset_write_stats()
+    }
+
     /// Deterministic scan-path counters of the underlying Bx-tree (see
     /// [`peb_btree::ScanStats`]).
     pub fn scan_stats(&self) -> peb_btree::ScanStats {

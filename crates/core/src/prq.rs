@@ -89,22 +89,28 @@ impl PebTree {
         results
     }
 
-    /// The fused PRQ plan: one up-front interval set, one multi-interval
-    /// scan.
+    /// The fused PRQ plan: per (partition × friend-SV group) leaf-chain
+    /// segments, each a coalesced multi-interval scan.
     ///
     /// Per live partition the enlarged window is Z-decomposed once and
     /// coarsened to the cost model's interval budget
     /// ([`peb_costmodel::interval_budget`] — more ranges than the
-    /// candidates' leaves cannot pay for themselves); the surviving
-    /// Z-ranges are crossed with every friend-SV group into key
-    /// intervals. The multi-scan coalesces the set (merging the adjacent
-    /// intervals that equal-SV neighbors and full-domain ranges produce),
-    /// descends once per partition, and walks the leaf chain across the
-    /// intervals, so the shared root/branch pages the per-interval plan
-    /// re-reads for every interval are touched once. Refinement is the
-    /// per-interval plan's: candidates outside the coarsened-in cells
-    /// fail the `r.contains` check exactly like any other enlargement
-    /// false positive, so the result set is provably identical.
+    /// candidates' leaves cannot pay for themselves); each friend-SV
+    /// group's crossing with the surviving Z-ranges then executes as one
+    /// coalesced multi-interval scan — one descent plus a leaf-chain walk
+    /// per segment instead of one descent per Z-range, so the shared
+    /// root/branch pages the per-interval plan re-reads for every
+    /// interval are touched once per segment. Before each segment the
+    /// remaining intervals are intersected against the unresolved
+    /// friends: a group whose members have all been located ("a user has
+    /// only one location") is skipped outright, so a group resolved in an
+    /// early partition contributes **zero** page touches in every later
+    /// one — the same early exit the per-interval plan applies. Within a
+    /// segment the scan stops the moment its own group resolves.
+    /// Refinement is the per-interval plan's: candidates outside the
+    /// coarsened-in cells fail the `r.contains` check exactly like any
+    /// other enlargement false positive, so the result set is provably
+    /// identical.
     fn prq_fused(
         &self,
         issuer: UserId,
@@ -116,42 +122,45 @@ impl PebTree {
         let budget = self.query_interval_budget(total_friends);
         let keys = *self.key_layout();
 
-        let mut intervals: Vec<(u128, u128)> = Vec::new();
+        let mut results: Vec<MovingPoint> = Vec::new();
+        let mut resolved: HashSet<UserId> = HashSet::new();
         for (tid, t_lab) in self.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
             let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
             let zranges = coarsen(decompose(x0, x1, y0, y1, self.space().grid_bits), budget);
-            for (sv_code, _) in groups {
-                for zr in &zranges {
-                    intervals.push((
-                        keys.range_start(tid, *sv_code, zr.lo),
-                        keys.range_end(tid, *sv_code, zr.hi),
-                    ));
+            for (sv_code, members) in groups {
+                if members.iter().all(|u| resolved.contains(u)) {
+                    continue; // every friend at this SV already located
                 }
+                let intervals: Vec<(u128, u128)> = zranges
+                    .iter()
+                    .map(|zr| {
+                        (
+                            keys.range_start(tid, *sv_code, zr.lo),
+                            keys.range_end(tid, *sv_code, zr.hi),
+                        )
+                    })
+                    .collect();
+                let mut outstanding = members.iter().filter(|u| !resolved.contains(u)).count();
+                self.scan_intervals_fused(&intervals, |rec| {
+                    let uid = UserId(rec.uid);
+                    if uid == issuer || resolved.contains(&uid) {
+                        return true;
+                    }
+                    if self.ctx().store.policy(uid, issuer).is_none() {
+                        return true;
+                    }
+                    resolved.insert(uid);
+                    outstanding -= 1;
+                    let m = rec.to_moving_point();
+                    let pos = m.position_at(tq);
+                    if r.contains(&pos) && self.ctx().store.permits(uid, issuer, &pos, tq) {
+                        results.push(m);
+                    }
+                    outstanding > 0
+                });
             }
         }
-
-        let mut results: Vec<MovingPoint> = Vec::new();
-        let mut resolved: HashSet<UserId> = HashSet::new();
-        self.scan_intervals_fused(&intervals, |rec| {
-            let uid = UserId(rec.uid);
-            if uid == issuer || resolved.contains(&uid) {
-                return true;
-            }
-            if self.ctx().store.policy(uid, issuer).is_none() {
-                return true;
-            }
-            resolved.insert(uid);
-            let m = rec.to_moving_point();
-            let pos = m.position_at(tq);
-            if r.contains(&pos) && self.ctx().store.permits(uid, issuer, &pos, tq) {
-                results.push(m);
-            }
-            // A user has only one location, so once every friend is
-            // resolved no remaining interval can contribute — the fused
-            // counterpart of the per-interval plan's per-group early exit.
-            resolved.len() < total_friends
-        });
         results.sort_by_key(|m| m.uid);
         results
     }
@@ -316,6 +325,51 @@ mod tests {
             fused_scans.descents * 2 <= per_descents,
             "fused descents {} vs per-interval {per_descents}",
             fused_scans.descents
+        );
+    }
+
+    #[test]
+    fn fused_prq_skips_groups_resolved_in_earlier_partitions() {
+        // Two friends with different policies (distinct SV groups), living
+        // in different time partitions. The fused plan scans per
+        // (partition × group) segments; the group resolved in the first
+        // partition must contribute zero segments — hence zero descents
+        // and zero page touches — in the second.
+        let mut store = PolicyStore::new();
+        store.add(UserId(0), Policy::new(UserId(1), RoleId::FRIEND, WHOLE, ALWAYS));
+        store.add(
+            UserId(0),
+            Policy::new(
+                UserId(2),
+                RoleId::FRIEND,
+                Rect::new(0.0, 900.0, 0.0, 900.0),
+                TimeInterval::new(0.0, 1000.0),
+            ),
+        );
+        let mut t = build(store, 3);
+        let groups = t.context().friend_sv_groups(UserId(0));
+        assert_eq!(groups.len(), 2, "distinct policies must map to distinct SV groups");
+        // One friend per rotation phase → two live partitions.
+        t.upsert(MovingPoint::new(UserId(1), Point::new(100.0, 100.0), Vec2::ZERO, 10.0));
+        t.upsert(MovingPoint::new(UserId(2), Point::new(120.0, 120.0), Vec2::ZERO, 70.0));
+        assert_eq!(t.live_partitions().len(), 2);
+
+        let window = Rect::new(0.0, 300.0, 0.0, 300.0);
+        let per = t.prq(UserId(0), &window, 40.0);
+        t.set_fused_scans(true);
+        let _ = t.prq(UserId(0), &window, 40.0); // warm the pool
+        t.reset_scan_stats();
+        let fused = t.prq(UserId(0), &window, 40.0);
+        assert_eq!(per, fused, "the early exit must not change results");
+        assert_eq!(fused.iter().map(|m| m.uid.0).collect::<Vec<_>>(), vec![1, 2]);
+
+        // 2 partitions × 2 groups = 4 segments; whichever group resolved
+        // in the first partition is skipped in the second, so exactly one
+        // segment — one descent — is saved.
+        assert_eq!(
+            t.scan_stats().descents,
+            3,
+            "a group resolved in partition 1 must not be scanned in partition 2"
         );
     }
 

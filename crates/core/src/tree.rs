@@ -107,6 +107,64 @@ impl PebTree {
         self.fused_scans
     }
 
+    /// Switch the write path between direct leaf updates (off, the
+    /// default) and B-epsilon-style buffered writes (on): upserts,
+    /// deletes and re-keys append messages to per-partition buffer chains
+    /// that flush downward in sorted batches, trading a bounded message
+    /// backlog for far fewer leaf-page writes under sustained ingestion
+    /// (see [`peb_index::ShardedMovingIndex::set_buffered_writes`]).
+    /// Query results are identical either way — reads overlay pending
+    /// messages. Turning the knob off flushes everything first.
+    pub fn set_buffered_writes(&mut self, enabled: bool) {
+        self.idx.set_buffered_writes(enabled);
+    }
+
+    /// Whether buffered writes are active.
+    pub fn buffered_writes(&self) -> bool {
+        self.idx.buffered_writes()
+    }
+
+    /// Deterministic write-path counters summed across shard trees:
+    /// messages buffered, flushes/spills, leaf pages written (see
+    /// [`peb_btree::WriteStats`]) — the ingestion experiment's companion
+    /// to the I/O ledger.
+    pub fn write_stats(&self) -> peb_btree::WriteStats {
+        self.idx.write_stats()
+    }
+
+    /// Zero the write-path counters (measurement windows).
+    pub fn reset_write_stats(&self) {
+        self.idx.reset_write_stats()
+    }
+
+    /// Flush any pending buffered messages down to the leaves without
+    /// changing the buffering knob. A no-op when nothing is pending.
+    pub fn flush_messages(&self) {
+        self.idx.flush_messages()
+    }
+
+    /// Swap in a rebuilt privacy context and re-key every live object
+    /// whose sequence value changed, returning how many moved. This is
+    /// the policy-churn maintenance pass: a policy grant/revoke reshuffles
+    /// SV codes, and since the SV sits above ZV in every PEB key (Eq. 5),
+    /// affected objects must move to new leaf neighborhoods. Only the SV
+    /// component is rewritten — TID, ZV and UID are preserved — so the
+    /// pass never crosses partition boundaries and runs shard-atomically
+    /// ([`peb_index::ShardedMovingIndex::rekey_where`]). With buffered
+    /// writes on, each move costs two buffer messages instead of a
+    /// foreground delete+insert descent pair, which is where this pass is
+    /// meant to live under sustained ingestion.
+    pub fn refresh_sequence_values(&mut self, ctx: Arc<PrivacyContext>) -> usize {
+        self.idx.layout_mut().ctx = ctx;
+        let keys = self.idx.layout().keys;
+        let ctx = Arc::clone(&self.idx.layout().ctx);
+        self.idx.rekey_where(|uid, old| {
+            let sv = ctx.sv_code(uid);
+            (sv != keys.sv_of(old))
+                .then(|| keys.key(keys.tid_of(old), sv, keys.zv_of(old), keys.uid_of(old)))
+        })
+    }
+
     /// The shared moving-object index core.
     pub fn index(&self) -> &ShardedMovingIndex<PebIndexLayout> {
         &self.idx
@@ -391,6 +449,54 @@ mod tests {
         // And must not include users with different SV codes.
         for uid in &seen {
             assert_eq!(ctx.sv_code(UserId(*uid)), sv3);
+        }
+    }
+
+    #[test]
+    fn refresh_sequence_values_rekeys_changed_objects() {
+        // A policy churn reshuffles SV codes; the refresh pass must move
+        // exactly the affected objects to their new key neighborhoods —
+        // through either write path — without disturbing the records.
+        let space = SpaceConfig::default();
+        let empty_ctx = Arc::new(PrivacyContext::build(
+            PolicyStore::new(),
+            space,
+            8,
+            SvAssignmentParams::default(),
+        ));
+        let friendly_ctx = simple_ctx(8);
+        let changed: usize = (0..8u64)
+            .filter(|&i| empty_ctx.sv_code(UserId(i)) != friendly_ctx.sv_code(UserId(i)))
+            .count();
+        assert!(changed > 0, "the two contexts must disagree for the test to bite");
+
+        for buffered in [false, true] {
+            let mut t = tree(Arc::clone(&empty_ctx));
+            t.set_buffered_writes(buffered);
+            for i in 0..8u64 {
+                t.upsert(still(i, 100.0 + i as f64, 100.0, 0.0));
+            }
+            let before: Vec<_> = (0..8u64).map(|i| t.get(UserId(i)).unwrap()).collect();
+
+            let moved = t.refresh_sequence_values(Arc::clone(&friendly_ctx));
+            assert_eq!(moved, changed);
+            for i in 0..8u64 {
+                let k = t.index().current_key_of(UserId(i)).unwrap();
+                assert_eq!(
+                    t.key_layout().sv_of(k),
+                    friendly_ctx.sv_code(UserId(i)),
+                    "key must embed the refreshed SV"
+                );
+                assert_eq!(t.get(UserId(i)).unwrap(), before[i as usize], "records unchanged");
+            }
+            assert_eq!(t.refresh_sequence_values(Arc::clone(&friendly_ctx)), 0, "idempotent");
+            if buffered {
+                assert_eq!(t.write_stats().rekey_messages as usize, moved);
+                t.set_buffered_writes(false);
+            }
+            // The refreshed tree answers queries with the new context.
+            let got = t.prq(UserId(0), &Rect::new(0.0, 1000.0, 0.0, 1000.0), 10.0);
+            assert_eq!(got.len(), 7, "all friends visible after the re-key");
         }
     }
 

@@ -17,10 +17,14 @@
 //! measurements on datasets with the same location distribution
 //! ("for example, a1 = 10 and a2 = 0.3 for uniform data").
 
+#![warn(missing_docs)]
+
 /// Calibrated linear-density coefficients of Eq. 7.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModelParams {
+    /// Density slope `a1`: how fast cost grows with users per unit area.
     pub a1: f64,
+    /// Density intercept `a2`: the residual per-leaf spread at density 0.
     pub a2: f64,
 }
 

@@ -70,7 +70,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use peb_btree::{coalesce_intervals, BTree, ScanStats, TreeStats};
+use peb_btree::{coalesce_intervals, BTree, ScanStats, TreeStats, WriteStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
 use peb_storage::{BufferPool, IoStats, LockStats};
 use peb_zorder::encode;
@@ -92,6 +92,39 @@ struct Shard {
 impl Shard {
     fn new(pool: &Arc<BufferPool>) -> Self {
         Shard { btree: BTree::new(Arc::clone(pool)), current_key: HashMap::new(), label: None }
+    }
+
+    /// Insert/replace one entry through whichever write path the shard
+    /// tree is configured for: a direct leaf insert, or (with buffered
+    /// writes on) a `Put` message appended to the tree's message buffer.
+    fn put(&mut self, key: u128, rec: ObjectRecord) {
+        if self.btree.buffered_writes() {
+            self.btree.buffered_insert(key, rec);
+        } else {
+            self.btree.insert(key, rec);
+        }
+    }
+
+    /// Delete one entry through the configured write path (direct leaf
+    /// delete, or a `Del` tombstone message under buffered writes).
+    fn del(&mut self, key: u128) {
+        if self.btree.buffered_writes() {
+            self.btree.buffered_delete(key);
+        } else {
+            self.btree.delete(key);
+        }
+    }
+
+    /// Replace `old` with `(key, rec)` through the configured write path.
+    /// Under buffered writes the tombstone and the put ride **one** chain
+    /// append — the single-page-touch upsert the buffers exist for.
+    fn replace(&mut self, old: u128, key: u128, rec: ObjectRecord) {
+        if self.btree.buffered_writes() {
+            self.btree.buffered_upsert(old, key, rec);
+        } else {
+            self.btree.delete(old);
+            self.btree.insert(key, rec);
+        }
     }
 }
 
@@ -216,14 +249,18 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         self.shards.len()
     }
 
-    /// Objects currently indexed, summed across shards.
+    /// Objects currently indexed, summed across shards. Counted from the
+    /// per-shard `current_key` maps, which every update path maintains
+    /// synchronously — so the count is exact even while buffered writes
+    /// hold messages that have not yet reached the leaves (where the
+    /// structural tree length lags until the next flush).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().btree.len()).sum()
+        self.shards.iter().map(|s| s.read().current_key.len()).sum()
     }
 
     /// Whether no object is indexed.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().btree.is_empty())
+        self.shards.iter().all(|s| s.read().current_key.is_empty())
     }
 
     /// The buffer pool all shards perform I/O through.
@@ -295,8 +332,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         {
             let mut s = self.shards[tid as usize].write();
             if let Some(old) = s.current_key.remove(&m.uid) {
-                s.btree.delete(old);
-                s.btree.insert(key, ObjectRecord::from_moving_point(&m));
+                s.replace(old, key, ObjectRecord::from_moving_point(&m));
                 s.current_key.insert(m.uid, key);
                 s.label = Some(t_lab);
                 return;
@@ -319,7 +355,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                         migrating = true;
                         self.mig_started.fetch_add(1, Ordering::SeqCst);
                     }
-                    s.btree.delete(old);
+                    s.del(old);
                 }
             }
         }
@@ -327,9 +363,9 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         if let Some(old) = s.current_key.remove(&m.uid) {
             // A concurrent same-uid upsert slipped in between the two
             // lock acquisitions; replace its entry exactly.
-            s.btree.delete(old);
+            s.del(old);
         }
-        s.btree.insert(key, ObjectRecord::from_moving_point(&m));
+        s.put(key, ObjectRecord::from_moving_point(&m));
         s.current_key.insert(m.uid, key);
         s.label = Some(t_lab);
         drop(s);
@@ -462,7 +498,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                     let (ttid, tkey) = targets[&uid];
                     if ttid as usize != tid || tkey != old {
                         s.current_key.remove(&uid);
-                        s.btree.delete(old);
+                        s.del(old);
                     }
                 }
             }
@@ -482,7 +518,16 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 keys.push((uid, k));
             }
             let mut s = self.shards[tid].write();
-            s.btree.merge_sorted(entries);
+            if s.btree.buffered_writes() {
+                // Buffered regime: the batch's sorted run becomes a run of
+                // `Put` messages in one chain append (still in key order,
+                // so the eventual flush compacts and applies them leaf by
+                // leaf); `merge_sorted` would flush the buffer and do the
+                // leaf writes now.
+                s.btree.buffered_insert_batch(entries);
+            } else {
+                s.btree.merge_sorted(entries);
+            }
             for (uid, k) in keys {
                 s.current_key.insert(uid, k);
             }
@@ -502,6 +547,13 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if shard.read().current_key.contains_key(&uid) {
                 let mut s = shard.write();
                 if let Some(old) = s.current_key.remove(&uid) {
+                    if s.btree.buffered_writes() {
+                        // `current_key` held the uid, so the entry exists
+                        // (possibly only as a buffered `Put` message); the
+                        // tombstone message removes it either way.
+                        s.btree.buffered_delete(old);
+                        return true;
+                    }
                     return s.btree.delete(old).is_some();
                 }
             }
@@ -796,6 +848,98 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         }
     }
 
+    /// Switch every shard tree between the direct write path (off, the
+    /// default) and B-epsilon-style buffered writes (on): upserts,
+    /// deletes and re-keys append messages to per-tree buffer chains and
+    /// flush downward in sorted batches ([`peb_btree::msg`]). Turning the
+    /// knob **off** flushes every shard's pending messages first, so the
+    /// leaves are exact again when this returns. Requires exclusive
+    /// access: flip it between measurement phases, not mid-workload.
+    pub fn set_buffered_writes(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.write().btree.set_buffered_writes(on);
+        }
+    }
+
+    /// Whether buffered writes are on (one knob for all shards).
+    pub fn buffered_writes(&self) -> bool {
+        self.shards.first().is_some_and(|s| s.read().btree.buffered_writes())
+    }
+
+    /// Messages currently buffered and not yet applied to leaves, summed
+    /// across shards. Always 0 with buffered writes off.
+    pub fn pending_messages(&self) -> usize {
+        self.shards.iter().map(|s| s.read().btree.pending_messages()).sum()
+    }
+
+    /// Flush every shard's buffered messages down to the leaves without
+    /// changing the knob. A no-op when nothing is pending.
+    pub fn flush_messages(&self) {
+        for shard in &self.shards {
+            shard.write().btree.flush_messages();
+        }
+    }
+
+    /// Deterministic write-path counters summed across all shard trees:
+    /// messages buffered, buffer flushes/spills, and leaf pages written
+    /// (see [`peb_btree::WriteStats`]). The write-side companion of
+    /// [`ShardedMovingIndex::scan_stats`] for the ingestion experiment.
+    pub fn write_stats(&self) -> WriteStats {
+        self.shards
+            .iter()
+            .fold(WriteStats::default(), |acc, s| acc.merged(&s.read().btree.write_stats()))
+    }
+
+    /// Zero every shard tree's write-path counters (measurement windows).
+    pub fn reset_write_stats(&self) {
+        for shard in &self.shards {
+            shard.read().btree.reset_write_stats();
+        }
+    }
+
+    /// Re-key live objects in place: `f(uid, old_key)` returns the new
+    /// key for an object, or `None` to leave it alone. Returns how many
+    /// objects were re-keyed.
+    ///
+    /// Intended for maintenance passes that rewrite a key *component*
+    /// without moving the object spatially or temporally — the PEB-tree's
+    /// sequence-value refresh is the canonical caller — so the new key
+    /// must stay inside the object's current partition range (debug-
+    /// asserted). Each shard is processed under its own write lock with
+    /// uids visited in ascending order (deterministic page touches), and
+    /// the whole pass is therefore atomic per shard with no migration
+    /// epoch: a re-key never crosses a shard boundary. With buffered
+    /// writes on, each move costs two messages (a tombstone plus a
+    /// re-key `Put`) instead of a foreground delete+insert descent pair.
+    pub fn rekey_where(&self, mut f: impl FnMut(UserId, u128) -> Option<u128>) -> usize {
+        let mut moved = 0usize;
+        for (tid, shard) in self.shards.iter().enumerate() {
+            let mut s = shard.write();
+            if s.current_key.is_empty() {
+                continue;
+            }
+            let mut uids: Vec<UserId> = s.current_key.keys().copied().collect();
+            uids.sort_unstable();
+            for uid in uids {
+                let old = s.current_key[&uid];
+                let Some(new) = f(uid, old) else { continue };
+                if new == old {
+                    continue;
+                }
+                let (plo, phi) = self.layout.partition_range(tid as u8);
+                debug_assert!(
+                    (plo..=phi).contains(&new),
+                    "rekey_where must not move object {uid} out of partition {tid}"
+                );
+                let Some(rec) = s.btree.get(old) else { continue };
+                s.btree.buffered_rekey(old, new, rec);
+                s.current_key.insert(uid, new);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
     /// The number of migration spans ever started on this index (the
     /// migration epoch's leading edge). Exposed for tests and diagnostics;
     /// `scan_keys` consumes it internally.
@@ -819,12 +963,19 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if matches!(s.label, Some(l) if l < now) {
                 dropped += s.current_key.len();
                 s.current_key = HashMap::new();
-                // The replacement tree inherits the scan ledger: expiry is
-                // structural maintenance, not a measurement reset (the
-                // same contract `merge_sorted`'s rebuild keeps).
+                // The replacement tree inherits the scan and write ledgers
+                // plus the buffering knob: expiry is structural
+                // maintenance, not a measurement reset (the same contract
+                // `merge_sorted`'s rebuild keeps). The old tree's pending
+                // messages die with it — they only described expired
+                // entries — at zero page touches.
                 let scans = s.btree.scan_stats();
+                let writes = s.btree.write_stats();
+                let buffered = s.btree.buffered_writes();
                 s.btree = BTree::new(Arc::clone(&self.pool));
                 s.btree.restore_scan_stats(scans);
+                s.btree.restore_write_stats(writes.merged(&s.btree.write_stats()));
+                s.btree.set_buffered_writes(buffered);
                 s.label = None;
             }
         }
@@ -1263,6 +1414,124 @@ mod tests {
         assert_eq!(n, 2_000);
         assert!(idx.io_stats().physical_reads > 0, "cold scan must do I/O");
         assert_eq!(idx.io_stats(), pool.stats(), "io_stats is the shared pool's counters");
+    }
+
+    #[test]
+    fn buffered_updates_match_the_direct_path() {
+        // Same workload through both write paths — singles, a batch with
+        // migrations, removes — must yield identical visible state, both
+        // while messages are pending and after the final flush.
+        let mut buf = index(256);
+        buf.set_buffered_writes(true);
+        assert!(buf.buffered_writes());
+        let plain = index(256);
+
+        let round1: Vec<MovingPoint> = (0..300u64)
+            .map(|i| still(i, (i % 60) as f64 * 16.0 + 4.0, (i / 60) as f64 * 190.0 + 4.0, 10.0))
+            .collect();
+        let round2: Vec<MovingPoint> = (0..300u64)
+            .map(|i| still(i, (i % 55) as f64 * 18.0 + 1.0, (i / 55) as f64 * 160.0 + 1.0, 70.0))
+            .collect();
+        for m in &round1 {
+            buf.upsert(*m);
+            plain.upsert(*m);
+        }
+        assert_eq!(buf.upsert_batch(&round2), plain.upsert_batch(&round2));
+        for uid in [3u64, 4, 5] {
+            assert!(buf.remove(UserId(uid)));
+            assert!(plain.remove(UserId(uid)));
+        }
+        assert!(!buf.remove(UserId(3)), "tombstoned object must stay gone");
+
+        let w = buf.write_stats();
+        assert!(w.messages_buffered > 0, "buffered path must go through messages");
+        assert_eq!(plain.write_stats().messages_buffered, 0);
+
+        let compare = |buf: &ShardedMovingIndex<TestLayout>| {
+            assert_eq!(buf.len(), plain.len());
+            assert_eq!(buf.live_partitions(), plain.live_partitions());
+            for i in 0..300u64 {
+                assert_eq!(buf.current_key_of(UserId(i)), plain.current_key_of(UserId(i)));
+                assert_eq!(buf.get(UserId(i)), plain.get(UserId(i)));
+            }
+            let mut got = Vec::new();
+            buf.scan_keys(0, u128::MAX, |k, rec| {
+                got.push((k, rec.uid));
+                true
+            });
+            let mut want = Vec::new();
+            plain.scan_keys(0, u128::MAX, |k, rec| {
+                want.push((k, rec.uid));
+                true
+            });
+            assert_eq!(got, want, "scans must overlay pending messages exactly");
+        };
+        compare(&buf); // messages may still be pending here
+        buf.set_buffered_writes(false);
+        assert_eq!(buf.pending_messages(), 0, "turning the knob off flushes");
+        compare(&buf);
+    }
+
+    #[test]
+    fn rekey_where_rewrites_keys_without_moving_objects() {
+        for buffered in [false, true] {
+            let mut idx = index(128);
+            idx.set_buffered_writes(buffered);
+            for i in 0..200u64 {
+                idx.upsert(still(
+                    i,
+                    (i % 40) as f64 * 25.0 + 2.0,
+                    (i / 40) as f64 * 190.0 + 2.0,
+                    10.0,
+                ));
+            }
+            let before: Vec<_> = (0..200u64).map(|i| idx.get(UserId(i)).unwrap()).collect();
+            // Flip one ZV bit for even uids: stays in the partition, keys
+            // remain unique (uid bits are untouched).
+            let moved = idx.rekey_where(|uid, old| (uid.0 % 2 == 0).then_some(old ^ (1u128 << 40)));
+            assert_eq!(moved, 100);
+            assert_eq!(idx.len(), 200);
+            assert_eq!(idx.rekey_where(|_, _| None), 0, "None leaves everything alone");
+            for i in 0..200u64 {
+                assert_eq!(idx.get(UserId(i)).unwrap(), before[i as usize], "records unchanged");
+            }
+            if buffered {
+                assert_eq!(idx.write_stats().rekey_messages, 100);
+                idx.set_buffered_writes(false);
+                for i in 0..200u64 {
+                    assert_eq!(idx.get(UserId(i)).unwrap(), before[i as usize]);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            idx.scan_keys(0, u128::MAX, |_, rec| {
+                assert!(seen.insert(rec.uid));
+                true
+            });
+            assert_eq!(seen.len(), 200, "every object visible exactly once after the re-key");
+        }
+    }
+
+    #[test]
+    fn expire_preserves_write_ledger_and_buffering() {
+        let mut idx = index(64);
+        idx.set_buffered_writes(true);
+        for i in 0..200u64 {
+            idx.upsert(still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 95.0 + 2.0, 10.0));
+        }
+        idx.upsert(still(900, 200.0, 200.0, 130.0));
+        let before = idx.write_stats();
+        assert!(before.messages_buffered > 0);
+
+        let dropped = idx.expire_stale(200.0);
+        assert_eq!(dropped, 200);
+        assert!(idx.buffered_writes(), "the knob survives the shard swap");
+        let after = idx.write_stats();
+        assert!(
+            after.messages_buffered >= before.messages_buffered,
+            "the write ledger must survive the expiry swap like every other counter"
+        );
+        assert!(idx.get(UserId(0)).is_none());
+        assert!(idx.get(UserId(900)).is_some());
     }
 
     #[test]

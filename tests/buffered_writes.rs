@@ -1,0 +1,245 @@
+//! Buffered-writes equivalence: a tree ingesting through the
+//! B-epsilon-style message buffers must be observationally identical to a
+//! twin running the direct delete+insert path — under random interleavings
+//! of upserts, deletes, re-keys and queries, on both engines — while
+//! writing **at most** as many leaf pages. Queries are compared both
+//! mid-stream (messages in flight, so reads must merge the buffer
+//! overlay) and after the final downward flush.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use peb_repro::bx::BxTree;
+use peb_repro::common::{MovingPoint, Point, Rect, SpaceConfig, UserId, Vec2};
+use peb_repro::pebtree::{PebTree, PrivacyContext};
+use peb_repro::policy::{PolicyStore, SvAssignmentParams};
+use peb_repro::storage::BufferPool;
+use peb_repro::workload::DatasetBuilder;
+
+fn space() -> SpaceConfig {
+    SpaceConfig::new(1000.0, 10, 1440.0)
+}
+
+fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+    MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+}
+
+/// An op drawn by the strategies: `kind` selects upsert / delete / re-key /
+/// query, the payload words parameterize it.
+type Op = (u8, u64, u64, u64);
+
+fn ops_strategy(uids: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..10, 0u64..uids, 0u64..1000, 0u64..1000), 4..len)
+}
+
+/// The policy store has no `Clone`; rebuild pair-by-pair (a second context
+/// needs its own ownership).
+fn clone_store(store: &PolicyStore) -> PolicyStore {
+    let mut out = PolicyStore::new();
+    for (_, viewer, policy) in store.iter() {
+        out.add(viewer, policy.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Bx-tree twins: random upsert / delete / re-key / range-query
+    /// interleavings. The re-key op goes through
+    /// [`peb_repro::index::ShardedMovingIndex::rekey_where`] — a message
+    /// pair on the buffered twin, delete+insert on the direct one.
+    #[test]
+    fn bx_buffered_twin_matches_direct_twin(ops in ops_strategy(400, 60)) {
+        let users: Vec<MovingPoint> = (0..300)
+            .map(|i| still(i, (i % 64) as f64 * 15.0 + 3.0, (i / 64) as f64 * 47.0 + 3.0, 10.0))
+            .collect();
+        let build = || {
+            BxTree::bulk_load(
+                Arc::new(BufferPool::new(4096)),
+                space(),
+                Default::default(),
+                3.0,
+                &users,
+                1.0,
+            )
+        };
+        let mut direct = build();
+        let mut buffered = build();
+        buffered.set_buffered_writes(true);
+        direct.reset_write_stats();
+        buffered.reset_write_stats();
+
+        for (i, (kind, uid, a, b)) in ops.iter().copied().enumerate() {
+            let t = 11.0 + i as f64;
+            match kind {
+                0..=5 => {
+                    let m = still(uid, a as f64, b as f64, t);
+                    direct.upsert(m);
+                    buffered.upsert(m);
+                }
+                6 | 7 => {
+                    let d = direct.remove(UserId(uid));
+                    let bf = buffered.remove(UserId(uid));
+                    prop_assert_eq!(d, bf, "remove({}) outcome diverged", uid);
+                }
+                8 => {
+                    // Flip one ZV bit for a uid class: stays in-partition,
+                    // and both twins move the same keys.
+                    let f = |u: UserId, old: u128| {
+                        (u.0 % 3 == a % 3).then_some(old ^ (1u128 << 40))
+                    };
+                    let d = direct.index().rekey_where(f);
+                    let bf = buffered.index().rekey_where(f);
+                    prop_assert_eq!(d, bf, "re-key moved a different number of keys");
+                }
+                _ => {
+                    let (x0, y0) = (a as f64, b as f64);
+                    let w = Rect::new(x0, (x0 + 320.0).min(1000.0), y0, (y0 + 320.0).min(1000.0));
+                    let tq = t + (a % 50) as f64;
+                    let mut d: Vec<u64> =
+                        direct.range_query(&w, tq).iter().map(|m| m.uid.0).collect();
+                    let mut bf: Vec<u64> =
+                        buffered.range_query(&w, tq).iter().map(|m| m.uid.0).collect();
+                    d.sort_unstable();
+                    bf.sort_unstable();
+                    prop_assert_eq!(d, bf, "range query diverged with messages in flight");
+                }
+            }
+        }
+
+        // In-flight equivalence of every point lookup and the full scan.
+        prop_assert_eq!(direct.len(), buffered.len());
+        for uid in 0..400 {
+            prop_assert_eq!(direct.get(UserId(uid)), buffered.get(UserId(uid)), "get({uid})");
+        }
+        let whole = Rect::new(0.0, 1000.0, 0.0, 1000.0);
+        let tq = 11.0 + ops.len() as f64 + 30.0;
+        let full = |t: &BxTree| -> Vec<u64> {
+            let mut v: Vec<u64> = t.range_query(&whole, tq).iter().map(|m| m.uid.0).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(full(&direct), full(&buffered));
+
+        // The point of buffering: never more leaf-page writes than direct.
+        let (dw, bw) = (direct.write_stats(), buffered.write_stats());
+        prop_assert!(
+            bw.leaf_pages_written <= dw.leaf_pages_written,
+            "buffered wrote {} leaf pages, direct only {}",
+            bw.leaf_pages_written,
+            dw.leaf_pages_written
+        );
+        prop_assert_eq!(dw.messages_buffered, 0);
+
+        // And after draining the buffers everything still matches.
+        buffered.set_buffered_writes(false);
+        prop_assert_eq!(buffered.index().pending_messages(), 0);
+        prop_assert_eq!(full(&direct), full(&buffered));
+        prop_assert_eq!(direct.len(), buffered.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PEB-tree twins: the same game over the privacy-aware engine, with
+    /// PRQs as the mid-stream probes and a sequence-value refresh (the
+    /// re-key pass riding the message buffers) thrown into the mix.
+    #[test]
+    fn peb_buffered_twin_matches_direct_twin(ops in ops_strategy(200, 40)) {
+        let dataset = DatasetBuilder::default()
+            .num_users(200)
+            .policies_per_user(6)
+            .grouping_factor(0.7)
+            .seed(0xBEEF)
+            .build();
+        let store2 = clone_store(&dataset.store);
+        let n = dataset.users.len();
+        let ctx = Arc::new(PrivacyContext::build(
+            dataset.store,
+            dataset.space,
+            n,
+            SvAssignmentParams::default(),
+        ));
+        // A second encoding with a different anchor spacing: refreshing to
+        // it re-keys every user whose sequence value moved.
+        let ctx2 = Arc::new(PrivacyContext::build(
+            store2,
+            dataset.space,
+            n,
+            SvAssignmentParams { delta: 3.0, ..Default::default() },
+        ));
+        let build = || {
+            PebTree::bulk_load(
+                Arc::new(BufferPool::new(4096)),
+                dataset.space,
+                Default::default(),
+                3.0,
+                Arc::clone(&ctx),
+                &dataset.users,
+                1.0,
+            )
+        };
+        let mut direct = build();
+        let mut buffered = build();
+        buffered.set_buffered_writes(true);
+        direct.reset_write_stats();
+        buffered.reset_write_stats();
+
+        let mut refreshed = false;
+        for (i, (kind, uid, a, b)) in ops.iter().copied().enumerate() {
+            let t = 1.0 + i as f64;
+            match kind {
+                0..=5 => {
+                    let m = still(uid, a as f64, b as f64, t);
+                    direct.upsert(m);
+                    buffered.upsert(m);
+                }
+                6 => {
+                    let d = direct.remove(UserId(uid));
+                    let bf = buffered.remove(UserId(uid));
+                    prop_assert_eq!(d, bf, "remove({}) outcome diverged", uid);
+                }
+                7 => {
+                    // Alternate between the two encodings so later flips
+                    // keep re-keying (same target on both twins).
+                    let target = if refreshed { &ctx } else { &ctx2 };
+                    refreshed = !refreshed;
+                    let d = direct.refresh_sequence_values(Arc::clone(target));
+                    let bf = buffered.refresh_sequence_values(Arc::clone(target));
+                    prop_assert_eq!(d, bf, "SV refresh moved a different number of keys");
+                }
+                _ => {
+                    let (x0, y0) = (a as f64, b as f64);
+                    let w = Rect::new(x0, (x0 + 400.0).min(1000.0), y0, (y0 + 400.0).min(1000.0));
+                    let tq = t + (b % 40) as f64;
+                    let d: Vec<u64> =
+                        direct.prq(UserId(uid), &w, tq).iter().map(|m| m.uid.0).collect();
+                    let bf: Vec<u64> =
+                        buffered.prq(UserId(uid), &w, tq).iter().map(|m| m.uid.0).collect();
+                    prop_assert_eq!(d, bf, "PRQ diverged with messages in flight");
+                }
+            }
+        }
+
+        prop_assert_eq!(direct.len(), buffered.len());
+        for uid in 0..200 {
+            prop_assert_eq!(direct.get(UserId(uid)), buffered.get(UserId(uid)), "get({uid})");
+        }
+        let (dw, bw) = (direct.write_stats(), buffered.write_stats());
+        prop_assert!(
+            bw.leaf_pages_written <= dw.leaf_pages_written,
+            "buffered wrote {} leaf pages, direct only {}",
+            bw.leaf_pages_written,
+            dw.leaf_pages_written
+        );
+
+        buffered.set_buffered_writes(false);
+        prop_assert_eq!(direct.len(), buffered.len());
+        for uid in 0..200 {
+            prop_assert_eq!(direct.get(UserId(uid)), buffered.get(UserId(uid)));
+        }
+    }
+}
