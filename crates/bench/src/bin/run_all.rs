@@ -6,19 +6,21 @@
 //!   update-throughput trajectory entry to `BENCH_updates.json`, the
 //!   concurrent-scan trajectory entry to `BENCH_scans.json`, the
 //!   optimistic-read trajectory entry to `BENCH_optreads.json`, and the
-//!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, and
-//!   the buffered-ingestion trajectory entry to `BENCH_ingest.json`.
+//!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, the
+//!   buffered-ingestion trajectory entry to `BENCH_ingest.json`, and the
+//!   durability/recovery trajectory entry to `BENCH_recovery.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
-//!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` — override
-//!   the output paths.
+//!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` /
+//!   `PEB_RECOVERY_OUT` — override the output paths.
 use peb_bench::experiments;
 use peb_bench::ingest;
 use peb_bench::optreads;
 use peb_bench::queryio;
+use peb_bench::recovery;
 use peb_bench::report;
 use peb_bench::scans;
 use peb_bench::updates;
@@ -66,6 +68,13 @@ fn main() {
         std::fs::write(&ing_path, ing.to_json())
             .unwrap_or_else(|e| panic!("cannot write {ing_path}: {e}"));
         eprintln!("buffered-ingestion trajectory written to {ing_path}");
+
+        let rec_path =
+            std::env::var("PEB_RECOVERY_OUT").unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+        let rec = recovery::measure_recovery();
+        std::fs::write(&rec_path, rec.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {rec_path}: {e}"));
+        eprintln!("durability/recovery trajectory written to {rec_path}");
         return;
     }
 
@@ -131,4 +140,10 @@ fn main() {
         "sustained upserts and leaf pages written: direct vs buffered write path, both engines",
     );
     ingest::print_table(&ingest::measure_ingest());
+    println!();
+    report::header(
+        "Recovery",
+        "write-ahead-log cost and crash-recovery replay: one checkpoint, two unflushed rounds",
+    );
+    recovery::print_table(&recovery::measure_recovery());
 }

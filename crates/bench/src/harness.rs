@@ -45,6 +45,13 @@ pub struct RunConfig {
     /// path); the ingestion experiment builds a `true` world as its
     /// buffered comparison point.
     pub buffered_writes: bool,
+    /// Whether the write-ahead-log durability protocol is on for both
+    /// engines. The default of `false` is the paper-exact configuration
+    /// every frozen I/O measurement uses (logging adds log-page writes to
+    /// the physical ledger, so I/O counts are only comparable with it
+    /// off); the recovery experiment builds a `true` world to measure
+    /// log-write amplification and replay time.
+    pub durable: bool,
     pub seed: u64,
     /// Query time (users are inserted with `t_update = 0`).
     pub tq: f64,
@@ -68,6 +75,7 @@ impl Default for RunConfig {
             optimistic_reads: true,
             fused_scans: false,
             buffered_writes: false,
+            durable: false,
             seed: 0xC0FFEE,
             tq: 30.0,
             sv_params: SvAssignmentParams::default(),
@@ -150,6 +158,12 @@ impl World {
         baseline.set_fused_scans(cfg.fused_scans);
         peb.set_buffered_writes(cfg.buffered_writes);
         baseline.set_buffered_writes(cfg.buffered_writes);
+        if cfg.durable {
+            // Before the ingest loop, so the whole load is logged and a
+            // crash at any later point recovers every inserted object.
+            peb.set_durable(true);
+            baseline.set_durable(true);
+        }
         for m in &dataset.users {
             peb.upsert(*m);
             baseline.upsert(*m);

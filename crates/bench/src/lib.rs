@@ -16,6 +16,7 @@ pub mod harness;
 pub mod ingest;
 pub mod optreads;
 pub mod queryio;
+pub mod recovery;
 pub mod report;
 pub mod scans;
 pub mod updates;

@@ -269,15 +269,19 @@ impl<V: RecordValue> BTree<V> {
         let writes = self.write_stats();
         let buffered = self.msgs.buffered;
         let seq = self.msgs.seq;
+        let tree_id = self.tree_id;
         *self = BTree::bulk_load(Arc::clone(self.pool()), merged, MERGE_FILL);
         // The rebuild replaced `self` wholesale; the scan and write
         // ledgers outlive structural maintenance like every other counter
         // does (the rebuild's own leaf writes are part of this merge's
-        // cost), and the buffering knob and sequence counter carry over.
+        // cost), and the buffering knob, sequence counter, and WAL
+        // identity carry over (with the moved root logged for recovery).
         self.restore_scan_stats(scans);
         self.restore_write_stats(writes.merged(&self.write_stats()));
         self.msgs.buffered = buffered;
         self.msgs.seq = seq;
+        self.tree_id = tree_id;
+        self.log_meta();
         added
     }
 }

@@ -40,7 +40,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use peb_storage::{PageId, PAGE_SIZE};
+use peb_storage::{CrashPoint, PageId, PAGE_SIZE};
 
 use crate::bulk::{MERGE_FILL, MERGE_REBUILD_RATIO};
 use crate::multiscan::coalesce_intervals;
@@ -369,7 +369,7 @@ impl<V: RecordValue> BTree<V> {
                 let c = &self.msgs.chains[&owner];
                 (c.tail, c.tail_count)
             };
-            self.pool.write(tail, |p| {
+            self.pool.write_chain(tail, |p| {
                 for (j, m) in msgs[i..i + take].iter().enumerate() {
                     let off = MSG_HEADER + (start + j) * stride;
                     p.put_u128(off, m.key);
@@ -392,7 +392,7 @@ impl<V: RecordValue> BTree<V> {
     fn chain_new_tail(&mut self, owner: PageId) {
         let pid = self.pool.allocate();
         self.total_pages += 1;
-        self.pool.write(pid, |p| {
+        self.pool.write_chain(pid, |p| {
             p.put_u16(OFF_MSG_COUNT, 0);
             p.put_u32(OFF_MSG_NEXT, 0);
         });
@@ -408,7 +408,7 @@ impl<V: RecordValue> BTree<V> {
                 c.pages += 1;
                 prev
             };
-            self.pool.write(prev, |p| p.put_u32(OFF_MSG_NEXT, pid.0 + 1));
+            self.pool.write_chain(prev, |p| p.put_u32(OFF_MSG_NEXT, pid.0 + 1));
         }
     }
 
@@ -464,19 +464,31 @@ impl<V: RecordValue> BTree<V> {
         if !root_full {
             return;
         }
-        if self.height >= 3 {
-            self.spill_root_chain();
-            let child_over = self
-                .msgs
-                .chains
-                .iter()
-                .any(|(pid, c)| *pid != self.root && c.pages > MAX_CHAIN_PAGES);
-            if child_over {
+        // Spills and flushes are the buffer's bulk page traffic: attribute
+        // every disk write inside to the chain-spill crash-point category
+        // so the kill-point matrix can target this region specifically.
+        let pool = Arc::clone(&self.pool);
+        pool.with_crash_scope(CrashPoint::ChainSpill, || {
+            if self.height >= 3 {
+                self.spill_root_chain();
+                let child_over = self
+                    .msgs
+                    .chains
+                    .iter()
+                    .any(|(pid, c)| *pid != self.root && c.pages > MAX_CHAIN_PAGES);
+                if child_over {
+                    self.flush_messages();
+                }
+            } else {
                 self.flush_messages();
             }
-        } else {
-            self.flush_messages();
-        }
+            // The overflow is one unit of structural work: force its log
+            // records durable at the boundary so the unforced-log window
+            // stays bounded. The forced log pages are the spill's own
+            // crash-injection points (an uncommitted tail rolls back to
+            // the last commit on recovery). No-op with durability off.
+            pool.wal_force();
+        });
     }
 
     /// Push the root chain's messages into per-child chains of the root's
@@ -577,12 +589,17 @@ impl<V: RecordValue> BTree<V> {
         let prior_writes = self.write_stats();
         let buffered = self.msgs.buffered;
         let seq = self.msgs.seq;
+        let tree_id = self.tree_id;
         *self = BTree::bulk_load(Arc::clone(&self.pool), merged, MERGE_FILL);
         self.restore_scan_stats(scans);
         // The rebuild's own leaf writes are part of this flush's cost.
         self.restore_write_stats(prior_writes.merged(&self.write_stats()));
         self.msgs.buffered = buffered;
         self.msgs.seq = seq;
+        // The rebuild is a new tree value with a new root; it keeps the
+        // old WAL identity, and recovery must learn the root moved.
+        self.tree_id = tree_id;
+        self.log_meta();
     }
 
     /// Locked root-to-leaf descent for `key`, also returning the leaf's
@@ -685,6 +702,49 @@ impl<V: RecordValue> BTree<V> {
                 }
             }
             i = j;
+        }
+    }
+
+    // ---- recovery ----------------------------------------------------------
+
+    /// Rebuild the in-memory chain registry from on-page chain heads
+    /// (recovery: the pages came back byte-exact, only the in-memory
+    /// metadata died with the process). Each `(owner, head)` pair names a
+    /// node whose [`node::chain_head`] slot was found valid; the chain is
+    /// walked once through the pool to restore head/tail/page counts, the
+    /// pending-message total, and the sequence counter — advanced past
+    /// the newest message seen, so post-recovery messages keep winning
+    /// last-write-wins.
+    pub(crate) fn reattach_chains(&mut self, owners: &[(PageId, PageId)]) {
+        for &(owner, head) in owners {
+            let mut pages = 0usize;
+            let mut tail = head;
+            let mut tail_count = 0usize;
+            let mut pid = head;
+            while pid.is_valid() {
+                let (n, next) = self.pool.read(pid, |p| {
+                    let raw = p.get_u32(OFF_MSG_NEXT);
+                    (
+                        p.get_u16(OFF_MSG_COUNT) as usize,
+                        if raw == 0 { PageId::INVALID } else { PageId(raw - 1) },
+                    )
+                });
+                pages += 1;
+                tail = pid;
+                tail_count = n;
+                self.msgs.pending += n;
+                pid = next;
+            }
+            self.total_pages += pages;
+            self.msgs.chains.insert(owner, Chain { head, tail, tail_count, pages });
+            let mut msgs: Vec<Msg<V>> = Vec::new();
+            self.read_chain_msgs(head, &mut msgs);
+            for m in &msgs {
+                self.msgs.seq = self.msgs.seq.max(m.seq + 1);
+            }
+        }
+        if self.msgs.pending > 0 {
+            self.msgs.buffered = true;
         }
     }
 

@@ -66,6 +66,12 @@ pub struct BTree<V: RecordValue> {
     pub(crate) writes: WriteCounters,
     /// B-epsilon message-buffer state (see the [`crate::msg`] module).
     pub(crate) msgs: MsgState,
+    /// Identity of this tree in the write-ahead log (`u32::MAX` =
+    /// unregistered: root changes are not logged). Set by the index layer
+    /// when durability is on; survives wholesale rebuilds
+    /// ([`BTree::bulk_load`]-based merges, flushes) via
+    /// [`BTree::set_tree_id`].
+    pub(crate) tree_id: u32,
     _values: PhantomData<V>,
 }
 
@@ -84,6 +90,7 @@ impl<V: RecordValue> BTree<V> {
             scans: ScanCounters::default(),
             writes: WriteCounters::default(),
             msgs: MsgState::default(),
+            tree_id: u32::MAX,
             _values: PhantomData,
         };
         t.writes.bump_leaf_writes(1);
@@ -160,8 +167,80 @@ impl<V: RecordValue> BTree<V> {
             scans: ScanCounters::default(),
             writes: WriteCounters::default(),
             msgs: MsgState::default(),
+            tree_id: u32::MAX,
             _values: PhantomData,
         }
+    }
+
+    /// The root page of this tree (changes on root split/collapse and on
+    /// wholesale rebuilds).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// This tree's identity in the write-ahead log (`u32::MAX` =
+    /// unregistered).
+    pub fn tree_id(&self) -> u32 {
+        self.tree_id
+    }
+
+    /// Register this tree under `id` in the write-ahead log and log its
+    /// current root and height, so recovery can locate it. Called by the
+    /// index layer when durability is enabled and re-called after every
+    /// wholesale tree replacement (merge rebuilds, message flushes, shard
+    /// expiry swaps) — the replacement tree is a *new* `BTree` value that
+    /// must keep the old identity.
+    pub fn set_tree_id(&mut self, id: u32) {
+        self.tree_id = id;
+        self.log_meta();
+    }
+
+    /// Log this tree's (root, height) to the write-ahead log — a no-op
+    /// unless the pool is durable and the tree is registered.
+    pub(crate) fn log_meta(&self) {
+        self.pool.wal_tree_meta(self.tree_id, self.root, self.height);
+    }
+
+    /// Reconstruct a tree from its recovered on-disk pages: `root` and
+    /// `height` come from the newest durable `TreeMeta` record of
+    /// `tree_id`. One breadth-first structural walk rebuilds the
+    /// in-memory bookkeeping the crash destroyed — entry count, page
+    /// counts, and the message-chain registry (from the on-page chain
+    /// heads, including the pending count and sequence counter) — after
+    /// which the tree answers exactly like one that never crashed.
+    pub fn reattach(pool: Arc<BufferPool>, tree_id: u32, root: PageId, height: u32) -> Self {
+        let mut t: BTree<V> = BTree::from_raw(pool, root, height, 0, 0, 0);
+        t.tree_id = tree_id;
+        let mut frontier = vec![root];
+        let mut chained: Vec<(PageId, PageId)> = Vec::new();
+        for _ in 0..height {
+            let mut next = Vec::new();
+            for &pid in &frontier {
+                t.total_pages += 1;
+                let (n, leaf, chain, children) = t.pool.read(pid, |p| {
+                    let n = node::count(p);
+                    let leaf = node::is_leaf(p);
+                    let children: Vec<PageId> = if leaf {
+                        Vec::new()
+                    } else {
+                        (0..=n).map(|j| node::child_at(p, j)).collect()
+                    };
+                    (n, leaf, node::chain_head(p), children)
+                });
+                if chain.is_valid() {
+                    chained.push((pid, chain));
+                }
+                if leaf {
+                    t.leaf_pages += 1;
+                    t.len += n;
+                } else {
+                    next.extend(children);
+                }
+            }
+            frontier = next;
+        }
+        t.reattach_chains(&chained);
+        t
     }
 
     /// Deterministic scan-path counters: root-to-leaf descents performed
@@ -362,6 +441,7 @@ impl<V: RecordValue> BTree<V> {
                 self.root = new_root;
                 self.height += 1;
                 self.len += 1;
+                self.log_meta();
                 None
             }
         }
@@ -523,6 +603,7 @@ impl<V: RecordValue> BTree<V> {
                     self.root = first_child;
                     self.height -= 1;
                     self.total_pages -= 1;
+                    self.log_meta();
                 }
             }
         }

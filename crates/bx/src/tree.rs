@@ -70,6 +70,47 @@ impl BxTree {
         self.idx.buffered_writes()
     }
 
+    /// Switch write-ahead logging on or off (see
+    /// [`ShardedMovingIndex::set_durable`]): on enrollment every
+    /// partition tree is registered in the log and an initial checkpoint
+    /// makes the current state the recovery floor.
+    pub fn set_durable(&mut self, on: bool) {
+        self.idx.set_durable(on);
+    }
+
+    /// Whether mutations are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.idx.is_durable()
+    }
+
+    /// Take a fuzzy checkpoint ([`ShardedMovingIndex::checkpoint`]);
+    /// returns the number of pages flushed (0 when not durable).
+    pub fn checkpoint(&self) -> usize {
+        self.idx.checkpoint()
+    }
+
+    /// Cumulative committed mutation calls (0 while not durable).
+    pub fn committed_ops(&self) -> u64 {
+        self.idx.committed_ops()
+    }
+
+    /// Rebuild a Bx-tree from a recovered pool after a crash (see
+    /// [`ShardedMovingIndex::recover`]); `fused_scans` starts off, as in
+    /// [`BxTree::new`].
+    pub fn recover(
+        pool: Arc<BufferPool>,
+        recovery: &peb_storage::WalRecovery,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+    ) -> Self {
+        let layout = BxKeyLayout::new(space.grid_bits);
+        BxTree {
+            idx: ShardedMovingIndex::recover(pool, recovery, layout, space, part, max_speed),
+            fused_scans: false,
+        }
+    }
+
     /// Deterministic write-path counters summed across shard trees (see
     /// [`peb_btree::WriteStats`]).
     pub fn write_stats(&self) -> peb_btree::WriteStats {

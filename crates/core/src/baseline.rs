@@ -84,6 +84,23 @@ impl SpatialBaseline {
         self.bx.buffered_writes()
     }
 
+    /// Switch the underlying Bx-tree's write-ahead-log durability
+    /// protocol (see [`BxTree::set_durable`]); query results and the
+    /// logical ledger are identical, only log traffic is added.
+    pub fn set_durable(&mut self, enabled: bool) {
+        self.bx.set_durable(enabled);
+    }
+
+    /// Whether the durability protocol is active.
+    pub fn is_durable(&self) -> bool {
+        self.bx.is_durable()
+    }
+
+    /// Checkpoint the underlying Bx-tree (see [`BxTree::checkpoint`]).
+    pub fn checkpoint(&self) -> usize {
+        self.bx.checkpoint()
+    }
+
     /// Deterministic write-path counters of the underlying Bx-tree (see
     /// [`peb_btree::WriteStats`]).
     pub fn write_stats(&self) -> peb_btree::WriteStats {

@@ -89,6 +89,54 @@ impl PebTree {
         }
     }
 
+    /// Switch write-ahead logging on or off (see
+    /// [`peb_index::ShardedMovingIndex::set_durable`]): on enrollment
+    /// every partition tree is registered in the log and an initial
+    /// checkpoint makes the current state the recovery floor.
+    pub fn set_durable(&mut self, on: bool) {
+        self.idx.set_durable(on);
+    }
+
+    /// Whether mutations are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.idx.is_durable()
+    }
+
+    /// Take a fuzzy checkpoint
+    /// ([`peb_index::ShardedMovingIndex::checkpoint`]); returns the
+    /// number of pages flushed (0 when not durable).
+    pub fn checkpoint(&self) -> usize {
+        self.idx.checkpoint()
+    }
+
+    /// Cumulative committed mutation calls (0 while not durable).
+    pub fn committed_ops(&self) -> u64 {
+        self.idx.committed_ops()
+    }
+
+    /// Rebuild a PEB-tree from a recovered pool after a crash (see
+    /// [`peb_index::ShardedMovingIndex::recover`]). The privacy context
+    /// is not persisted by the index — the caller supplies the same
+    /// context (or a rebuilt equivalent) that was live before the crash;
+    /// a context whose SV codes drifted is tolerated exactly like any
+    /// other stale-SV state (queries stay correct, keys refresh on the
+    /// next [`PebTree::refresh_sequence_values`] pass). `fused_scans`
+    /// starts off, as in [`PebTree::new`].
+    pub fn recover(
+        pool: Arc<BufferPool>,
+        recovery: &peb_storage::WalRecovery,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+        ctx: Arc<PrivacyContext>,
+    ) -> Self {
+        let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
+        PebTree {
+            idx: ShardedMovingIndex::recover(pool, recovery, layout, space, part, max_speed),
+            fused_scans: false,
+        }
+    }
+
     /// Opt into the fused multi-interval query pipeline: [`PebTree::prq`]
     /// and [`PebTree::pknn`] construct their whole key-interval set up
     /// front (partitions × friend-SV groups × Z-ranges, coarsened to the

@@ -24,10 +24,10 @@
 //! shard-local counters, so the aggregation here is unchanged either way.
 //!
 //! Lock ordering across the whole stack is strictly downward:
-//! **index shard lock → pool shard lock → disk lock**, never more than
-//! one lock of the same level at a time, and never upward — which is what
-//! makes the layered locking deadlock-free (see the `peb_storage::pool`
-//! module docs for the pool's half of the contract).
+//! **index shard lock → pool shard lock → WAL lock → disk lock**, never
+//! more than one lock of the same level at a time, and never upward —
+//! which is what makes the layered locking deadlock-free (see the
+//! `peb_storage::pool` module docs for the pool's half of the contract).
 //!
 //! # Concurrency contract
 //!
@@ -72,7 +72,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use peb_btree::{coalesce_intervals, BTree, ScanStats, TreeStats, WriteStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
-use peb_storage::{BufferPool, IoStats, LockStats};
+use peb_storage::{BufferPool, IoStats, LockStats, PageId, WalRecovery};
 use peb_zorder::encode;
 
 use crate::layout::KeyLayout;
@@ -143,6 +143,14 @@ pub struct ShardedMovingIndex<L: KeyLayout> {
     /// Migration spans *completed*: bumped after the span's final insert.
     /// `mig_done == mig_started` means no migration is in flight.
     mig_done: AtomicU64,
+    /// Cumulative count of committed mutation calls, the `ops` payload of
+    /// every [`peb_storage::WalRecord::Commit`] this index logs. Each
+    /// public mutation entry point commits exactly once (even when it
+    /// changed nothing), so after a crash the count of the last durable
+    /// commit identifies a *prefix of entry-point calls* — what the crash
+    /// harness replays on a never-crashed twin. Always 0 while the pool is
+    /// not durable.
+    ops: AtomicU64,
     layout: L,
     space: SpaceConfig,
     part: TimePartitioning,
@@ -171,6 +179,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             shards,
             mig_started: AtomicU64::new(0),
             mig_done: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
             layout,
             space,
             part,
@@ -285,6 +294,148 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         self.pool.lock_stats()
     }
 
+    /// Switch write-ahead logging on or off ([`BufferPool::set_durable`]).
+    ///
+    /// Turning durability **on** registers every shard tree under its
+    /// partition id (so recovery can reattach each tree to its logged
+    /// root), seals the pre-durable state under an enrollment commit (the
+    /// pool adopted every dirty frame into the log — the commit is what
+    /// makes those images replayable), and takes an initial checkpoint,
+    /// making the current state the recovery floor. A crash *during*
+    /// enrollment — before its first log flush completes — recovers to
+    /// the empty pre-durable floor: durability only protects state from
+    /// the first durable commit onward. Requires exclusive access, like
+    /// every other configuration knob; while durable, the single-writer
+    /// contract of the pool's WAL applies — run mutations from one
+    /// thread at a time.
+    pub fn set_durable(&mut self, on: bool) {
+        self.pool.set_durable(on);
+        if on {
+            for (tid, shard) in self.shards.iter().enumerate() {
+                shard.write().btree.set_tree_id(tid as u32);
+            }
+            self.pool.wal_commit(self.ops.load(Ordering::SeqCst));
+            self.checkpoint();
+        }
+    }
+
+    /// Whether mutations are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.pool.is_durable()
+    }
+
+    /// Cumulative count of committed mutation calls (0 while not durable).
+    pub fn committed_ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Take a fuzzy checkpoint: log every shard tree's `(id, root,
+    /// height)`, flush all dirty pages (log-before-page per frame), and
+    /// seal the checkpoint so recovery replays only the log tail after
+    /// it. Returns the number of pages flushed; a no-op returning 0 when
+    /// not durable.
+    pub fn checkpoint(&self) -> usize {
+        let metas: Vec<(u32, PageId, u32)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(tid, shard)| {
+                let s = shard.read();
+                (tid as u32, s.btree.root(), s.btree.height())
+            })
+            .collect();
+        self.pool.checkpoint(&metas)
+    }
+
+    /// Seal one mutation entry-point call into the log: bump the
+    /// cumulative op count and force a durable [`Commit`] record. Called
+    /// exactly once per public mutation call — including calls that
+    /// changed nothing — so the committed count always names a prefix of
+    /// the caller's op sequence. A single relaxed load when not durable.
+    ///
+    /// [`Commit`]: peb_storage::WalRecord::Commit
+    fn commit_op(&self) {
+        if self.pool.is_durable() {
+            let n = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+            self.pool.wal_commit(n);
+        }
+    }
+
+    /// Rebuild an index from a recovered pool: the inverse of a crash.
+    ///
+    /// `recovery` is what [`peb_storage::recover`] returned after
+    /// replaying the log against the data disk, and `pool` a
+    /// [`BufferPool::from_recovered`] over that disk and the resumed log.
+    /// Each shard tree is reattached to its newest committed `(root,
+    /// height)` from the log's tree-meta records — walking the restored
+    /// pages to recount entries and re-register any buffered message
+    /// chains — and the in-memory `current_key` maps and partition labels
+    /// are rebuilt from one overlay-aware full scan per shard. The
+    /// result answers every read exactly as the pre-crash index did as
+    /// of its last durable commit.
+    pub fn recover(
+        pool: Arc<BufferPool>,
+        recovery: &WalRecovery,
+        layout: L,
+        space: SpaceConfig,
+        part: TimePartitioning,
+        max_speed: f64,
+    ) -> Self {
+        assert!(max_speed > 0.0);
+        let meta: HashMap<u32, (PageId, u32)> =
+            recovery.tree_meta.iter().map(|&(t, r, h)| (t, (r, h))).collect();
+        let shards: Vec<RwLock<Shard>> = part
+            .partition_ids()
+            .map(|tid| {
+                let btree = match meta.get(&(tid as u32)) {
+                    Some(&(root, height)) => {
+                        BTree::reattach(Arc::clone(&pool), tid as u32, root, height)
+                    }
+                    // No committed meta for this partition (durability was
+                    // never enabled on it): start it empty, registered.
+                    None => {
+                        let mut t = BTree::new(Arc::clone(&pool));
+                        t.set_tree_id(tid as u32);
+                        t
+                    }
+                };
+                RwLock::new(Shard { btree, current_key: HashMap::new(), label: None })
+            })
+            .collect();
+        let idx = ShardedMovingIndex {
+            shards,
+            mig_started: AtomicU64::new(0),
+            mig_done: AtomicU64::new(0),
+            ops: AtomicU64::new(recovery.commits),
+            layout,
+            space,
+            part,
+            max_speed,
+            pool,
+        };
+        // Rebuild the volatile maps from the durable state: one
+        // overlay-aware scan per shard (buffered messages reattached
+        // above are folded in by the scan, so a `Put` still in a chain
+        // counts and a tombstoned entry does not). The label is the
+        // newest record's label timestamp — exactly what the sequence of
+        // upserts that built the shard left behind.
+        for (tid, shard) in idx.shards.iter().enumerate() {
+            let (plo, phi) = idx.layout.partition_range(tid as u8);
+            let mut s = shard.write();
+            let mut found: Vec<(UserId, u128, f64)> = Vec::new();
+            s.btree.range_scan(plo, phi, |k, rec: ObjectRecord| {
+                found.push((UserId(rec.uid), k, rec.t_update as f64));
+                true
+            });
+            for (uid, k, tu) in found {
+                s.current_key.insert(uid, k);
+                let lab = idx.part.label_timestamp(tu);
+                s.label = Some(s.label.map_or(lab, |l: Timestamp| l.max(lab)));
+            }
+        }
+        idx
+    }
+
     /// Leaf pages across all shard trees, `Nl` in the paper's cost model.
     pub fn leaf_page_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().btree.leaf_page_count()).sum()
@@ -335,6 +486,8 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 s.replace(old, key, ObjectRecord::from_moving_point(&m));
                 s.current_key.insert(m.uid, key);
                 s.label = Some(t_lab);
+                drop(s);
+                self.commit_op();
                 return;
             }
         }
@@ -372,6 +525,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         if migrating {
             self.mig_done.fetch_add(1, Ordering::SeqCst);
         }
+        self.commit_op();
     }
 
     /// Apply a batch of updates: group by target partition, delete stale
@@ -538,6 +692,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         if migrating {
             self.mig_done.fetch_add(1, Ordering::SeqCst);
         }
+        self.commit_op();
         targets.len()
     }
 
@@ -547,17 +702,22 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if shard.read().current_key.contains_key(&uid) {
                 let mut s = shard.write();
                 if let Some(old) = s.current_key.remove(&uid) {
-                    if s.btree.buffered_writes() {
+                    let removed = if s.btree.buffered_writes() {
                         // `current_key` held the uid, so the entry exists
                         // (possibly only as a buffered `Put` message); the
                         // tombstone message removes it either way.
                         s.btree.buffered_delete(old);
-                        return true;
-                    }
-                    return s.btree.delete(old).is_some();
+                        true
+                    } else {
+                        s.btree.delete(old).is_some()
+                    };
+                    drop(s);
+                    self.commit_op();
+                    return removed;
                 }
             }
         }
+        self.commit_op();
         false
     }
 
@@ -859,6 +1019,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         for shard in &mut self.shards {
             shard.write().btree.set_buffered_writes(on);
         }
+        self.commit_op();
     }
 
     /// Whether buffered writes are on (one knob for all shards).
@@ -878,6 +1039,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         for shard in &self.shards {
             shard.write().btree.flush_messages();
         }
+        self.commit_op();
     }
 
     /// Deterministic write-path counters summed across all shard trees:
@@ -933,10 +1095,14 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 );
                 let Some(rec) = s.btree.get(old) else { continue };
                 s.btree.buffered_rekey(old, new, rec);
+                // Annotate the log (recovery replays the page images; the
+                // record lets the harness audit what moved and why).
+                self.pool.wal_rekey(s.btree.tree_id(), old, new);
                 s.current_key.insert(uid, new);
                 moved += 1;
             }
         }
+        self.commit_op();
         moved
     }
 
@@ -972,13 +1138,18 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 let scans = s.btree.scan_stats();
                 let writes = s.btree.write_stats();
                 let buffered = s.btree.buffered_writes();
+                let tree_id = s.btree.tree_id();
                 s.btree = BTree::new(Arc::clone(&self.pool));
                 s.btree.restore_scan_stats(scans);
                 s.btree.restore_write_stats(writes.merged(&s.btree.write_stats()));
                 s.btree.set_buffered_writes(buffered);
+                // The replacement tree is the same logical partition: keep
+                // its log identity so recovery reattaches the new root.
+                s.btree.set_tree_id(tree_id);
                 s.label = None;
             }
         }
+        self.commit_op();
         dropped
     }
 
@@ -1064,6 +1235,86 @@ mod tests {
 
     fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
         MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+    }
+
+    /// Crash-and-recover an index: harvest the (unflushed) disks, replay
+    /// the log, resume, and rebuild. Returns the recovered twin.
+    fn crash_recover(idx: &ShardedMovingIndex<TestLayout>) -> ShardedMovingIndex<TestLayout> {
+        let (mut data, log) = idx.pool().harvest_crash_state();
+        let rec = peb_storage::recover(&mut data, &log);
+        let wal = peb_storage::Wal::resume(log, &rec);
+        let pool = Arc::new(BufferPool::from_recovered(64, 1, data, wal));
+        ShardedMovingIndex::recover(
+            pool,
+            &rec,
+            TestLayout,
+            SpaceConfig::new(1000.0, 10, 1440.0),
+            TimePartitioning::new(120.0, 2),
+            3.0,
+        )
+    }
+
+    fn assert_same_index(
+        back: &ShardedMovingIndex<TestLayout>,
+        idx: &ShardedMovingIndex<TestLayout>,
+        uids: impl Iterator<Item = u64>,
+    ) {
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.live_partitions(), idx.live_partitions());
+        for i in uids {
+            assert_eq!(back.current_key_of(UserId(i)), idx.current_key_of(UserId(i)), "uid {i}");
+            assert_eq!(back.get(UserId(i)), idx.get(UserId(i)), "uid {i}");
+        }
+        let collect = |x: &ShardedMovingIndex<TestLayout>| {
+            let mut v = Vec::new();
+            x.scan_keys(0, u128::MAX, |k, r| {
+                v.push((k, r));
+                true
+            });
+            v
+        };
+        assert_eq!(collect(back), collect(idx), "full scans must agree");
+    }
+
+    #[test]
+    fn recover_rebuilds_index_from_unflushed_crash() {
+        let mut idx = index(64);
+        idx.set_durable(true);
+        for i in 0..300u64 {
+            idx.upsert(still(
+                i,
+                (i % 50) as f64 * 20.0 + 3.0,
+                (i / 50) as f64 * 150.0 + 3.0,
+                (i % 2) as f64 * 70.0,
+            ));
+        }
+        assert!(idx.remove(UserId(5)));
+        assert_eq!(idx.committed_ops(), 301);
+        // No flush, no checkpoint: everything after `set_durable`'s
+        // initial checkpoint must come back from the log alone.
+        let back = crash_recover(&idx);
+        assert_eq!(back.committed_ops(), 301);
+        assert_same_index(&back, &idx, 0..300);
+        // The recovered index keeps working — and keeps committing.
+        back.upsert(still(700, 500.0, 500.0, 10.0));
+        assert_eq!(back.committed_ops(), 302);
+        assert!(back.get(UserId(700)).is_some());
+    }
+
+    #[test]
+    fn recover_reattaches_buffered_message_chains() {
+        let mut idx = index(64);
+        idx.set_durable(true);
+        idx.set_buffered_writes(true);
+        for i in 0..200u64 {
+            idx.upsert(still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 190.0 + 2.0, 10.0));
+        }
+        idx.remove(UserId(3));
+        assert!(idx.pending_messages() > 0, "chains must be live for this test to bite");
+        let pending = idx.pending_messages();
+        let back = crash_recover(&idx);
+        assert_eq!(back.pending_messages(), pending, "chains reattach message-for-message");
+        assert_same_index(&back, &idx, 0..200);
     }
 
     #[test]

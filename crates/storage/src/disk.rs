@@ -8,6 +8,10 @@
 use crate::page::{Page, PageId};
 
 /// Physical page store with access counters.
+///
+/// `Clone` copies the entire page array and the counters — the crash-point
+/// harness uses it to harvest the durable state of a "crashed" pool.
+#[derive(Clone)]
 pub struct DiskSim {
     pages: Vec<Page>,
     reads: u64,
@@ -48,6 +52,13 @@ impl DiskSim {
     /// Number of pages allocated so far.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Borrow a page image without counting an access. Recovery uses this
+    /// to scan the log region and to compare disks byte-for-byte; it is
+    /// **not** part of the measured I/O path.
+    pub fn peek(&self, pid: PageId) -> &Page {
+        &self.pages[pid.0 as usize]
     }
 
     /// Physical page reads since the last counter reset.

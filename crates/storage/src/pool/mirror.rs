@@ -48,6 +48,11 @@ pub(super) struct MirrorSlot {
     pid: AtomicU32,
     /// Shard-clock value of the page's most recent *optimistic* touch.
     last_used: AtomicU64,
+    /// LSN of the newest log record covering the published page (0 when
+    /// the page was never written under durability). Piggybacks page-LSN
+    /// tracking on the mirror so [`super::BufferPool::page_lsn`] can
+    /// answer without any lock.
+    lsn: AtomicU64,
     /// The page image, word by word.
     words: Box<[AtomicU64]>,
 }
@@ -58,6 +63,7 @@ impl MirrorSlot {
             version: AtomicU64::new(0),
             pid: AtomicU32::new(PageId::INVALID.0),
             last_used: AtomicU64::new(0),
+            lsn: AtomicU64::new(0),
             words: (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -121,6 +127,22 @@ impl Mirror {
         self.slot_of(pid).last_used.fetch_max(tick, Ordering::Relaxed);
     }
 
+    /// Record the page LSN of `pid`'s newest log record. Called under the
+    /// shard mutex right after the durable write path republished the
+    /// page, so the LSN always describes the published image.
+    pub(super) fn set_lsn(&self, pid: PageId, lsn: u64) {
+        let slot = self.slot_of(pid);
+        if slot.pid.load(Ordering::Relaxed) == pid.0 {
+            slot.lsn.store(lsn, Ordering::Relaxed);
+        }
+    }
+
+    /// The page LSN published for `pid`, if its slot holds it. Lock-free.
+    pub(super) fn lsn_of(&self, pid: PageId) -> Option<u64> {
+        let slot = self.slot_of(pid);
+        (slot.pid.load(Ordering::Relaxed) == pid.0).then(|| slot.lsn.load(Ordering::Relaxed))
+    }
+
     /// Publish `pid`'s current image, bumping the slot version through odd.
     /// Must be called with the shard mutex held (writers never race).
     ///
@@ -142,8 +164,9 @@ impl Mirror {
         std::sync::atomic::fence(Ordering::Release);
         slot.pid.store(pid.0, Ordering::Relaxed);
         if displaced.is_some() {
-            // Fresh occupant: recency restarts from its frame's view.
+            // Fresh occupant: recency and page LSN restart from its frame.
             slot.last_used.store(0, Ordering::Relaxed);
+            slot.lsn.store(0, Ordering::Relaxed);
         }
         page.store_atomic_words(&slot.words);
         slot.version.store(v + 2, Ordering::Release); // even: stable again
@@ -162,6 +185,7 @@ impl Mirror {
         std::sync::atomic::fence(Ordering::Release);
         slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
         slot.last_used.store(0, Ordering::Relaxed);
+        slot.lsn.store(0, Ordering::Relaxed);
         slot.version.store(v + 2, Ordering::Release);
     }
 
@@ -174,6 +198,7 @@ impl Mirror {
             let v = slot.version.load(Ordering::Relaxed);
             slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
             slot.last_used.store(0, Ordering::Relaxed);
+            slot.lsn.store(0, Ordering::Relaxed);
             // Advance to the next even value strictly above v: readers
             // holding a pre-reset version always fail revalidation.
             slot.version.store((v | 1) + 1, Ordering::Release);

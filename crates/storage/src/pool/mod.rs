@@ -27,12 +27,15 @@
 //!
 //! # Lock ordering
 //!
-//! `shard lock → disk lock`, and never more than one shard lock at a
-//! time. The disk lock is only ever acquired while holding at most one
-//! shard lock, and no code path acquires a shard lock while holding the
-//! disk lock, so the hierarchy is acyclic and deadlock-free. (Index-level
-//! locks sit *above* both: index shard → pool shard → disk.) The
-//! optimistic path acquires nothing, so it cannot participate in a cycle.
+//! `shard lock → wal lock → disk lock`, and never more than one shard
+//! lock at a time. The disk lock is only ever acquired while holding at
+//! most one shard lock, no code path acquires a shard lock while holding
+//! the disk or wal lock, and the wal lock is taken while holding at most
+//! one shard lock (the log owns its own disk region and never touches
+//! shards or the data disk), so the hierarchy is acyclic and
+//! deadlock-free. (Index-level locks sit *above* all three: index shard →
+//! pool shard → wal → disk.) The optimistic path acquires nothing, so it
+//! cannot participate in a cycle.
 //!
 //! # Determinism and the paper's I/O ledger
 //!
@@ -69,12 +72,14 @@ mod mirror;
 mod shard;
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::disk::DiskSim;
 use crate::page::{Page, PageId};
+use crate::wal::{CrashInjector, CrashPoint, Wal, WalRecord, WalStats};
 use mirror::{Mirror, TryRead};
 use shard::{Frame, PoolShard};
 
@@ -319,6 +324,25 @@ pub struct BufferPool {
     optimistic_reads: bool,
     /// The simulated disk, behind its own lock **below** every shard lock.
     disk: Mutex<DiskSim>,
+    /// Whether the write-ahead-log protocol is active. An atomic flag so
+    /// the default (non-durable) hot path pays one relaxed load and never
+    /// touches the `wal` mutex — the frozen I/O ledgers are bit-identical
+    /// with durability off.
+    durable: AtomicBool,
+    /// The write-ahead log, present once durability was ever enabled.
+    /// Lock order: a shard lock may be held when taking this, and this may
+    /// be held when taking nothing — the log never touches shards or the
+    /// data disk (it owns its own disk region).
+    wal: Mutex<Option<Wal>>,
+    /// Crash-point injector counting every simulated disk-page write in
+    /// durable mode (shared with the test harness via
+    /// [`BufferPool::crash_injector`]).
+    injector: Arc<CrashInjector>,
+    /// Ambient [`CrashPoint`] override for injection labels: 0 = none,
+    /// 1 = checkpoint, 2 = chain spill. Plain atomic (not thread-local)
+    /// because the durable write path is specified single-threaded — see
+    /// [`BufferPool::set_durable`].
+    crash_scope: AtomicU8,
 }
 
 /// The default shard count: the next power of two at or above the
@@ -381,6 +405,10 @@ impl BufferPool {
             total_capacity: capacity,
             optimistic_reads: true,
             disk: Mutex::new(DiskSim::new()),
+            durable: AtomicBool::new(false),
+            wal: Mutex::new(None),
+            injector: Arc::new(CrashInjector::new()),
+            crash_scope: AtomicU8::new(0),
         }
     }
 
@@ -414,14 +442,25 @@ impl BufferPool {
         // Disk lock first for the id, *released* before the shard lock —
         // the ordering shard → disk must never be inverted.
         let pid = self.disk.lock().allocate();
+        if self.durable.load(Ordering::Relaxed) {
+            // Log the allocation (no other lock held). A fresh page has no
+            // committed content to roll back, so it never needs a
+            // pre-image this checkpoint interval: an uncommitted alloc is
+            // unreferenced garbage, a committed one is covered by redo.
+            let mut wal = self.wal.lock();
+            if let Some(wal) = wal.as_mut() {
+                wal.append(&WalRecord::Alloc { pid });
+                wal.mark_preimaged(pid);
+            }
+        }
         let state = &self.shards[self.shard_of(pid)];
         state.lock_acqs.fetch_add(1, Ordering::Relaxed);
         let s = &mut *state.shard.lock();
         if s.table.is_full() {
-            Self::evict_one(state, s, &self.disk);
+            self.evict_one(state, s);
         }
         let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        s.table.insert(pid, Frame { page: Page::new(), dirty: true, last_used: tick });
+        s.table.insert(pid, Frame { page: Page::new(), dirty: true, last_used: tick, lsn: 0 });
         if self.optimistic_reads {
             Self::publish_locked(state, s, pid, true);
         }
@@ -433,14 +472,22 @@ impl BufferPool {
     /// fallback of the lock-free [`BufferPool::try_read_optimistic`] and
     /// the only read path that can fault a page in from disk.
     pub fn read<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> R {
-        self.with_page(pid, false, |page| f(page))
+        self.with_page(pid, false, false, |page| f(page))
     }
 
     /// Write access to a page through the buffer; marks the frame dirty
     /// and republishes the page's mirror image under a bumped version, so
     /// in-flight optimistic readers of the old image fail validation.
     pub fn write<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
-        self.with_page(pid, true, f)
+        self.with_page(pid, true, false, f)
+    }
+
+    /// [`BufferPool::write`] for message-chain sidecar pages: identical in
+    /// every way except that in durable mode the logged post-image is a
+    /// [`WalRecord::ChainWrite`], so the log distinguishes buffered-write
+    /// traffic and recovery statistics stay meaningful.
+    pub fn write_chain<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
+        self.with_page(pid, true, true, f)
     }
 
     /// Lock-free versioned read: run `f` on a consistent copy of `pid`
@@ -583,8 +630,17 @@ impl BufferPool {
     }
 
     /// Fetch `pid` into its shard (counting a hit or a miss), bump LRU
-    /// recency, and run `f` on the frame under the shard lock.
-    fn with_page<R>(&self, pid: PageId, mark_dirty: bool, f: impl FnOnce(&mut Page) -> R) -> R {
+    /// recency, and run `f` on the frame under the shard lock. In durable
+    /// mode a dirtying access logs the page's pre-image (first write since
+    /// the last checkpoint only) before `f` and its full post-image after,
+    /// stamping the frame — and the mirror — with the record's LSN.
+    fn with_page<R>(
+        &self,
+        pid: PageId,
+        mark_dirty: bool,
+        chain: bool,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> R {
         let state = &self.shards[self.shard_of(pid)];
         state.lock_acqs.fetch_add(1, Ordering::Relaxed);
         let s = &mut *state.shard.lock();
@@ -593,11 +649,11 @@ impl BufferPool {
         let mut content_changed = mark_dirty;
         if !s.table.contains(pid) {
             if s.table.is_full() {
-                Self::evict_one(state, s, &self.disk);
+                self.evict_one(state, s);
             }
             s.stats.physical_reads += 1;
             let page = self.disk.lock().read(pid);
-            s.table.insert(pid, Frame { page, dirty: false, last_used: 0 });
+            s.table.insert(pid, Frame { page, dirty: false, last_used: 0, lsn: 0 });
             content_changed = true;
         }
         let frame = s.table.get_mut(pid).expect("frame resident after fetch");
@@ -605,9 +661,35 @@ impl BufferPool {
         if mark_dirty {
             frame.dirty = true;
         }
-        let r = f(&mut frame.page);
+        let durable = mark_dirty && self.durable.load(Ordering::Relaxed);
+        let (r, lsn) = if durable {
+            // Shard lock is held; the wal lock nests under it (see the
+            // field docs). Log-before-page: both images are in the log
+            // stream before the frame can ever be flushed at this LSN.
+            let mut wal = self.wal.lock();
+            let wal = wal.as_mut().expect("durable pool always has a wal");
+            if !wal.is_preimaged(pid) {
+                wal.append(&WalRecord::PreImage { pid, image: Box::new(frame.page.clone()) });
+                wal.mark_preimaged(pid);
+            }
+            let r = f(&mut frame.page);
+            let image = Box::new(frame.page.clone());
+            let rec = if chain {
+                WalRecord::ChainWrite { pid, image }
+            } else {
+                WalRecord::PageWrite { pid, image }
+            };
+            let lsn = wal.append(&rec);
+            frame.lsn = lsn;
+            (r, lsn)
+        } else {
+            (f(&mut frame.page), 0)
+        };
         if self.optimistic_reads {
             Self::publish_locked(state, s, pid, content_changed);
+            if durable {
+                state.mirror.set_lsn(pid, lsn);
+            }
         }
         r
     }
@@ -635,10 +717,12 @@ impl BufferPool {
     }
 
     /// Evict the shard's LRU frame, writing it back (counted) if dirty.
-    /// Caller holds the shard lock; the disk lock is taken below it.
-    /// Victim selection folds in optimistic-touch recency from the mirror
-    /// so lock-free hits protect hot pages exactly like locked hits.
-    fn evict_one(state: &ShardState, s: &mut PoolShard, disk: &Mutex<DiskSim>) {
+    /// Caller holds the shard lock; the wal and disk locks are taken
+    /// below it (log-before-page: the log is forced durable up to the
+    /// frame's LSN before the data write). Victim selection folds in
+    /// optimistic-touch recency from the mirror so lock-free hits protect
+    /// hot pages exactly like locked hits.
+    fn evict_one(&self, state: &ShardState, s: &mut PoolShard) {
         let mirror = &state.mirror;
         let (vpid, frame) = s
             .table
@@ -646,44 +730,343 @@ impl BufferPool {
             .expect("evict called on empty shard");
         mirror.invalidate(vpid);
         if frame.dirty {
+            self.wal_before_data_write(frame.lsn);
+            self.data_write_hit();
             s.stats.physical_writes += 1;
-            disk.lock().write(vpid, &frame.page);
+            self.disk.lock().write(vpid, &frame.page);
         }
     }
 
-    /// Write every dirty frame back to disk (counted), keeping residency.
-    /// Page contents do not change, so mirror versions are left alone and
-    /// concurrent optimistic readers stay valid.
-    pub fn flush_all(&self) {
+    /// Write every dirty frame back to disk (counted), keeping residency;
+    /// returns how many pages were flushed. Page contents do not change,
+    /// so mirror versions are left alone and concurrent optimistic readers
+    /// stay valid. Frames flush in ascending page-id order per shard, so
+    /// the write sequence is deterministic. In durable mode each data
+    /// write is preceded by forcing the log durable up to the frame's LSN.
+    ///
+    /// ```
+    /// use peb_storage::BufferPool;
+    ///
+    /// let pool = BufferPool::new(4);
+    /// let a = pool.allocate();
+    /// let b = pool.allocate();
+    /// pool.write(a, |p| p.put_u64(0, 1));
+    /// assert_eq!(pool.dirty_page_count(), 2, "fresh allocations start dirty");
+    /// assert_eq!(pool.flush_all(), 2);
+    /// assert_eq!(pool.dirty_page_count(), 0);
+    /// assert_eq!(pool.flush_all(), 0, "a clean pool flushes nothing");
+    /// pool.write(b, |p| p.put_u64(0, 2));
+    /// assert_eq!((pool.dirty_page_count(), pool.flush_all()), (1, 1));
+    /// ```
+    pub fn flush_all(&self) -> usize {
+        let mut flushed = 0;
         for state in self.shards.iter() {
             let s = &mut *state.shard.lock();
-            let mut disk = self.disk.lock();
-            for (pid, frame) in s.table.iter_mut() {
-                if frame.dirty {
-                    s.stats.physical_writes += 1;
-                    disk.write(*pid, &frame.page);
-                    frame.dirty = false;
+            for pid in s.table.sorted_pids() {
+                let (dirty, lsn) = {
+                    let f = s.table.get(pid).expect("listed frame resident");
+                    (f.dirty, f.lsn)
+                };
+                if !dirty {
+                    continue;
                 }
+                self.wal_before_data_write(lsn);
+                self.data_write_hit();
+                s.stats.physical_writes += 1;
+                let frame = s.table.get_mut(pid).expect("listed frame resident");
+                self.disk.lock().write(pid, &frame.page);
+                frame.dirty = false;
+                flushed += 1;
             }
         }
+        flushed
     }
 
-    /// Drop every frame (writing back dirty ones). Used by experiments to
-    /// cold-start the buffer between measurement rounds. Every mirror
-    /// slot is unpublished and its version forced to a fresh even value,
-    /// so no slot can stay poisoned for future optimistic readers.
+    /// Number of resident frames whose content has not reached the data
+    /// disk yet, across all shards — the work [`BufferPool::flush_all`]
+    /// (and therefore a checkpoint) would have to do right now.
+    pub fn dirty_page_count(&self) -> usize {
+        self.shards.iter().map(|st| st.shard.lock().table.dirty_count()).sum()
+    }
+
+    /// Drop every frame (writing back dirty ones, in ascending page-id
+    /// order). Used by experiments to cold-start the buffer between
+    /// measurement rounds. Every mirror slot is unpublished and its
+    /// version forced to a fresh even value, so no slot can stay poisoned
+    /// for future optimistic readers.
     pub fn clear(&self) {
         for state in self.shards.iter() {
             let s = &mut *state.shard.lock();
             state.mirror.reset();
-            let mut disk = self.disk.lock();
-            for (pid, frame) in s.table.drain() {
+            let mut frames = s.table.drain();
+            frames.sort_unstable_by_key(|(pid, _)| *pid);
+            for (pid, frame) in frames {
                 if frame.dirty {
+                    self.wal_before_data_write(frame.lsn);
+                    self.data_write_hit();
                     s.stats.physical_writes += 1;
-                    disk.write(pid, &frame.page);
+                    self.disk.lock().write(pid, &frame.page);
                 }
             }
         }
+    }
+
+    /// The ambient crash-point label for a disk write: the scope override
+    /// when one is active (checkpoint / chain spill), else `base`.
+    fn scope_label(&self, base: CrashPoint) -> CrashPoint {
+        match self.crash_scope.load(Ordering::Relaxed) {
+            1 => CrashPoint::Checkpoint,
+            2 => CrashPoint::ChainSpill,
+            _ => base,
+        }
+    }
+
+    /// Enforce the log-before-page rule: in durable mode, force the log
+    /// durable up to `lsn` before the caller writes a data page. Each log
+    /// page written on the way is a crash-injection point. No-op (one
+    /// relaxed load) with durability off.
+    fn wal_before_data_write(&self, lsn: u64) {
+        if !self.durable.load(Ordering::Relaxed) {
+            return;
+        }
+        let label = self.scope_label(CrashPoint::WalWrite);
+        let mut wal = self.wal.lock();
+        if let Some(wal) = wal.as_mut() {
+            wal.flush_up_to(lsn, &mut || self.injector.hit(label));
+        }
+    }
+
+    /// Crash-injection point for a data-page write (the moment *before*
+    /// the page hits the simulated disk). No-op with durability off.
+    fn data_write_hit(&self) {
+        if self.durable.load(Ordering::Relaxed) {
+            self.injector.hit(self.scope_label(CrashPoint::PageFlush));
+        }
+    }
+
+    /// Switch the write-ahead-log protocol on (or off). Turning it on
+    /// creates the log on first use; turning it off stops logging but
+    /// keeps the log contents (the pool can be re-enabled).
+    ///
+    /// **Contract:** the durable write path is single-threaded — the
+    /// simulated crash/recovery harness drives one mutator, matching how
+    /// the frozen benchmarks drive updates. Readers may still run
+    /// concurrently (they take no WAL path). Enabling durability does not
+    /// checkpoint; the index layer decides checkpoint boundaries.
+    ///
+    /// Enabling **adopts** every dirty resident frame into the log as a
+    /// full page image: content written *before* enrollment has no log
+    /// coverage (the log-before-page rule only protects writes made while
+    /// durable), so without these images a crash between enrollment and
+    /// the end of the first checkpoint would lose it. Adoption is pure
+    /// log appends — no disk traffic, so no crash-injection point fires
+    /// inside. The images become recoverable once the caller seals them
+    /// under a commit or a completed checkpoint.
+    pub fn set_durable(&self, on: bool) {
+        if on {
+            {
+                let mut wal = self.wal.lock();
+                if wal.is_none() {
+                    *wal = Some(Wal::new());
+                }
+            }
+            for state in self.shards.iter() {
+                let s = &mut *state.shard.lock();
+                for pid in s.table.sorted_pids() {
+                    let frame = s.table.get_mut(pid).expect("listed frame resident");
+                    if !frame.dirty {
+                        continue;
+                    }
+                    let rec = WalRecord::PageWrite { pid, image: Box::new(frame.page.clone()) };
+                    let lsn = {
+                        let mut guard = self.wal.lock();
+                        let wal = guard.as_mut().expect("created above");
+                        let lsn = wal.append(&rec);
+                        // The adoption image doubles as the page's
+                        // pre-image floor: an undo of a later uncommitted
+                        // write may restore stale disk content, but the
+                        // committed adoption image is replayed over it by
+                        // redo.
+                        wal.mark_preimaged(pid);
+                        lsn
+                    };
+                    frame.lsn = lsn;
+                    state.mirror.set_lsn(pid, lsn);
+                }
+            }
+        }
+        self.durable.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the write-ahead-log protocol is currently active.
+    pub fn is_durable(&self) -> bool {
+        self.durable.load(Ordering::Relaxed)
+    }
+
+    /// The crash-point injector shared with the test harness. Arming it
+    /// makes the N-th durable-mode disk-page write panic (see
+    /// [`CrashInjector`]); probing records the label sequence instead.
+    pub fn crash_injector(&self) -> &Arc<CrashInjector> {
+        &self.injector
+    }
+
+    /// The page LSN published for `pid` in its shard mirror, if any —
+    /// lock-free, exact when quiesced. `Some(0)` means the page is
+    /// published but was never written under durability.
+    pub fn page_lsn(&self, pid: PageId) -> Option<u64> {
+        self.shards[self.shard_of(pid)].mirror.lsn_of(pid)
+    }
+
+    /// Run `f` with the given ambient [`CrashPoint`] label: every
+    /// injection point that fires inside is attributed to `point` instead
+    /// of its base label. Used by the checkpoint (internally) and by the
+    /// message-chain spill path so the kill-point matrix can target those
+    /// regions specifically.
+    pub fn with_crash_scope<R>(&self, point: CrashPoint, f: impl FnOnce() -> R) -> R {
+        let code = match point {
+            CrashPoint::Checkpoint => 1,
+            CrashPoint::ChainSpill => 2,
+            CrashPoint::WalWrite | CrashPoint::PageFlush => 0,
+        };
+        let prev = self.crash_scope.swap(code, Ordering::Relaxed);
+        // Restore on unwind too: an injected crash inside the scope must
+        // not leak the override into the harvested pool.
+        struct Restore<'a>(&'a AtomicU8, u8);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.store(self.1, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(&self.crash_scope, prev);
+        f()
+    }
+
+    /// Take a fuzzy checkpoint: log `CkptBegin` and one `TreeMeta` per
+    /// entry of `trees` (tree id, root, height), flush every dirty frame
+    /// (log-before-page per frame), then log `CkptEnd` and force the whole
+    /// log durable. Afterwards the pre-image ledger restarts: the next
+    /// write to any page logs a fresh pre-image. Returns the number of
+    /// pages flushed. No-op (returning 0) with durability off.
+    ///
+    /// Recovery honors a checkpoint only once its `CkptEnd` is durable, so
+    /// a crash anywhere inside falls back to the previous checkpoint —
+    /// whose pre-images are still intact because the ledger is only
+    /// cleared after the end record is on disk.
+    pub fn checkpoint(&self, trees: &[(u32, PageId, u32)]) -> usize {
+        if !self.durable.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.with_crash_scope(CrashPoint::Checkpoint, || {
+            let begin_seq = {
+                let mut wal = self.wal.lock();
+                let wal = wal.as_mut().expect("durable pool always has a wal");
+                let begin_seq = wal.next_seq();
+                wal.append(&WalRecord::CkptBegin);
+                for &(tree, root, height) in trees {
+                    wal.append(&WalRecord::TreeMeta { tree, root, height });
+                }
+                begin_seq
+            };
+            let flushed = self.flush_all();
+            let mut wal = self.wal.lock();
+            let wal = wal.as_mut().expect("durable pool always has a wal");
+            wal.append(&WalRecord::CkptEnd { begin_seq });
+            let label = self.scope_label(CrashPoint::WalWrite);
+            wal.flush(&mut || self.injector.hit(label));
+            wal.clear_preimaged();
+            flushed
+        })
+    }
+
+    /// Log a commit record covering `ops` completed index operations and
+    /// force the log durable — the boundary recovery rolls forward to.
+    /// No-op with durability off.
+    pub fn wal_commit(&self, ops: u64) {
+        if !self.durable.load(Ordering::Relaxed) {
+            return;
+        }
+        let label = self.scope_label(CrashPoint::WalWrite);
+        let mut wal = self.wal.lock();
+        if let Some(wal) = wal.as_mut() {
+            wal.append(&WalRecord::Commit { ops });
+            wal.flush(&mut || self.injector.hit(label));
+        }
+    }
+
+    /// Force the whole log durable without committing anything: every
+    /// log-page write on the way is a counted crash-injection point under
+    /// the ambient scope label. Callers use this at the boundary of bulk
+    /// structural work (e.g. a message-chain spill) so the
+    /// committed-but-unforced log window stays bounded — recovery still
+    /// rolls the forced-but-uncommitted tail back to the last commit.
+    /// No-op with durability off.
+    pub fn wal_force(&self) {
+        if !self.durable.load(Ordering::Relaxed) {
+            return;
+        }
+        let label = self.scope_label(CrashPoint::WalWrite);
+        let mut wal = self.wal.lock();
+        if let Some(wal) = wal.as_mut() {
+            wal.flush(&mut || self.injector.hit(label));
+        }
+    }
+
+    /// Log a tree-metadata record (root page and height of tree `tree`)
+    /// without forcing the log. Called by the B+-tree on every root change
+    /// so recovery knows each tree's root without scanning for it. Ignored
+    /// with durability off or for an unregistered tree (`u32::MAX`).
+    pub fn wal_tree_meta(&self, tree: u32, root: PageId, height: u32) {
+        if tree == u32::MAX || !self.durable.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut wal = self.wal.lock();
+        if let Some(wal) = wal.as_mut() {
+            wal.append(&WalRecord::TreeMeta { tree, root, height });
+        }
+    }
+
+    /// Log a re-key record (logical key move inside tree `tree`) without
+    /// forcing the log. Purely informational for recovery statistics —
+    /// the page images carry the actual state. Ignored with durability
+    /// off.
+    pub fn wal_rekey(&self, tree: u32, old: u128, new: u128) {
+        if tree == u32::MAX || !self.durable.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut wal = self.wal.lock();
+        if let Some(wal) = wal.as_mut() {
+            wal.append(&WalRecord::Rekey { tree, old, new });
+        }
+    }
+
+    /// The write-ahead log's counters (records/bytes appended, log pages
+    /// written, flushes) — zeroes if durability was never enabled.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.lock().as_ref().map(Wal::stats).unwrap_or_default()
+    }
+
+    /// Clone the durable state a crash would leave behind: the data disk
+    /// and the log disk, exactly as the simulated platters stand right
+    /// now. Buffered frames and the in-memory log tail are — correctly —
+    /// not part of it. The crash harness calls this after catching the
+    /// injected panic, then feeds both to [`crate::wal::recover`].
+    pub fn harvest_crash_state(&self) -> (DiskSim, DiskSim) {
+        let data = self.disk.lock().clone();
+        let log = self.wal.lock().as_ref().map(|w| w.disk().clone()).unwrap_or_default();
+        (data, log)
+    }
+
+    /// A durable pool resuming from recovered state: `data` is the data
+    /// disk after [`crate::wal::recover`] replayed the log tail, `wal` is
+    /// the resumed log ([`Wal::resume`]). The pool starts cold (no
+    /// resident frames) with durability on; chain with
+    /// [`BufferPool::optimistic`] as usual.
+    pub fn from_recovered(capacity: usize, shards: usize, data: DiskSim, wal: Wal) -> Self {
+        let pool = BufferPool::with_shards(capacity, shards);
+        *pool.disk.lock() = data;
+        *pool.wal.lock() = Some(wal);
+        pool.durable.store(true, Ordering::Relaxed);
+        pool
     }
 
     /// The pool-wide I/O ledger: the element-wise sum of every shard's

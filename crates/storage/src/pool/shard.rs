@@ -29,6 +29,11 @@ pub(super) struct Frame {
     /// Shard clock value of the frame's most recent *locked* touch (see
     /// the module docs for where optimistic touches live).
     pub(super) last_used: u64,
+    /// LSN of the newest log record covering this frame's content (0 when
+    /// the frame was never written under durability). The pool forces the
+    /// log durable up to this LSN before the frame may reach the data
+    /// disk — the log-before-page rule.
+    pub(super) lsn: u64,
 }
 
 /// A bounded `PageId → Frame` map with least-recently-used victim
@@ -107,9 +112,19 @@ impl FrameTable {
         self.frames.drain().collect()
     }
 
-    /// Iterate over all resident frames mutably (flush path).
-    pub(super) fn iter_mut(&mut self) -> impl Iterator<Item = (&PageId, &mut Frame)> {
-        self.frames.iter_mut()
+    /// All resident page ids in ascending order. The flush paths iterate
+    /// in this order so the sequence of disk writes — and therefore every
+    /// crash-injection op index — is deterministic (the map itself
+    /// iterates in arbitrary order).
+    pub(super) fn sorted_pids(&self) -> Vec<PageId> {
+        let mut pids: Vec<PageId> = self.frames.keys().copied().collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Number of resident frames whose content differs from disk.
+    pub(super) fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
     }
 }
 

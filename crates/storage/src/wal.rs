@@ -1,0 +1,834 @@
+//! Write-ahead log, fuzzy checkpoints, and crash recovery for the buffer
+//! pool, plus the deterministic crash-point injector the durability tests
+//! are built on.
+//!
+//! The log is an append-only byte stream of fixed-stride records (one
+//! stride per record type) mirrored onto a **second** [`DiskSim`] region,
+//! so log I/O is simulated with exactly the same machinery as data I/O
+//! and log-write amplification is measurable. Each record carries a
+//! monotonically increasing sequence number and an FNV-1a checksum;
+//! recovery stops at the first record that fails validation, which is
+//! what makes torn log tails safe.
+//!
+//! ## The protocol
+//!
+//! * **Log-before-page.** Every mutation of a data page appends a
+//!   full-image [`WalRecord::PageWrite`] (or [`WalRecord::ChainWrite`]
+//!   for message-chain sidecar pages) *before* the page can reach the
+//!   data disk; the buffer pool calls [`Wal::flush_up_to`] with the
+//!   frame's LSN before every physical data write. An LSN is the byte
+//!   end-offset of a record in the log stream, so "flushed up to LSN"
+//!   has the usual meaning of a durable log prefix.
+//! * **First-write pre-images.** The first time a page is dirtied after
+//!   a checkpoint, its *current* content is logged as a
+//!   [`WalRecord::PreImage`] so recovery can roll uncommitted writes
+//!   back (the pool evicts dirty pages freely — a steal policy — so the
+//!   data disk may hold uncommitted content at a crash).
+//! * **Commit.** Each index-level mutation ends with a
+//!   [`WalRecord::Commit`] followed by a full log flush. Recovery
+//!   replays exactly the committed prefix: undo all pre-images newer
+//!   than the last complete checkpoint, then redo all page images up to
+//!   the last durable commit, in log order. Both passes write full page
+//!   images, so replaying the tail twice is identical to replaying it
+//!   once (idempotence).
+//! * **Fuzzy checkpoints.** A checkpoint (always taken at a committed
+//!   op boundary) logs [`WalRecord::CkptBegin`], the root/height of
+//!   every tree ([`WalRecord::TreeMeta`]), flushes every dirty frame
+//!   (log-before-page per frame), then logs [`WalRecord::CkptEnd`] and
+//!   flushes the log. A `CkptEnd` is only honored by recovery if it is
+//!   durable, which bounds replay at the last *complete* checkpoint.
+//!
+//! ## Crash points
+//!
+//! [`CrashInjector`] counts every simulated disk-page write (data and
+//! log) while durability is on and can panic — "crash" — exactly at op
+//! N, which makes every kill point reproducible. In-memory log appends
+//! are *not* injection points: a crash can cut the log at a page
+//! boundary mid-flush but never mid-record, so torn records only arise
+//! from explicit truncation (tested separately). Each op carries a
+//! [`CrashPoint`] label (WAL append flush, data-page flush, checkpoint,
+//! chain spill) so the test matrix can cover every category.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::disk::DiskSim;
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// First byte of every log record; a zeroed tail never looks like one.
+pub const WAL_MAGIC: u8 = 0xA5;
+
+const TAG_ALLOC: u8 = 1;
+const TAG_PAGE_WRITE: u8 = 2;
+const TAG_CHAIN_WRITE: u8 = 3;
+const TAG_PRE_IMAGE: u8 = 4;
+const TAG_TREE_META: u8 = 5;
+const TAG_REKEY: u8 = 6;
+const TAG_COMMIT: u8 = 7;
+const TAG_CKPT_BEGIN: u8 = 8;
+const TAG_CKPT_END: u8 = 9;
+
+/// `[magic][tag]` prefix in front of every record's payload.
+const HEADER: usize = 2;
+/// `[seq: u64][crc: u64]` trailer behind every record's payload.
+const TRAILER: usize = 16;
+
+const fn stride_of(tag: u8) -> Option<usize> {
+    match tag {
+        TAG_ALLOC => Some(HEADER + 4 + TRAILER),
+        TAG_PAGE_WRITE | TAG_CHAIN_WRITE | TAG_PRE_IMAGE => Some(HEADER + 4 + PAGE_SIZE + TRAILER),
+        TAG_TREE_META => Some(HEADER + 12 + TRAILER),
+        TAG_REKEY => Some(HEADER + 36 + TRAILER),
+        TAG_COMMIT => Some(HEADER + 8 + TRAILER),
+        TAG_CKPT_BEGIN => Some(HEADER + TRAILER),
+        TAG_CKPT_END => Some(HEADER + 8 + TRAILER),
+        _ => None,
+    }
+}
+
+/// FNV-1a over `bytes` — the record checksum. Hand-rolled (no external
+/// crates); collisions are irrelevant here, torn-tail *detection* is the
+/// only job.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One log record. Every variant encodes to a fixed stride for its tag:
+/// `[magic][tag][payload][seq: u64][crc: u64]`, checksum over everything
+/// before the crc, all integers little-endian.
+#[derive(Clone)]
+pub enum WalRecord {
+    /// A fresh page was allocated on the data disk.
+    Alloc {
+        /// The allocated page.
+        pid: PageId,
+    },
+    /// Full post-image of a B+-tree node page write.
+    PageWrite {
+        /// The written page.
+        pid: PageId,
+        /// Its complete content after the write.
+        image: Box<Page>,
+    },
+    /// Full post-image of a message-chain sidecar page write (same
+    /// stride as [`WalRecord::PageWrite`]; the distinct tag lets
+    /// recovery and the ledger tell buffered-write traffic apart).
+    ChainWrite {
+        /// The written chain page.
+        pid: PageId,
+        /// Its complete content after the write.
+        image: Box<Page>,
+    },
+    /// Full content of a page *before* its first write since the last
+    /// checkpoint — the undo record.
+    PreImage {
+        /// The page about to be dirtied.
+        pid: PageId,
+        /// Its content as of the last checkpoint.
+        image: Box<Page>,
+    },
+    /// Root pointer and height of one tree (logged on root change and at
+    /// every checkpoint); recovery reattaches trees from the newest
+    /// committed one per tree id.
+    TreeMeta {
+        /// Index-assigned tree (shard) id.
+        tree: u32,
+        /// Root page of the tree.
+        root: PageId,
+        /// Height of the tree (1 = root is a leaf).
+        height: u32,
+    },
+    /// Logical annotation of a key change (the physical page images
+    /// already carry the data; recovery tallies these for diagnostics).
+    Rekey {
+        /// Tree the re-key happened in.
+        tree: u32,
+        /// Key being retired.
+        old: u128,
+        /// Key replacing it.
+        new: u128,
+    },
+    /// One index-level mutation completed; `ops` is the cumulative count.
+    Commit {
+        /// Total committed mutations including this one.
+        ops: u64,
+    },
+    /// A fuzzy checkpoint started.
+    CkptBegin,
+    /// A fuzzy checkpoint finished flushing; only honored by recovery
+    /// once durable.
+    CkptEnd {
+        /// Sequence number of the matching [`WalRecord::CkptBegin`].
+        begin_seq: u64,
+    },
+}
+
+impl std::fmt::Debug for WalRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalRecord::Alloc { pid } => write!(f, "Alloc({})", pid.0),
+            WalRecord::PageWrite { pid, .. } => write!(f, "PageWrite({})", pid.0),
+            WalRecord::ChainWrite { pid, .. } => write!(f, "ChainWrite({})", pid.0),
+            WalRecord::PreImage { pid, .. } => write!(f, "PreImage({})", pid.0),
+            WalRecord::TreeMeta { tree, root, height } => {
+                write!(f, "TreeMeta(tree={tree}, root={}, height={height})", root.0)
+            }
+            WalRecord::Rekey { tree, old, new } => {
+                write!(f, "Rekey(tree={tree}, {old:#x} -> {new:#x})")
+            }
+            WalRecord::Commit { ops } => write!(f, "Commit({ops})"),
+            WalRecord::CkptBegin => write!(f, "CkptBegin"),
+            WalRecord::CkptEnd { begin_seq } => write!(f, "CkptEnd(begin={begin_seq})"),
+        }
+    }
+}
+
+impl WalRecord {
+    fn tag(&self) -> u8 {
+        match self {
+            WalRecord::Alloc { .. } => TAG_ALLOC,
+            WalRecord::PageWrite { .. } => TAG_PAGE_WRITE,
+            WalRecord::ChainWrite { .. } => TAG_CHAIN_WRITE,
+            WalRecord::PreImage { .. } => TAG_PRE_IMAGE,
+            WalRecord::TreeMeta { .. } => TAG_TREE_META,
+            WalRecord::Rekey { .. } => TAG_REKEY,
+            WalRecord::Commit { .. } => TAG_COMMIT,
+            WalRecord::CkptBegin => TAG_CKPT_BEGIN,
+            WalRecord::CkptEnd { .. } => TAG_CKPT_END,
+        }
+    }
+
+    /// Serialize with sequence number `seq` into `out`. Returns the
+    /// record's stride.
+    pub fn encode_into(&self, seq: u64, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.push(WAL_MAGIC);
+        out.push(self.tag());
+        match self {
+            WalRecord::Alloc { pid } => out.extend_from_slice(&pid.0.to_le_bytes()),
+            WalRecord::PageWrite { pid, image }
+            | WalRecord::ChainWrite { pid, image }
+            | WalRecord::PreImage { pid, image } => {
+                out.extend_from_slice(&pid.0.to_le_bytes());
+                out.extend_from_slice(image.bytes(0, PAGE_SIZE));
+            }
+            WalRecord::TreeMeta { tree, root, height } => {
+                out.extend_from_slice(&tree.to_le_bytes());
+                out.extend_from_slice(&root.0.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+            }
+            WalRecord::Rekey { tree, old, new } => {
+                out.extend_from_slice(&tree.to_le_bytes());
+                out.extend_from_slice(&old.to_le_bytes());
+                out.extend_from_slice(&new.to_le_bytes());
+            }
+            WalRecord::Commit { ops } => out.extend_from_slice(&ops.to_le_bytes()),
+            WalRecord::CkptBegin => {}
+            WalRecord::CkptEnd { begin_seq } => out.extend_from_slice(&begin_seq.to_le_bytes()),
+        }
+        out.extend_from_slice(&seq.to_le_bytes());
+        let crc = fnv1a(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(out.len() - start, stride_of(self.tag()).unwrap());
+        out.len() - start
+    }
+
+    /// Serialize with sequence number `seq` into a fresh buffer.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(seq, &mut out);
+        out
+    }
+
+    /// Parse the record at the front of `buf`. Returns the record, its
+    /// sequence number, and its stride — or `None` if the bytes do not
+    /// form a complete record with a valid checksum (wrong magic,
+    /// unknown tag, short buffer, or crc mismatch).
+    pub fn decode(buf: &[u8]) -> Option<(WalRecord, u64, usize)> {
+        if buf.len() < HEADER || buf[0] != WAL_MAGIC {
+            return None;
+        }
+        let tag = buf[1];
+        let stride = stride_of(tag)?;
+        if buf.len() < stride {
+            return None;
+        }
+        let crc = u64::from_le_bytes(buf[stride - 8..stride].try_into().unwrap());
+        if fnv1a(&buf[..stride - 8]) != crc {
+            return None;
+        }
+        let seq = u64::from_le_bytes(buf[stride - 16..stride - 8].try_into().unwrap());
+        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let u128_at = |o: usize| u128::from_le_bytes(buf[o..o + 16].try_into().unwrap());
+        let image_at = |o: usize| {
+            let mut p = Box::new(Page::new());
+            p.bytes_mut(0, PAGE_SIZE).copy_from_slice(&buf[o..o + PAGE_SIZE]);
+            p
+        };
+        let rec = match tag {
+            TAG_ALLOC => WalRecord::Alloc { pid: PageId(u32_at(2)) },
+            TAG_PAGE_WRITE => WalRecord::PageWrite { pid: PageId(u32_at(2)), image: image_at(6) },
+            TAG_CHAIN_WRITE => WalRecord::ChainWrite { pid: PageId(u32_at(2)), image: image_at(6) },
+            TAG_PRE_IMAGE => WalRecord::PreImage { pid: PageId(u32_at(2)), image: image_at(6) },
+            TAG_TREE_META => {
+                WalRecord::TreeMeta { tree: u32_at(2), root: PageId(u32_at(6)), height: u32_at(10) }
+            }
+            TAG_REKEY => WalRecord::Rekey { tree: u32_at(2), old: u128_at(6), new: u128_at(22) },
+            TAG_COMMIT => WalRecord::Commit { ops: u64_at(2) },
+            TAG_CKPT_BEGIN => WalRecord::CkptBegin,
+            TAG_CKPT_END => WalRecord::CkptEnd { begin_seq: u64_at(2) },
+            _ => unreachable!("stride_of filtered unknown tags"),
+        };
+        Some((rec, seq, stride))
+    }
+}
+
+/// Where in the storage stack a counted disk op happened — the label of
+/// one crash-injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// A log-page write forced by an append/commit flush.
+    WalWrite,
+    /// A data-page write (dirty eviction or flush).
+    PageFlush,
+    /// Any disk write performed inside a checkpoint.
+    Checkpoint,
+    /// Any disk write performed inside a message-chain spill/flush.
+    ChainSpill,
+}
+
+/// Panic-message marker of an injected crash; the harness matches on it
+/// to tell injected crashes from real bugs.
+pub const CRASH_SENTINEL: &str = "crash-injector";
+
+/// Deterministic crash-point injector: counts every simulated disk-page
+/// write while durability is on, records a [`CrashPoint`] label trace in
+/// probe mode, and panics exactly at the armed op index in crash mode.
+///
+/// The workload between two counted ops is deterministic, so "crash at
+/// op N" reproduces the same machine state every run.
+#[derive(Default)]
+pub struct CrashInjector {
+    /// Op index to crash at; `u64::MAX` = disarmed.
+    armed: AtomicU64,
+    /// Ops counted so far.
+    counter: AtomicU64,
+    /// Probe mode: record labels instead of crashing.
+    probing: AtomicBool,
+    trace: Mutex<Vec<CrashPoint>>,
+}
+
+impl CrashInjector {
+    /// A disarmed injector (counts nothing until armed or probing).
+    pub fn new() -> Self {
+        CrashInjector {
+            armed: AtomicU64::new(u64::MAX),
+            counter: AtomicU64::new(0),
+            probing: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Crash (panic with [`CRASH_SENTINEL`]) when op `n` is reached.
+    pub fn arm(&self, n: u64) {
+        self.armed.store(n, Ordering::SeqCst);
+    }
+
+    /// Stop crashing.
+    pub fn disarm(&self) {
+        self.armed.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    /// Toggle probe mode: ops are counted and labeled but never crash.
+    pub fn set_probing(&self, on: bool) {
+        self.probing.store(on, Ordering::SeqCst);
+    }
+
+    /// Reset the op counter and clear the recorded trace.
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::SeqCst);
+        self.trace.lock().clear();
+    }
+
+    /// Ops counted since the last [`CrashInjector::reset`].
+    pub fn ops_seen(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Take the probe-mode label trace (op index -> label).
+    pub fn take_trace(&self) -> Vec<CrashPoint> {
+        std::mem::take(&mut self.trace.lock())
+    }
+
+    /// Count one disk op with label `point`; panics if this is the armed
+    /// op (before the write takes effect — op N never completes).
+    pub fn hit(&self, point: CrashPoint) {
+        let armed = self.armed.load(Ordering::Relaxed);
+        if armed == u64::MAX && !self.probing.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = self.counter.fetch_add(1, Ordering::SeqCst);
+        if self.probing.load(Ordering::Relaxed) {
+            self.trace.lock().push(point);
+        }
+        if n == armed {
+            panic!("{CRASH_SENTINEL}: injected crash at disk op {n} ({point:?})");
+        }
+    }
+}
+
+/// Deterministic counters of log activity (all exact for a fixed seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub records: u64,
+    /// Bytes appended.
+    pub bytes: u64,
+    /// Log pages physically written (a partially filled tail page is
+    /// rewritten by each flush that extends it — real-log write
+    /// amplification, measured, not hidden).
+    pub page_writes: u64,
+    /// Flush calls that wrote at least one page.
+    pub flushes: u64,
+}
+
+/// The append-only write-ahead log: an in-memory record stream plus the
+/// [`DiskSim`] log region holding its durable prefix.
+pub struct Wal {
+    disk: DiskSim,
+    /// The full log stream; appends land here first.
+    buf: Vec<u8>,
+    /// Length of the prefix forced to the log disk.
+    durable_bytes: usize,
+    next_seq: u64,
+    /// Pages whose pre-image is already logged this checkpoint interval.
+    preimaged: HashSet<u32>,
+    stats: WalStats,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wal {
+    /// An empty log (sequence numbers start at 1).
+    pub fn new() -> Self {
+        Wal {
+            disk: DiskSim::new(),
+            buf: Vec::new(),
+            durable_bytes: 0,
+            next_seq: 1,
+            preimaged: HashSet::new(),
+            stats: WalStats::default(),
+        }
+    }
+
+    /// Append `rec` with the next sequence number; returns the record's
+    /// LSN (its byte end-offset in the stream). The append is in-memory
+    /// only — durability requires a flush.
+    pub fn append(&mut self, rec: &WalRecord) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let stride = rec.encode_into(seq, &mut self.buf);
+        self.stats.records += 1;
+        self.stats.bytes += stride as u64;
+        self.buf.len() as u64
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// LSN of the stream end (= the last appended record).
+    pub fn end_lsn(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// LSN up to which the log is durable on the log disk.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_bytes as u64
+    }
+
+    /// Whether `pid`'s pre-image is already logged this interval.
+    pub fn is_preimaged(&self, pid: PageId) -> bool {
+        self.preimaged.contains(&pid.0)
+    }
+
+    /// Mark `pid` as covered by a pre-image (or as never needing one —
+    /// pages allocated after the last checkpoint have no committed
+    /// content to restore).
+    pub fn mark_preimaged(&mut self, pid: PageId) {
+        self.preimaged.insert(pid.0);
+    }
+
+    /// Forget all pre-image marks (a checkpoint completed: the next
+    /// write of any page must log a fresh pre-image).
+    pub fn clear_preimaged(&mut self) {
+        self.preimaged.clear();
+    }
+
+    /// Force the log durable up to `lsn`, writing every log page from
+    /// the durable frontier through the page covering `lsn`. `hit` is
+    /// invoked once *before* each page write (the crash-injection hook).
+    pub fn flush_up_to(&mut self, lsn: u64, hit: &mut dyn FnMut()) {
+        let target = (lsn as usize).min(self.buf.len());
+        if target <= self.durable_bytes {
+            return;
+        }
+        let first = self.durable_bytes / PAGE_SIZE;
+        let last = (target - 1) / PAGE_SIZE;
+        for p in first..=last {
+            while self.disk.num_pages() <= p {
+                self.disk.allocate();
+            }
+            let start = p * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(self.buf.len());
+            let mut page = Page::new();
+            page.bytes_mut(0, end - start).copy_from_slice(&self.buf[start..end]);
+            hit();
+            self.disk.write(PageId(p as u32), &page);
+            self.stats.page_writes += 1;
+        }
+        self.durable_bytes = target;
+        self.stats.flushes += 1;
+    }
+
+    /// Force the entire log durable.
+    pub fn flush(&mut self, hit: &mut dyn FnMut()) {
+        self.flush_up_to(self.buf.len() as u64, hit);
+    }
+
+    /// Log-activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The simulated log region (harvested by the crash harness).
+    pub fn disk(&self) -> &DiskSim {
+        &self.disk
+    }
+
+    /// Rebuild a live log over a recovered log region: the valid prefix
+    /// identified by `rec` is kept (and the torn tail, if any, zeroed so
+    /// it can never resurface), sequence numbers continue after the last
+    /// valid record, and no page is considered pre-imaged (recovery is
+    /// followed by a fresh checkpoint).
+    pub fn resume(log: DiskSim, rec: &WalRecovery) -> Wal {
+        let mut buf = read_stream(&log);
+        buf.truncate(rec.valid_bytes as usize);
+        let mut wal = Wal {
+            disk: log,
+            buf,
+            durable_bytes: rec.valid_bytes as usize,
+            next_seq: rec.next_seq,
+            preimaged: HashSet::new(),
+            stats: WalStats::default(),
+        };
+        // Zero the log disk beyond the valid prefix (a torn record must
+        // not survive next to freshly appended ones).
+        let valid = rec.valid_bytes as usize;
+        if valid < wal.disk.num_pages() * PAGE_SIZE {
+            let first = valid / PAGE_SIZE;
+            for p in first..wal.disk.num_pages() {
+                let start = p * PAGE_SIZE;
+                let keep = valid.saturating_sub(start).min(PAGE_SIZE);
+                let mut page = Page::new();
+                if keep > 0 {
+                    page.bytes_mut(0, keep).copy_from_slice(&wal.buf[start..start + keep]);
+                }
+                wal.disk.write(PageId(p as u32), &page);
+            }
+        }
+        wal
+    }
+}
+
+/// Concatenate the log region's pages back into one byte stream.
+fn read_stream(log: &DiskSim) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(log.num_pages() * PAGE_SIZE);
+    for p in 0..log.num_pages() {
+        buf.extend_from_slice(log.peek(PageId(p as u32)).bytes(0, PAGE_SIZE));
+    }
+    buf
+}
+
+/// Everything [`recover`] learned and did, returned to the caller so the
+/// index layer can reattach its trees and the harness can assert on it.
+#[derive(Debug, Clone)]
+pub struct WalRecovery {
+    /// Cumulative mutation count of the last durable commit (0 = none).
+    pub commits: u64,
+    /// Sequence number of the last durable commit (0 = none).
+    pub last_commit_seq: u64,
+    /// Sequence number of the last durable complete checkpoint's
+    /// [`WalRecord::CkptEnd`] (0 = none).
+    pub checkpoint_seq: u64,
+    /// Newest committed `(tree, root, height)` per tree id, ascending.
+    pub tree_meta: Vec<(u32, PageId, u32)>,
+    /// Committed [`WalRecord::Rekey`] annotations seen.
+    pub rekeys_noted: u64,
+    /// Valid records scanned (before the torn tail, if any).
+    pub records_scanned: u64,
+    /// Redo records applied to the data disk.
+    pub records_replayed: u64,
+    /// Undo pre-images applied to the data disk.
+    pub preimages_applied: u64,
+    /// Physical data-disk writes recovery performed (undo + redo).
+    pub data_writes: u64,
+    /// Whether the log ended in an incomplete/corrupt record.
+    pub torn_tail: bool,
+    /// Byte length of the valid log prefix.
+    pub valid_bytes: u64,
+    /// Sequence number the resumed log should continue from.
+    pub next_seq: u64,
+}
+
+/// Replay the log region `log` against the data disk `data`, restoring
+/// exactly the state as of the last durable commit.
+///
+/// The scan validates magic, tag, checksum, and sequence continuity of
+/// every record and stops cleanly at the first failure (torn tail) or at
+/// the zeroed end of the stream. The undo pass applies every pre-image
+/// newer than the last complete checkpoint; the redo pass then applies
+/// every allocation and page image up to the last durable commit, in log
+/// order. Both passes write full page images, so running `recover` twice
+/// over the same inputs leaves `data` byte-identical to running it once.
+pub fn recover(data: &mut DiskSim, log: &DiskSim) -> WalRecovery {
+    let stream = read_stream(log);
+    let mut records: Vec<(WalRecord, u64)> = Vec::new();
+    let mut off = 0usize;
+    let mut torn = false;
+    let mut expect_seq = 1u64;
+    while off < stream.len() {
+        if stream[off] != WAL_MAGIC {
+            // A zeroed remainder is the clean end of the stream; anything
+            // else is a torn/corrupt tail.
+            torn = stream[off..].iter().any(|&b| b != 0);
+            break;
+        }
+        match WalRecord::decode(&stream[off..]) {
+            Some((rec, seq, stride)) if seq == expect_seq => {
+                records.push((rec, seq));
+                expect_seq += 1;
+                off += stride;
+            }
+            _ => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    let valid_bytes = off as u64;
+
+    let mut last_commit_seq = 0u64;
+    let mut commits = 0u64;
+    let mut checkpoint_seq = 0u64;
+    for (rec, seq) in &records {
+        match rec {
+            WalRecord::Commit { ops } => {
+                last_commit_seq = *seq;
+                commits = *ops;
+            }
+            WalRecord::CkptEnd { .. } => checkpoint_seq = *seq,
+            _ => {}
+        }
+    }
+    // A checkpoint only runs at a committed op boundary, so everything up
+    // to a durable CkptEnd is committed state even without a later Commit.
+    let committed_seq = last_commit_seq.max(checkpoint_seq);
+
+    let writes_before = data.physical_writes();
+    let ensure = |data: &mut DiskSim, pid: PageId| {
+        while data.num_pages() <= pid.0 as usize {
+            data.allocate();
+        }
+    };
+
+    // Undo: roll every page first-dirtied after the last complete
+    // checkpoint back to its checkpointed content (the data disk may hold
+    // uncommitted images — the pool steals dirty frames).
+    let mut preimages_applied = 0u64;
+    for (rec, seq) in &records {
+        if let WalRecord::PreImage { pid, image } = rec {
+            if *seq > checkpoint_seq {
+                ensure(data, *pid);
+                data.write(*pid, image);
+                preimages_applied += 1;
+            }
+        }
+    }
+
+    // Redo: reapply the committed tail in log order.
+    let mut records_replayed = 0u64;
+    let mut rekeys_noted = 0u64;
+    let mut meta: HashMap<u32, (PageId, u32)> = HashMap::new();
+    for (rec, seq) in &records {
+        match rec {
+            WalRecord::Alloc { pid } if *seq > checkpoint_seq && *seq <= committed_seq => {
+                ensure(data, *pid);
+                records_replayed += 1;
+            }
+            WalRecord::PageWrite { pid, image } | WalRecord::ChainWrite { pid, image }
+                if *seq > checkpoint_seq && *seq <= committed_seq =>
+            {
+                ensure(data, *pid);
+                data.write(*pid, image);
+                records_replayed += 1;
+            }
+            WalRecord::Rekey { .. } if *seq <= committed_seq => rekeys_noted += 1,
+            WalRecord::TreeMeta { tree, root, height } if *seq <= committed_seq => {
+                meta.insert(*tree, (*root, *height));
+            }
+            _ => {}
+        }
+    }
+
+    let mut tree_meta: Vec<(u32, PageId, u32)> =
+        meta.into_iter().map(|(t, (r, h))| (t, r, h)).collect();
+    tree_meta.sort_unstable_by_key(|&(t, _, _)| t);
+
+    WalRecovery {
+        commits,
+        last_commit_seq,
+        checkpoint_seq,
+        tree_meta,
+        rekeys_noted,
+        records_scanned: records.len() as u64,
+        records_replayed,
+        preimages_applied,
+        data_writes: data.physical_writes() - writes_before,
+        torn_tail: torn,
+        valid_bytes,
+        next_seq: expect_seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(v: u64) -> Box<Page> {
+        let mut p = Box::new(Page::new());
+        p.put_u64(0, v);
+        p
+    }
+
+    #[test]
+    fn records_round_trip_bytewise() {
+        let recs = vec![
+            WalRecord::Alloc { pid: PageId(7) },
+            WalRecord::PageWrite { pid: PageId(3), image: page_with(0xDEAD) },
+            WalRecord::ChainWrite { pid: PageId(4), image: page_with(0xBEEF) },
+            WalRecord::PreImage { pid: PageId(3), image: page_with(0xF00D) },
+            WalRecord::TreeMeta { tree: 2, root: PageId(9), height: 3 },
+            WalRecord::Rekey { tree: 1, old: 42, new: u128::MAX / 3 },
+            WalRecord::Commit { ops: 17 },
+            WalRecord::CkptBegin,
+            WalRecord::CkptEnd { begin_seq: 5 },
+        ];
+        for (i, rec) in recs.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let bytes = rec.encode(seq);
+            let (back, got_seq, stride) = WalRecord::decode(&bytes).expect("decodes");
+            assert_eq!(got_seq, seq);
+            assert_eq!(stride, bytes.len());
+            assert_eq!(back.encode(seq), bytes, "re-encode must be identical");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = WalRecord::Commit { ops: 9 }.encode(1);
+        assert!(WalRecord::decode(&bytes).is_some());
+        // Short buffer.
+        assert!(WalRecord::decode(&bytes[..bytes.len() - 1]).is_none());
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert!(WalRecord::decode(&bad).is_none());
+        // Flipped payload bit fails the checksum.
+        let mut bad = bytes.clone();
+        bad[3] ^= 1;
+        assert!(WalRecord::decode(&bad).is_none());
+        // Unknown tag.
+        let mut bad = bytes;
+        bad[1] = 0xEE;
+        assert!(WalRecord::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn flush_makes_prefix_durable_and_replayable() {
+        let mut wal = Wal::new();
+        let mut data = DiskSim::new();
+        let pid = data.allocate();
+        wal.append(&WalRecord::PageWrite { pid, image: page_with(11) });
+        wal.append(&WalRecord::Commit { ops: 1 });
+        wal.flush(&mut || {});
+        // A second committed write that never reaches the log disk.
+        wal.append(&WalRecord::PageWrite { pid, image: page_with(22) });
+        wal.append(&WalRecord::Commit { ops: 2 });
+
+        let rec = recover(&mut data, wal.disk());
+        assert_eq!(rec.commits, 1, "unflushed tail must not replay");
+        assert!(!rec.torn_tail);
+        assert_eq!(data.peek(pid).get_u64(0), 11);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut wal = Wal::new();
+        let mut data = DiskSim::new();
+        let a = data.allocate();
+        wal.append(&WalRecord::PreImage { pid: a, image: page_with(0) });
+        wal.append(&WalRecord::PageWrite { pid: a, image: page_with(5) });
+        wal.append(&WalRecord::Commit { ops: 1 });
+        wal.flush(&mut || {});
+
+        let mut once = data.clone();
+        let r1 = recover(&mut once, wal.disk());
+        let mut twice = data.clone();
+        recover(&mut twice, wal.disk());
+        let r2 = recover(&mut twice, wal.disk());
+        assert_eq!(r1.commits, r2.commits);
+        for p in 0..once.num_pages() {
+            let pid = PageId(p as u32);
+            assert_eq!(once.peek(pid).bytes(0, PAGE_SIZE), twice.peek(pid).bytes(0, PAGE_SIZE));
+        }
+    }
+
+    #[test]
+    fn injector_probe_and_crash_are_aligned() {
+        let inj = CrashInjector::new();
+        inj.set_probing(true);
+        inj.hit(CrashPoint::WalWrite);
+        inj.hit(CrashPoint::PageFlush);
+        inj.hit(CrashPoint::Checkpoint);
+        inj.set_probing(false);
+        assert_eq!(
+            inj.take_trace(),
+            vec![CrashPoint::WalWrite, CrashPoint::PageFlush, CrashPoint::Checkpoint]
+        );
+        inj.reset();
+        inj.arm(1);
+        inj.hit(CrashPoint::WalWrite);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.hit(CrashPoint::PageFlush)
+        }))
+        .expect_err("armed op must crash");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains(CRASH_SENTINEL));
+        inj.disarm();
+        inj.hit(CrashPoint::PageFlush); // disarmed: no crash
+    }
+}

@@ -184,9 +184,19 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_oneof![s1, s2, …]`: picks one of the alternative strategies
+/// uniformly per generated value. All alternatives must produce the same
+/// value type (no weights, matching the shim's no-shrinking contract).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::boxed($s)),+])
+    };
 }
 
 /// `proptest! { ... }`: runs each embedded test `cases` times with inputs

@@ -58,6 +58,38 @@ where
     }
 }
 
+/// Uniform choice between same-valued alternative strategies — the
+/// engine behind the shim's `prop_oneof!` (no weights, no shrinking).
+pub struct Union<T> {
+    alts: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `alts`; panics on an empty list.
+    pub fn new(alts: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { alts }
+    }
+
+    /// Erase a concrete strategy for [`Union::new`] (lets `prop_oneof!`
+    /// unify alternatives of different concrete types).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.alts.len() as u64) as usize;
+        self.alts[i].generate(rng)
+    }
+}
+
 // ---- Range strategies -----------------------------------------------------
 
 macro_rules! int_range_strategy {
