@@ -7,15 +7,17 @@
 //!   concurrent-scan trajectory entry to `BENCH_scans.json`, the
 //!   optimistic-read trajectory entry to `BENCH_optreads.json`, and the
 //!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, the
-//!   buffered-ingestion trajectory entry to `BENCH_ingest.json`, and the
-//!   durability/recovery trajectory entry to `BENCH_recovery.json`.
+//!   buffered-ingestion trajectory entry to `BENCH_ingest.json`, the
+//!   durability/recovery trajectory entry to `BENCH_recovery.json`, and
+//!   the write-concurrency trajectory entry to `BENCH_writeconc.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
 //!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` /
-//!   `PEB_RECOVERY_OUT` — override the output paths.
+//!   `PEB_RECOVERY_OUT` / `PEB_WRITECONC_OUT` — override the output
+//!   paths.
 use peb_bench::experiments;
 use peb_bench::ingest;
 use peb_bench::optreads;
@@ -24,6 +26,7 @@ use peb_bench::recovery;
 use peb_bench::report;
 use peb_bench::scans;
 use peb_bench::updates;
+use peb_bench::writeconc;
 
 fn main() {
     if std::env::args().any(|a| a == "--baseline-only") {
@@ -75,6 +78,13 @@ fn main() {
         std::fs::write(&rec_path, rec.to_json())
             .unwrap_or_else(|e| panic!("cannot write {rec_path}: {e}"));
         eprintln!("durability/recovery trajectory written to {rec_path}");
+
+        let wc_path = std::env::var("PEB_WRITECONC_OUT")
+            .unwrap_or_else(|_| "BENCH_writeconc.json".to_string());
+        let wc = writeconc::measure_writeconc();
+        std::fs::write(&wc_path, wc.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {wc_path}: {e}"));
+        eprintln!("write-concurrency trajectory written to {wc_path}");
         return;
     }
 
@@ -146,4 +156,10 @@ fn main() {
         "write-ahead-log cost and crash-recovery replay: one checkpoint, two unflushed rounds",
     );
     recovery::print_table(&recovery::measure_recovery());
+    println!();
+    report::header(
+        "WriteConc",
+        "update throughput and reader overlap: whole-shard exclusive vs OLC write path",
+    );
+    writeconc::print_table(&writeconc::measure_writeconc());
 }

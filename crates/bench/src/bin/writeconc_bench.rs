@@ -1,0 +1,13 @@
+//! Write-concurrency: update throughput and reader overlap with the
+//! whole-shard exclusive vs the optimistic-lock-coupling write path. See
+//! `peb_bench::writeconc` and docs/BENCHMARKS.md; `run_all
+//! --baseline-only` writes the same measurement to
+//! `BENCH_writeconc.json`.
+
+fn main() {
+    let report = peb_bench::writeconc::measure_writeconc();
+    peb_bench::writeconc::print_table(&report);
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", report.to_json());
+    }
+}

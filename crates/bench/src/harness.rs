@@ -45,6 +45,16 @@ pub struct RunConfig {
     /// path); the ingestion experiment builds a `true` world as its
     /// buffered comparison point.
     pub buffered_writes: bool,
+    /// Whether updates run through the optimistic-lock-coupling write
+    /// path (per-page latches under the shard read lock) instead of
+    /// whole-shard exclusion. The default of `false` is the paper-exact
+    /// exclusive write path every frozen I/O measurement uses (the OLC
+    /// path publishes structural modifications from finished images, so
+    /// write ledgers are only comparable at a fixed protocol); the
+    /// write-concurrency experiment builds a `true` world as its
+    /// latched comparison point. Mutually exclusive with
+    /// `buffered_writes`.
+    pub olc_writes: bool,
     /// Whether the write-ahead-log durability protocol is on for both
     /// engines. The default of `false` is the paper-exact configuration
     /// every frozen I/O measurement uses (logging adds log-page writes to
@@ -75,6 +85,7 @@ impl Default for RunConfig {
             optimistic_reads: true,
             fused_scans: false,
             buffered_writes: false,
+            olc_writes: false,
             durable: false,
             seed: 0xC0FFEE,
             tq: 30.0,
@@ -158,6 +169,8 @@ impl World {
         baseline.set_fused_scans(cfg.fused_scans);
         peb.set_buffered_writes(cfg.buffered_writes);
         baseline.set_buffered_writes(cfg.buffered_writes);
+        peb.set_olc_writes(cfg.olc_writes);
+        baseline.set_olc_writes(cfg.olc_writes);
         if cfg.durable {
             // Before the ingest loop, so the whole load is logged and a
             // crash at any later point recovers every inserted object.

@@ -20,5 +20,6 @@ pub mod recovery;
 pub mod report;
 pub mod scans;
 pub mod updates;
+pub mod writeconc;
 
 pub use harness::{Measured, RunConfig};

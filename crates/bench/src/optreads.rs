@@ -289,6 +289,18 @@ mod tests {
                 "{engine}: warm hit rate {:.2} suspiciously low",
                 p.opt.optimistic_hit_rate()
             );
+            // Fallback-rate non-regression: on a warm, quiesced pool every
+            // resident page is published in the seqlock mirror, so no read
+            // should fall back to the locked path. A nonzero rate here means
+            // mirror slots are being lost (e.g. a cross-way eviction clearing
+            // the wrong entry) rather than genuine cold misses.
+            let attempts =
+                p.opt.optimistic_hits + p.opt.optimistic_retries + p.opt.locked_fallbacks;
+            assert_eq!(
+                p.opt.locked_fallbacks, 0,
+                "{engine} shards={}: {} of {attempts} warm reads fell back to locks",
+                p.pool_shards, p.opt.locked_fallbacks,
+            );
         }
     }
 
@@ -303,6 +315,8 @@ mod tests {
                 optimistic_retries: 0,
                 locked_fallbacks: 50,
                 lock_acquisitions: 50,
+                latch_acquisitions: 0,
+                latch_waits: 0,
             },
             hot_lock_share_acquired: 0.5,
         };

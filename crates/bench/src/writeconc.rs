@@ -1,0 +1,376 @@
+//! Write-concurrency experiment: update throughput and reader overlap
+//! with whole-shard exclusive writes vs the optimistic-lock-coupling
+//! write path, on the PEB-tree.
+//!
+//! This is the workload the OLC write path exists for. Before it, every
+//! upsert held its target shard's `RwLock` exclusively for the whole
+//! descent-and-write, so a concurrent PRQ touching that shard waited out
+//! the entire update even when the two touched disjoint pages. Under OLC
+//! a same-shard refresh runs all of its page I/O beneath the shard
+//! *read* lock — per-page latches are the only write-side exclusion —
+//! and readers overlap writers unless they truly collide on a page.
+//!
+//! Two identically built PEB-trees (same frozen dataset and seed) apply
+//! the **identical** pre-generated update rounds from
+//! [`WRITECONC_WRITERS`] writer threads (updates partitioned by uid, so
+//! the index's same-uid concurrency contract holds) while
+//! [`WRITECONC_READERS`] reader threads loop the identical PRQ batch:
+//! one tree with the exclusive write path, one with `olc_writes` on.
+//! After both drives quiesce, the two worlds must answer every query in
+//! the batch identically — the cross-check that the latched protocol
+//! changed scheduling, not results.
+//!
+//! Reported per variant: wall-clock upserts/second and reader
+//! queries/second (machine noise — the headline, but not what tests
+//! assert), plus the deterministic-shape lock ledger: page-latch grants
+//! and collisions ([`peb_storage::LockStats`]), reader stalls
+//! (optimistic-read retries, i.e. a writer raced the copy), and the OLC
+//! restart/escalation counters ([`peb_btree::OlcStats`]). The exclusive
+//! variant latches nothing and never restarts — its zeros are asserted;
+//! the OLC variant's latch grants are O(update-path), not
+//! O(shard-page-count).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use peb_common::MovingPoint;
+use peb_workload::{QueryGenerator, UpdateStream};
+
+use crate::harness::{RunConfig, World};
+
+/// Writer threads driving the update rounds (frozen for the trajectory).
+pub const WRITECONC_WRITERS: usize = 4;
+
+/// Reader threads looping the PRQ batch alongside the writers.
+pub const WRITECONC_READERS: usize = 2;
+
+/// One write-path variant's measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteconcVariant {
+    /// Wall-clock update throughput across all writer threads.
+    pub upserts_per_sec: f64,
+    /// Wall-clock reader queries/second sustained while the writers ran.
+    pub reader_qps: f64,
+    /// Page-latch grants during the drive — the writers' entire
+    /// exclusion footprint under OLC, zero under shard exclusion.
+    pub latch_acquisitions: u64,
+    /// Latch requests that found the page held (writer collisions).
+    pub latch_waits: u64,
+    /// Reader-side stalls: optimistic page reads aborted because a
+    /// writer raced the copy (each costs one locked retry).
+    pub reader_opt_retries: u64,
+    /// OLC write/scan restarts and gate escalations (all zero for the
+    /// exclusive variant).
+    pub olc: peb_btree::OlcStats,
+}
+
+/// The whole experiment: exclusive vs OLC over identical rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteconcReport {
+    pub users: usize,
+    pub rounds: usize,
+    /// Fraction of the population updated per round.
+    pub round_fraction: f64,
+    /// Total updates applied per variant.
+    pub updates_total: usize,
+    /// Queries in the PRQ batch the readers loop.
+    pub queries: usize,
+    pub writer_threads: usize,
+    pub reader_threads: usize,
+    pub exclusive: WriteconcVariant,
+    pub olc: WriteconcVariant,
+}
+
+impl WriteconcReport {
+    /// Wall-clock update-throughput ratio of OLC over shard exclusion
+    /// (under concurrent readers).
+    pub fn olc_speedup(&self) -> f64 {
+        self.olc.upserts_per_sec / self.exclusive.upserts_per_sec.max(1e-9)
+    }
+
+    /// Flat JSON trajectory entry (same style as
+    /// [`crate::baseline::BaselineReport::to_json`], assembled by
+    /// [`crate::report::json_object`]).
+    pub fn to_json(&self) -> String {
+        use crate::report::json_f64 as f;
+        let mut rows: Vec<(String, String)> = vec![
+            ("users".into(), self.users.to_string()),
+            ("rounds".into(), self.rounds.to_string()),
+            ("round_fraction".into(), f(self.round_fraction)),
+            ("updates_total".into(), self.updates_total.to_string()),
+            ("queries".into(), self.queries.to_string()),
+            ("writer_threads".into(), self.writer_threads.to_string()),
+            ("reader_threads".into(), self.reader_threads.to_string()),
+        ];
+        for (prefix, v) in [("excl", &self.exclusive), ("olc", &self.olc)] {
+            rows.push((format!("{prefix}_upserts_per_sec"), f(v.upserts_per_sec)));
+            rows.push((format!("{prefix}_reader_qps"), f(v.reader_qps)));
+            rows.push((format!("{prefix}_latch_acquisitions"), v.latch_acquisitions.to_string()));
+            rows.push((format!("{prefix}_latch_waits"), v.latch_waits.to_string()));
+            rows.push((format!("{prefix}_reader_opt_retries"), v.reader_opt_retries.to_string()));
+            rows.push((format!("{prefix}_write_restarts"), v.olc.write_restarts.to_string()));
+            rows.push((format!("{prefix}_write_escalations"), v.olc.write_escalations.to_string()));
+            rows.push((format!("{prefix}_scan_restarts"), v.olc.scan_restarts.to_string()));
+            rows.push((format!("{prefix}_scan_escalations"), v.olc.scan_escalations.to_string()));
+        }
+        rows.push(("olc_speedup_over_excl".into(), f(self.olc_speedup())));
+        crate::report::json_object(&rows)
+    }
+}
+
+/// The frozen write-concurrency configuration: the `BENCH_seed.json`
+/// 8K-user dataset shape with the pool grown to keep the working set
+/// resident (like the concurrent-scan bench, the measurement isolates
+/// lock scheduling, not disk misses) and the pool's lock sharding on so
+/// the pool mutex is not the bottleneck being measured.
+pub fn writeconc_config() -> RunConfig {
+    RunConfig {
+        num_users: 8_000,
+        policies_per_user: 20,
+        theta: 0.7,
+        queries: 48,
+        seed: 0xB1A5,
+        buffer_pages: 2_048,
+        pool_shards: 8,
+        ..Default::default()
+    }
+}
+
+/// Run the experiment on the frozen configuration: four full-population
+/// update rounds under 4 writers + 2 readers. The rounds sit one
+/// simulated time-unit apart, well inside one partition phase
+/// (`∆tmu/n = 60`): the first round migrates every object into the next
+/// phase's partition (the cross-shard slow path, still exclusive under
+/// OLC), and the remaining rounds are same-partition refreshes — the
+/// common steady-state case the latched fast path exists for.
+pub fn measure_writeconc() -> WriteconcReport {
+    measure_writeconc_with(&writeconc_config(), WRITECONC_WRITERS, WRITECONC_READERS, 4, 1.0)
+}
+
+/// Run the experiment on an arbitrary configuration (tests use a small
+/// one). Both variants see identical update rounds and an identical
+/// reader batch, and must agree on every query once quiesced.
+pub fn measure_writeconc_with(
+    cfg: &RunConfig,
+    writer_threads: usize,
+    reader_threads: usize,
+    rounds: usize,
+    fraction: f64,
+) -> WriteconcReport {
+    let exclusive = World::build(&RunConfig { olc_writes: false, ..cfg.clone() });
+    let olc = World::build(&RunConfig { olc_writes: true, ..cfg.clone() });
+    assert!(olc.peb.olc_writes(), "OLC world must run the latched write path");
+
+    // Identical rounds for both variants: same stream, same seed. The
+    // 1-unit tick keeps consecutive rounds inside one partition phase so
+    // re-reports after the first are same-partition refreshes.
+    let mut stream = UpdateStream::new(
+        exclusive.dataset.space,
+        cfg.max_speed,
+        exclusive.dataset.users.clone(),
+        1.0,
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0C11);
+    let all_rounds: Vec<Vec<MovingPoint>> =
+        (0..rounds).map(|_| stream.next_round(&mut rng, fraction)).collect();
+    let updates_total: usize = all_rounds.iter().map(|r| r.len()).sum();
+
+    let gen = QueryGenerator::new(exclusive.dataset.space, cfg.num_users);
+    let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x51EA);
+    let ranges = gen.range_batch(&mut qrng, cfg.queries, cfg.window_side, cfg.tq);
+
+    let excl_v = drive(&exclusive, &all_rounds, &ranges, writer_threads, reader_threads);
+    let olc_v = drive(&olc, &all_rounds, &ranges, writer_threads, reader_threads);
+
+    // Quiesced cross-check: the write protocol must not change a single
+    // result (same rounds applied, so both worlds hold the same state).
+    for (i, q) in ranges.iter().enumerate() {
+        let a: Vec<_> =
+            exclusive.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        let b: Vec<_> = olc.peb.prq(q.issuer, &q.window, q.tq).iter().map(|m| m.uid).collect();
+        assert_eq!(a, b, "query {i}: the OLC write path changed a result");
+    }
+
+    WriteconcReport {
+        users: exclusive.dataset.users.len(),
+        rounds,
+        round_fraction: fraction,
+        updates_total,
+        queries: cfg.queries,
+        writer_threads,
+        reader_threads,
+        exclusive: excl_v,
+        olc: olc_v,
+    }
+}
+
+/// Apply the rounds from `writer_threads` threads (updates partitioned
+/// by uid — the index's same-uid concurrency contract) while
+/// `reader_threads` loop the PRQ batch; return the variant's ledger.
+fn drive(
+    world: &World,
+    all_rounds: &[Vec<MovingPoint>],
+    ranges: &[peb_workload::queries::RangeQuerySpec],
+    writer_threads: usize,
+    reader_threads: usize,
+) -> WriteconcVariant {
+    let locks_before = world.peb.lock_stats();
+    let olc_before = world.peb.olc_stats();
+    let updates_total: usize = all_rounds.iter().map(|r| r.len()).sum();
+    let done = AtomicBool::new(false);
+    let started = Instant::now();
+
+    let (reader_queries, reader_secs) = std::thread::scope(|s| {
+        let writer_handles: Vec<_> = (0..writer_threads)
+            .map(|w| {
+                s.spawn(move || {
+                    for round in all_rounds {
+                        for m in round.iter().filter(|m| m.uid.0 as usize % writer_threads == w) {
+                            world.peb.index().upsert(*m);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let reader_handles: Vec<_> = (0..reader_threads)
+            .map(|r| {
+                let done = &done;
+                s.spawn(move || {
+                    let mut n = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let q = &ranges[(n as usize + r) % ranges.len()];
+                        let _ = world.peb.prq(q.issuer, &q.window, q.tq);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for h in writer_handles {
+            h.join().expect("writer thread");
+        }
+        let write_secs = started.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        let queries: u64 =
+            reader_handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
+        (queries, write_secs)
+    });
+
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let locks = world.peb.lock_stats();
+    let olc_after = world.peb.olc_stats();
+    WriteconcVariant {
+        upserts_per_sec: updates_total as f64 / wall,
+        reader_qps: reader_queries as f64 / reader_secs.max(1e-9),
+        latch_acquisitions: locks.latch_acquisitions - locks_before.latch_acquisitions,
+        latch_waits: locks.latch_waits - locks_before.latch_waits,
+        reader_opt_retries: locks.optimistic_retries - locks_before.optimistic_retries,
+        olc: peb_btree::OlcStats {
+            write_restarts: olc_after.write_restarts - olc_before.write_restarts,
+            write_escalations: olc_after.write_escalations - olc_before.write_escalations,
+            scan_restarts: olc_after.scan_restarts - olc_before.scan_restarts,
+            scan_escalations: olc_after.scan_escalations - olc_before.scan_escalations,
+        },
+    }
+}
+
+/// Print the experiment as a paper-style tab-separated table.
+pub fn print_table(r: &WriteconcReport) {
+    println!(
+        "variant\tupserts_per_sec\treader_qps\tlatch_grants\tlatch_waits\treader_retries\trestarts\tescalations\t({} users, {} rounds x {:.0}%, {}w+{}r)",
+        r.users,
+        r.rounds,
+        r.round_fraction * 100.0,
+        r.writer_threads,
+        r.reader_threads
+    );
+    for (name, v) in [("exclusive", &r.exclusive), ("olc", &r.olc)] {
+        println!(
+            "{name}\t{:.0}\t{:.0}\t{}\t{}\t{}\t{}\t{}",
+            v.upserts_per_sec,
+            v.reader_qps,
+            v.latch_acquisitions,
+            v.latch_waits,
+            v.reader_opt_retries,
+            v.olc.write_restarts + v.olc.scan_restarts,
+            v.olc.write_escalations + v.olc.scan_escalations,
+        );
+    }
+    println!("olc_speedup_over_excl\t{:.2}x", r.olc_speedup());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writeconc_runs_and_cross_checks_results() {
+        let cfg = RunConfig {
+            num_users: 1_000,
+            policies_per_user: 8,
+            queries: 8,
+            seed: 0x0C11,
+            buffer_pages: 1_024,
+            pool_shards: 4,
+            ..Default::default()
+        };
+        // The result-equality cross-check between the exclusive and OLC
+        // worlds runs inside measure_writeconc_with.
+        let r = measure_writeconc_with(&cfg, 2, 1, 2, 1.0);
+        assert_eq!(r.writer_threads, 2);
+        assert!(r.updates_total > 0);
+        assert!(r.exclusive.upserts_per_sec > 0.0 && r.olc.upserts_per_sec > 0.0);
+        // The exclusive write path never touches a latch and never
+        // restarts — its entire exclusion is the shard lock.
+        assert_eq!(r.exclusive.latch_acquisitions, 0);
+        assert_eq!(r.exclusive.olc, peb_btree::OlcStats::default());
+        // The OLC path's exclusion footprint is per-update page latches:
+        // present, but bounded by the update count times a small path
+        // scope — not the shard's page population per update.
+        assert!(r.olc.latch_acquisitions > 0, "refreshes must latch their leaves");
+        assert!(
+            r.olc.latch_acquisitions <= (4 * r.updates_total) as u64,
+            "latched scope stays O(path) per update: {} grants for {} updates",
+            r.olc.latch_acquisitions,
+            r.updates_total
+        );
+    }
+
+    #[test]
+    fn json_entry_is_well_formed() {
+        let v = |latched: u64| WriteconcVariant {
+            upserts_per_sec: 50_000.0,
+            reader_qps: 900.0,
+            latch_acquisitions: latched,
+            latch_waits: latched / 100,
+            reader_opt_retries: 3,
+            olc: peb_btree::OlcStats {
+                write_restarts: latched / 50,
+                write_escalations: 1,
+                scan_restarts: 2,
+                scan_escalations: 0,
+            },
+        };
+        let r = WriteconcReport {
+            users: 8_000,
+            rounds: 4,
+            round_fraction: 0.25,
+            updates_total: 8_000,
+            queries: 48,
+            writer_threads: 4,
+            reader_threads: 2,
+            exclusive: v(0),
+            olc: v(9_000),
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        // 7 config keys + 2 variants x 9 + 1 speedup.
+        assert_eq!(j.matches(':').count(), 26, "one key per field");
+        assert!(j.contains("\"olc_latch_acquisitions\": 9000"));
+        assert!(j.contains("\"excl_latch_acquisitions\": 0"));
+        assert!(j.contains("\"olc_speedup_over_excl\":"));
+    }
+}

@@ -270,6 +270,7 @@ impl<V: RecordValue> BTree<V> {
         let buffered = self.msgs.buffered;
         let seq = self.msgs.seq;
         let tree_id = self.tree_id;
+        let olc = self.olc_enabled();
         *self = BTree::bulk_load(Arc::clone(self.pool()), merged, MERGE_FILL);
         // The rebuild replaced `self` wholesale; the scan and write
         // ledgers outlive structural maintenance like every other counter
@@ -281,6 +282,9 @@ impl<V: RecordValue> BTree<V> {
         self.msgs.buffered = buffered;
         self.msgs.seq = seq;
         self.tree_id = tree_id;
+        if olc {
+            self.set_olc_writes(true);
+        }
         self.log_meta();
         added
     }

@@ -31,6 +31,13 @@
 //!   sorted batches; reads overlay in-flight messages so results are
 //!   unchanged. Off (the default) the write path is untouched; see the
 //!   [`msg`] module docs.
+//! * **Optional optimistic-lock-coupling writes.** With
+//!   [`BTree::set_olc_writes`] on, [`BTree::olc_insert`] and
+//!   [`BTree::olc_delete`] run through `&self` under per-page latches
+//!   with version validation, so writers overlap optimistic readers
+//!   instead of excluding them; structural modifications stay
+//!   reader-safe purely through publish ordering. Off (the default)
+//!   nothing changes; see the [`olc`] module docs.
 
 #![warn(missing_docs)]
 
@@ -38,10 +45,12 @@ pub mod bulk;
 pub mod msg;
 pub mod multiscan;
 pub mod node;
+pub mod olc;
 pub mod tree;
 pub mod value;
 
 pub use msg::WriteStats;
 pub use multiscan::{coalesce_intervals, ScanStats};
+pub use olc::{OlcStats, OLC_WRITE_RESTARTS};
 pub use tree::{BTree, TreeStats, OPT_MAX_RESTARTS};
 pub use value::RecordValue;

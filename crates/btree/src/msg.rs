@@ -210,6 +210,9 @@ impl<V: RecordValue> BTree<V> {
     /// B+-tree with nothing in flight. Turning them on costs nothing
     /// until the first `buffered_*` call.
     pub fn set_buffered_writes(&mut self, on: bool) {
+        if on {
+            assert!(!self.olc_enabled(), "buffered writes and OLC writes are mutually exclusive");
+        }
         if !on {
             self.flush_messages();
         }
@@ -305,7 +308,7 @@ impl<V: RecordValue> BTree<V> {
             return;
         }
         self.maybe_overflow();
-        let root = self.root;
+        let root = self.root();
         let msgs: Vec<Msg<V>> = entries
             .into_iter()
             .map(|(key, v)| {
@@ -323,7 +326,7 @@ impl<V: RecordValue> BTree<V> {
         let seq = self.msgs.seq;
         self.msgs.seq += 1;
         self.writes.bump_msg(op);
-        let root = self.root;
+        let root = self.root();
         self.chain_append_batch(root, &[Msg { key, seq, op, val }]);
     }
 
@@ -336,7 +339,7 @@ impl<V: RecordValue> BTree<V> {
         self.msgs.seq += 2;
         self.writes.bump_msg(OP_DEL);
         self.writes.bump_msg(put.1);
-        let root = self.root;
+        let root = self.root();
         self.chain_append_batch(
             root,
             &[
@@ -391,7 +394,7 @@ impl<V: RecordValue> BTree<V> {
     /// Start `owner`'s chain, or link a fresh tail page onto it.
     fn chain_new_tail(&mut self, owner: PageId) {
         let pid = self.pool.allocate();
-        self.total_pages += 1;
+        self.add_total_pages(1);
         self.pool.write_chain(pid, |p| {
             p.put_u16(OFF_MSG_COUNT, 0);
             p.put_u32(OFF_MSG_NEXT, 0);
@@ -459,7 +462,7 @@ impl<V: RecordValue> BTree<V> {
         let root_full = self
             .msgs
             .chains
-            .get(&self.root)
+            .get(&self.root())
             .is_some_and(|c| c.pages >= MAX_CHAIN_PAGES && c.tail_count == cap);
         if !root_full {
             return;
@@ -469,13 +472,13 @@ impl<V: RecordValue> BTree<V> {
         // so the kill-point matrix can target this region specifically.
         let pool = Arc::clone(&self.pool);
         pool.with_crash_scope(CrashPoint::ChainSpill, || {
-            if self.height >= 3 {
+            if self.height() >= 3 {
                 self.spill_root_chain();
                 let child_over = self
                     .msgs
                     .chains
                     .iter()
-                    .any(|(pid, c)| *pid != self.root && c.pages > MAX_CHAIN_PAGES);
+                    .any(|(pid, c)| *pid != self.root() && c.pages > MAX_CHAIN_PAGES);
                 if child_over {
                     self.flush_messages();
                 }
@@ -495,14 +498,14 @@ impl<V: RecordValue> BTree<V> {
     /// children, routed by the root's separators. Messages only ever move
     /// downward, so sequence-number order is preserved across levels.
     fn spill_root_chain(&mut self) {
-        let Some(chain) = self.msgs.chains.remove(&self.root) else { return };
+        let Some(chain) = self.msgs.chains.remove(&self.root()) else { return };
         let mut msgs: Vec<Msg<V>> = Vec::new();
         self.read_chain_msgs(chain.head, &mut msgs);
         self.msgs.pending -= msgs.len();
-        self.total_pages -= chain.pages;
+        self.add_total_pages(-(chain.pages as isize));
         // The chain pages leak on the simulated disk like merged tree
         // pages do; clear the on-page head so the format stays honest.
-        let root = self.root;
+        let root = self.root();
         self.pool.write(root, |p| node::set_chain_head(p, PageId::INVALID));
 
         // Route every message through the root page once.
@@ -533,7 +536,7 @@ impl<V: RecordValue> BTree<V> {
         for owner in self.chain_owners() {
             let chain = self.msgs.chains.remove(&owner).expect("listed owner");
             self.read_chain_msgs(chain.head, &mut all);
-            self.total_pages -= chain.pages;
+            self.add_total_pages(-(chain.pages as isize));
             self.pool.write(owner, |p| node::set_chain_head(p, PageId::INVALID));
         }
         self.msgs.pending = 0;
@@ -607,9 +610,9 @@ impl<V: RecordValue> BTree<V> {
     /// (`u128::MAX` when the leaf tops the key space). The fence is what
     /// lets the flush assign a whole run of sorted messages to one leaf.
     fn descend_to_leaf_locked(&self, key: u128) -> (PageId, u128) {
-        let mut pid = self.root;
+        let mut pid = self.root();
         let mut fence = u128::MAX;
-        for _ in 1..self.height {
+        for _ in 1..self.height() {
             let (child, f) = self.pool.read(pid, |p| {
                 let j = node::branch_child_index(p, key);
                 let f = if j < node::count(p) { node::branch_key(p, j) } else { u128::MAX };
@@ -679,7 +682,7 @@ impl<V: RecordValue> BTree<V> {
             // preserves separators and the sibling chain as long as the
             // occupancy bounds hold.
             let fits = merged.len() <= Self::leaf_cap()
-                && (self.height == 1 || merged.len() >= Self::leaf_min());
+                && (self.height() == 1 || merged.len() >= Self::leaf_min());
             if fits {
                 self.pool.write(leaf, |p| {
                     for (s, (k, v)) in merged.iter().enumerate() {
@@ -690,7 +693,7 @@ impl<V: RecordValue> BTree<V> {
                     node::set_count(p, merged.len());
                 });
                 self.writes.bump_leaf_writes(1);
-                self.len = self.len + merged.len() - entries.len();
+                self.set_len(self.len() + merged.len() - entries.len());
             } else {
                 drop(merged);
                 for m in group.iter().cloned() {
@@ -735,7 +738,7 @@ impl<V: RecordValue> BTree<V> {
                 self.msgs.pending += n;
                 pid = next;
             }
-            self.total_pages += pages;
+            self.add_total_pages(pages as isize);
             self.msgs.chains.insert(owner, Chain { head, tail, tail_count, pages });
             let mut msgs: Vec<Msg<V>> = Vec::new();
             self.read_chain_msgs(head, &mut msgs);

@@ -21,13 +21,16 @@
 //! cross-tree pool traffic) that shared-pool concurrency can cause.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use peb_storage::{BufferPool, OptimisticRead, Page, PageId, PageSnapshot};
 
 use crate::msg::{MsgState, WriteCounters};
 use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats};
 use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
+use crate::olc::OlcCounters;
 use crate::value::RecordValue;
 
 /// Bound on root-restarts of an optimistic descent before it falls back
@@ -38,7 +41,7 @@ pub const OPT_MAX_RESTARTS: usize = 3;
 
 /// Signal that an optimistic descent observed a version conflict and must
 /// restart from the root (internal to the read path).
-struct Restart;
+pub(crate) struct Restart;
 
 /// One cached level of a fused scan's descent path: a versioned snapshot
 /// of the branch page last consulted at this depth. Reused by the next
@@ -54,12 +57,16 @@ struct PathLevel {
 /// A disk-based B+-tree mapping unique `u128` keys to fixed-size records.
 pub struct BTree<V: RecordValue> {
     pub(crate) pool: Arc<BufferPool>,
-    pub(crate) root: PageId,
-    /// Number of levels; 1 means the root is a leaf.
-    pub(crate) height: u32,
-    pub(crate) len: usize,
-    leaf_pages: usize,
-    pub(crate) total_pages: usize,
+    /// `(root page id << 32) | height`, packed so one atomic load yields a
+    /// *consistent pair*: root growth and root collapse change both, and a
+    /// concurrent traversal that read them separately could pair a new
+    /// root with an old height. Plain loads/stores under `&mut self`;
+    /// acquire/release once the OLC write path shares the tree.
+    top: AtomicU64,
+    /// Stored entries. Relaxed: a statistic, not a routing input.
+    len: AtomicUsize,
+    leaf_pages: AtomicUsize,
+    total_pages: AtomicUsize,
     /// Deterministic scan-path counters (descents, cached branch pages).
     scans: ScanCounters,
     /// Deterministic write-path counters (messages, flushes, leaf writes).
@@ -72,6 +79,21 @@ pub struct BTree<V: RecordValue> {
     /// ([`BTree::bulk_load`]-based merges, flushes) via
     /// [`BTree::set_tree_id`].
     pub(crate) tree_id: u32,
+    /// Whether the optimistic-lock-coupling write path is active
+    /// ([`BTree::set_olc_writes`]). Flips reader semantics to *strict*
+    /// validation: an unpublished page aborts an optimistic descent
+    /// instead of being read through the locked path, because with
+    /// concurrent writers a locked read mid-descent has no version to
+    /// validate the route against.
+    pub(crate) olc: AtomicBool,
+    /// Contention counters of the OLC paths ([`BTree::olc_stats`]).
+    pub(crate) olc_stats: OlcCounters,
+    /// Writer drain for terminal fallbacks. OLC writers hold the shared
+    /// side for the duration of one operation; a reader (or writer) that
+    /// exhausts its optimistic restart budget takes the exclusive side,
+    /// which drains every in-flight writer and makes a locked traversal
+    /// safe again. Acquired before any page latch (gate → latch order).
+    pub(crate) gate: RwLock<()>,
     _values: PhantomData<V>,
 }
 
@@ -80,28 +102,80 @@ impl<V: RecordValue> BTree<V> {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         let root = pool.allocate();
         pool.write(root, node::init_leaf);
-        let t = BTree {
-            pool,
-            root,
-            height: 1,
-            len: 0,
-            leaf_pages: 1,
-            total_pages: 1,
-            scans: ScanCounters::default(),
-            writes: WriteCounters::default(),
-            msgs: MsgState::default(),
-            tree_id: u32::MAX,
-            _values: PhantomData,
-        };
+        let t = BTree::from_raw(pool, root, 1, 0, 1, 1);
         t.writes.bump_leaf_writes(1);
         t
     }
 
-    const fn vsize() -> usize {
+    // ---- shared structural state (packed top + counters) -------------------
+
+    const fn pack_top(root: PageId, height: u32) -> u64 {
+        ((root.0 as u64) << 32) | height as u64
+    }
+
+    pub(crate) const fn unpack_top(top: u64) -> (PageId, u32) {
+        (PageId((top >> 32) as u32), top as u32)
+    }
+
+    /// One consistent load of the `(root, height)` pair.
+    pub(crate) fn top(&self) -> (PageId, u32) {
+        Self::unpack_top(self.top_raw())
+    }
+
+    /// The raw packed top word, for equality re-validation after a
+    /// descent's first page read (catches root growth/collapse that
+    /// republished the old root underneath the reader).
+    pub(crate) fn top_raw(&self) -> u64 {
+        self.top.load(Ordering::Acquire)
+    }
+
+    /// Publish a new `(root, height)` pair. Within a structural
+    /// modification this must be ordered per the SMO publish discipline
+    /// (new pages first; the old root's shrink only after).
+    pub(crate) fn set_top(&self, root: PageId, height: u32) {
+        self.top.store(Self::pack_top(root, height), Ordering::Release);
+    }
+
+    pub(crate) fn add_len(&self, delta: isize) {
+        if delta >= 0 {
+            self.len.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.len.fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn set_len(&self, n: usize) {
+        self.len.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_leaf_pages(&self, delta: isize) {
+        if delta >= 0 {
+            self.leaf_pages.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.leaf_pages.fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_total_pages(&self, delta: isize) {
+        if delta >= 0 {
+            self.total_pages.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.total_pages.fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the optimistic-lock-coupling write path is on (strict
+    /// reader validation; writers may run concurrently under the shared
+    /// side of the gate).
+    pub fn olc_enabled(&self) -> bool {
+        self.olc.load(Ordering::Relaxed)
+    }
+
+    pub(crate) const fn vsize() -> usize {
         V::SIZE
     }
 
-    const fn stride() -> usize {
+    pub(crate) const fn stride() -> usize {
         16 + V::SIZE
     }
 
@@ -113,33 +187,33 @@ impl<V: RecordValue> BTree<V> {
         leaf_capacity(V::SIZE) / 2
     }
 
-    const fn branch_min() -> usize {
+    pub(crate) const fn branch_min() -> usize {
         branch_capacity() / 2
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the tree stores no entries.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Tree height in levels (1 = root is a leaf).
     pub fn height(&self) -> u32 {
-        self.height
+        self.top().1
     }
 
     /// Number of live leaf pages (`Nl` in the paper's cost model).
     pub fn leaf_page_count(&self) -> usize {
-        self.leaf_pages
+        self.leaf_pages.load(Ordering::Relaxed)
     }
 
     /// Number of live pages across all levels.
     pub fn page_count(&self) -> usize {
-        self.total_pages
+        self.total_pages.load(Ordering::Relaxed)
     }
 
     /// The buffer pool this tree performs I/O through.
@@ -159,15 +233,17 @@ impl<V: RecordValue> BTree<V> {
     ) -> Self {
         BTree {
             pool,
-            root,
-            height,
-            len,
-            leaf_pages,
-            total_pages,
+            top: AtomicU64::new(Self::pack_top(root, height)),
+            len: AtomicUsize::new(len),
+            leaf_pages: AtomicUsize::new(leaf_pages),
+            total_pages: AtomicUsize::new(total_pages),
             scans: ScanCounters::default(),
             writes: WriteCounters::default(),
             msgs: MsgState::default(),
             tree_id: u32::MAX,
+            olc: AtomicBool::new(false),
+            olc_stats: OlcCounters::default(),
+            gate: RwLock::new(()),
             _values: PhantomData,
         }
     }
@@ -175,7 +251,7 @@ impl<V: RecordValue> BTree<V> {
     /// The root page of this tree (changes on root split/collapse and on
     /// wholesale rebuilds).
     pub fn root(&self) -> PageId {
-        self.root
+        self.top().0
     }
 
     /// This tree's identity in the write-ahead log (`u32::MAX` =
@@ -198,7 +274,8 @@ impl<V: RecordValue> BTree<V> {
     /// Log this tree's (root, height) to the write-ahead log — a no-op
     /// unless the pool is durable and the tree is registered.
     pub(crate) fn log_meta(&self) {
-        self.pool.wal_tree_meta(self.tree_id, self.root, self.height);
+        let (root, height) = self.top();
+        self.pool.wal_tree_meta(self.tree_id, root, height);
     }
 
     /// Reconstruct a tree from its recovered on-disk pages: `root` and
@@ -216,7 +293,7 @@ impl<V: RecordValue> BTree<V> {
         for _ in 0..height {
             let mut next = Vec::new();
             for &pid in &frontier {
-                t.total_pages += 1;
+                t.add_total_pages(1);
                 let (n, leaf, chain, children) = t.pool.read(pid, |p| {
                     let n = node::count(p);
                     let leaf = node::is_leaf(p);
@@ -231,8 +308,8 @@ impl<V: RecordValue> BTree<V> {
                     chained.push((pid, chain));
                 }
                 if leaf {
-                    t.leaf_pages += 1;
-                    t.len += n;
+                    t.add_leaf_pages(1);
+                    t.add_len(n as isize);
                 } else {
                     next.extend(children);
                 }
@@ -284,30 +361,41 @@ impl<V: RecordValue> BTree<V> {
     /// replaced by this page's version for the next step. A locked read
     /// yields no version, so the chain restarts from it.
     ///
-    /// A parent that merely became *unpublished* (evicted or displaced
-    /// from its mirror slot — its content survives on disk unchanged)
-    /// does **not** restart the descent: page contents only change under
-    /// exclusive tree access, so an unpublished parent cannot have
-    /// rerouted us, and tolerating it keeps buffer churn from perturbing
-    /// the deterministic I/O ledger. Only a parent republished at a
-    /// *different version* — a genuine rewrite — forces the restart.
+    /// With the tree quiesced on the write side (`olc` off — writers hold
+    /// `&mut self` or a shard-exclusive lock), a parent that merely became
+    /// *unpublished* (evicted or displaced from its mirror slot — its
+    /// content survives on disk unchanged) does **not** restart the
+    /// descent: page contents only change under exclusive tree access, so
+    /// an unpublished parent cannot have rerouted us, and tolerating it
+    /// keeps buffer churn from perturbing the deterministic I/O ledger.
+    /// Only a parent republished at a *different version* — a genuine
+    /// rewrite — forces the restart.
+    ///
+    /// With the OLC write path on, both relaxations are unsound — a
+    /// locked mid-descent read has no version to validate the route
+    /// against while a writer races, and a vanished parent version can
+    /// hide a rewrite — so *strict* mode turns an unpublished page and a
+    /// vanished parent version into restarts. The terminal fallback
+    /// ([`BTree::gate`]) drains writers before any locked traversal.
     fn descend_step<R>(
         &self,
         pid: PageId,
         prev: &mut Option<(PageId, u64)>,
         f: impl Fn(&Page) -> R,
     ) -> Result<R, Restart> {
+        let strict = self.olc_enabled();
         let (r, version) = match self.pool.read_versioned(pid, &f) {
             OptimisticRead::Hit(r, v) => (r, Some(v)),
             // Not published lock-free (cold page, mirror collision): the
             // locked read is authoritative and counts the touch exactly
             // like a fully locked descent would.
-            OptimisticRead::Unpublished => (self.pool.read(pid, &f), None),
-            OptimisticRead::Conflict => return Err(Restart),
+            OptimisticRead::Unpublished if !strict => (self.pool.read(pid, &f), None),
+            OptimisticRead::Unpublished | OptimisticRead::Conflict => return Err(Restart),
         };
         if let Some((ppid, pv)) = *prev {
             match self.pool.read_version(ppid) {
                 Some(v) if v != pv => return Err(Restart),
+                None if strict => return Err(Restart),
                 _ => {}
             }
         }
@@ -317,31 +405,45 @@ impl<V: RecordValue> BTree<V> {
 
     /// One optimistic root-to-leaf descent for `key`; `Err` means a
     /// version conflict invalidated the route and the caller restarts.
+    ///
+    /// The packed top is loaded once (a consistent `(root, height)` pair)
+    /// and re-validated after the first page read: a root grow publishes
+    /// the new top *before* shrinking the old root, so a reader that saw
+    /// the shrunk old root — the one image it has no parent version to
+    /// validate against — necessarily sees a changed top and restarts.
     fn try_get_optimistic(&self, key: u128) -> Result<Option<V>, Restart> {
         let vsize = Self::vsize();
+        let top = self.top_raw();
+        let (mut pid, height) = Self::unpack_top(top);
         let mut prev: Option<(PageId, u64)> = None;
-        let mut pid = self.root;
-        for _ in 1..self.height {
+        for level in 1..height {
             pid = self.descend_step(pid, &mut prev, |p| {
                 node::child_at(p, node::branch_child_index(p, key))
             })?;
+            if level == 1 && self.top_raw() != top {
+                return Err(Restart);
+            }
         }
-        self.descend_step(pid, &mut prev, |p| {
+        let found = self.descend_step(pid, &mut prev, |p| {
             let i = node::leaf_lower_bound(p, key, vsize);
             if i < node::count(p) && node::leaf_key(p, i, vsize) == key {
                 Some(V::read(p.bytes(node::leaf_entry_off(i, vsize) + 16, vsize)))
             } else {
                 None
             }
-        })
+        })?;
+        if height == 1 && self.top_raw() != top {
+            return Err(Restart);
+        }
+        Ok(found)
     }
 
     /// The fully locked point lookup — the universal fallback of
     /// [`BTree::get`] and the reference behavior the optimistic descent
     /// is tested against.
     fn get_locked(&self, key: u128) -> Option<V> {
-        let mut pid = self.root;
-        for _ in 1..self.height {
+        let (mut pid, height) = self.top();
+        for _ in 1..height {
             pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, key)));
         }
         self.pool.read(pid, |p| {
@@ -402,7 +504,15 @@ impl<V: RecordValue> BTree<V> {
                 return found;
             }
         }
-        self.get_locked(key)
+        if self.olc_enabled() {
+            // Strict mode has no per-page locked fallback, so a cold or
+            // contended path lands here: drain writers, then read locked
+            // (which also republishes the path for future attempts).
+            let _drain = self.gate.write();
+            self.get_locked(key)
+        } else {
+            self.get_locked(key)
+        }
     }
 
     /// Whether `key` is present.
@@ -423,24 +533,23 @@ impl<V: RecordValue> BTree<V> {
             self.msgs.pending, 0,
             "plain insert with buffered messages pending; use buffered_insert"
         );
-        match self.insert_rec(self.root, self.height - 1, key, &value) {
+        let (root, height) = self.top();
+        match self.insert_rec(root, height - 1, key, &value) {
             InsertOutcome::Replaced(old) => Some(old),
             InsertOutcome::Done => {
-                self.len += 1;
+                self.add_len(1);
                 None
             }
             InsertOutcome::Split(sep, right) => {
                 // Grow a new root above the old one.
                 let new_root = self.pool.allocate();
-                self.total_pages += 1;
-                let old_root = self.root;
+                self.add_total_pages(1);
                 self.pool.write(new_root, |p| {
-                    node::init_branch(p, old_root);
+                    node::init_branch(p, root);
                     node::branch_insert_entry(p, 0, sep, right);
                 });
-                self.root = new_root;
-                self.height += 1;
-                self.len += 1;
+                self.set_top(new_root, height + 1);
+                self.add_len(1);
                 self.log_meta();
                 None
             }
@@ -506,8 +615,8 @@ impl<V: RecordValue> BTree<V> {
                 // Full leaf: split, then insert into the proper half.
                 let mid = n / 2;
                 let right = self.pool.allocate();
-                self.total_pages += 1;
-                self.leaf_pages += 1;
+                self.add_total_pages(1);
+                self.add_leaf_pages(1);
 
                 // Move entries [mid..n) into the new right leaf.
                 let moved: Vec<u8> = self.pool.read(pid, |p| {
@@ -563,7 +672,7 @@ impl<V: RecordValue> BTree<V> {
         let m = entries.len() / 2;
         let (up_key, up_child) = entries[m];
         let right = self.pool.allocate();
-        self.total_pages += 1;
+        self.add_total_pages(1);
 
         self.pool.write(right, |p| {
             node::init_branch(p, up_child);
@@ -592,17 +701,17 @@ impl<V: RecordValue> BTree<V> {
             self.msgs.pending, 0,
             "plain delete with buffered messages pending; use buffered_delete"
         );
-        let removed = self.delete_rec(self.root, self.height - 1, key);
+        let (root, height) = self.top();
+        let removed = self.delete_rec(root, height - 1, key);
         if removed.is_some() {
-            self.len -= 1;
+            self.add_len(-1);
             // Collapse the root if it is an empty branch.
-            if self.height > 1 {
+            if height > 1 {
                 let (n, first_child) =
-                    self.pool.read(self.root, |p| (node::count(p), node::leftmost_child(p)));
+                    self.pool.read(root, |p| (node::count(p), node::leftmost_child(p)));
                 if n == 0 {
-                    self.root = first_child;
-                    self.height -= 1;
-                    self.total_pages -= 1;
+                    self.set_top(first_child, height - 1);
+                    self.add_total_pages(-1);
                     self.log_meta();
                 }
             }
@@ -769,7 +878,7 @@ impl<V: RecordValue> BTree<V> {
                 node::set_right_sibling(p, r_sibling);
             });
             self.writes.bump_leaf_writes(1);
-            self.leaf_pages -= 1;
+            self.add_leaf_pages(-1);
         } else {
             let sep = self.pool.read(pid, |p| node::branch_key(p, sep_idx));
             let r_leftmost = self.pool.read(r, node::leftmost_child);
@@ -789,7 +898,7 @@ impl<V: RecordValue> BTree<V> {
             });
         }
         self.pool.write(pid, |p| node::branch_remove_entry(p, sep_idx));
-        self.total_pages -= 1;
+        self.add_total_pages(-1);
         // The page of `r` is leaked on the simulated disk; the simulator has
         // no free list, and leaked pages cost no I/O.
     }
@@ -800,14 +909,21 @@ impl<V: RecordValue> BTree<V> {
     /// contain `lo`, plus the index of its first entry `>= lo`.
     fn try_find_start_leaf(&self, lo: u128) -> Result<(PageId, usize), Restart> {
         let vsize = Self::vsize();
+        let top = self.top_raw();
+        let (mut pid, height) = Self::unpack_top(top);
         let mut prev: Option<(PageId, u64)> = None;
-        let mut pid = self.root;
-        for _ in 1..self.height {
+        for level in 1..height {
             pid = self.descend_step(pid, &mut prev, |p| {
                 node::child_at(p, node::branch_child_index(p, lo))
             })?;
+            if level == 1 && self.top_raw() != top {
+                return Err(Restart);
+            }
         }
         let start = self.descend_step(pid, &mut prev, |p| node::leaf_lower_bound(p, lo, vsize))?;
+        if height == 1 && self.top_raw() != top {
+            return Err(Restart);
+        }
         Ok((pid, start))
     }
 
@@ -831,13 +947,25 @@ impl<V: RecordValue> BTree<V> {
     /// buffering is off — this costs one integer compare.
     pub fn range_scan(&self, lo: u128, hi: u128, mut visit: impl FnMut(u128, V) -> bool) -> bool {
         if self.msgs.pending == 0 {
-            return self.range_scan_leaves(lo, hi, visit);
+            return self.scan_leaves(lo, hi, visit);
         }
         if lo > hi {
             return true;
         }
         let overlay = self.collect_overlay(&[(lo, hi)]);
-        self.scan_with_overlay(overlay, |f| self.range_scan_leaves(lo, hi, f), &mut visit)
+        self.scan_with_overlay(overlay, |f| self.scan_leaves(lo, hi, f), &mut visit)
+    }
+
+    /// Mode dispatch for the leaf-chain walk: the relaxed walk (per-leaf
+    /// locked fallback, never restarts once emitting) is exact while
+    /// writers are excluded; with the OLC write path on, the strict
+    /// frontier-validated walk is required.
+    fn scan_leaves(&self, lo: u128, hi: u128, visit: impl FnMut(u128, V) -> bool) -> bool {
+        if self.olc_enabled() {
+            self.range_scan_leaves_olc(lo, hi, visit)
+        } else {
+            self.range_scan_leaves(lo, hi, visit)
+        }
     }
 
     /// The leaf-only body of [`BTree::range_scan`] (no message overlay).
@@ -861,8 +989,8 @@ impl<V: RecordValue> BTree<V> {
         }
         let (mut pid, mut start) = found.unwrap_or_else(|| {
             // Locked fallback descent (same page touches, same answer).
-            let mut pid = self.root;
-            for _ in 1..self.height {
+            let (mut pid, height) = self.top();
+            for _ in 1..height {
                 pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)));
             }
             (pid, self.pool.read(pid, |p| node::leaf_lower_bound(p, lo, vsize)))
@@ -904,6 +1032,125 @@ impl<V: RecordValue> BTree<V> {
         }
     }
 
+    /// OLC-safe counterpart of [`BTree::range_scan_leaves`], used while
+    /// the write path runs concurrently. The scan keeps a **frontier**
+    /// (the smallest key not yet emitted) so a restart never re-emits or
+    /// skips an entry, and the chain walk validates the previous leaf's
+    /// version after reading each next leaf — a sibling link read from a
+    /// leaf that has since split or been absorbed would otherwise skip
+    /// the keys that moved. After [`OPT_MAX_RESTARTS`] failed attempts
+    /// the scan drains writers through the gate and finishes on the
+    /// relaxed walk, which is exact once writers are excluded.
+    fn range_scan_leaves_olc(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> bool {
+        if lo > hi {
+            return true;
+        }
+        self.scans.bump_descent();
+        let mut frontier = lo;
+        for _ in 0..OPT_MAX_RESTARTS {
+            if let Ok(done) = self.try_scan_olc(&mut frontier, hi, &mut visit) {
+                return done;
+            }
+            self.olc_stats.bump_scan_restarts();
+        }
+        self.olc_stats.bump_scan_escalations();
+        let _drain = self.gate.write();
+        self.range_scan_leaves(frontier, hi, visit)
+    }
+
+    /// One attempt of the OLC chain scan: emit every `[*frontier, hi]`
+    /// entry in order, advancing the frontier past each emitted key.
+    /// `Ok(done)` mirrors the visitor protocol (`false` = early stop);
+    /// `Err` means a validation failed after the frontier had advanced
+    /// past everything already emitted, so the caller can retry from the
+    /// frontier with no duplicate or missed emission.
+    fn try_scan_olc(
+        &self,
+        frontier: &mut u128,
+        hi: u128,
+        visit: &mut impl FnMut(u128, V) -> bool,
+    ) -> Result<bool, Restart> {
+        let vsize = Self::vsize();
+        let lo = *frontier;
+        let top = self.top_raw();
+        let (mut pid, height) = Self::unpack_top(top);
+        let mut prev: Option<(PageId, u64)> = None;
+        for level in 1..height {
+            pid = self.descend_step(pid, &mut prev, |p| {
+                node::child_at(p, node::branch_child_index(p, lo))
+            })?;
+            if level == 1 && self.top_raw() != top {
+                return Err(Restart);
+            }
+        }
+        // The leaf batch is collected inside the descent's own validated
+        // read, so its route is covered by the parent re-check and no
+        // separate (unvalidatable) re-read of the leaf is needed.
+        let collect = |p: &Page, from: u128| {
+            let n = node::count(p);
+            let mut batch = Vec::new();
+            let mut i = node::leaf_lower_bound(p, from, vsize);
+            while i < n {
+                let k = node::leaf_key(p, i, vsize);
+                if k > hi {
+                    return (batch, PageId::INVALID);
+                }
+                batch.push((k, V::read(p.bytes(node::leaf_entry_off(i, vsize) + 16, vsize))));
+                i += 1;
+            }
+            (batch, node::right_sibling(p))
+        };
+        let (batch, mut next) = self.descend_step(pid, &mut prev, |p| collect(p, lo))?;
+        if height == 1 && self.top_raw() != top {
+            return Err(Restart);
+        }
+        // Strict mode never returns a version-less read, so the descent
+        // left this leaf's (id, version) in `prev`.
+        let (mut cur, mut cur_v) = prev.ok_or(Restart)?;
+        for (k, v) in batch {
+            if !visit(k, v) {
+                return Ok(false);
+            }
+            if k == u128::MAX {
+                return Ok(true);
+            }
+            *frontier = k + 1;
+        }
+        while next.is_valid() {
+            let from = *frontier;
+            let (r, v) = match self.pool.read_versioned(next, |p| collect(p, from)) {
+                OptimisticRead::Hit(r, v) => (r, v),
+                OptimisticRead::Unpublished | OptimisticRead::Conflict => return Err(Restart),
+            };
+            // The link we followed must still be current: if `cur` has
+            // changed since we read it (split shrank it, a merge absorbed
+            // it), the keys between it and `next` may have moved and this
+            // leaf is not necessarily the true successor.
+            match self.pool.read_version(cur) {
+                Some(x) if x == cur_v => {}
+                _ => return Err(Restart),
+            }
+            let (batch, nn) = r;
+            (cur, cur_v) = (next, v);
+            for (k, v) in batch {
+                if !visit(k, v) {
+                    return Ok(false);
+                }
+                if k == u128::MAX {
+                    return Ok(true);
+                }
+                *frontier = k + 1;
+            }
+            next = nn;
+        }
+        Ok(true)
+    }
+
     /// Collect all `(key, value)` pairs in `[lo, hi]`.
     pub fn range(&self, lo: u128, hi: u128) -> Vec<(u128, V)> {
         let mut out = Vec::new();
@@ -937,7 +1184,7 @@ impl<V: RecordValue> BTree<V> {
     /// republished since merely fails validation and is re-read — the
     /// conservative fallback, never a wrong route.
     fn descend_cached(&self, key: u128, path: &mut [PathLevel]) -> (PageId, u128) {
-        let mut pid = self.root;
+        let mut pid = self.root();
         let mut fence = u128::MAX;
         for (depth, level) in path.iter_mut().enumerate() {
             let cached =
@@ -1017,8 +1264,22 @@ impl<V: RecordValue> BTree<V> {
         if runs.is_empty() {
             return true;
         }
+        if self.olc_enabled() {
+            // The fused descent-path cache validates each cached level's
+            // version in isolation — there is no parent-after-child
+            // handshake — which is only sound while writers are excluded.
+            // Under the OLC write path each coalesced run walks the
+            // strict frontier-validated chain scan instead (one descent
+            // per run; the cache saving is deliberately forgone).
+            for &(lo, hi) in &runs {
+                if !self.range_scan_leaves_olc(lo, hi, &mut visit) {
+                    return false;
+                }
+            }
+            return true;
+        }
         let vsize = Self::vsize();
-        let mut path: Vec<PathLevel> = (1..self.height).map(|_| PathLevel::default()).collect();
+        let mut path: Vec<PathLevel> = (1..self.height()).map(|_| PathLevel::default()).collect();
         let mut i = 0usize;
         'runs: while i < runs.len() {
             let (mut pid, fence) = self.descend_cached(runs[i].0, &mut path);
@@ -1119,26 +1380,31 @@ impl<V: RecordValue> BTree<V> {
     /// Check every structural invariant; returns a description of the first
     /// violation. Used by tests and debug assertions.
     pub fn validate(&self) -> Result<(), String> {
+        let (root, height) = self.top();
         let mut leaves_seen = 0usize;
         let mut entries_seen = 0usize;
         self.validate_node(
-            self.root,
-            self.height - 1,
+            root,
+            height - 1,
             None,
             None,
             true,
             &mut leaves_seen,
             &mut entries_seen,
         )?;
-        if entries_seen != self.len {
-            return Err(format!("len {} != entries found {}", self.len, entries_seen));
+        if entries_seen != self.len() {
+            return Err(format!("len {} != entries found {}", self.len(), entries_seen));
         }
-        if leaves_seen != self.leaf_pages {
-            return Err(format!("leaf_pages {} != leaves found {}", self.leaf_pages, leaves_seen));
+        if leaves_seen != self.leaf_page_count() {
+            return Err(format!(
+                "leaf_pages {} != leaves found {}",
+                self.leaf_page_count(),
+                leaves_seen
+            ));
         }
         // The sibling chain must enumerate all entries in sorted order.
-        let mut pid = self.root;
-        for _ in 1..self.height {
+        let mut pid = root;
+        for _ in 1..height {
             pid = self.pool.read(pid, node::leftmost_child);
         }
         let mut prev: Option<u128> = None;
@@ -1160,8 +1426,8 @@ impl<V: RecordValue> BTree<V> {
             }
             pid = next;
         }
-        if chained != self.len {
-            return Err(format!("sibling chain covers {} of {} entries", chained, self.len));
+        if chained != self.len() {
+            return Err(format!("sibling chain covers {} of {} entries", chained, self.len()));
         }
         Ok(())
     }
@@ -1645,15 +1911,16 @@ impl<V: RecordValue> BTree<V> {
     /// O(1) structural statistics.
     pub fn stats(&self) -> TreeStats {
         let cap = Self::leaf_cap();
+        let (len, leaf_pages) = (self.len(), self.leaf_page_count());
         TreeStats {
-            entries: self.len,
-            height: self.height,
-            leaf_pages: self.leaf_pages,
-            total_pages: self.total_pages,
-            avg_leaf_fill: if self.leaf_pages == 0 {
+            entries: len,
+            height: self.height(),
+            leaf_pages,
+            total_pages: self.page_count(),
+            avg_leaf_fill: if leaf_pages == 0 {
                 0.0
             } else {
-                self.len as f64 / (self.leaf_pages * cap) as f64
+                len as f64 / (leaf_pages * cap) as f64
             },
         }
     }

@@ -10,6 +10,7 @@
 pub mod geometry;
 pub mod ids;
 pub mod motion;
+pub mod sched;
 pub mod space;
 pub mod time;
 

@@ -1,0 +1,294 @@
+//! Deterministic schedule-perturbation hooks for concurrency tests.
+//!
+//! Interleaving bugs in the latch/seqlock protocols depend on *where*
+//! threads get preempted, which an OS scheduler chooses arbitrarily. This
+//! module gives tests two handles on that choice without adding any cost
+//! to production runs:
+//!
+//! * a **seeded yield injector** — [`enable_seeded`] makes every
+//!   instrumented site ([`probe`]) decide from `hash(seed, site, per-site
+//!   counter)` whether to spin-yield there, so a seed reproduces the same
+//!   *decision sequence* run after run and different seeds explore
+//!   different interleavings;
+//! * **gates** — [`gate`] blocks a thread at a named site until the test
+//!   calls [`open`], letting a test freeze a writer mid-protocol (say,
+//!   between latching a leaf and publishing its split) and prove readers
+//!   still make progress. This is what turns a race that "usually" shows
+//!   up into a named, always-failing-before-the-fix regression test.
+//!
+//! Instrumented code calls [`probe`] at protocol boundaries (latch
+//! acquire/release, version publication). Disabled — the default — a
+//! probe is one relaxed atomic load and a predicted branch; no allocation,
+//! no lock, nothing on the I/O or lock ledgers. The hooks live in
+//! `peb_common` so every crate (storage latches, btree descents, index
+//! entry points) can share one schedule controller.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// An instrumented protocol boundary. The variants are deliberately
+/// coarse — schedules perturb *classes* of sites; precise single-point
+/// control uses [`gate`] with a site name instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// A page latch was just acquired (blocking or try — successful only).
+    LatchAcquire,
+    /// A page latch is about to be released.
+    LatchRelease,
+    /// A page image is about to be (re)published at a bumped version.
+    Publish,
+    /// One step of an optimistic descent validated a parent version.
+    Descend,
+}
+
+/// Global on/off for the yield injector. Relaxed everywhere: schedules
+/// only need determinism *per thread*, which the per-thread counters
+/// below provide; cross-thread ordering is exactly what is being fuzzed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+struct Gates {
+    /// Gate name → remaining number of threads to block (0 = open).
+    closed: Mutex<HashMap<&'static str, usize>>,
+    cv: Condvar,
+}
+
+fn gates() -> &'static Gates {
+    static GATES: OnceLock<Gates> = OnceLock::new();
+    GATES.get_or_init(|| Gates { closed: Mutex::new(HashMap::new()), cv: Condvar::new() })
+}
+
+thread_local! {
+    /// Per-site decision counters: the injector's choice at the n-th
+    /// occurrence of a site on this thread depends only on (seed, site, n),
+    /// never on wall-clock time or other threads.
+    static COUNTS: std::cell::RefCell<HashMap<Site, u64>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// Turn the seeded yield injector on. Every [`probe`] call from any
+/// thread now consults the deterministic decision stream for `seed`.
+/// Tests must pair this with [`disable`] (ideally via a guard) because
+/// the switch is process-global.
+pub fn enable_seeded(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+    COUNTS.with(|c| c.borrow_mut().clear());
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the yield injector off and open every gate (so a panicking test
+/// cannot leave a worker thread blocked forever).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut closed = gates().closed.lock().unwrap();
+    closed.clear();
+    gates().cv.notify_all();
+}
+
+/// Whether the injector is currently on (used by tests to avoid nesting
+/// two seeded sections).
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// SplitMix64 — a tiny, well-distributed mixer; good enough to turn
+/// (seed, site, counter) into an unbiased yield decision.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The instrumented-site hook. Disabled: one relaxed load. Enabled: a
+/// deterministic fraction of occurrences yield the thread (between one
+/// and four `yield_now`s, also seed-determined) so the OS interleaves
+/// the racing threads at protocol boundaries instead of timeslice edges.
+#[inline]
+pub fn probe(site: Site) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    probe_slow(site);
+}
+
+/// The gate name [`probe`] routes `site` through while the injector is
+/// enabled, so a test can park threads at a site *class* — "the next
+/// publish", "the third latch acquisition" — with [`close`] alone,
+/// without bespoke [`gate`] calls in the instrumented code.
+pub const fn site_name(site: Site) -> &'static str {
+    match site {
+        Site::LatchAcquire => "site:latch-acquire",
+        Site::LatchRelease => "site:latch-release",
+        Site::Publish => "site:publish",
+        Site::Descend => "site:descend",
+    }
+}
+
+#[cold]
+fn probe_slow(site: Site) {
+    gate(site_name(site));
+    let n = COUNTS.with(|c| {
+        let mut c = c.borrow_mut();
+        let e = c.entry(site).or_insert(0);
+        *e += 1;
+        *e
+    });
+    let h = mix(SEED.load(Ordering::Relaxed) ^ mix(site as u64) ^ n);
+    // Yield at roughly 3 of 8 site occurrences; vary the yield count so
+    // the preempted thread sometimes loses more than one slice.
+    if h % 8 < 3 {
+        for _ in 0..(1 + (h >> 8) % 4) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Close `name`: the next [`gate`] arrivals block until [`open`] (each
+/// [`open`] releases every currently and subsequently arriving thread).
+/// `permits` threads may *pass* before blocking starts — `0` blocks the
+/// first arrival, `1` lets one through and blocks the second, and so on;
+/// this is how a test stops a writer at its *n*-th latch acquisition
+/// rather than its first.
+pub fn close(name: &'static str, permits: usize) {
+    let mut closed = gates().closed.lock().unwrap();
+    closed.insert(name, permits);
+}
+
+/// Open `name`, waking every thread blocked on it.
+pub fn open(name: &'static str) {
+    let mut closed = gates().closed.lock().unwrap();
+    closed.remove(name);
+    gates().cv.notify_all();
+}
+
+/// A named synchronization point. No-op unless a test [`close`]d `name`;
+/// then the first arrivals consume the gate's permits and later arrivals
+/// block until [`open`]. Instrumented code places these at the exact
+/// protocol step a regression test needs to freeze.
+pub fn gate(name: &'static str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let g = gates();
+    let mut closed = g.closed.lock().unwrap();
+    match closed.get_mut(name) {
+        None => {}
+        Some(permits) if *permits > 0 => *permits -= 1,
+        Some(_) => {
+            *waiters().lock().unwrap().entry(name).or_insert(0) += 1;
+            while closed.contains_key(name) {
+                closed = g.cv.wait(closed).unwrap();
+            }
+            *waiters().lock().unwrap().get_mut(name).expect("waiter registered") -= 1;
+        }
+    }
+}
+
+/// Whether at least one thread is currently blocked on `name`. Polled by
+/// tests to know the frozen thread has actually reached its gate. This is
+/// conservative: it returns `true` only once a waiter is inside the wait
+/// loop's critical section or parked on the condvar.
+pub fn is_blocked(name: &'static str) -> bool {
+    // A blocked waiter holds no lock while parked, so the observable
+    // signal is "the gate is closed with zero permits and some thread has
+    // re-entered the wait loop". We approximate with a flag map updated by
+    // the waiters themselves.
+    waiters().lock().unwrap().get(name).copied().unwrap_or(0) > 0
+}
+
+fn waiters() -> &'static Mutex<HashMap<&'static str, usize>> {
+    static WAITERS: OnceLock<Mutex<HashMap<&'static str, usize>>> = OnceLock::new();
+    WAITERS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// RAII guard: enables the seeded injector on construction, disables it
+/// (and opens all gates) on drop — including on panic, so one failing
+/// seed never wedges the rest of the test binary.
+pub struct SeededSection;
+
+impl SeededSection {
+    /// Enable the injector for this scope.
+    pub fn new(seed: u64) -> Self {
+        enable_seeded(seed);
+        SeededSection
+    }
+}
+
+impl Drop for SeededSection {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_probe_is_a_noop() {
+        disable();
+        probe(Site::LatchAcquire);
+        gate("never-closed");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let stream = |seed: u64| -> Vec<u64> {
+            (0..64).map(|n| mix(seed ^ mix(Site::Publish as u64) ^ n) % 8).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8), "different seeds must explore differently");
+    }
+
+    #[test]
+    fn gates_block_and_release() {
+        let _s = SeededSection::new(1);
+        close("t-gate", 1);
+        // First arrival consumes the permit and passes immediately.
+        gate("t-gate");
+        let th = std::thread::spawn(|| {
+            gate("t-gate"); // second arrival blocks until open()
+            true
+        });
+        // Give the thread a moment to park, then release it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!th.is_finished(), "second arrival must be parked on the gate");
+        open("t-gate");
+        assert!(th.join().unwrap());
+    }
+
+    #[test]
+    fn disable_opens_leftover_gates() {
+        enable_seeded(2);
+        close("leak-gate", 0);
+        let th = std::thread::spawn(|| gate("leak-gate"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        disable();
+        th.join().unwrap();
+    }
+
+    #[test]
+    fn seeded_yields_do_not_break_progress() {
+        let _s = SeededSection::new(0xC0FFEE);
+        let done = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        probe(Site::LatchAcquire);
+                        probe(Site::Publish);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+    }
+}

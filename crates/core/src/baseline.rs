@@ -84,6 +84,24 @@ impl SpatialBaseline {
         self.bx.buffered_writes()
     }
 
+    /// Switch the underlying Bx-tree between whole-shard exclusion and
+    /// optimistic-lock-coupling writes (see [`BxTree::set_olc_writes`]);
+    /// results are identical, updaters overlap queries.
+    pub fn set_olc_writes(&mut self, enabled: bool) {
+        self.bx.set_olc_writes(enabled);
+    }
+
+    /// Whether OLC writes are active.
+    pub fn olc_writes(&self) -> bool {
+        self.bx.olc_writes()
+    }
+
+    /// OLC contention counters summed across partitions (restarts and
+    /// gate escalations; see [`peb_btree::OlcStats`]).
+    pub fn olc_stats(&self) -> peb_btree::OlcStats {
+        self.bx.olc_stats()
+    }
+
     /// Switch the underlying Bx-tree's write-ahead-log durability
     /// protocol (see [`BxTree::set_durable`]); query results and the
     /// logical ledger are identical, only log traffic is added.

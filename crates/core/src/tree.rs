@@ -172,6 +172,27 @@ impl PebTree {
         self.idx.buffered_writes()
     }
 
+    /// Switch the write path between whole-shard exclusion (off, the
+    /// default) and optimistic lock coupling (on): same-partition
+    /// refreshes and removals run under the shard read lock with
+    /// per-page latches, so updaters overlap concurrent queries (see
+    /// [`peb_index::ShardedMovingIndex::set_olc_writes`]). Results are
+    /// identical; mutually exclusive with buffered writes.
+    pub fn set_olc_writes(&mut self, enabled: bool) {
+        self.idx.set_olc_writes(enabled);
+    }
+
+    /// Whether OLC writes are active.
+    pub fn olc_writes(&self) -> bool {
+        self.idx.olc_writes()
+    }
+
+    /// OLC contention counters summed across partitions (restarts and
+    /// gate escalations; see [`peb_btree::OlcStats`]).
+    pub fn olc_stats(&self) -> peb_btree::OlcStats {
+        self.idx.olc_stats()
+    }
+
     /// Deterministic write-path counters summed across shard trees:
     /// messages buffered, flushes/spills, leaf pages written (see
     /// [`peb_btree::WriteStats`]) — the ingestion experiment's companion

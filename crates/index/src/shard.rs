@@ -24,10 +24,20 @@
 //! shard-local counters, so the aggregation here is unchanged either way.
 //!
 //! Lock ordering across the whole stack is strictly downward:
-//! **index shard lock → pool shard lock → WAL lock → disk lock**, never
-//! more than one lock of the same level at a time, and never upward —
-//! which is what makes the layered locking deadlock-free (see the
-//! `peb_storage::pool` module docs for the pool's half of the contract).
+//! **index shard lock → page latch → pool shard lock → WAL lock → disk
+//! lock**, never more than one lock of the same level at a time (page
+//! latches excepted: an OLC structural write holds its whole latched
+//! scope, acquired first-blocking-then-try-only, see `peb_btree::olc`),
+//! and never upward — which is what makes the layered locking
+//! deadlock-free (see the `peb_storage::pool` module docs for the
+//! pool's half of the contract).
+//!
+//! With [`ShardedMovingIndex::set_olc_writes`] on, same-shard refreshes
+//! and removals run their page I/O under the shard **read** lock —
+//! per-page latches replace whole-shard exclusion — so single-object
+//! writers overlap scans, point reads, and each other; see that
+//! method's docs for the exact protocol and the read-committed
+//! relaxations it introduces.
 //!
 //! # Concurrency contract
 //!
@@ -70,7 +80,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use peb_btree::{coalesce_intervals, BTree, ScanStats, TreeStats, WriteStats};
+use peb_btree::{coalesce_intervals, BTree, OlcStats, ScanStats, TreeStats, WriteStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
 use peb_storage::{BufferPool, IoStats, LockStats, PageId, WalRecovery};
 use peb_zorder::encode;
@@ -478,6 +488,35 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             m.uid
         );
         let (key, tid, t_lab) = self.placement(&m);
+        // OLC fast path: a same-shard refresh runs all of its page I/O
+        // under the shard *read* lock — the tree's per-page latches are
+        // the only write-side exclusion — publishing the new entry first
+        // and deleting the displaced one after the map points at the new
+        // key (transient duplicate, never a transient miss; see
+        // [`ShardedMovingIndex::set_olc_writes`]). The exclusive lock is
+        // held only for the O(1) map/label update in between.
+        {
+            let s = self.shards[tid as usize].read();
+            if s.btree.olc_enabled() && s.current_key.contains_key(&m.uid) {
+                s.btree.olc_insert(key, ObjectRecord::from_moving_point(&m));
+                drop(s);
+                let old = {
+                    let mut s = self.shards[tid as usize].write();
+                    s.label = Some(t_lab);
+                    s.current_key.insert(m.uid, key)
+                };
+                // The map slot can only have been emptied by a concurrent
+                // same-uid writer, which the concurrency contract already
+                // declares racy; whoever displaced a key deletes it.
+                if let Some(old) = old {
+                    if old != key {
+                        self.shards[tid as usize].read().btree.olc_delete(old);
+                    }
+                }
+                self.commit_op();
+                return;
+            }
+        }
         // Fast path: the object already lives in the target shard — a uid
         // is in at most one shard, so no other shard needs to be touched.
         {
@@ -697,7 +736,28 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     }
 
     /// Remove an object entirely. Returns whether it was present.
+    ///
+    /// With OLC writes on the removal linearizes at the map update (a
+    /// racing [`ShardedMovingIndex::get`] answers `None` from there on)
+    /// and the leaf delete runs under the shard read lock, overlapping
+    /// readers; the entry may transiently remain visible to scans until
+    /// the delete lands (read-committed, as genuine deletes always were).
     pub fn remove(&self, uid: UserId) -> bool {
+        if self.olc_writes() {
+            for shard in &self.shards {
+                if !shard.read().current_key.contains_key(&uid) {
+                    continue;
+                }
+                let old = shard.write().current_key.remove(&uid);
+                if let Some(old) = old {
+                    let removed = shard.read().btree.olc_delete(old).is_some();
+                    self.commit_op();
+                    return removed;
+                }
+            }
+            self.commit_op();
+            return false;
+        }
         for shard in &self.shards {
             if shard.read().current_key.contains_key(&uid) {
                 let mut s = shard.write();
@@ -1008,6 +1068,41 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         }
     }
 
+    /// Switch every shard tree between the exclusive write path (off,
+    /// the default) and optimistic-lock-coupling writes (on): same-shard
+    /// refreshes and removals run their page I/O under the shard's
+    /// **read** lock through [`peb_btree::BTree::olc_insert`] /
+    /// [`peb_btree::BTree::olc_delete`] — per-page latches and version
+    /// validation instead of whole-shard exclusion — so they overlap
+    /// both optimistic readers and each other. The shard's exclusive
+    /// lock is retained only for O(1) in-memory bookkeeping (the
+    /// `current_key` map and label) and for the batch/migration paths
+    /// (`upsert_batch`, cross-partition migration, `rekey_where`,
+    /// `expire_stale`, recovery), which keep their existing locking.
+    ///
+    /// Two documented relaxations while the knob is on:
+    ///
+    /// * a same-shard re-key publishes the new entry before deleting the
+    ///   old one, so a concurrent scan may transiently see the object
+    ///   twice (read-committed, like the batch evict→merge gap);
+    /// * mutually exclusive with buffered writes (message chains are
+    ///   single-writer state) — flipping either knob on asserts the
+    ///   other is off.
+    ///
+    /// Requires exclusive access: flip it between measurement phases,
+    /// not mid-workload.
+    pub fn set_olc_writes(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.write().btree.set_olc_writes(on);
+        }
+        self.commit_op();
+    }
+
+    /// Whether OLC writes are on (one knob for all shards).
+    pub fn olc_writes(&self) -> bool {
+        self.shards.first().is_some_and(|s| s.read().btree.olc_enabled())
+    }
+
     /// Switch every shard tree between the direct write path (off, the
     /// default) and B-epsilon-style buffered writes (on): upserts,
     /// deletes and re-keys append messages to per-tree buffer chains and
@@ -1056,6 +1151,23 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     pub fn reset_write_stats(&self) {
         for shard in &self.shards {
             shard.read().btree.reset_write_stats();
+        }
+    }
+
+    /// OLC contention counters summed across all shard trees: optimistic
+    /// write/scan restarts and gate escalations (see
+    /// [`peb_btree::OlcStats`]). All zero while OLC writes are off.
+    pub fn olc_stats(&self) -> OlcStats {
+        self.shards
+            .iter()
+            .fold(OlcStats::default(), |acc, s| acc.merged(&s.read().btree.olc_stats()))
+    }
+
+    /// Zero every shard tree's OLC contention counters (measurement
+    /// windows).
+    pub fn reset_olc_stats(&self) {
+        for shard in &self.shards {
+            shard.read().btree.reset_olc_stats();
         }
     }
 
@@ -1138,11 +1250,13 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 let scans = s.btree.scan_stats();
                 let writes = s.btree.write_stats();
                 let buffered = s.btree.buffered_writes();
+                let olc = s.btree.olc_enabled();
                 let tree_id = s.btree.tree_id();
                 s.btree = BTree::new(Arc::clone(&self.pool));
                 s.btree.restore_scan_stats(scans);
                 s.btree.restore_write_stats(writes.merged(&s.btree.write_stats()));
                 s.btree.set_buffered_writes(buffered);
+                s.btree.set_olc_writes(olc);
                 // The replacement tree is the same logical partition: keep
                 // its log identity so recovery reattaches the new root.
                 s.btree.set_tree_id(tree_id);
@@ -1800,5 +1914,145 @@ mod tests {
         assert_eq!(idx.shard_stats().len(), idx.num_shards());
         let per_shard: usize = idx.shard_stats().iter().map(|(_, t)| t.entries).sum();
         assert_eq!(per_shard, 100);
+    }
+
+    #[test]
+    fn olc_writes_match_exclusive_writes_sequentially() {
+        let mut olc = index(64);
+        olc.set_olc_writes(true);
+        assert!(olc.olc_writes());
+        let exclusive = index(64);
+        // First sightings (slow path), refreshes in place (OLC fast
+        // path), cross-partition migrations (slow path again), removals.
+        for i in 0..200u64 {
+            let m = still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 190.0 + 2.0, 10.0);
+            olc.upsert(m);
+            exclusive.upsert(m);
+        }
+        for i in 0..200u64 {
+            let m = still(i, (i % 50) as f64 * 20.0 + 3.0, (i / 50) as f64 * 150.0 + 3.0, 15.0);
+            olc.upsert(m);
+            exclusive.upsert(m);
+        }
+        for i in (0..200u64).step_by(3) {
+            // Different label phase: a genuine cross-partition migration.
+            let m = still(i, 500.0, 500.0, 70.0);
+            olc.upsert(m);
+            exclusive.upsert(m);
+        }
+        for i in (0..200u64).step_by(7) {
+            assert_eq!(olc.remove(UserId(i)), exclusive.remove(UserId(i)), "remove({i})");
+        }
+        assert_eq!(olc.len(), exclusive.len());
+        assert_eq!(olc.live_partitions(), exclusive.live_partitions());
+        for i in 0..200u64 {
+            assert_eq!(olc.get(UserId(i)), exclusive.get(UserId(i)), "uid {i}");
+        }
+        let collect = |x: &ShardedMovingIndex<TestLayout>| {
+            let mut v = Vec::new();
+            x.scan_keys(0, u128::MAX, |k, r| {
+                v.push((k, r));
+                true
+            });
+            v
+        };
+        assert_eq!(collect(&olc), collect(&exclusive), "full scans must agree");
+    }
+
+    #[test]
+    fn olc_knob_survives_expiry_and_excludes_buffering() {
+        let mut idx = index(64);
+        idx.set_olc_writes(true);
+        for i in 0..50u64 {
+            idx.upsert(still(i, i as f64 * 18.0 + 2.0, 500.0, 10.0));
+        }
+        assert!(idx.expire_stale(200.0) > 0);
+        assert!(idx.olc_writes(), "the knob survives the shard swap");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.set_buffered_writes(true)
+        }));
+        assert!(r.is_err(), "buffered writes must refuse to enable over OLC");
+    }
+
+    #[test]
+    fn olc_concurrent_refreshes_overlap_and_converge() {
+        // 4 writer threads refresh disjoint uid ranges in place (the OLC
+        // fast path: all page I/O under the shard read lock) while 2
+        // scanner threads stream the whole index. Afterwards the state
+        // must equal a sequentially-built twin.
+        use std::sync::atomic::AtomicBool;
+        let mut idx = index(256);
+        // Seed every object first so refreshes stay on the fast path.
+        for i in 0..400u64 {
+            idx.upsert(still(i, (i % 40) as f64 * 25.0 + 2.0, (i / 40) as f64 * 95.0 + 2.0, 10.0));
+        }
+        idx.set_olc_writes(true);
+        let idx = Arc::new(idx);
+        let stop = Arc::new(AtomicBool::new(false));
+        let rounds = 30u64;
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for r in 0..rounds {
+                        for i in (w * 100)..(w * 100 + 100) {
+                            let x = ((i * 13 + r * 7) % 49) as f64 * 20.0 + 3.0;
+                            let y = ((i * 31 + r * 11) % 49) as f64 * 20.0 + 3.0;
+                            idx.upsert(still(i, x, y, 10.0));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let scanners: Vec<_> = (0..2)
+            .map(|_| {
+                let idx = Arc::clone(&idx);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut seen = 0usize;
+                        idx.scan_keys(0, u128::MAX, |_, _| {
+                            seen += 1;
+                            true
+                        });
+                        // Transient duplicates are the documented
+                        // relaxation; vanishing objects are not.
+                        assert!(seen >= 400, "scan lost objects: {seen}");
+                        for i in (0..400u64).step_by(37) {
+                            assert!(idx.get(UserId(i)).is_some(), "uid {i} vanished");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for s in scanners {
+            s.join().unwrap();
+        }
+        assert_eq!(idx.len(), 400);
+        let twin = index(256);
+        for w in 0..4u64 {
+            for i in (w * 100)..(w * 100 + 100) {
+                let r = rounds - 1;
+                let x = ((i * 13 + r * 7) % 49) as f64 * 20.0 + 3.0;
+                let y = ((i * 31 + r * 11) % 49) as f64 * 20.0 + 3.0;
+                twin.upsert(still(i, x, y, 10.0));
+            }
+        }
+        for i in 0..400u64 {
+            assert_eq!(idx.get(UserId(i)), twin.get(UserId(i)), "uid {i}");
+        }
+        let collect = |x: &ShardedMovingIndex<TestLayout>| {
+            let mut v = Vec::new();
+            x.scan_keys(0, u128::MAX, |k, r| {
+                v.push((k, r));
+                true
+            });
+            v
+        };
+        assert_eq!(collect(&idx), collect(&twin), "quiesced scans must agree");
     }
 }

@@ -30,7 +30,9 @@ pub mod wal;
 
 pub use disk::DiskSim;
 pub use page::{Page, PageId, PAGE_SIZE, PAGE_WORDS};
-pub use pool::{default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead, PageSnapshot};
+pub use pool::{
+    default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead, PageLatch, PageSnapshot,
+};
 pub use wal::{
     recover, CrashInjector, CrashPoint, Wal, WalRecord, WalRecovery, WalStats, CRASH_SENTINEL,
 };

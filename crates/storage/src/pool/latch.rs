@@ -1,0 +1,172 @@
+//! Per-page write latches: the writer half of optimistic lock coupling.
+//!
+//! The seqlock mirror (PR 4) made readers lock-free; this table gives
+//! *writers* something finer than a whole index shard to serialize on. A
+//! latch protects one page's **structure** while a writer modifies it —
+//! readers never take latches (they validate versions instead), so a
+//! latched split or merge runs concurrently with every optimistic read.
+//!
+//! The table is a fixed power-of-two array of mutex slots hashed by
+//! [`PageId`]. Two pages may collide on one slot; that is a *false
+//! conflict*, never a correctness problem: holding the slot simply
+//! serializes writers of both pages. What collisions must not cause is
+//! deadlock, which the discipline enforced by [`BufferPool::latch`] /
+//! [`BufferPool::try_latch`] rules out:
+//!
+//! * a **blocking** acquire is only legal while holding *no* other latch
+//!   (writers block only on their first latch — the leaf);
+//! * every additional latch (parent chain, siblings) must be a
+//!   **try**-acquire, and a failed try releases everything and restarts
+//!   the operation from its optimistic descent.
+//!
+//! With blocking acquisition limited to latch-free threads there is no
+//! hold-and-wait, hence no cycle, hence no deadlock — regardless of how
+//! pids hash. Callers deduplicate same-slot acquisitions through
+//! [`BufferPool::latch_slot`] (re-locking a held slot would self-deadlock;
+//! an exclusive slot already held covers every page hashing to it).
+//!
+//! Latch traffic lands on [`super::LockStats`] (`latch_acquisitions`,
+//! `latch_waits`) — the deterministic evidence that the OLC write path
+//! pins O(path-scope) pages per update instead of a whole shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+use peb_common::sched;
+
+use crate::page::PageId;
+
+/// Number of latch slots. Plenty for the pool sizes the experiments run
+/// (tens to thousands of frames): with uniform hashing, the chance two
+/// *concurrently latched* pages collide stays negligible, and a collision
+/// only costs a restart.
+const LATCH_SLOTS: usize = 1024;
+
+/// The pool-global page-latch table. See the [module docs](self).
+pub(super) struct LatchTable {
+    slots: Box<[Mutex<()>]>,
+    /// [`super::LockStats::latch_acquisitions`] slice.
+    acqs: AtomicU64,
+    /// [`super::LockStats::latch_waits`] slice.
+    waits: AtomicU64,
+}
+
+impl LatchTable {
+    pub(super) fn new() -> Self {
+        LatchTable {
+            slots: (0..LATCH_SLOTS).map(|_| Mutex::new(())).collect(),
+            acqs: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// The slot `pid` hashes to. Fibonacci hashing spreads the
+    /// sequentially-allocated pids of one tree level across the table.
+    pub(super) fn slot_of(pid: PageId) -> usize {
+        ((pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54) as usize & (LATCH_SLOTS - 1)
+    }
+
+    /// Blocking acquire. Only legal with no other latch held (see the
+    /// module docs); counts a wait when the slot was contended.
+    pub(super) fn lock(&self, pid: PageId) -> PageLatch<'_> {
+        let slot = Self::slot_of(pid);
+        let guard = match self.slots[slot].try_lock() {
+            Some(g) => g,
+            None => {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                self.slots[slot].lock()
+            }
+        };
+        self.acqs.fetch_add(1, Ordering::Relaxed);
+        sched::probe(sched::Site::LatchAcquire);
+        PageLatch { guard, slot }
+    }
+
+    /// Non-blocking acquire; `None` means the caller must release every
+    /// latch it holds and restart its operation.
+    pub(super) fn try_lock(&self, pid: PageId) -> Option<PageLatch<'_>> {
+        let slot = Self::slot_of(pid);
+        match self.slots[slot].try_lock() {
+            Some(guard) => {
+                self.acqs.fetch_add(1, Ordering::Relaxed);
+                sched::probe(sched::Site::LatchAcquire);
+                Some(PageLatch { guard, slot })
+            }
+            None => {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(super) fn acquisitions(&self) -> u64 {
+        self.acqs.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn contended_waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn reset_stats(&self) {
+        self.acqs.store(0, Ordering::Relaxed);
+        self.waits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An exclusive hold on one latch slot (and thereby on every page that
+/// hashes to it). Released on drop.
+pub struct PageLatch<'a> {
+    #[allow(dead_code)] // held for its Drop; never read
+    guard: MutexGuard<'a, ()>,
+    slot: usize,
+}
+
+impl PageLatch<'_> {
+    /// The slot this latch holds — callers compare slots to deduplicate
+    /// before acquiring a second latch that hashes identically.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for PageLatch<'_> {
+    fn drop(&mut self) {
+        sched::probe(sched::Site::LatchRelease);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pid_hits_same_slot_and_try_fails_while_held() {
+        let t = LatchTable::new();
+        let pid = PageId(42);
+        let held = t.lock(pid);
+        assert!(t.try_lock(pid).is_none(), "slot is exclusive");
+        drop(held);
+        assert!(t.try_lock(pid).is_some(), "released slot reacquires");
+    }
+
+    #[test]
+    fn counters_classify_grants_and_waits() {
+        let t = LatchTable::new();
+        let a = t.lock(PageId(7));
+        assert_eq!((t.acquisitions(), t.contended_waits()), (1, 0));
+        assert!(t.try_lock(PageId(7)).is_none());
+        assert_eq!((t.acquisitions(), t.contended_waits()), (1, 1));
+        drop(a);
+        let _b = t.lock(PageId(7));
+        assert_eq!((t.acquisitions(), t.contended_waits()), (2, 1));
+    }
+
+    #[test]
+    fn distinct_pids_usually_get_distinct_slots() {
+        // Fibonacci hashing over a sequential pid range: no more than a
+        // trivial number of collisions among 64 neighboring pages.
+        let slots: std::collections::HashSet<_> =
+            (0..64u32).map(|p| LatchTable::slot_of(PageId(p))).collect();
+        assert!(slots.len() >= 60, "sequential pids must spread: {} slots", slots.len());
+    }
+}

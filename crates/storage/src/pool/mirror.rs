@@ -21,12 +21,18 @@
 //!
 //! The mirror is a *cache*, not the truth: the frame table (under the
 //! mutex) stays authoritative, and every mirror update happens while the
-//! shard mutex is held. Direct mapping means two resident pages can
-//! collide on one slot; the loser simply isn't published and optimistic
-//! reads of it fall back to the locked path — correctness never depends
-//! on a page being mirrored. An entry is published on load, steal, or
-//! write; it is invalidated (version bumped through odd back to even,
-//! pid cleared) on eviction and on [`Mirror::reset`].
+//! shard mutex is held. Slots are grouped into **2-way sets**: a page
+//! hashes to a set and may occupy either of its two slots, so two pages
+//! whose indexes collide — B+-tree roots and upper inner pages pinned at
+//! nearby pids are the classic case — can both stay published instead of
+//! endlessly stealing one slot from each other. A publish prefers the
+//! slot already holding the page, then an empty slot, then steals the
+//! set's least-recently-touched way. A page that loses both ways simply
+//! isn't published and optimistic reads of it fall back to the locked
+//! path — correctness never depends on a page being mirrored. An entry is
+//! published on load, steal, or write; it is invalidated (version bumped
+//! through odd back to even, pid cleared) on eviction and on
+//! [`Mirror::reset`].
 //!
 //! `last_used` carries LRU recency for optimistic touches: the locked
 //! path cannot see them (they take no lock), so eviction reads the slot's
@@ -81,77 +87,137 @@ pub(super) enum TryRead {
     Conflict,
 }
 
-/// A shard's direct-mapped array of versioned page images.
+/// A shard's 2-way set-associative array of versioned page images.
 pub(super) struct Mirror {
     slots: Box<[MirrorSlot]>,
     /// Shift dividing out the pool's shard bits: pages of one shard have
-    /// pids that are congruent mod the shard count, so slot selection uses
-    /// `(pid >> shard_bits) % slots`.
+    /// pids that are congruent mod the shard count, so set selection uses
+    /// `(pid >> shard_bits) % sets`.
     shard_bits: u32,
+    /// Mirror-wide clock that stamps every publication with a fresh even
+    /// version. Slot-local counters would be ambiguous across *ways*: a
+    /// page displaced from one way and republished in the other could, by
+    /// coincidence, land on the number an old reader recorded, and that
+    /// reader's `(pid, version)` revalidation would pass against changed
+    /// content (an ABA). A shared strictly-increasing clock makes every
+    /// published image's version unique, so a recorded version can only
+    /// ever revalidate against the exact image it came from.
+    vclock: AtomicU64,
 }
 
 impl Mirror {
-    /// A mirror with one slot per frame of the owning shard.
+    /// A mirror with one slot per frame of the owning shard, grouped into
+    /// 2-way sets (a single-frame shard degenerates to one 1-way set; an
+    /// odd slot count gives the last set one way).
     pub(super) fn new(slots: usize, shard_bits: u32) -> Self {
-        Mirror { slots: (0..slots.max(1)).map(|_| MirrorSlot::new()).collect(), shard_bits }
+        Mirror {
+            slots: (0..slots.max(1)).map(|_| MirrorSlot::new()).collect(),
+            shard_bits,
+            vclock: AtomicU64::new(0),
+        }
     }
 
-    fn slot_of(&self, pid: PageId) -> &MirrorSlot {
-        &self.slots[(pid.0 as usize >> self.shard_bits) % self.slots.len()]
+    /// A fresh even version strictly above everything handed out before.
+    /// Callers hold the shard mutex, so the fetch is uncontended; the
+    /// atomic exists for the lock-free readers comparing against it.
+    fn next_even_version(&self) -> u64 {
+        self.vclock.fetch_add(2, Ordering::Relaxed) + 2
+    }
+
+    /// The number of sets: slots are consumed two at a time, the odd
+    /// remainder forming a final 1-way set.
+    fn num_sets(&self) -> usize {
+        self.slots.len().div_ceil(2)
+    }
+
+    /// The (one or two) slots `pid` may be published in.
+    fn set_of(&self, pid: PageId) -> &[MirrorSlot] {
+        let set = (pid.0 as usize >> self.shard_bits) % self.num_sets();
+        let lo = set * 2;
+        &self.slots[lo..(lo + 2).min(self.slots.len())]
+    }
+
+    /// The slot of `pid`'s set currently publishing `pid`, if any. The
+    /// relaxed pid load makes the answer racy off-mutex (exact under the
+    /// shard mutex, where all publishers live); lock-free readers always
+    /// re-check through the slot's version protocol.
+    fn way_holding(&self, pid: PageId) -> Option<&MirrorSlot> {
+        self.set_of(pid).iter().find(|s| s.pid.load(Ordering::Relaxed) == pid.0)
     }
 
     /// Whether `pid` is currently published (racy answer; exact under the
     /// shard mutex since all publishers hold it).
     pub(super) fn holds(&self, pid: PageId) -> bool {
-        self.slot_of(pid).pid.load(Ordering::Relaxed) == pid.0
+        self.way_holding(pid).is_some()
     }
 
     /// The stable version `pid` is currently published at, or `None` if it
     /// is unpublished or mid-update. Lock-free.
+    ///
+    /// The version is re-checked against the pid *after* the acquire load,
+    /// so a slot mid-steal (odd version or repointed pid) never validates.
     pub(super) fn version_of(&self, pid: PageId) -> Option<u64> {
-        let slot = self.slot_of(pid);
+        let slot = self.way_holding(pid)?;
         let v = slot.version.load(Ordering::Acquire);
         (v & 1 == 0 && slot.pid.load(Ordering::Relaxed) == pid.0).then_some(v)
     }
 
-    /// The slot's optimistic-touch recency, if the slot publishes `pid`.
+    /// The slot's optimistic-touch recency, if a slot publishes `pid`.
     /// Called under the shard mutex by eviction's victim selection.
     pub(super) fn recency_of(&self, pid: PageId) -> Option<u64> {
-        let slot = self.slot_of(pid);
-        (slot.pid.load(Ordering::Relaxed) == pid.0).then(|| slot.last_used.load(Ordering::Relaxed))
+        self.way_holding(pid).map(|s| s.last_used.load(Ordering::Relaxed))
     }
 
     /// Record an optimistic touch of `pid` at shard-clock value `tick`.
-    /// Racy by design (no lock); `fetch_max` keeps recency monotonic.
+    /// Racy by design (no lock); `fetch_max` keeps recency monotonic, and
+    /// a touch racing a steal at worst inflates the recency of the slot's
+    /// new occupant (recency is a heuristic, never a correctness input).
     pub(super) fn touch(&self, pid: PageId, tick: u64) {
-        self.slot_of(pid).last_used.fetch_max(tick, Ordering::Relaxed);
+        if let Some(slot) = self.way_holding(pid) {
+            slot.last_used.fetch_max(tick, Ordering::Relaxed);
+        }
     }
 
     /// Record the page LSN of `pid`'s newest log record. Called under the
     /// shard mutex right after the durable write path republished the
     /// page, so the LSN always describes the published image.
     pub(super) fn set_lsn(&self, pid: PageId, lsn: u64) {
-        let slot = self.slot_of(pid);
-        if slot.pid.load(Ordering::Relaxed) == pid.0 {
+        if let Some(slot) = self.way_holding(pid) {
             slot.lsn.store(lsn, Ordering::Relaxed);
         }
     }
 
-    /// The page LSN published for `pid`, if its slot holds it. Lock-free.
+    /// The page LSN published for `pid`, if a slot holds it. Lock-free.
     pub(super) fn lsn_of(&self, pid: PageId) -> Option<u64> {
-        let slot = self.slot_of(pid);
-        (slot.pid.load(Ordering::Relaxed) == pid.0).then(|| slot.lsn.load(Ordering::Relaxed))
+        self.way_holding(pid).map(|s| s.lsn.load(Ordering::Relaxed))
     }
 
     /// Publish `pid`'s current image, bumping the slot version through odd.
     /// Must be called with the shard mutex held (writers never race).
     ///
-    /// Returns the displaced page and its optimistic recency when the slot
+    /// Way choice within `pid`'s set: the way already publishing `pid`,
+    /// else an empty way, else the least-recently-used way is stolen.
+    /// `tick` is the publishing touch's LRU tick; it seeds the way's
+    /// recency so a just-published page is never the next steal victim.
+    /// (For locked touches the same tick is already on the frame, so
+    /// eviction's `max(frame, mirror)` — and the frozen ledger — is
+    /// unaffected.)
+    ///
+    /// Returns the displaced page and its recency when the chosen way
     /// previously published a *different* page — the caller folds that
     /// recency back into the displaced page's frame so no LRU information
     /// is lost when a slot is stolen.
-    pub(super) fn publish(&self, pid: PageId, page: &Page) -> Option<(PageId, u64)> {
-        let slot = self.slot_of(pid);
+    pub(super) fn publish(&self, pid: PageId, page: &Page, tick: u64) -> Option<(PageId, u64)> {
+        let set = self.set_of(pid);
+        let slot = set
+            .iter()
+            .find(|s| s.pid.load(Ordering::Relaxed) == pid.0)
+            .or_else(|| set.iter().find(|s| s.pid.load(Ordering::Relaxed) == PageId::INVALID.0))
+            .unwrap_or_else(|| {
+                set.iter()
+                    .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
+                    .expect("a set has at least one way")
+            });
         let old_pid = PageId(slot.pid.load(Ordering::Relaxed));
         let displaced = (old_pid != pid && old_pid.is_valid())
             .then(|| (old_pid, slot.last_used.load(Ordering::Relaxed)));
@@ -159,34 +225,39 @@ impl Mirror {
         // Mark odd (readers back off), then a release fence: the odd
         // marker is ordered before the content stores below, so a reader
         // that observes any new word and then re-checks the version
-        // (through its acquire fence) sees ≥ v + 1 and discards the copy.
-        slot.version.store(v + 1, Ordering::Relaxed);
+        // (through its acquire fence) sees a moved version and discards
+        // the copy.
+        slot.version.store(v | 1, Ordering::Relaxed);
         std::sync::atomic::fence(Ordering::Release);
         slot.pid.store(pid.0, Ordering::Relaxed);
-        if displaced.is_some() {
-            // Fresh occupant: recency and page LSN restart from its frame.
-            slot.last_used.store(0, Ordering::Relaxed);
+        if displaced.is_some() || old_pid != pid {
+            // Fresh occupant: the page LSN restarts from its frame and the
+            // recency restarts from this publishing touch's tick.
+            slot.last_used.store(tick, Ordering::Relaxed);
             slot.lsn.store(0, Ordering::Relaxed);
+        } else {
+            slot.last_used.fetch_max(tick, Ordering::Relaxed);
         }
         page.store_atomic_words(&slot.words);
-        slot.version.store(v + 2, Ordering::Release); // even: stable again
+        // Stable again, at a clock-unique even version (never any value a
+        // reader could have recorded for other content — see `vclock`).
+        slot.version.store(self.next_even_version(), Ordering::Release);
         displaced
     }
 
-    /// Unpublish `pid` if its slot currently publishes it (eviction path).
+    /// Unpublish `pid` if a slot currently publishes it (eviction path).
     /// Must be called with the shard mutex held.
     pub(super) fn invalidate(&self, pid: PageId) {
-        let slot = self.slot_of(pid);
-        if slot.pid.load(Ordering::Relaxed) != pid.0 {
+        let Some(slot) = self.way_holding(pid) else {
             return;
-        }
+        };
         let v = slot.version.load(Ordering::Relaxed);
-        slot.version.store(v + 1, Ordering::Relaxed);
+        slot.version.store(v | 1, Ordering::Relaxed);
         std::sync::atomic::fence(Ordering::Release);
         slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
         slot.last_used.store(0, Ordering::Relaxed);
         slot.lsn.store(0, Ordering::Relaxed);
-        slot.version.store(v + 2, Ordering::Release);
+        slot.version.store(self.next_even_version(), Ordering::Release);
     }
 
     /// Unpublish every slot and force every version even (defensive: a
@@ -195,13 +266,12 @@ impl Mirror {
     /// called with the shard mutex held and readers quiesced-or-retrying.
     pub(super) fn reset(&self) {
         for slot in self.slots.iter() {
-            let v = slot.version.load(Ordering::Relaxed);
             slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
             slot.last_used.store(0, Ordering::Relaxed);
             slot.lsn.store(0, Ordering::Relaxed);
-            // Advance to the next even value strictly above v: readers
-            // holding a pre-reset version always fail revalidation.
-            slot.version.store((v | 1) + 1, Ordering::Release);
+            // A fresh clock version: readers holding a pre-reset version
+            // always fail revalidation.
+            slot.version.store(self.next_even_version(), Ordering::Release);
         }
     }
 
@@ -217,7 +287,7 @@ impl Mirror {
             if v & 1 == 1 {
                 slot.pid.store(PageId::INVALID.0, Ordering::Relaxed);
                 slot.last_used.store(0, Ordering::Relaxed);
-                slot.version.store(v + 1, Ordering::Release);
+                slot.version.store(self.next_even_version(), Ordering::Release);
             }
         }
     }
@@ -226,7 +296,9 @@ impl Mirror {
     /// [`TryRead`] for the outcomes; on [`TryRead::Hit`] the scratch page
     /// is a consistent image published at the returned version.
     pub(super) fn try_read(&self, pid: PageId, scratch: &mut Page) -> TryRead {
-        let slot = self.slot_of(pid);
+        let Some(slot) = self.way_holding(pid) else {
+            return TryRead::Unpublished;
+        };
         let v1 = slot.version.load(Ordering::Acquire);
         if v1 & 1 == 1 {
             return TryRead::Conflict;
