@@ -8,17 +8,19 @@
 //!   optimistic-read trajectory entry to `BENCH_optreads.json`, and the
 //!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, the
 //!   buffered-ingestion trajectory entry to `BENCH_ingest.json`, the
-//!   durability/recovery trajectory entry to `BENCH_recovery.json`, and
-//!   the write-concurrency trajectory entry to `BENCH_writeconc.json`.
+//!   durability/recovery trajectory entry to `BENCH_recovery.json`, the
+//!   write-concurrency trajectory entry to `BENCH_writeconc.json`, and
+//!   the faulty-media trajectory entry to `BENCH_faults.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
 //!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` /
-//!   `PEB_RECOVERY_OUT` / `PEB_WRITECONC_OUT` — override the output
-//!   paths.
+//!   `PEB_RECOVERY_OUT` / `PEB_WRITECONC_OUT` / `PEB_FAULTS_OUT` —
+//!   override the output paths.
 use peb_bench::experiments;
+use peb_bench::faults;
 use peb_bench::ingest;
 use peb_bench::optreads;
 use peb_bench::queryio;
@@ -85,6 +87,14 @@ fn main() {
         std::fs::write(&wc_path, wc.to_json())
             .unwrap_or_else(|e| panic!("cannot write {wc_path}: {e}"));
         eprintln!("write-concurrency trajectory written to {wc_path}");
+
+        let flt_path =
+            std::env::var("PEB_FAULTS_OUT").unwrap_or_else(|_| "BENCH_faults.json".to_string());
+        let flt = faults::measure_faults();
+        assert_eq!(flt.answers_divergent, 0, "faulted battery diverged from the clean answers");
+        std::fs::write(&flt_path, flt.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {flt_path}: {e}"));
+        eprintln!("faulty-media trajectory written to {flt_path}");
         return;
     }
 
@@ -162,4 +172,10 @@ fn main() {
         "update throughput and reader overlap: whole-shard exclusive vs OLC write path",
     );
     writeconc::print_table(&writeconc::measure_writeconc());
+    println!();
+    report::header(
+        "Faults",
+        "faulty-media battery: seeded read-fault mix absorbed by retry, read-repair, quarantine",
+    );
+    faults::print_table(&faults::measure_faults());
 }

@@ -12,6 +12,7 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod faults;
 pub mod harness;
 pub mod ingest;
 pub mod optreads;

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use peb_storage::{BufferPool, OptimisticRead, Page, PageId, PageSnapshot};
+use peb_storage::{BufferPool, IoFault, OptimisticRead, Page, PageId, PageSnapshot};
 
 use crate::msg::{MsgState, WriteCounters};
 use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats};
@@ -344,8 +344,8 @@ impl<V: RecordValue> BTree<V> {
 
     // ---- leaf byte helpers -------------------------------------------------
 
-    fn leaf_value_at(&self, pid: PageId, i: usize) -> V {
-        self.pool.read(pid, |p| {
+    fn leaf_value_at(&self, pid: PageId, i: usize) -> Result<V, IoFault> {
+        self.pool.try_read(pid, |p| {
             V::read(p.bytes(node::leaf_entry_off(i, Self::vsize()) + 16, Self::vsize()))
         })
     }
@@ -388,8 +388,14 @@ impl<V: RecordValue> BTree<V> {
             OptimisticRead::Hit(r, v) => (r, Some(v)),
             // Not published lock-free (cold page, mirror collision): the
             // locked read is authoritative and counts the touch exactly
-            // like a fully locked descent would.
-            OptimisticRead::Unpublished if !strict => (self.pool.read(pid, &f), None),
+            // like a fully locked descent would. An unresolvable media
+            // fault here aborts the attempt like a conflict; the caller's
+            // locked fallback re-encounters it and surfaces (or panics,
+            // on the legacy entry points) with full typing.
+            OptimisticRead::Unpublished if !strict => match self.pool.try_read(pid, &f) {
+                Ok(r) => (r, None),
+                Err(_) => return Err(Restart),
+            },
             OptimisticRead::Unpublished | OptimisticRead::Conflict => return Err(Restart),
         };
         if let Some((ppid, pv)) = *prev {
@@ -441,12 +447,13 @@ impl<V: RecordValue> BTree<V> {
     /// The fully locked point lookup — the universal fallback of
     /// [`BTree::get`] and the reference behavior the optimistic descent
     /// is tested against.
-    fn get_locked(&self, key: u128) -> Option<V> {
+    fn get_locked(&self, key: u128) -> Result<Option<V>, IoFault> {
         let (mut pid, height) = self.top();
         for _ in 1..height {
-            pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, key)));
+            pid =
+                self.pool.try_read(pid, |p| node::child_at(p, node::branch_child_index(p, key)))?;
         }
-        self.pool.read(pid, |p| {
+        self.pool.try_read(pid, |p| {
             let i = node::leaf_lower_bound(p, key, Self::vsize());
             if i < node::count(p) && node::leaf_key(p, i, Self::vsize()) == key {
                 Some(V::read(p.bytes(node::leaf_entry_off(i, Self::vsize()) + 16, Self::vsize())))
@@ -490,18 +497,31 @@ impl<V: RecordValue> BTree<V> {
     /// assert_eq!(optimistic.lock_stats().lock_acquisitions, 0);
     /// ```
     pub fn get(&self, key: u128) -> Option<V> {
+        self.try_get(key).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BTree::get`]: identical descent and I/O accounting, but
+    /// an unresolvable media fault (transient retries exhausted, permanent
+    /// bad sector, unrepairable corruption) comes back as a typed
+    /// [`IoFault`] instead of a panic. The optimistic fast path reads only
+    /// mirror-published pages — images that were checksum-verified when
+    /// faulted in — so faults can only arise in the locked fallback's
+    /// device fetch. The message-buffer overlay reads chain pages through
+    /// the legacy (panicking) path; flush buffered messages before running
+    /// on suspect media.
+    pub fn try_get(&self, key: u128) -> Result<Option<V>, IoFault> {
         // A pending buffered message is newer than anything in the leaves:
         // the newest put answers, the newest tombstone hides the key. With
         // nothing pending (always, when buffering is off) this costs one
         // integer compare.
         if self.msgs.pending > 0 {
             if let Some(answer) = self.collect_overlay(&[(key, key)]).remove(&key) {
-                return answer;
+                return Ok(answer);
             }
         }
         for _ in 0..OPT_MAX_RESTARTS {
             if let Ok(found) = self.try_get_optimistic(key) {
-                return found;
+                return Ok(found);
             }
         }
         if self.olc_enabled() {
@@ -529,12 +549,21 @@ impl<V: RecordValue> BTree<V> {
     /// direct insert would be ordered *before* any in-flight message for
     /// the same key.
     pub fn insert(&mut self, key: u128, value: V) -> Option<V> {
+        self.try_insert(key, value).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BTree::insert`]: an unresolvable media fault while
+    /// faulting a path page in surfaces as a typed [`IoFault`] instead of
+    /// a panic. A fault mid-split can leave structural work half-applied
+    /// (like a panic would); durable pools repair and recover, non-durable
+    /// pools should treat the tree as suspect after an error.
+    pub fn try_insert(&mut self, key: u128, value: V) -> Result<Option<V>, IoFault> {
         debug_assert_eq!(
             self.msgs.pending, 0,
             "plain insert with buffered messages pending; use buffered_insert"
         );
         let (root, height) = self.top();
-        match self.insert_rec(root, height - 1, key, &value) {
+        Ok(match self.insert_rec(root, height - 1, key, &value)? {
             InsertOutcome::Replaced(old) => Some(old),
             InsertOutcome::Done => {
                 self.add_len(1);
@@ -544,46 +573,57 @@ impl<V: RecordValue> BTree<V> {
                 // Grow a new root above the old one.
                 let new_root = self.pool.allocate();
                 self.add_total_pages(1);
-                self.pool.write(new_root, |p| {
+                self.pool.try_write(new_root, |p| {
                     node::init_branch(p, root);
                     node::branch_insert_entry(p, 0, sep, right);
-                });
+                })?;
                 self.set_top(new_root, height + 1);
                 self.add_len(1);
                 self.log_meta();
                 None
             }
-        }
+        })
     }
 
-    fn insert_rec(&mut self, pid: PageId, level: u32, key: u128, value: &V) -> InsertOutcome<V> {
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        level: u32,
+        key: u128,
+        value: &V,
+    ) -> Result<InsertOutcome<V>, IoFault> {
         if level == 0 {
             return self.leaf_insert(pid, key, value);
         }
-        let j = self.pool.read(pid, |p| node::branch_child_index(p, key));
-        let child = self.pool.read(pid, |p| node::child_at(p, j));
-        match self.insert_rec(child, level - 1, key, value) {
+        let j = self.pool.try_read(pid, |p| node::branch_child_index(p, key))?;
+        let child = self.pool.try_read(pid, |p| node::child_at(p, j))?;
+        match self.insert_rec(child, level - 1, key, value)? {
             InsertOutcome::Split(sep, right) => {
-                let n = self.pool.read(pid, node::count);
+                let n = self.pool.try_read(pid, node::count)?;
                 if n < branch_capacity() {
-                    self.pool.write(pid, |p| node::branch_insert_entry(p, j, sep, right));
-                    InsertOutcome::Done
+                    self.pool.try_write(pid, |p| node::branch_insert_entry(p, j, sep, right))?;
+                    Ok(InsertOutcome::Done)
                 } else {
                     self.branch_split_insert(pid, j, sep, right)
                 }
             }
-            other => other,
+            other => Ok(other),
         }
     }
 
-    fn leaf_insert(&mut self, pid: PageId, key: u128, value: &V) -> InsertOutcome<V> {
+    fn leaf_insert(
+        &mut self,
+        pid: PageId,
+        key: u128,
+        value: &V,
+    ) -> Result<InsertOutcome<V>, IoFault> {
         let vsize = Self::vsize();
         let stride = Self::stride();
         enum Slot<V> {
             Replace(usize, V),
             Insert(usize, usize), // (index, count)
         }
-        let slot = self.pool.read(pid, |p| {
+        let slot = self.pool.try_read(pid, |p| {
             let i = node::leaf_lower_bound(p, key, vsize);
             let n = node::count(p);
             if i < n && node::leaf_key(p, i, vsize) == key {
@@ -591,25 +631,25 @@ impl<V: RecordValue> BTree<V> {
             } else {
                 Slot::Insert(i, n)
             }
-        });
+        })?;
         match slot {
             Slot::Replace(i, old) => {
-                self.pool.write(pid, |p| {
+                self.pool.try_write(pid, |p| {
                     value.write(p.bytes_mut(node::leaf_entry_off(i, vsize) + 16, vsize));
-                });
+                })?;
                 self.writes.bump_leaf_writes(1);
-                InsertOutcome::Replaced(old)
+                Ok(InsertOutcome::Replaced(old))
             }
             Slot::Insert(i, n) if n < Self::leaf_cap() => {
-                self.pool.write(pid, |p| {
+                self.pool.try_write(pid, |p| {
                     let off = node::leaf_entry_off(i, vsize);
                     p.shift(off, off + stride, (n - i) * stride);
                     p.put_u128(off, key);
                     value.write(p.bytes_mut(off + 16, vsize));
                     node::set_count(p, n + 1);
-                });
+                })?;
                 self.writes.bump_leaf_writes(1);
-                InsertOutcome::Done
+                Ok(InsertOutcome::Done)
             }
             Slot::Insert(i, n) => {
                 // Full leaf: split, then insert into the proper half.
@@ -619,35 +659,35 @@ impl<V: RecordValue> BTree<V> {
                 self.add_leaf_pages(1);
 
                 // Move entries [mid..n) into the new right leaf.
-                let moved: Vec<u8> = self.pool.read(pid, |p| {
+                let moved: Vec<u8> = self.pool.try_read(pid, |p| {
                     p.bytes(node::leaf_entry_off(mid, vsize), (n - mid) * stride).to_vec()
-                });
-                let old_sibling = self.pool.read(pid, node::right_sibling);
-                self.pool.write(right, |p| {
+                })?;
+                let old_sibling = self.pool.try_read(pid, node::right_sibling)?;
+                self.pool.try_write(right, |p| {
                     node::init_leaf(p);
                     p.bytes_mut(HEADER, moved.len()).copy_from_slice(&moved);
                     node::set_count(p, n - mid);
                     node::set_right_sibling(p, old_sibling);
-                });
-                self.pool.write(pid, |p| {
+                })?;
+                self.pool.try_write(pid, |p| {
                     node::set_count(p, mid);
                     node::set_right_sibling(p, right);
-                });
+                })?;
 
                 // Insert the pending entry on the side it belongs to.
                 let (target, ti, tn) =
                     if i <= mid { (pid, i, mid) } else { (right, i - mid, n - mid) };
-                self.pool.write(target, |p| {
+                self.pool.try_write(target, |p| {
                     let off = node::leaf_entry_off(ti, vsize);
                     p.shift(off, off + stride, (tn - ti) * stride);
                     p.put_u128(off, key);
                     value.write(p.bytes_mut(off + 16, vsize));
                     node::set_count(p, tn + 1);
-                });
+                })?;
 
                 self.writes.bump_leaf_writes(3);
-                let sep = self.pool.read(right, |p| node::leaf_key(p, 0, vsize));
-                InsertOutcome::Split(sep, right)
+                let sep = self.pool.try_read(right, |p| node::leaf_key(p, 0, vsize))?;
+                Ok(InsertOutcome::Split(sep, right))
             }
         }
     }
@@ -659,14 +699,14 @@ impl<V: RecordValue> BTree<V> {
         j: usize,
         sep: u128,
         child: PageId,
-    ) -> InsertOutcome<V> {
+    ) -> Result<InsertOutcome<V>, IoFault> {
         // Materialize all entries plus the pending one, split around the
         // median, and push the median up.
-        let mut entries: Vec<(u128, PageId)> = self.pool.read(pid, |p| {
+        let mut entries: Vec<(u128, PageId)> = self.pool.try_read(pid, |p| {
             (0..node::count(p))
                 .map(|i| (node::branch_key(p, i), node::branch_entry_child(p, i)))
                 .collect()
-        });
+        })?;
         entries.insert(j, (sep, child));
 
         let m = entries.len() / 2;
@@ -674,19 +714,19 @@ impl<V: RecordValue> BTree<V> {
         let right = self.pool.allocate();
         self.add_total_pages(1);
 
-        self.pool.write(right, |p| {
+        self.pool.try_write(right, |p| {
             node::init_branch(p, up_child);
             for (i, (k, c)) in entries[m + 1..].iter().enumerate() {
                 node::branch_insert_entry(p, i, *k, *c);
             }
-        });
-        self.pool.write(pid, |p| {
+        })?;
+        self.pool.try_write(pid, |p| {
             node::set_count(p, 0);
             for (i, (k, c)) in entries[..m].iter().enumerate() {
                 node::branch_insert_entry(p, i, *k, *c);
             }
-        });
-        InsertOutcome::Split(up_key, right)
+        })?;
+        Ok(InsertOutcome::Split(up_key, right))
     }
 
     // ---- deletion ----------------------------------------------------------
@@ -697,18 +737,26 @@ impl<V: RecordValue> BTree<V> {
     /// direct delete would be ordered *before* any in-flight message for
     /// the same key.
     pub fn delete(&mut self, key: u128) -> Option<V> {
+        self.try_delete(key).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BTree::delete`]: an unresolvable media fault surfaces as
+    /// a typed [`IoFault`] instead of a panic. A fault mid-rebalance can
+    /// leave structural work half-applied, exactly like a panic would —
+    /// see [`BTree::try_insert`].
+    pub fn try_delete(&mut self, key: u128) -> Result<Option<V>, IoFault> {
         debug_assert_eq!(
             self.msgs.pending, 0,
             "plain delete with buffered messages pending; use buffered_delete"
         );
         let (root, height) = self.top();
-        let removed = self.delete_rec(root, height - 1, key);
+        let removed = self.delete_rec(root, height - 1, key)?;
         if removed.is_some() {
             self.add_len(-1);
             // Collapse the root if it is an empty branch.
             if height > 1 {
                 let (n, first_child) =
-                    self.pool.read(root, |p| (node::count(p), node::leftmost_child(p)));
+                    self.pool.try_read(root, |p| (node::count(p), node::leftmost_child(p)))?;
                 if n == 0 {
                     self.set_top(first_child, height - 1);
                     self.add_total_pages(-1);
@@ -716,178 +764,202 @@ impl<V: RecordValue> BTree<V> {
                 }
             }
         }
-        removed
+        Ok(removed)
     }
 
-    fn delete_rec(&mut self, pid: PageId, level: u32, key: u128) -> Option<V> {
+    fn delete_rec(&mut self, pid: PageId, level: u32, key: u128) -> Result<Option<V>, IoFault> {
         let vsize = Self::vsize();
         let stride = Self::stride();
         if level == 0 {
-            let found = self.pool.read(pid, |p| {
+            let found = self.pool.try_read(pid, |p| {
                 let i = node::leaf_lower_bound(p, key, vsize);
                 if i < node::count(p) && node::leaf_key(p, i, vsize) == key {
                     Some(i)
                 } else {
                     None
                 }
-            });
-            let i = found?;
-            let old = self.leaf_value_at(pid, i);
-            self.pool.write(pid, |p| {
+            })?;
+            let Some(i) = found else { return Ok(None) };
+            let old = self.leaf_value_at(pid, i)?;
+            self.pool.try_write(pid, |p| {
                 let n = node::count(p);
                 let off = node::leaf_entry_off(i, vsize);
                 p.shift(off + stride, off, (n - 1 - i) * stride);
                 node::set_count(p, n - 1);
-            });
+            })?;
             self.writes.bump_leaf_writes(1);
-            return Some(old);
+            return Ok(Some(old));
         }
 
-        let j = self.pool.read(pid, |p| node::branch_child_index(p, key));
-        let child = self.pool.read(pid, |p| node::child_at(p, j));
-        let removed = self.delete_rec(child, level - 1, key)?;
+        let j = self.pool.try_read(pid, |p| node::branch_child_index(p, key))?;
+        let child = self.pool.try_read(pid, |p| node::child_at(p, j))?;
+        let Some(removed) = self.delete_rec(child, level - 1, key)? else { return Ok(None) };
 
         let child_min = if level - 1 == 0 { Self::leaf_min() } else { Self::branch_min() };
-        let child_count = self.pool.read(child, node::count);
+        let child_count = self.pool.try_read(child, node::count)?;
         if child_count < child_min {
-            self.fix_child(pid, j, level - 1);
+            self.fix_child(pid, j, level - 1)?;
         }
-        Some(removed)
+        Ok(Some(removed))
     }
 
     /// Restore occupancy of child pointer `j` of branch `pid` by borrowing
     /// from a sibling or merging with one. `child_level == 0` means the
     /// children are leaves.
-    fn fix_child(&mut self, pid: PageId, j: usize, child_level: u32) {
-        let parent_count = self.pool.read(pid, node::count);
-        let child = self.pool.read(pid, |p| node::child_at(p, j));
+    fn fix_child(&mut self, pid: PageId, j: usize, child_level: u32) -> Result<(), IoFault> {
+        let parent_count = self.pool.try_read(pid, node::count)?;
+        let child = self.pool.try_read(pid, |p| node::child_at(p, j))?;
         let left =
-            if j > 0 { Some(self.pool.read(pid, |p| node::child_at(p, j - 1))) } else { None };
+            if j > 0 { Some(self.pool.try_read(pid, |p| node::child_at(p, j - 1))?) } else { None };
         let right = if j < parent_count {
-            Some(self.pool.read(pid, |p| node::child_at(p, j + 1)))
+            Some(self.pool.try_read(pid, |p| node::child_at(p, j + 1))?)
         } else {
             None
         };
         let min = if child_level == 0 { Self::leaf_min() } else { Self::branch_min() };
 
         if let Some(l) = left {
-            if self.pool.read(l, node::count) > min {
-                self.borrow_from_left(pid, j, l, child, child_level);
-                return;
+            if self.pool.try_read(l, node::count)? > min {
+                return self.borrow_from_left(pid, j, l, child, child_level);
             }
         }
         if let Some(r) = right {
-            if self.pool.read(r, node::count) > min {
-                self.borrow_from_right(pid, j, child, r, child_level);
-                return;
+            if self.pool.try_read(r, node::count)? > min {
+                return self.borrow_from_right(pid, j, child, r, child_level);
             }
         }
         if let Some(l) = left {
-            self.merge_children(pid, j - 1, l, child, child_level);
+            self.merge_children(pid, j - 1, l, child, child_level)?;
         } else if let Some(r) = right {
-            self.merge_children(pid, j, child, r, child_level);
+            self.merge_children(pid, j, child, r, child_level)?;
         }
         // A root child with no siblings cannot underflow structurally; the
         // root itself shrinks via `delete`.
+        Ok(())
     }
 
-    fn borrow_from_left(&mut self, pid: PageId, j: usize, l: PageId, c: PageId, level: u32) {
+    fn borrow_from_left(
+        &mut self,
+        pid: PageId,
+        j: usize,
+        l: PageId,
+        c: PageId,
+        level: u32,
+    ) -> Result<(), IoFault> {
         let vsize = Self::vsize();
         let stride = Self::stride();
         if level == 0 {
             // Move left's last entry to the front of c.
-            let ln = self.pool.read(l, node::count);
+            let ln = self.pool.try_read(l, node::count)?;
             let entry: Vec<u8> = self
                 .pool
-                .read(l, |p| p.bytes(node::leaf_entry_off(ln - 1, vsize), stride).to_vec());
-            self.pool.write(l, |p| node::set_count(p, ln - 1));
-            self.pool.write(c, |p| {
+                .try_read(l, |p| p.bytes(node::leaf_entry_off(ln - 1, vsize), stride).to_vec())?;
+            self.pool.try_write(l, |p| node::set_count(p, ln - 1))?;
+            self.pool.try_write(c, |p| {
                 let n = node::count(p);
                 p.shift(HEADER, HEADER + stride, n * stride);
                 p.bytes_mut(HEADER, stride).copy_from_slice(&entry);
                 node::set_count(p, n + 1);
-            });
+            })?;
             let new_sep = u128::from_le_bytes(entry[..16].try_into().unwrap());
-            self.pool.write(pid, |p| node::set_branch_key(p, j - 1, new_sep));
+            self.pool.try_write(pid, |p| node::set_branch_key(p, j - 1, new_sep))?;
             self.writes.bump_leaf_writes(2);
         } else {
             // Rotate through the parent separator.
-            let ln = self.pool.read(l, node::count);
-            let (l_last_key, l_last_child) = self
-                .pool
-                .read(l, |p| (node::branch_key(p, ln - 1), node::branch_entry_child(p, ln - 1)));
-            let sep = self.pool.read(pid, |p| node::branch_key(p, j - 1));
-            let c_leftmost = self.pool.read(c, node::leftmost_child);
-            self.pool.write(c, |p| {
+            let ln = self.pool.try_read(l, node::count)?;
+            let (l_last_key, l_last_child) = self.pool.try_read(l, |p| {
+                (node::branch_key(p, ln - 1), node::branch_entry_child(p, ln - 1))
+            })?;
+            let sep = self.pool.try_read(pid, |p| node::branch_key(p, j - 1))?;
+            let c_leftmost = self.pool.try_read(c, node::leftmost_child)?;
+            self.pool.try_write(c, |p| {
                 node::branch_insert_entry(p, 0, sep, c_leftmost);
                 node::set_leftmost_child(p, l_last_child);
-            });
-            self.pool.write(l, |p| node::branch_remove_entry(p, ln - 1));
-            self.pool.write(pid, |p| node::set_branch_key(p, j - 1, l_last_key));
+            })?;
+            self.pool.try_write(l, |p| node::branch_remove_entry(p, ln - 1))?;
+            self.pool.try_write(pid, |p| node::set_branch_key(p, j - 1, l_last_key))?;
         }
+        Ok(())
     }
 
-    fn borrow_from_right(&mut self, pid: PageId, j: usize, c: PageId, r: PageId, level: u32) {
+    fn borrow_from_right(
+        &mut self,
+        pid: PageId,
+        j: usize,
+        c: PageId,
+        r: PageId,
+        level: u32,
+    ) -> Result<(), IoFault> {
         let vsize = Self::vsize();
         let stride = Self::stride();
         if level == 0 {
             // Move right's first entry to the end of c.
-            let entry: Vec<u8> = self.pool.read(r, |p| p.bytes(HEADER, stride).to_vec());
-            self.pool.write(r, |p| {
+            let entry: Vec<u8> = self.pool.try_read(r, |p| p.bytes(HEADER, stride).to_vec())?;
+            self.pool.try_write(r, |p| {
                 let n = node::count(p);
                 p.shift(HEADER + stride, HEADER, (n - 1) * stride);
                 node::set_count(p, n - 1);
-            });
-            self.pool.write(c, |p| {
+            })?;
+            self.pool.try_write(c, |p| {
                 let n = node::count(p);
                 p.bytes_mut(node::leaf_entry_off(n, vsize), stride).copy_from_slice(&entry);
                 node::set_count(p, n + 1);
-            });
-            let new_sep = self.pool.read(r, |p| node::leaf_key(p, 0, vsize));
-            self.pool.write(pid, |p| node::set_branch_key(p, j, new_sep));
+            })?;
+            let new_sep = self.pool.try_read(r, |p| node::leaf_key(p, 0, vsize))?;
+            self.pool.try_write(pid, |p| node::set_branch_key(p, j, new_sep))?;
             self.writes.bump_leaf_writes(2);
         } else {
-            let sep = self.pool.read(pid, |p| node::branch_key(p, j));
+            let sep = self.pool.try_read(pid, |p| node::branch_key(p, j))?;
             let (r_first_key, r_leftmost) =
-                self.pool.read(r, |p| (node::branch_key(p, 0), node::leftmost_child(p)));
-            let r_first_child = self.pool.read(r, |p| node::branch_entry_child(p, 0));
-            self.pool.write(c, |p| {
+                self.pool.try_read(r, |p| (node::branch_key(p, 0), node::leftmost_child(p)))?;
+            let r_first_child = self.pool.try_read(r, |p| node::branch_entry_child(p, 0))?;
+            self.pool.try_write(c, |p| {
                 let n = node::count(p);
                 node::branch_insert_entry(p, n, sep, r_leftmost);
-            });
-            self.pool.write(r, |p| {
+            })?;
+            self.pool.try_write(r, |p| {
                 node::set_leftmost_child(p, r_first_child);
                 node::branch_remove_entry(p, 0);
-            });
-            self.pool.write(pid, |p| node::set_branch_key(p, j, r_first_key));
+            })?;
+            self.pool.try_write(pid, |p| node::set_branch_key(p, j, r_first_key))?;
         }
+        Ok(())
     }
 
     /// Merge the right node of the pair `(child j, child j+1)` into the
     /// left one and drop parent entry `sep_idx` (`== j`).
-    fn merge_children(&mut self, pid: PageId, sep_idx: usize, l: PageId, r: PageId, level: u32) {
+    fn merge_children(
+        &mut self,
+        pid: PageId,
+        sep_idx: usize,
+        l: PageId,
+        r: PageId,
+        level: u32,
+    ) -> Result<(), IoFault> {
         let vsize = Self::vsize();
         let stride = Self::stride();
         if level == 0 {
-            let (rn, r_sibling) = self.pool.read(r, |p| (node::count(p), node::right_sibling(p)));
-            let bytes: Vec<u8> = self.pool.read(r, |p| p.bytes(HEADER, rn * stride).to_vec());
-            self.pool.write(l, |p| {
+            let (rn, r_sibling) =
+                self.pool.try_read(r, |p| (node::count(p), node::right_sibling(p)))?;
+            let bytes: Vec<u8> =
+                self.pool.try_read(r, |p| p.bytes(HEADER, rn * stride).to_vec())?;
+            self.pool.try_write(l, |p| {
                 let n = node::count(p);
                 p.bytes_mut(node::leaf_entry_off(n, vsize), bytes.len()).copy_from_slice(&bytes);
                 node::set_count(p, n + rn);
                 node::set_right_sibling(p, r_sibling);
-            });
+            })?;
             self.writes.bump_leaf_writes(1);
             self.add_leaf_pages(-1);
         } else {
-            let sep = self.pool.read(pid, |p| node::branch_key(p, sep_idx));
-            let r_leftmost = self.pool.read(r, node::leftmost_child);
-            let r_entries: Vec<(u128, PageId)> = self.pool.read(r, |p| {
+            let sep = self.pool.try_read(pid, |p| node::branch_key(p, sep_idx))?;
+            let r_leftmost = self.pool.try_read(r, node::leftmost_child)?;
+            let r_entries: Vec<(u128, PageId)> = self.pool.try_read(r, |p| {
                 (0..node::count(p))
                     .map(|i| (node::branch_key(p, i), node::branch_entry_child(p, i)))
                     .collect()
-            });
-            self.pool.write(l, |p| {
+            })?;
+            self.pool.try_write(l, |p| {
                 let mut n = node::count(p);
                 node::branch_insert_entry(p, n, sep, r_leftmost);
                 n += 1;
@@ -895,12 +967,13 @@ impl<V: RecordValue> BTree<V> {
                     node::branch_insert_entry(p, n, k, c);
                     n += 1;
                 }
-            });
+            })?;
         }
-        self.pool.write(pid, |p| node::branch_remove_entry(p, sep_idx));
+        self.pool.try_write(pid, |p| node::branch_remove_entry(p, sep_idx))?;
         self.add_total_pages(-1);
         // The page of `r` is leaked on the simulated disk; the simulator has
         // no free list, and leaked pages cost no I/O.
+        Ok(())
     }
 
     // ---- range scans -------------------------------------------------------
@@ -945,22 +1018,60 @@ impl<V: RecordValue> BTree<V> {
     /// replace, tombstones suppress), so the visitor sees exactly what it
     /// would see after a flush. With nothing pending — always, when
     /// buffering is off — this costs one integer compare.
-    pub fn range_scan(&self, lo: u128, hi: u128, mut visit: impl FnMut(u128, V) -> bool) -> bool {
+    pub fn range_scan(&self, lo: u128, hi: u128, visit: impl FnMut(u128, V) -> bool) -> bool {
+        self.try_range_scan(lo, hi, visit).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BTree::range_scan`]: identical traversal and visit
+    /// sequence, but an unresolvable media fault surfaces as a typed
+    /// [`IoFault`] instead of a panic. Entries already handed to `visit`
+    /// before the fault stand (the scan emits in key order, so the prefix
+    /// is exact); the scan stops at the fault. The message-buffer overlay
+    /// reads chain pages through the legacy path — see [`BTree::try_get`].
+    pub fn try_range_scan(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> Result<bool, IoFault> {
         if self.msgs.pending == 0 {
             return self.scan_leaves(lo, hi, visit);
         }
         if lo > hi {
-            return true;
+            return Ok(true);
         }
         let overlay = self.collect_overlay(&[(lo, hi)]);
-        self.scan_with_overlay(overlay, |f| self.scan_leaves(lo, hi, f), &mut visit)
+        // `scan_with_overlay` composes infallible visitors; a fault in the
+        // leaf walk is parked in `fault` (stopping the merge like an early
+        // exit) and re-surfaced once the merge unwinds.
+        let mut fault = None;
+        let done = self.scan_with_overlay(
+            overlay,
+            |f| match self.scan_leaves(lo, hi, f) {
+                Ok(done) => done,
+                Err(e) => {
+                    fault = Some(e);
+                    false
+                }
+            },
+            &mut visit,
+        );
+        match fault {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
     }
 
     /// Mode dispatch for the leaf-chain walk: the relaxed walk (per-leaf
     /// locked fallback, never restarts once emitting) is exact while
     /// writers are excluded; with the OLC write path on, the strict
     /// frontier-validated walk is required.
-    fn scan_leaves(&self, lo: u128, hi: u128, visit: impl FnMut(u128, V) -> bool) -> bool {
+    fn scan_leaves(
+        &self,
+        lo: u128,
+        hi: u128,
+        visit: impl FnMut(u128, V) -> bool,
+    ) -> Result<bool, IoFault> {
         if self.olc_enabled() {
             self.range_scan_leaves_olc(lo, hi, visit)
         } else {
@@ -974,9 +1085,9 @@ impl<V: RecordValue> BTree<V> {
         lo: u128,
         hi: u128,
         mut visit: impl FnMut(u128, V) -> bool,
-    ) -> bool {
+    ) -> Result<bool, IoFault> {
         if lo > hi {
-            return true;
+            return Ok(true);
         }
         self.scans.bump_descent();
         let vsize = Self::vsize();
@@ -987,14 +1098,20 @@ impl<V: RecordValue> BTree<V> {
                 break;
             }
         }
-        let (mut pid, mut start) = found.unwrap_or_else(|| {
-            // Locked fallback descent (same page touches, same answer).
-            let (mut pid, height) = self.top();
-            for _ in 1..height {
-                pid = self.pool.read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)));
+        let (mut pid, mut start) = match found {
+            Some(start) => start,
+            None => {
+                // Locked fallback descent (same page touches, same answer).
+                let (mut pid, height) = self.top();
+                for _ in 1..height {
+                    pid = self
+                        .pool
+                        .try_read(pid, |p| node::child_at(p, node::branch_child_index(p, lo)))?;
+                }
+                let start = self.pool.try_read(pid, |p| node::leaf_lower_bound(p, lo, vsize))?;
+                (pid, start)
             }
-            (pid, self.pool.read(pid, |p| node::leaf_lower_bound(p, lo, vsize)))
-        });
+        };
         loop {
             // Collect this leaf's in-range entries from one consistent
             // page image, then emit with no page borrow (and no lock)
@@ -1016,16 +1133,16 @@ impl<V: RecordValue> BTree<V> {
             let (batch, next) = match self.pool.read_versioned(pid, read_leaf) {
                 OptimisticRead::Hit(r, _) => r,
                 OptimisticRead::Unpublished | OptimisticRead::Conflict => {
-                    self.pool.read(pid, read_leaf)
+                    self.pool.try_read(pid, read_leaf)?
                 }
             };
             for (k, v) in batch {
                 if !visit(k, v) {
-                    return false;
+                    return Ok(false);
                 }
             }
             if !next.is_valid() {
-                return true;
+                return Ok(true);
             }
             pid = next;
             start = 0;
@@ -1046,15 +1163,15 @@ impl<V: RecordValue> BTree<V> {
         lo: u128,
         hi: u128,
         mut visit: impl FnMut(u128, V) -> bool,
-    ) -> bool {
+    ) -> Result<bool, IoFault> {
         if lo > hi {
-            return true;
+            return Ok(true);
         }
         self.scans.bump_descent();
         let mut frontier = lo;
         for _ in 0..OPT_MAX_RESTARTS {
             if let Ok(done) = self.try_scan_olc(&mut frontier, hi, &mut visit) {
-                return done;
+                return Ok(done);
             }
             self.olc_stats.bump_scan_restarts();
         }
@@ -1161,6 +1278,17 @@ impl<V: RecordValue> BTree<V> {
         out
     }
 
+    /// Fallible [`BTree::range`]: collect all pairs in `[lo, hi]` or
+    /// surface the first unresolvable media fault as a typed [`IoFault`].
+    pub fn try_range(&self, lo: u128, hi: u128) -> Result<Vec<(u128, V)>, IoFault> {
+        let mut out = Vec::new();
+        self.try_range_scan(lo, hi, |k, v| {
+            out.push((k, v));
+            true
+        })?;
+        Ok(out)
+    }
+
     // ---- fused multi-interval scans -----------------------------------------
 
     /// Route from the root to the leaf that would contain `key`, reusing
@@ -1183,7 +1311,7 @@ impl<V: RecordValue> BTree<V> {
     /// bit-identical to the live page; a copy whose page was evicted or
     /// republished since merely fails validation and is re-read — the
     /// conservative fallback, never a wrong route.
-    fn descend_cached(&self, key: u128, path: &mut [PathLevel]) -> (PageId, u128) {
+    fn descend_cached(&self, key: u128, path: &mut [PathLevel]) -> Result<(PageId, u128), IoFault> {
         let mut pid = self.root();
         let mut fence = u128::MAX;
         for (depth, level) in path.iter_mut().enumerate() {
@@ -1192,7 +1320,7 @@ impl<V: RecordValue> BTree<V> {
             if cached {
                 self.scans.bump_cached();
             } else {
-                self.pool.read_snapshot(pid, &mut level.snap);
+                self.pool.try_read_snapshot(pid, &mut level.snap)?;
                 level.filled = true;
                 if depth == 0 {
                     // Only a route that had to fetch the root through the
@@ -1212,7 +1340,7 @@ impl<V: RecordValue> BTree<V> {
             // Single-leaf tree: every route lands straight on the root.
             self.scans.bump_descent();
         }
-        (pid, fence)
+        Ok((pid, fence))
     }
 
     /// Visit every entry whose key falls in the union of `intervals`
@@ -1245,13 +1373,42 @@ impl<V: RecordValue> BTree<V> {
     pub fn multi_range_scan(
         &self,
         intervals: &[(u128, u128)],
-        mut visit: impl FnMut(u128, V) -> bool,
+        visit: impl FnMut(u128, V) -> bool,
     ) -> bool {
+        self.try_multi_range_scan(intervals, visit)
+            .unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BTree::multi_range_scan`]: identical fused traversal,
+    /// but an unresolvable media fault surfaces as a typed [`IoFault`]
+    /// instead of a panic. Entries already emitted stand, in order — see
+    /// [`BTree::try_range_scan`].
+    pub fn try_multi_range_scan(
+        &self,
+        intervals: &[(u128, u128)],
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> Result<bool, IoFault> {
         if self.msgs.pending == 0 {
             return self.multi_range_scan_leaves(intervals, visit);
         }
         let overlay = self.collect_overlay(intervals);
-        self.scan_with_overlay(overlay, |f| self.multi_range_scan_leaves(intervals, f), &mut visit)
+        // Same fault-parking composition as [`BTree::try_range_scan`].
+        let mut fault = None;
+        let done = self.scan_with_overlay(
+            overlay,
+            |f| match self.multi_range_scan_leaves(intervals, f) {
+                Ok(done) => done,
+                Err(e) => {
+                    fault = Some(e);
+                    false
+                }
+            },
+            &mut visit,
+        );
+        match fault {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
     }
 
     /// The leaf-only body of [`BTree::multi_range_scan`] (no overlay).
@@ -1259,10 +1416,10 @@ impl<V: RecordValue> BTree<V> {
         &self,
         intervals: &[(u128, u128)],
         mut visit: impl FnMut(u128, V) -> bool,
-    ) -> bool {
+    ) -> Result<bool, IoFault> {
         let runs = coalesce_intervals(intervals);
         if runs.is_empty() {
-            return true;
+            return Ok(true);
         }
         if self.olc_enabled() {
             // The fused descent-path cache validates each cached level's
@@ -1272,17 +1429,17 @@ impl<V: RecordValue> BTree<V> {
             // strict frontier-validated chain scan instead (one descent
             // per run; the cache saving is deliberately forgone).
             for &(lo, hi) in &runs {
-                if !self.range_scan_leaves_olc(lo, hi, &mut visit) {
-                    return false;
+                if !self.range_scan_leaves_olc(lo, hi, &mut visit)? {
+                    return Ok(false);
                 }
             }
-            return true;
+            return Ok(true);
         }
         let vsize = Self::vsize();
         let mut path: Vec<PathLevel> = (1..self.height()).map(|_| PathLevel::default()).collect();
         let mut i = 0usize;
         'runs: while i < runs.len() {
-            let (mut pid, fence) = self.descend_cached(runs[i].0, &mut path);
+            let (mut pid, fence) = self.descend_cached(runs[i].0, &mut path)?;
             // The fence is exact for the descended leaf; once the walk
             // moves along the sibling chain the new leaves' fences are
             // unknown (`None`) and the skip rule falls back to the last
@@ -1324,12 +1481,12 @@ impl<V: RecordValue> BTree<V> {
                 {
                     OptimisticRead::Hit(r, _) => r,
                     OptimisticRead::Unpublished | OptimisticRead::Conflict => {
-                        self.pool.read(pid, read_leaf)
+                        self.pool.try_read(pid, read_leaf)?
                     }
                 };
                 for (k, v) in batch {
                     if !visit(k, v) {
-                        return false;
+                        return Ok(false);
                     }
                 }
                 // Drop intervals this leaf fully consumed: everything up
@@ -1350,12 +1507,12 @@ impl<V: RecordValue> BTree<V> {
                 }
                 i = ri;
                 if i == runs.len() {
-                    return true;
+                    return Ok(true);
                 }
                 if !next.is_valid() {
                     // Rightmost leaf: no key beyond it, the remaining
                     // intervals are empty.
-                    return true;
+                    return Ok(true);
                 }
                 // The next needed interval starts at or beyond this
                 // leaf's coverage. If it starts within coverage (it
@@ -1372,7 +1529,7 @@ impl<V: RecordValue> BTree<V> {
                 }
             }
         }
-        true
+        Ok(true)
     }
 
     // ---- diagnostics -------------------------------------------------------

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use peb_common::{MovingPoint, Point, Rect, SpaceConfig, Timestamp, UserId};
-use peb_index::{IndexStats, ShardedMovingIndex, TimePartitioning};
+use peb_index::{IndexError, IndexStats, ShardedMovingIndex, TimePartitioning};
 use peb_storage::BufferPool;
 use peb_zorder::{coarsen, decompose, IntervalSet};
 
@@ -240,6 +240,14 @@ impl BxTree {
         self.idx.upsert(m);
     }
 
+    /// Fallible twin of [`BxTree::upsert`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking (see
+    /// [`ShardedMovingIndex::try_upsert`] for the partial-state contract
+    /// on `Err`).
+    pub fn try_upsert(&mut self, m: MovingPoint) -> Result<(), IndexError> {
+        self.idx.try_upsert(m)
+    }
+
     /// Apply a batch of updates: grouped by target partition, each group
     /// merged into its partition's leaves as one sorted run. Takes `&self`
     /// — batches bound for different partitions may be applied from
@@ -255,9 +263,21 @@ impl BxTree {
         self.idx.remove(uid)
     }
 
+    /// Fallible twin of [`BxTree::remove`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking.
+    pub fn try_remove(&mut self, uid: UserId) -> Result<bool, IndexError> {
+        self.idx.try_remove(uid)
+    }
+
     /// Fetch an object's current record by id (point lookup through disk).
     pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
         self.idx.get(uid)
+    }
+
+    /// Fallible twin of [`BxTree::get`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking.
+    pub fn try_get(&self, uid: UserId) -> Result<Option<MovingPoint>, IndexError> {
+        self.idx.try_get(uid)
     }
 
     /// The live `(tid, label timestamp)` pairs, sorted by tid.
@@ -280,13 +300,20 @@ impl BxTree {
     /// Privacy-unaware predictive range query: all objects whose predicted
     /// position at `tq` falls inside `r`.
     pub fn range_query(&self, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
+        self.try_range_query(r, tq).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`BxTree::range_query`]: an unresolvable media
+    /// fault anywhere in the interval scans surfaces as
+    /// [`IndexError::Io`] instead of panicking.
+    pub fn try_range_query(&self, r: &Rect, tq: Timestamp) -> Result<Vec<MovingPoint>, IndexError> {
         let mut out = Vec::new();
-        self.for_each_candidate(r, tq, |m| {
+        self.try_for_each_candidate(r, tq, |m| {
             if r.contains(&m.position_at(tq)) {
                 out.push(m);
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Run the Bx search (enlarge → Z-decompose → B+-tree interval scans)
@@ -321,7 +348,20 @@ impl BxTree {
     /// the raw retrieval step both query algorithms refine (per-interval
     /// scans by default, one fused multi-interval scan per partition with
     /// [`BxTree::set_fused_scans`] on).
-    pub fn for_each_candidate(&self, r: &Rect, tq: Timestamp, mut f: impl FnMut(MovingPoint)) {
+    pub fn for_each_candidate(&self, r: &Rect, tq: Timestamp, f: impl FnMut(MovingPoint)) {
+        self.try_for_each_candidate(r, tq, f)
+            .unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"));
+    }
+
+    /// Fallible twin of [`BxTree::for_each_candidate`]: an unresolvable
+    /// media fault surfaces as [`IndexError::Io`] instead of panicking
+    /// (candidates already handed to `f` stay delivered).
+    pub fn try_for_each_candidate(
+        &self,
+        r: &Rect,
+        tq: Timestamp,
+        mut f: impl FnMut(MovingPoint),
+    ) -> Result<(), IndexError> {
         let layout = *self.idx.layout();
         let space = self.idx.space();
         if self.fused_scans {
@@ -329,11 +369,11 @@ impl BxTree {
             self.for_each_fused_zrange(r, tq, |tid, zr| {
                 intervals.push((layout.range_start(tid, zr.lo), layout.range_end(tid, zr.hi)));
             });
-            self.idx.scan_keys_multi(&intervals, |_, rec| {
+            self.idx.try_scan_keys_multi(&intervals, |_, rec| {
                 f(rec.to_moving_point());
                 true
-            });
-            return;
+            })?;
+            return Ok(());
         }
         for (tid, t_lab) in self.idx.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
@@ -341,12 +381,13 @@ impl BxTree {
             for zr in decompose(x0, x1, y0, y1, space.grid_bits) {
                 let lo = layout.range_start(tid, zr.lo);
                 let hi = layout.range_end(tid, zr.hi);
-                self.idx.scan_keys(lo, hi, |_, rec| {
+                self.idx.try_scan_keys(lo, hi, |_, rec| {
                     f(rec.to_moving_point());
                     true
-                });
+                })?;
             }
         }
+        Ok(())
     }
 
     /// Incremental variant for iterative enlargement (the kNN loops): scan
@@ -359,8 +400,24 @@ impl BxTree {
         r: &Rect,
         tq: Timestamp,
         scanned: &mut HashMap<u8, IntervalSet>,
-        mut f: impl FnMut(MovingPoint),
+        f: impl FnMut(MovingPoint),
     ) {
+        self.try_for_each_new_candidate(r, tq, scanned, f)
+            .unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"));
+    }
+
+    /// Fallible twin of [`BxTree::for_each_new_candidate`]: an
+    /// unresolvable media fault surfaces as [`IndexError::Io`] instead of
+    /// panicking. Intervals recorded in `scanned` before the fault stay
+    /// recorded — a retried round rescans only what the failed round had
+    /// not yet covered.
+    pub fn try_for_each_new_candidate(
+        &self,
+        r: &Rect,
+        tq: Timestamp,
+        scanned: &mut HashMap<u8, IntervalSet>,
+        mut f: impl FnMut(MovingPoint),
+    ) -> Result<(), IndexError> {
         let layout = *self.idx.layout();
         let space = self.idx.space();
         if self.fused_scans {
@@ -374,11 +431,11 @@ impl BxTree {
                     intervals.push((layout.range_start(tid, zlo), layout.range_end(tid, zhi)));
                 }
             });
-            self.idx.scan_keys_multi(&intervals, |_, rec| {
+            self.idx.try_scan_keys_multi(&intervals, |_, rec| {
                 f(rec.to_moving_point());
                 true
-            });
-            return;
+            })?;
+            return Ok(());
         }
         for (tid, t_lab) in self.idx.live_partitions() {
             let enlarged = self.enlarge(r, t_lab, tq);
@@ -388,13 +445,14 @@ impl BxTree {
                 for (zlo, zhi) in set.add_and_return_new(zr.lo, zr.hi) {
                     let lo = layout.range_start(tid, zlo);
                     let hi = layout.range_end(tid, zhi);
-                    self.idx.scan_keys(lo, hi, |_, rec| {
+                    self.idx.try_scan_keys(lo, hi, |_, rec| {
                         f(rec.to_moving_point());
                         true
-                    });
+                    })?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Tao et al.'s estimate of the distance to the k'th nearest neighbor
@@ -406,8 +464,20 @@ impl BxTree {
     /// Privacy-unaware predictive kNN: iteratively enlarged range queries
     /// until k objects fall inside the inscribed circle of the window.
     pub fn knn(&self, q: Point, k: usize, tq: Timestamp) -> Vec<(MovingPoint, f64)> {
+        self.try_knn(q, k, tq).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`BxTree::knn`]: an unresolvable media fault
+    /// anywhere in the enlargement rounds surfaces as [`IndexError::Io`]
+    /// instead of panicking.
+    pub fn try_knn(
+        &self,
+        q: Point,
+        k: usize,
+        tq: Timestamp,
+    ) -> Result<Vec<(MovingPoint, f64)>, IndexError> {
         if k == 0 || self.idx.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n = self.idx.len();
         // The ring step r_q = D_k/k of the paper can be a fraction of a grid
@@ -427,16 +497,16 @@ impl BxTree {
         let mut radius = rq;
         loop {
             let window = Rect::square(q, 2.0 * radius);
-            self.for_each_new_candidate(&window, tq, &mut scanned, |m| {
+            self.try_for_each_new_candidate(&window, tq, &mut scanned, |m| {
                 let d = m.position_at(tq).dist(&q);
                 seen.entry(m.uid).or_insert((m, d));
-            });
+            })?;
             let mut hits: Vec<(MovingPoint, f64)> =
                 seen.values().filter(|(_, d)| *d <= radius).cloned().collect();
             if hits.len() >= k || radius >= max_radius {
                 hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
                 hits.truncate(k);
-                return hits;
+                return Ok(hits);
             }
             radius += rq;
         }

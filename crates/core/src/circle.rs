@@ -12,6 +12,7 @@
 //! pruning of the PEB-tree carries over unchanged.
 
 use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
+use peb_index::IndexError;
 use peb_policy::PolicyStore;
 
 use crate::baseline::SpatialBaseline;
@@ -27,10 +28,24 @@ impl PebTree {
         radius: f64,
         tq: Timestamp,
     ) -> Vec<(MovingPoint, f64)> {
+        self.try_pwd(issuer, center, radius, tq)
+            .unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`PebTree::pwd`]: an unresolvable media fault in
+    /// the underlying range query surfaces as [`IndexError::Io`] instead
+    /// of panicking.
+    pub fn try_pwd(
+        &self,
+        issuer: UserId,
+        center: Point,
+        radius: f64,
+        tq: Timestamp,
+    ) -> Result<Vec<(MovingPoint, f64)>, IndexError> {
         assert!(radius >= 0.0);
         let bbox = Rect::square(center, 2.0 * radius);
         let mut out: Vec<(MovingPoint, f64)> = self
-            .prq(issuer, &bbox, tq)
+            .try_prq(issuer, &bbox, tq)?
             .into_iter()
             .filter_map(|m| {
                 let d = m.position_at(tq).dist(&center);
@@ -38,7 +53,7 @@ impl PebTree {
             })
             .collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
-        out
+        Ok(out)
     }
 }
 

@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 
 use peb_bx::estimated_knn_distance;
 use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
-use peb_index::ObjectRecord;
+use peb_index::{IndexError, ObjectRecord};
 
 use crate::tree::PebTree;
 
@@ -37,9 +37,23 @@ impl PebTree {
         k: usize,
         tq: Timestamp,
     ) -> Vec<(MovingPoint, f64)> {
+        self.try_pknn(issuer, q, k, tq).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`PebTree::pknn`]: an unresolvable media fault
+    /// anywhere in the search-matrix scans surfaces as
+    /// [`IndexError::Io`] instead of panicking. The result set of a
+    /// completed query is identical to the infallible path's.
+    pub fn try_pknn(
+        &self,
+        issuer: UserId,
+        q: Point,
+        k: usize,
+        tq: Timestamp,
+    ) -> Result<Vec<(MovingPoint, f64)>, IndexError> {
         let groups = self.ctx().friend_sv_groups(issuer);
         if groups.is_empty() || k == 0 || self.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let m = groups.len();
         let n_objects = self.len();
@@ -78,7 +92,7 @@ impl PebTree {
                     &mut scanned,
                     &mut resolved,
                     &mut pool,
-                );
+                )?;
                 if pool.iter().filter(|(_, dist)| *dist <= radius).count() >= k {
                     done = true;
                     break 'diagonals;
@@ -95,7 +109,7 @@ impl PebTree {
         if !done {
             // The matrix is exhausted: fewer than k users qualify anywhere.
             pool.truncate(k);
-            return pool;
+            return Ok(pool);
         }
 
         // Vertical-scan refinement: make sure every friend row is covered
@@ -120,12 +134,12 @@ impl PebTree {
                     &mut scanned,
                 ));
             }
-            self.scan_intervals_fused(&intervals, |rec| {
+            self.try_scan_intervals_fused(&intervals, |rec| {
                 self.pknn_refine(issuer, q, tq, rec, &mut resolved, &mut pool);
                 // Once every friend is located no further record can
                 // qualify; stop the column scan early.
                 resolved.len() < total_friends
-            });
+            })?;
         } else {
             for group in &groups {
                 self.scan_cell(
@@ -138,12 +152,12 @@ impl PebTree {
                     &mut scanned,
                     &mut resolved,
                     &mut pool,
-                );
+                )?;
             }
         }
         pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
         pool.truncate(k);
-        pool
+        Ok(pool)
     }
 
     /// The fresh key intervals of one search-matrix cell: the single
@@ -242,27 +256,28 @@ impl PebTree {
         scanned: &mut ScannedMap,
         resolved: &mut HashSet<UserId>,
         pool: &mut Vec<(MovingPoint, f64)>,
-    ) {
+    ) -> Result<(), IndexError> {
         let (sv_code, members) = group;
         if members.iter().all(|u| resolved.contains(u)) {
-            return;
+            return Ok(());
         }
         let intervals = self.cell_intervals(*sv_code, q, tq, radius, partitions, scanned);
         if self.fused_scans() {
-            self.scan_intervals_fused(&intervals, |rec| {
+            self.try_scan_intervals_fused(&intervals, |rec| {
                 self.pknn_refine(issuer, q, tq, rec, resolved, pool);
                 // Only this SV group's friends appear under this SV code;
                 // once all of them are located the cell has nothing left.
                 !members.iter().all(|u| resolved.contains(u))
-            });
+            })?;
         } else {
             for (lo, hi) in intervals {
-                self.scan_key_interval(lo, hi, |rec| {
+                self.try_scan_key_interval(lo, hi, |rec| {
                     self.pknn_refine(issuer, q, tq, rec, resolved, pool);
                     true
-                });
+                })?;
             }
         }
+        Ok(())
     }
 }
 

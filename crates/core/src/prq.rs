@@ -20,6 +20,7 @@
 use std::collections::HashSet;
 
 use peb_common::{MovingPoint, Rect, Timestamp, UserId};
+use peb_index::IndexError;
 use peb_zorder::{coarsen, decompose};
 
 use crate::tree::PebTree;
@@ -36,9 +37,22 @@ impl PebTree {
     /// one coalesced multi-interval scan per partition (see
     /// docs/ARCHITECTURE.md, "Query execution").
     pub fn prq(&self, issuer: UserId, r: &Rect, tq: Timestamp) -> Vec<MovingPoint> {
+        self.try_prq(issuer, r, tq).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`PebTree::prq`]: an unresolvable media fault
+    /// anywhere in the interval scans surfaces as [`IndexError::Io`]
+    /// instead of panicking. The result set of a completed query is
+    /// identical to the infallible path's.
+    pub fn try_prq(
+        &self,
+        issuer: UserId,
+        r: &Rect,
+        tq: Timestamp,
+    ) -> Result<Vec<MovingPoint>, IndexError> {
         let groups = self.ctx().friend_sv_groups(issuer);
         if groups.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if self.fused_scans() {
             return self.prq_fused(issuer, &groups, r, tq);
@@ -60,7 +74,7 @@ impl PebTree {
                 }
                 let mut outstanding = members.iter().filter(|u| !resolved.contains(u)).count();
                 'intervals: for zr in &zranges {
-                    self.scan_interval(tid, *sv_code, zr.lo, zr.hi, |rec| {
+                    self.try_scan_interval(tid, *sv_code, zr.lo, zr.hi, |rec| {
                         let uid = UserId(rec.uid);
                         if uid == issuer || resolved.contains(&uid) {
                             return true;
@@ -78,7 +92,7 @@ impl PebTree {
                             results.push(m);
                         }
                         true
-                    });
+                    })?;
                     if outstanding == 0 {
                         break 'intervals; // skip remaining intervals of this SV
                     }
@@ -86,7 +100,7 @@ impl PebTree {
             }
         }
         results.sort_by_key(|m| m.uid);
-        results
+        Ok(results)
     }
 
     /// The fused PRQ plan: per (partition × friend-SV group) leaf-chain
@@ -117,7 +131,7 @@ impl PebTree {
         groups: &[(u64, Vec<UserId>)],
         r: &Rect,
         tq: Timestamp,
-    ) -> Vec<MovingPoint> {
+    ) -> Result<Vec<MovingPoint>, IndexError> {
         let total_friends: usize = groups.iter().map(|(_, m)| m.len()).sum();
         let budget = self.query_interval_budget(total_friends);
         let keys = *self.key_layout();
@@ -142,7 +156,7 @@ impl PebTree {
                     })
                     .collect();
                 let mut outstanding = members.iter().filter(|u| !resolved.contains(u)).count();
-                self.scan_intervals_fused(&intervals, |rec| {
+                self.try_scan_intervals_fused(&intervals, |rec| {
                     let uid = UserId(rec.uid);
                     if uid == issuer || resolved.contains(&uid) {
                         return true;
@@ -158,11 +172,11 @@ impl PebTree {
                         results.push(m);
                     }
                     outstanding > 0
-                });
+                })?;
             }
         }
         results.sort_by_key(|m| m.uid);
-        results
+        Ok(results)
     }
 }
 

@@ -16,7 +16,9 @@
 use std::sync::Arc;
 
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
-use peb_index::{IndexStats, KeyLayout, ObjectRecord, ShardedMovingIndex, TimePartitioning};
+use peb_index::{
+    IndexError, IndexStats, KeyLayout, ObjectRecord, ShardedMovingIndex, TimePartitioning,
+};
 use peb_storage::BufferPool;
 
 use crate::context::PrivacyContext;
@@ -313,6 +315,14 @@ impl PebTree {
         self.idx.upsert(m);
     }
 
+    /// Fallible twin of [`PebTree::upsert`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking (see
+    /// [`peb_index::ShardedMovingIndex::try_upsert`] for the partial-state
+    /// contract on `Err`).
+    pub fn try_upsert(&mut self, m: MovingPoint) -> Result<(), IndexError> {
+        self.idx.try_upsert(m)
+    }
+
     /// Apply a batch of updates: grouped by target partition, each group
     /// merged into its partition's leaves as one sorted run. Takes `&self`
     /// — batches bound for different partitions may be applied from
@@ -328,9 +338,21 @@ impl PebTree {
         self.idx.remove(uid)
     }
 
+    /// Fallible twin of [`PebTree::remove`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking.
+    pub fn try_remove(&mut self, uid: UserId) -> Result<bool, IndexError> {
+        self.idx.try_remove(uid)
+    }
+
     /// Fetch an object's current record by id.
     pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
         self.idx.get(uid)
+    }
+
+    /// Fallible twin of [`PebTree::get`]: an unresolvable media fault
+    /// surfaces as [`IndexError::Io`] instead of panicking.
+    pub fn try_get(&self, uid: UserId) -> Result<Option<MovingPoint>, IndexError> {
+        self.idx.try_get(uid)
     }
 
     /// The live `(tid, label timestamp)` pairs, sorted by tid.
@@ -370,43 +392,44 @@ impl PebTree {
     }
 
     /// Scan one `(tid, sv, zv_lo..=zv_hi)` PEB-key interval, handing every
-    /// stored record to the callback. Returns `false` if the callback
-    /// stopped the scan.
-    pub(crate) fn scan_interval(
+    /// stored record to the callback. Returns `Ok(false)` if the callback
+    /// stopped the scan; an unresolvable media fault surfaces as
+    /// [`IndexError::Io`].
+    pub(crate) fn try_scan_interval(
         &self,
         tid: u8,
         sv_code: u64,
         zv_lo: u64,
         zv_hi: u64,
         mut f: impl FnMut(ObjectRecord) -> bool,
-    ) -> bool {
+    ) -> Result<bool, IndexError> {
         let keys = &self.idx.layout().keys;
         let lo = keys.range_start(tid, sv_code, zv_lo);
         let hi = keys.range_end(tid, sv_code, zv_hi);
-        self.idx.scan_keys(lo, hi, |_, rec| f(rec))
+        self.idx.try_scan_keys(lo, hi, |_, rec| f(rec))
     }
 
     /// Scan one pre-built PEB-key interval per-interval style (the
     /// frozen-ledger reference plan).
-    pub(crate) fn scan_key_interval(
+    pub(crate) fn try_scan_key_interval(
         &self,
         lo: u128,
         hi: u128,
         mut f: impl FnMut(ObjectRecord) -> bool,
-    ) -> bool {
-        self.idx.scan_keys(lo, hi, |_, rec| f(rec))
+    ) -> Result<bool, IndexError> {
+        self.idx.try_scan_keys(lo, hi, |_, rec| f(rec))
     }
 
     /// Scan the union of pre-built PEB-key intervals through the fused
     /// multi-interval pipeline (see
     /// [`peb_index::ShardedMovingIndex::scan_keys_multi`]), handing every
     /// stored record to the callback once, in key order.
-    pub(crate) fn scan_intervals_fused(
+    pub(crate) fn try_scan_intervals_fused(
         &self,
         intervals: &[(u128, u128)],
         mut f: impl FnMut(ObjectRecord) -> bool,
-    ) -> bool {
-        self.idx.scan_keys_multi(intervals, |_, rec| f(rec))
+    ) -> Result<bool, IndexError> {
+        self.idx.try_scan_keys_multi(intervals, |_, rec| f(rec))
     }
 
     /// The cost-model interval budget for this tree's current shape: how
@@ -510,10 +533,11 @@ mod tests {
         let sv3 = ctx.sv_code(UserId(3));
         let max_zv = (1u64 << t.key_layout().zv_bits) - 1;
         let mut seen = Vec::new();
-        t.scan_interval(t.live_partitions()[0].0, sv3, 0, max_zv, |rec| {
+        t.try_scan_interval(t.live_partitions()[0].0, sv3, 0, max_zv, |rec| {
             seen.push(rec.uid);
             true
-        });
+        })
+        .unwrap();
         assert!(seen.contains(&3));
         // And must not include users with different SV codes.
         for uid in &seen {

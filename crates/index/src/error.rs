@@ -1,0 +1,56 @@
+//! Typed errors surfaced by the fallible (`try_*`) index entry points.
+
+use peb_storage::IoFault;
+
+/// Why a fallible index operation could not complete.
+///
+/// Today the only source is the storage layer: an unresolvable media
+/// fault ([`IoFault`]) that the buffer pool's retry/read-repair machinery
+/// could not hide — transient retries exhausted, a permanently bad
+/// sector, or detected corruption with no WAL post-image to repair from
+/// (non-durable pools cannot repair at all). The enum leaves room for
+/// future non-I/O failure classes without breaking callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IndexError {
+    /// An unresolvable media fault from the storage layer.
+    Io(IoFault),
+}
+
+impl From<IoFault> for IndexError {
+    fn from(fault: IoFault) -> Self {
+        IndexError::Io(fault)
+    }
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Io(fault) => write!(f, "index I/O error: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(fault) => Some(fault),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_storage::PageId;
+
+    #[test]
+    fn wraps_and_displays_the_fault() {
+        let fault = IoFault::BadSector { pid: PageId(7) };
+        let err: IndexError = fault.into();
+        assert_eq!(err, IndexError::Io(fault));
+        let text = err.to_string();
+        assert!(text.contains("index I/O error"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -35,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod layout;
 pub mod moving;
 pub mod partition;
 pub mod record;
 pub mod shard;
 
+pub use error::IndexError;
 pub use layout::KeyLayout;
 pub use moving::{IndexStats, MovingIndex};
 pub use partition::TimePartitioning;

@@ -82,9 +82,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use peb_btree::{coalesce_intervals, BTree, OlcStats, ScanStats, TreeStats, WriteStats};
 use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
-use peb_storage::{BufferPool, IoStats, LockStats, PageId, WalRecovery};
+use peb_storage::{BufferPool, IoFault, IoStats, LockStats, PageId, WalRecovery};
 use peb_zorder::encode;
 
+use crate::error::IndexError;
 use crate::layout::KeyLayout;
 use crate::moving::IndexStats;
 use crate::partition::TimePartitioning;
@@ -107,33 +108,48 @@ impl Shard {
     /// Insert/replace one entry through whichever write path the shard
     /// tree is configured for: a direct leaf insert, or (with buffered
     /// writes on) a `Put` message appended to the tree's message buffer.
-    fn put(&mut self, key: u128, rec: ObjectRecord) {
+    /// A media fault on the direct leaf path surfaces typed; the buffered
+    /// path stays on the legacy chain append (infallible by design —
+    /// flush message buffers before operating on suspect media).
+    fn try_put(&mut self, key: u128, rec: ObjectRecord) -> Result<(), IoFault> {
         if self.btree.buffered_writes() {
             self.btree.buffered_insert(key, rec);
+            Ok(())
         } else {
-            self.btree.insert(key, rec);
+            self.btree.try_insert(key, rec).map(|_| ())
         }
     }
 
     /// Delete one entry through the configured write path (direct leaf
     /// delete, or a `Del` tombstone message under buffered writes).
     fn del(&mut self, key: u128) {
+        self.try_del(key).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"));
+    }
+
+    /// Fallible twin of [`Shard::del`] (same buffered-path caveat as
+    /// [`Shard::try_put`]).
+    fn try_del(&mut self, key: u128) -> Result<(), IoFault> {
         if self.btree.buffered_writes() {
             self.btree.buffered_delete(key);
+            Ok(())
         } else {
-            self.btree.delete(key);
+            self.btree.try_delete(key).map(|_| ())
         }
     }
 
     /// Replace `old` with `(key, rec)` through the configured write path.
     /// Under buffered writes the tombstone and the put ride **one** chain
     /// append — the single-page-touch upsert the buffers exist for.
-    fn replace(&mut self, old: u128, key: u128, rec: ObjectRecord) {
+    /// On `Err` the old entry may already be deleted with the new one not
+    /// yet inserted — the caller decides whether the uid's map slot stays
+    /// vacated (same buffered-path caveat as [`Shard::try_put`]).
+    fn try_replace(&mut self, old: u128, key: u128, rec: ObjectRecord) -> Result<(), IoFault> {
         if self.btree.buffered_writes() {
             self.btree.buffered_upsert(old, key, rec);
+            Ok(())
         } else {
-            self.btree.delete(old);
-            self.btree.insert(key, rec);
+            self.btree.try_delete(old)?;
+            self.btree.try_insert(key, rec).map(|_| ())
         }
     }
 }
@@ -482,6 +498,22 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     /// partition (the common case — repeated reports in one phase) locks
     /// only that one shard.
     pub fn upsert(&self, m: MovingPoint) {
+        self.try_upsert(m).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"));
+    }
+
+    /// Fallible twin of [`ShardedMovingIndex::upsert`]: an unresolvable
+    /// media fault on the direct write path surfaces as
+    /// [`IndexError::Io`] instead of panicking, and a failed call is not
+    /// committed to the WAL. The OLC and buffered write paths still run
+    /// the legacy tree calls (infallible by design); disable OLC writes
+    /// and flush message buffers before operating on suspect media.
+    ///
+    /// On `Err` the object's previous entry may already have been
+    /// deleted with the new one not yet inserted: the uid reads as
+    /// absent until a retried upsert succeeds. The migration epoch is
+    /// always rebalanced on the error path, so concurrent scans cannot
+    /// be wedged by a failed migration.
+    pub fn try_upsert(&self, m: MovingPoint) -> Result<(), IndexError> {
         debug_assert!(
             m.speed() <= self.max_speed + 1e-9,
             "object {} exceeds the declared max speed",
@@ -514,7 +546,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                     }
                 }
                 self.commit_op();
-                return;
+                return Ok(());
             }
         }
         // Fast path: the object already lives in the target shard — a uid
@@ -522,12 +554,12 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         {
             let mut s = self.shards[tid as usize].write();
             if let Some(old) = s.current_key.remove(&m.uid) {
-                s.replace(old, key, ObjectRecord::from_moving_point(&m));
+                s.try_replace(old, key, ObjectRecord::from_moving_point(&m))?;
                 s.current_key.insert(m.uid, key);
                 s.label = Some(t_lab);
                 drop(s);
                 self.commit_op();
-                return;
+                return Ok(());
             }
         }
         // Slow path (migration or first sighting): evict the old entry
@@ -535,36 +567,43 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         // old entry makes this a cross-partition migration — the object
         // is briefly in no shard (or, interleaved badly, in two) — so the
         // span is bracketed by the migration epoch for scans to detect.
+        // The body runs in a closure so a fault unwinds past the epoch
+        // rebalance below instead of leaving `mig_started > mig_done`
+        // forever (which would spin every multi-shard scan).
         let mut migrating = false;
-        for (i, shard) in self.shards.iter().enumerate() {
-            if i == tid as usize {
-                continue;
-            }
-            if shard.read().current_key.contains_key(&m.uid) {
-                let mut s = shard.write();
-                if let Some(old) = s.current_key.remove(&m.uid) {
-                    if !migrating {
-                        migrating = true;
-                        self.mig_started.fetch_add(1, Ordering::SeqCst);
+        let result = (|| -> Result<(), IoFault> {
+            for (i, shard) in self.shards.iter().enumerate() {
+                if i == tid as usize {
+                    continue;
+                }
+                if shard.read().current_key.contains_key(&m.uid) {
+                    let mut s = shard.write();
+                    if let Some(old) = s.current_key.remove(&m.uid) {
+                        if !migrating {
+                            migrating = true;
+                            self.mig_started.fetch_add(1, Ordering::SeqCst);
+                        }
+                        s.try_del(old)?;
                     }
-                    s.del(old);
                 }
             }
-        }
-        let mut s = self.shards[tid as usize].write();
-        if let Some(old) = s.current_key.remove(&m.uid) {
-            // A concurrent same-uid upsert slipped in between the two
-            // lock acquisitions; replace its entry exactly.
-            s.del(old);
-        }
-        s.put(key, ObjectRecord::from_moving_point(&m));
-        s.current_key.insert(m.uid, key);
-        s.label = Some(t_lab);
-        drop(s);
+            let mut s = self.shards[tid as usize].write();
+            if let Some(old) = s.current_key.remove(&m.uid) {
+                // A concurrent same-uid upsert slipped in between the two
+                // lock acquisitions; replace its entry exactly.
+                s.try_del(old)?;
+            }
+            s.try_put(key, ObjectRecord::from_moving_point(&m))?;
+            s.current_key.insert(m.uid, key);
+            s.label = Some(t_lab);
+            Ok(())
+        })();
         if migrating {
             self.mig_done.fetch_add(1, Ordering::SeqCst);
         }
+        result?;
         self.commit_op();
+        Ok(())
     }
 
     /// Apply a batch of updates: group by target partition, delete stale
@@ -743,6 +782,17 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     /// readers; the entry may transiently remain visible to scans until
     /// the delete lands (read-committed, as genuine deletes always were).
     pub fn remove(&self, uid: UserId) -> bool {
+        self.try_remove(uid).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`ShardedMovingIndex::remove`]: an unresolvable
+    /// media fault on the direct delete path surfaces as
+    /// [`IndexError::Io`] instead of panicking, and a failed call is not
+    /// committed. On `Err` the uid's map entry is already vacated while
+    /// the leaf entry may survive as an orphan the next scan can still
+    /// see. The OLC and buffered paths run the legacy (infallible) tree
+    /// calls, as in [`ShardedMovingIndex::try_upsert`].
+    pub fn try_remove(&self, uid: UserId) -> Result<bool, IndexError> {
         if self.olc_writes() {
             for shard in &self.shards {
                 if !shard.read().current_key.contains_key(&uid) {
@@ -752,11 +802,11 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 if let Some(old) = old {
                     let removed = shard.read().btree.olc_delete(old).is_some();
                     self.commit_op();
-                    return removed;
+                    return Ok(removed);
                 }
             }
             self.commit_op();
-            return false;
+            return Ok(false);
         }
         for shard in &self.shards {
             if shard.read().current_key.contains_key(&uid) {
@@ -769,27 +819,34 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                         s.btree.buffered_delete(old);
                         true
                     } else {
-                        s.btree.delete(old).is_some()
+                        s.btree.try_delete(old)?.is_some()
                     };
                     drop(s);
                     self.commit_op();
-                    return removed;
+                    return Ok(removed);
                 }
             }
         }
         self.commit_op();
-        false
+        Ok(false)
     }
 
     /// Fetch an object's current record by id (point lookup through disk).
     pub fn get(&self, uid: UserId) -> Option<MovingPoint> {
+        self.try_get(uid).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`ShardedMovingIndex::get`]: an unresolvable
+    /// media fault during the point lookup surfaces as
+    /// [`IndexError::Io`] instead of panicking.
+    pub fn try_get(&self, uid: UserId) -> Result<Option<MovingPoint>, IndexError> {
         for shard in &self.shards {
             let s = shard.read();
             if let Some(&key) = s.current_key.get(&uid) {
-                return s.btree.get(key).map(|r| r.to_moving_point());
+                return Ok(s.btree.try_get(key)?.map(|r| r.to_moving_point()));
             }
         }
-        None
+        Ok(None)
     }
 
     /// The current index key of a live object, if any.
@@ -846,10 +903,24 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         &self,
         lo: u128,
         hi: u128,
-        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+        visit: impl FnMut(u128, ObjectRecord) -> bool,
     ) -> bool {
+        self.try_scan_keys(lo, hi, visit).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`ShardedMovingIndex::scan_keys`]: an
+    /// unresolvable media fault anywhere in the leaf walk surfaces as
+    /// [`IndexError::Io`] instead of panicking. Records already handed to
+    /// `visit` before the fault stay delivered; consistency guarantees
+    /// are unchanged for scans that complete.
+    pub fn try_scan_keys(
+        &self,
+        lo: u128,
+        hi: u128,
+        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> Result<bool, IndexError> {
         if lo > hi {
-            return true;
+            return Ok(true);
         }
         let mut spans: Vec<(u128, u128, usize)> = (0..self.shards.len())
             .filter_map(|tid| {
@@ -862,7 +933,7 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         // Single-shard fast path: atomic under one read lock, streams
         // with the visitor's early exit intact (the hot query path).
         if let [(l, h, tid)] = spans[..] {
-            return self.shards[tid].read().btree.range_scan(l, h, &mut visit);
+            return Ok(self.shards[tid].read().btree.try_range_scan(l, h, &mut visit)?);
         }
 
         for _ in 0..SCAN_EPOCH_RETRIES {
@@ -880,10 +951,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             let mut buf: Vec<(u128, ObjectRecord)> = Vec::new();
             for (l, h, tid) in &spans {
                 let s = self.shards[*tid].read();
-                s.btree.range_scan(*l, *h, |k, rec| {
+                s.btree.try_range_scan(*l, *h, |k, rec| {
                     buf.push((k, rec));
                     true
-                });
+                })?;
             }
             // No migration started during the scan (and none was in
             // flight when it began) ⇒ no re-key overlapped any part of
@@ -891,10 +962,10 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             if self.mig_started.load(Ordering::SeqCst) == started {
                 for (k, rec) in buf {
                     if !visit(k, rec) {
-                        return false;
+                        return Ok(false);
                     }
                 }
-                return true;
+                return Ok(true);
             }
         }
 
@@ -926,11 +997,11 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 continue;
             }
             for ((l, h, _), s) in spans.iter().zip(guards.iter()) {
-                if !s.btree.range_scan(*l, *h, &mut visit) {
-                    return false;
+                if !s.btree.try_range_scan(*l, *h, &mut visit)? {
+                    return Ok(false);
                 }
             }
-            return true;
+            return Ok(true);
         }
     }
 
@@ -961,11 +1032,24 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
     pub fn scan_keys_multi(
         &self,
         intervals: &[(u128, u128)],
-        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+        visit: impl FnMut(u128, ObjectRecord) -> bool,
     ) -> bool {
+        self.try_scan_keys_multi(intervals, visit)
+            .unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible twin of [`ShardedMovingIndex::scan_keys_multi`]: an
+    /// unresolvable media fault anywhere in the fused leaf walk surfaces
+    /// as [`IndexError::Io`] instead of panicking (records already handed
+    /// to `visit` stay delivered).
+    pub fn try_scan_keys_multi(
+        &self,
+        intervals: &[(u128, u128)],
+        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> Result<bool, IndexError> {
         let runs = coalesce_intervals(intervals);
         if runs.is_empty() {
-            return true;
+            return Ok(true);
         }
         // Clip the coalesced runs to each shard's partition range, then
         // order the shards by their first clipped key: partition ranges
@@ -986,13 +1070,13 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
         }
         spans.sort_unstable_by_key(|(_, clipped)| clipped[0].0);
         if spans.is_empty() {
-            return true;
+            return Ok(true);
         }
 
         // Single-shard fast path: atomic under one read lock, streams
         // with the visitor's early exit intact (the hot query path).
         if let [(tid, clipped)] = &spans[..] {
-            return self.shards[*tid].read().btree.multi_range_scan(clipped, &mut visit);
+            return Ok(self.shards[*tid].read().btree.try_multi_range_scan(clipped, &mut visit)?);
         }
 
         for _ in 0..SCAN_EPOCH_RETRIES {
@@ -1005,18 +1089,18 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             let mut buf: Vec<(u128, ObjectRecord)> = Vec::new();
             for (tid, clipped) in &spans {
                 let s = self.shards[*tid].read();
-                s.btree.multi_range_scan(clipped, |k, rec| {
+                s.btree.try_multi_range_scan(clipped, |k, rec| {
                     buf.push((k, rec));
                     true
-                });
+                })?;
             }
             if self.mig_started.load(Ordering::SeqCst) == started {
                 for (k, rec) in buf {
                     if !visit(k, rec) {
-                        return false;
+                        return Ok(false);
                     }
                 }
-                return true;
+                return Ok(true);
             }
         }
 
@@ -1042,11 +1126,11 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                 continue;
             }
             for ((_, clipped), s) in spans.iter().zip(guards.iter()) {
-                if !s.btree.multi_range_scan(clipped, &mut visit) {
-                    return false;
+                if !s.btree.try_multi_range_scan(clipped, &mut visit)? {
+                    return Ok(false);
                 }
             }
-            return true;
+            return Ok(true);
         }
     }
 

@@ -276,8 +276,8 @@ fn assert_matches_twin(
     for p in 0..twin_disk.num_pages() {
         let pid = peb_storage::PageId(p as u32);
         assert_eq!(
-            back_disk.peek(pid).bytes(0, PAGE_SIZE),
-            twin_disk.peek(pid).bytes(0, PAGE_SIZE),
+            back_disk.peek(pid).unwrap().bytes(0, PAGE_SIZE),
+            twin_disk.peek(pid).unwrap().bytes(0, PAGE_SIZE),
             "data page {p} differs @ kill {kill}"
         );
     }

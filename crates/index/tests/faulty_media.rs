@@ -1,0 +1,221 @@
+//! Faulty media at the index layer: the typed-error stack end to end.
+//!
+//! [`ShardedMovingIndex`] sits on the buffer pool's retry/repair/
+//! quarantine machinery. These tests drive the index's fallible API
+//! (`try_upsert` / `try_get` / `try_remove` / `try_scan_keys`) over an
+//! injected [`FaultKind`] schedule and prove the graceful-degradation
+//! contract of the fault-tolerance chapter:
+//!
+//! * on unrepairable media every operation returns a typed
+//!   [`IndexError::Io`] — no panic, no garbage result — and service
+//!   recovers the moment the media does;
+//! * in durable mode the seeded fault mix (transients, bit rot, grown
+//!   bad sectors) is absorbed by retry, WAL read-repair, and quarantine:
+//!   query answers are **identical to a fault-free twin**;
+//! * a fault escaping mid-migration leaves the scan epoch balanced, so
+//!   later scans neither hang nor spin;
+//! * the whole battery is deterministic run-to-run.
+
+use std::sync::Arc;
+
+use peb_common::{MovingPoint, Point, SpaceConfig, UserId, Vec2};
+use peb_index::{IndexError, KeyLayout, ShardedMovingIndex, TimePartitioning};
+use peb_storage::{BufferPool, FaultStats, IoFault, PageId};
+
+/// Same minimal layout as the unit tests: `[TID]₂ ⊕ [ZV]₂ ⊕ [UID]₂`.
+#[derive(Debug, Clone, Copy)]
+struct TestLayout;
+
+const ZV_BITS: u32 = 20;
+const UID_BITS: u32 = 32;
+
+impl KeyLayout for TestLayout {
+    fn zv_bits(&self) -> u32 {
+        ZV_BITS
+    }
+
+    fn key(&self, tid: u8, zv: u64, uid: u64) -> u128 {
+        ((tid as u128) << (ZV_BITS + UID_BITS)) | ((zv as u128) << UID_BITS) | uid as u128
+    }
+
+    fn partition_range(&self, tid: u8) -> (u128, u128) {
+        (self.key(tid, 0, 0), self.key(tid, (1 << ZV_BITS) - 1, (1 << UID_BITS) - 1))
+    }
+}
+
+const USERS: u64 = 240;
+
+fn still(uid: u64, x: f64, y: f64, t: f64) -> MovingPoint {
+    MovingPoint::new(UserId(uid), Point::new(x, y), Vec2::ZERO, t)
+}
+
+fn make(durable: bool) -> (Arc<BufferPool>, ShardedMovingIndex<TestLayout>) {
+    let pool = Arc::new(BufferPool::new(64));
+    pool.set_durable(durable);
+    let idx = ShardedMovingIndex::new(
+        Arc::clone(&pool),
+        TestLayout,
+        SpaceConfig::new(1000.0, 10, 1440.0),
+        TimePartitioning::new(120.0, 2),
+        3.0,
+    );
+    (pool, idx)
+}
+
+/// Deterministic population: `USERS` users on a grid at `t = 10`.
+fn populate(idx: &ShardedMovingIndex<TestLayout>) {
+    for i in 0..USERS {
+        idx.upsert(still(i, (i % 31) as f64 * 32.0 + 1.0, (i / 31) as f64 * 100.0 + 1.0, 10.0));
+    }
+}
+
+/// Every sector (allocated or not) becomes permanently unreadable.
+fn scorch_the_media(pool: &BufferPool) {
+    pool.with_fault_injector(|f| {
+        for p in 0..4096 {
+            f.mark_bad_sector(PageId(p));
+        }
+    });
+}
+
+/// Sorted uids visible in one full key-range scan.
+fn scan_all(idx: &ShardedMovingIndex<TestLayout>) -> Result<Vec<u64>, IndexError> {
+    let mut uids = Vec::new();
+    idx.try_scan_keys(0, u128::MAX, |k, _| {
+        uids.push((k & ((1u128 << UID_BITS) - 1)) as u64);
+        true
+    })?;
+    uids.sort_unstable();
+    Ok(uids)
+}
+
+#[test]
+fn scorched_media_surfaces_typed_errors_and_service_recovers() {
+    let (pool, idx) = make(false);
+    populate(&idx);
+    pool.flush_all();
+    pool.clear();
+    let want_scan = scan_all(&idx).expect("clean media");
+    let want_get = idx.try_get(UserId(7)).expect("clean media");
+    pool.clear();
+
+    scorch_the_media(&pool);
+    // Reads, scans, and writes all fail typed — never panic, never lie.
+    assert!(matches!(idx.try_get(UserId(7)), Err(IndexError::Io(IoFault::BadSector { .. }))));
+    assert!(matches!(scan_all(&idx), Err(IndexError::Io(IoFault::BadSector { .. }))));
+    assert!(matches!(
+        idx.try_upsert(still(7, 500.0, 500.0, 11.0)),
+        Err(IndexError::Io(IoFault::BadSector { .. }))
+    ));
+    assert!(matches!(idx.try_remove(UserId(9)), Err(IndexError::Io(IoFault::BadSector { .. }))));
+
+    // The drive is swapped: full service returns. The failed upsert and
+    // remove left uids 7 and 9 unmapped (documented partial state), so
+    // re-issue them before comparing against the pre-fault answers.
+    pool.with_fault_injector(|f| f.clear());
+    idx.try_upsert(still(7, 7.0 * 32.0 + 1.0, 1.0, 10.0))
+        .expect("healed media accepts writes");
+    idx.try_upsert(still(9, 9.0 * 32.0 + 1.0, 1.0, 10.0))
+        .expect("healed media accepts writes");
+    assert_eq!(idx.try_get(UserId(7)).expect("healed"), want_get);
+    assert_eq!(scan_all(&idx).expect("healed"), want_scan);
+    assert!(pool.fault_stats().surfaced_errors >= 4, "each failure was ledgered");
+}
+
+/// One deterministic read/update/scan battery; every outcome recorded.
+type Battery = (Vec<Result<Option<MovingPoint>, IndexError>>, Result<Vec<u64>, IndexError>);
+
+fn run_battery(pool: &BufferPool, idx: &ShardedMovingIndex<TestLayout>) -> Battery {
+    let mut gets = Vec::with_capacity(USERS as usize + 8);
+    for i in 0..USERS {
+        gets.push(idx.try_get(UserId(i)));
+    }
+    // Cold-start between phases: each phase re-fetches its pages from
+    // the (possibly faulty) medium instead of hitting warm frames.
+    pool.clear();
+    // A sprinkle of updates (same partition, new position) — each one
+    // reads leaf pages on the way down, so repairs fire here too.
+    for i in (0..USERS).step_by(24) {
+        let r = idx.try_upsert(still(i, (i % 17) as f64 * 50.0 + 5.0, 400.0, 11.0));
+        gets.push(r.map(|()| None));
+    }
+    pool.clear();
+    for i in (0..USERS).step_by(24) {
+        gets.push(idx.try_get(UserId(i)));
+    }
+    pool.clear();
+    (gets, scan_all(idx))
+}
+
+#[test]
+fn durable_mode_absorbs_the_seeded_mix_and_matches_the_twin() {
+    // Twin first: same build, same battery, clean media.
+    let (twin_pool, twin) = make(true);
+    populate(&twin);
+    twin_pool.flush_all();
+    twin_pool.clear();
+    let want = run_battery(&twin_pool, &twin);
+    assert_eq!(twin_pool.fault_stats(), FaultStats::default());
+    assert!(want.0.iter().all(Result::is_ok) && want.1.is_ok());
+
+    // Faulted: transients, bit rot, and grown bad sectors sprayed over
+    // the cold battery's global read ordinals.
+    let (pool, idx) = make(true);
+    populate(&idx);
+    pool.flush_all();
+    pool.clear();
+    pool.with_fault_injector(|f| f.arm_seeded_read_schedule(0xFA17_ED15, 36, 48));
+    let got = run_battery(&pool, &idx);
+
+    assert_eq!(got, want, "repaired answers must be indistinguishable from the twin's");
+    let stats = pool.fault_stats();
+    let fired = pool.with_fault_injector(|f| f.injected());
+    assert!(fired >= 12, "schedule too sparse: only {fired} faults fired");
+    assert!(stats.transient_retries > 0, "transient leg never exercised");
+    assert!(stats.repairs_attempted > 0, "repair leg never exercised");
+    assert_eq!(stats.surfaced_errors, 0, "durable mode absorbed everything");
+    assert_eq!(stats.repairs_attempted, stats.repairs_succeeded + stats.quarantines);
+}
+
+#[test]
+fn faulty_batteries_are_deterministic_run_to_run() {
+    let run = || {
+        let (pool, idx) = make(true);
+        populate(&idx);
+        pool.flush_all();
+        pool.clear();
+        pool.with_fault_injector(|f| f.arm_seeded_read_schedule(0x0DD5_0C3E, 36, 48));
+        let battery = run_battery(&pool, &idx);
+        let trace = pool.with_fault_injector(|f| f.trace().to_vec());
+        (battery, trace, pool.fault_stats())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "outcomes diverge");
+    assert_eq!(a.1, b.1, "fired-fault traces diverge");
+    assert_eq!(a.2, b.2, "fault ledgers diverge");
+}
+
+#[test]
+fn a_fault_mid_migration_leaves_the_scan_epoch_balanced() {
+    let (pool, idx) = make(false);
+    populate(&idx);
+    // Age user 5 into the next partition window so its upsert takes the
+    // cross-shard migration slow path (evict from old shard, insert into
+    // new) — then fail that path's first page read.
+    pool.flush_all();
+    pool.clear();
+    scorch_the_media(&pool);
+    let err = idx.try_upsert(still(5, 100.0, 100.0, 130.0));
+    assert!(matches!(err, Err(IndexError::Io(IoFault::BadSector { .. }))));
+
+    // The regression under test: an error escaping after `mig_started`
+    // was bumped must still bump `mig_done`, or every multi-shard scan
+    // would burn its epoch retries forever after. Heal the media and
+    // prove scans still run clean and the index stays usable.
+    pool.with_fault_injector(|f| f.clear());
+    let uids = scan_all(&idx).expect("scan after failed migration");
+    assert!(uids.len() >= (USERS as usize) - 1, "at most the in-flight uid may be missing");
+    idx.try_upsert(still(5, 100.0, 100.0, 130.0)).expect("healed media accepts the migration");
+    assert!(idx.try_get(UserId(5)).expect("healed").is_some());
+}

@@ -20,6 +20,17 @@
 //! touching any mutex, with the [`pool::LockStats`] ledger counting how
 //! much locking the read path avoided. See the [`pool`] module docs for
 //! the lock ordering, versioning, and determinism contract.
+//!
+//! The device itself is allowed to lie: every physical write seals the
+//! page with a checksum ([`page::Page::seal`]), every physical read
+//! verifies it, and [`disk::FaultInjector`] replays deterministic media-
+//! fault schedules (transient errors, bad sectors, bit flips, torn and
+//! dropped writes). The pool's fetch path retries transients, read-
+//! repairs detected corruption from the WAL's post-images in durable
+//! mode, quarantines sectors that refuse repair, and otherwise surfaces
+//! a typed [`disk::IoFault`] — never silent corruption, never a panic on
+//! the fallible (`try_*`) entry points. The [`pool::FaultStats`] ledger
+//! accounts for all of it.
 
 #![warn(missing_docs)]
 
@@ -28,10 +39,11 @@ pub mod page;
 pub mod pool;
 pub mod wal;
 
-pub use disk::DiskSim;
-pub use page::{Page, PageId, PAGE_SIZE, PAGE_WORDS};
+pub use disk::{DiskSim, FaultEvent, FaultInjector, FaultKind, IoFault};
+pub use page::{Page, PageId, ReadOutcome, PAGE_SIZE, PAGE_WORDS};
 pub use pool::{
-    default_shard_count, BufferPool, IoStats, LockStats, OptimisticRead, PageLatch, PageSnapshot,
+    default_shard_count, BufferPool, FaultStats, IoStats, LockStats, OptimisticRead, PageLatch,
+    PageSnapshot, TRANSIENT_RETRIES,
 };
 pub use wal::{
     recover, CrashInjector, CrashPoint, Wal, WalRecord, WalRecovery, WalStats, CRASH_SENTINEL,

@@ -1,4 +1,6 @@
-//! Fixed-size disk pages with little-endian scalar accessors.
+//! Fixed-size disk pages with little-endian scalar accessors and a
+//! whole-page checksum ([`Page::seal`] / [`Page::verify`]) the simulated
+//! device uses to detect media corruption.
 
 /// Disk page size in bytes (the paper's setting).
 pub const PAGE_SIZE: usize = 4096;
@@ -21,10 +23,37 @@ impl PageId {
 /// copies pages word-at-a-time through atomics at this granularity.
 pub const PAGE_WORDS: usize = PAGE_SIZE / 8;
 
+/// Outcome of one *physical* page read at the device layer, after the
+/// stored bytes were checked against the page's seal (see
+/// [`crate::disk::DiskSim::read_outcome`]).
+///
+/// The typed-error mirror of this enum is [`crate::disk::IoFault`]; the
+/// outcome form exists so device-level code can name the clean case and
+/// the three failure cases in one `match` without inventing a sentinel.
+pub enum ReadOutcome {
+    /// The read returned data whose checksum matches the page's seal.
+    Clean(Page),
+    /// The device failed transiently; the stored data is intact and an
+    /// immediate retry may succeed.
+    Transient,
+    /// The sector is permanently unreadable (marked bad, or the id was
+    /// never allocated).
+    BadSector,
+    /// The read returned data, but its checksum does not match the seal
+    /// taken at the last write — silent corruption, detected.
+    Mismatch {
+        /// The seal recorded when the page was last written.
+        expected: u64,
+        /// The checksum of the bytes the device actually returned.
+        found: u64,
+    },
+}
+
 /// A 4 KB page. Scalar accessors read/write little-endian values at byte
 /// offsets; callers (the B+-tree node layout) are responsible for offsets
-/// staying in bounds, which the accessors assert.
-#[derive(Clone)]
+/// staying in bounds, which the accessors assert. Equality is byte-wise
+/// over the full content.
+#[derive(Clone, PartialEq, Eq)]
 pub struct Page {
     data: Box<[u8; PAGE_SIZE]>,
 }
@@ -32,6 +61,14 @@ pub struct Page {
 impl Default for Page {
     fn default() -> Self {
         Page::new()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    /// Compact form — first word and seal, never the 4 KB body (pages
+    /// appear in `Result`s whose `Err` arms tests assert with `{:?}`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page {{ head: {:#018x}, seal: {:#018x} }}", self.get_u64(0), self.seal())
     }
 }
 
@@ -129,6 +166,25 @@ impl Page {
         }
     }
 
+    /// FNV-1a checksum of the full 4 KB content — the page's **seal**.
+    /// The simulated disk computes it on every physical write and stores
+    /// it in a catalog *separate from the data* (the ZFS / T10-DIF
+    /// placement: a checksum stored inside the sector it covers cannot
+    /// detect a dropped or torn write, because the stale sector carries a
+    /// stale-but-self-consistent checksum). Same hand-rolled FNV-1a as
+    /// the WAL record checksum ([`crate::wal::fnv1a`]).
+    #[inline]
+    pub fn seal(&self) -> u64 {
+        crate::wal::fnv1a(&self.data[..])
+    }
+
+    /// Whether the page's current content matches a seal taken earlier —
+    /// the verification half of [`Page::seal`].
+    #[inline]
+    pub fn verify(&self, seal: u64) -> bool {
+        self.seal() == seal
+    }
+
     /// Publish the whole page into an atomic word image of length
     /// [`PAGE_WORDS`] (relaxed stores — callers supply the fences).
     #[inline]
@@ -205,6 +261,19 @@ mod tests {
         assert_eq!(dst.get_u128(0), u128::MAX / 7);
         assert_eq!(dst.get_u64(4088), 0xFEED_F00D);
         assert_eq!(dst.get_u8(1234), 0x5A);
+    }
+
+    #[test]
+    fn seal_round_trips_and_detects_change() {
+        let mut p = Page::new();
+        p.put_u64(0, 42);
+        p.put_u128(2048, u128::MAX / 5);
+        let seal = p.seal();
+        assert!(p.verify(seal));
+        p.put_u8(1000, 1);
+        assert!(!p.verify(seal), "a one-byte change must break the seal");
+        p.put_u8(1000, 0);
+        assert!(p.verify(seal), "restoring the byte restores the seal");
     }
 
     #[test]

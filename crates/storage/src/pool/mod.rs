@@ -78,13 +78,20 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::disk::DiskSim;
+use crate::disk::{DiskSim, FaultInjector, IoFault};
 use crate::page::{Page, PageId};
 use crate::wal::{CrashInjector, CrashPoint, Wal, WalRecord, WalStats};
 use latch::LatchTable;
 pub use latch::PageLatch;
 use mirror::{Mirror, TryRead};
 use shard::{Frame, PoolShard};
+
+/// How many times a transient device error is retried before it surfaces
+/// as a typed [`IoFault::Transient`]. Retry `k` (1-based) adds `2^k`
+/// deterministic backoff ticks to [`FaultStats::backoff_ticks`] — a
+/// simulated-time ledger, not a wall-clock sleep, so faulty runs stay
+/// exactly reproducible.
+pub const TRANSIENT_RETRIES: u32 = 3;
 
 /// I/O counters accumulated by a [`BufferPool`].
 ///
@@ -198,6 +205,79 @@ impl LockStats {
             return 1.0;
         }
         self.optimistic_hits as f64 / attempts as f64
+    }
+}
+
+/// The pool's fault ledger: everything the retry / read-repair /
+/// quarantine machinery did, deterministic for a fixed fault schedule.
+///
+/// These counters sit *beside* [`IoStats`], not inside it: a fetch that
+/// needed three transient retries and a repair still lands on the I/O
+/// ledger as exactly one physical read — identical to the fault-free twin
+/// of the same run — while the extra device traffic is visible here (and
+/// on the [`DiskSim`]'s own device-level counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient read errors absorbed by an immediate bounded retry.
+    pub transient_retries: u64,
+    /// Deterministic backoff units accrued across retries (`2^attempt`
+    /// per retry — a simulated clock, no wall time is spent).
+    pub backoff_ticks: u64,
+    /// Fetches that exhausted the retry budget and surfaced the
+    /// transient error.
+    pub transient_exhausted: u64,
+    /// Physical reads whose content failed seal verification.
+    pub checksum_mismatches: u64,
+    /// Physical reads that hit a permanently unreadable sector.
+    pub bad_sector_reads: u64,
+    /// Read-repairs attempted (a WAL post-image was available).
+    pub repairs_attempted: u64,
+    /// Read-repairs whose rewrite re-verified against the image's seal.
+    pub repairs_succeeded: u64,
+    /// Device reads issued by the repair loop's re-verification.
+    pub repair_reads: u64,
+    /// Device writes issued by the repair loop's rewrite.
+    pub repair_writes: u64,
+    /// Pages quarantined after repair failed twice (served from a pinned
+    /// frame backed by the WAL image from then on).
+    pub quarantines: u64,
+    /// Faults returned to the caller as typed errors (non-durable pool,
+    /// unrepairable page, or retry budget exhausted).
+    pub surfaced_errors: u64,
+}
+
+/// Atomic backing store of [`FaultStats`] (relaxed counters — exact once
+/// accesses quiesce, like every other pool ledger).
+#[derive(Default)]
+struct FaultCounters {
+    transient_retries: AtomicU64,
+    backoff_ticks: AtomicU64,
+    transient_exhausted: AtomicU64,
+    checksum_mismatches: AtomicU64,
+    bad_sector_reads: AtomicU64,
+    repairs_attempted: AtomicU64,
+    repairs_succeeded: AtomicU64,
+    repair_reads: AtomicU64,
+    repair_writes: AtomicU64,
+    quarantines: AtomicU64,
+    surfaced_errors: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
+            backoff_ticks: self.backoff_ticks.load(Ordering::Relaxed),
+            transient_exhausted: self.transient_exhausted.load(Ordering::Relaxed),
+            checksum_mismatches: self.checksum_mismatches.load(Ordering::Relaxed),
+            bad_sector_reads: self.bad_sector_reads.load(Ordering::Relaxed),
+            repairs_attempted: self.repairs_attempted.load(Ordering::Relaxed),
+            repairs_succeeded: self.repairs_succeeded.load(Ordering::Relaxed),
+            repair_reads: self.repair_reads.load(Ordering::Relaxed),
+            repair_writes: self.repair_writes.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            surfaced_errors: self.surfaced_errors.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -363,6 +443,8 @@ pub struct BufferPool {
     /// because the durable write path is specified single-threaded — see
     /// [`BufferPool::set_durable`].
     crash_scope: AtomicU8,
+    /// The retry / read-repair / quarantine ledger ([`FaultStats`]).
+    faults: FaultCounters,
 }
 
 /// The default shard count: the next power of two at or above the
@@ -430,6 +512,7 @@ impl BufferPool {
             latches: LatchTable::new(),
             injector: Arc::new(CrashInjector::new()),
             crash_scope: AtomicU8::new(0),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -481,7 +564,10 @@ impl BufferPool {
             self.evict_one(state, s);
         }
         let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        s.table.insert(pid, Frame { page: Page::new(), dirty: true, last_used: tick, lsn: 0 });
+        s.table.insert(
+            pid,
+            Frame { page: Page::new(), dirty: true, last_used: tick, lsn: 0, pinned: false },
+        );
         if self.optimistic_reads {
             Self::publish_locked(state, s, pid, true, tick);
         }
@@ -492,15 +578,37 @@ impl BufferPool {
     /// shard's lock (a hit touches nothing else). This is the universal
     /// fallback of the lock-free [`BufferPool::try_read_optimistic`] and
     /// the only read path that can fault a page in from disk.
+    ///
+    /// Panics if the fetch hits a media fault the retry/repair machinery
+    /// cannot resolve — use [`BufferPool::try_read`] where a typed error
+    /// should propagate instead. On fault-free media the two are
+    /// identical.
     pub fn read<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> R {
-        self.with_page(pid, false, false, |page| f(page))
+        self.try_read(pid, f).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BufferPool::read`]: a transient device error is retried
+    /// (bounded), a detected corruption is read-repaired from the WAL in
+    /// durable mode, and anything unresolvable comes back as a typed
+    /// [`IoFault`] instead of a panic.
+    pub fn try_read<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R, IoFault> {
+        self.try_with_page(pid, false, false, |page| f(page))
     }
 
     /// Write access to a page through the buffer; marks the frame dirty
     /// and republishes the page's mirror image under a bumped version, so
     /// in-flight optimistic readers of the old image fail validation.
+    ///
+    /// Panics on an unresolvable media fault (see [`BufferPool::read`]);
+    /// [`BufferPool::try_write`] is the fallible form.
     pub fn write<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
-        self.with_page(pid, true, false, f)
+        self.try_write(pid, f).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BufferPool::write`] (the fault can only arise while
+    /// faulting the page *in* — the write-back itself is asynchronous).
+    pub fn try_write<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R, IoFault> {
+        self.try_with_page(pid, true, false, f)
     }
 
     /// [`BufferPool::write`] for message-chain sidecar pages: identical in
@@ -508,7 +616,16 @@ impl BufferPool {
     /// [`WalRecord::ChainWrite`], so the log distinguishes buffered-write
     /// traffic and recovery statistics stay meaningful.
     pub fn write_chain<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
-        self.with_page(pid, true, true, f)
+        self.try_write_chain(pid, f).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BufferPool::write_chain`].
+    pub fn try_write_chain<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, IoFault> {
+        self.try_with_page(pid, true, true, f)
     }
 
     /// Lock-free versioned read: run `f` on a consistent copy of `pid`
@@ -585,6 +702,14 @@ impl BufferPool {
     /// assert!(!pool.snapshot_valid(&snap), "a write invalidates the cached copy");
     /// ```
     pub fn read_snapshot(&self, pid: PageId, snap: &mut PageSnapshot) -> bool {
+        self.try_read_snapshot(pid, snap).unwrap_or_else(|e| panic!("unresolved I/O fault: {e}"))
+    }
+
+    /// Fallible [`BufferPool::read_snapshot`]: the lock-free attempt never
+    /// touches the device (the mirror only ever publishes verified,
+    /// frame-resident pages), so a fault can only arise in the locked
+    /// fallback's fetch — and surfaces typed here instead of panicking.
+    pub fn try_read_snapshot(&self, pid: PageId, snap: &mut PageSnapshot) -> Result<bool, IoFault> {
         snap.pid = pid;
         snap.version = None;
         if self.optimistic_reads {
@@ -599,7 +724,7 @@ impl BufferPool {
                         state.opt_logical.fetch_add(1, Ordering::Relaxed);
                         state.opt_hits.fetch_add(1, Ordering::Relaxed);
                         snap.version = Some(version);
-                        return true;
+                        return Ok(true);
                     }
                     TryRead::Unpublished => {
                         state.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -612,8 +737,8 @@ impl BufferPool {
             }
         }
         let copy = &mut snap.page;
-        self.read(pid, |p| copy.clone_from(p));
-        false
+        self.try_read(pid, |p| copy.clone_from(p))?;
+        Ok(false)
     }
 
     /// Whether `snap`'s cached copy is still current: the page is still
@@ -688,18 +813,111 @@ impl BufferPool {
         LatchTable::slot_of(pid)
     }
 
+    /// Fetch one page from the device, absorbing what the fault layer can:
+    /// transient errors are retried up to [`TRANSIENT_RETRIES`] times with
+    /// a deterministic exponential backoff ledger (simulated ticks, no
+    /// wall time), and detected corruption or a bad sector goes through
+    /// [`BufferPool::repair_or_surface`]. Returns the verified page plus
+    /// whether it must be pinned resident (quarantined sector).
+    ///
+    /// Called with the owning shard lock held; takes the wal and disk
+    /// locks below it, never both at once with another shard lock — the
+    /// lock hierarchy is unchanged.
+    fn fetch_verified(&self, pid: PageId) -> Result<(Page, bool), IoFault> {
+        let mut attempt = 0u32;
+        loop {
+            // Bind before matching: a guard in the scrutinee would live
+            // across the arms, and the repair arm re-locks the disk.
+            let result = self.disk.lock().read(pid);
+            match result {
+                Ok(page) => return Ok((page, false)),
+                Err(IoFault::Transient { .. }) if attempt < TRANSIENT_RETRIES => {
+                    attempt += 1;
+                    self.faults.transient_retries.fetch_add(1, Ordering::Relaxed);
+                    self.faults.backoff_ticks.fetch_add(1 << attempt, Ordering::Relaxed);
+                }
+                Err(fault @ IoFault::Transient { .. }) => {
+                    self.faults.transient_exhausted.fetch_add(1, Ordering::Relaxed);
+                    self.faults.surfaced_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(fault);
+                }
+                Err(fault) => return self.repair_or_surface(pid, fault),
+            }
+        }
+    }
+
+    /// Handle a non-transient fetch failure: in durable mode, read-repair
+    /// the page from the WAL's newest post-image (rewrite, re-read,
+    /// re-verify, twice); if both rounds fail, quarantine the sector and
+    /// serve the WAL image from a pinned frame. Outside durable mode —
+    /// or when the page was never logged — the fault surfaces typed.
+    ///
+    /// Repair traffic deliberately bypasses the crash injector and the
+    /// pool's [`IoStats`]: a repair write is an idempotent replay of an
+    /// already-logged image (a crash mid-repair just re-repairs on the
+    /// next read), and keeping it off the pool ledger is what lets a
+    /// repaired run's I/O counters stay identical to its fault-free
+    /// twin's. The traffic is visible on [`FaultStats`] and the device's
+    /// own counters instead.
+    fn repair_or_surface(&self, pid: PageId, fault: IoFault) -> Result<(Page, bool), IoFault> {
+        match fault {
+            IoFault::Corrupt { .. } => {
+                self.faults.checksum_mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+            IoFault::BadSector { .. } => {
+                self.faults.bad_sector_reads.fetch_add(1, Ordering::Relaxed);
+            }
+            IoFault::Transient { .. } => unreachable!("transients are retried, not repaired"),
+        }
+        if !self.durable.load(Ordering::Relaxed) {
+            self.faults.surfaced_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(fault);
+        }
+        let image = self.wal.lock().as_ref().and_then(|w| w.latest_image(pid));
+        let Some(image) = image else {
+            // Durable, but this page was never logged (enrolled into
+            // durability and untouched since): nothing to repair from.
+            self.faults.surfaced_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(fault);
+        };
+        self.faults.repairs_attempted.fetch_add(1, Ordering::Relaxed);
+        let seal = image.seal();
+        for _ in 0..2 {
+            let mut disk = self.disk.lock();
+            self.faults.repair_writes.fetch_add(1, Ordering::Relaxed);
+            disk.write(pid, &image);
+            self.faults.repair_reads.fetch_add(1, Ordering::Relaxed);
+            if let Ok(back) = disk.read(pid) {
+                if back.verify(seal) {
+                    self.faults.repairs_succeeded.fetch_add(1, Ordering::Relaxed);
+                    return Ok((back, false));
+                }
+            }
+        }
+        // The sector will not hold the image (grown defect): quarantine.
+        // The WAL image is exact, so serving it is correct — it just must
+        // never be evicted to (or re-fetched from) the bad sector again.
+        self.faults.quarantines.fetch_add(1, Ordering::Relaxed);
+        Ok((image, true))
+    }
+
     /// Fetch `pid` into its shard (counting a hit or a miss), bump LRU
     /// recency, and run `f` on the frame under the shard lock. In durable
     /// mode a dirtying access logs the page's pre-image (first write since
     /// the last checkpoint only) before `f` and its full post-image after,
     /// stamping the frame — and the mirror — with the record's LSN.
-    fn with_page<R>(
+    ///
+    /// A miss goes through [`BufferPool::fetch_verified`]; an
+    /// unresolvable media fault aborts before any frame state changes
+    /// (only the logical-read count and a possible eviction happened) and
+    /// surfaces as `Err`.
+    fn try_with_page<R>(
         &self,
         pid: PageId,
         mark_dirty: bool,
         chain: bool,
         f: impl FnOnce(&mut Page) -> R,
-    ) -> R {
+    ) -> Result<R, IoFault> {
         let state = &self.shards[self.shard_of(pid)];
         state.lock_acqs.fetch_add(1, Ordering::Relaxed);
         let s = &mut *state.shard.lock();
@@ -710,12 +928,17 @@ impl BufferPool {
             if s.table.is_full() {
                 self.evict_one(state, s);
             }
+            let (page, pinned) = self.fetch_verified(pid)?;
+            // One physical read on the pool ledger regardless of how many
+            // device attempts the fault layer needed — see [`FaultStats`].
             s.stats.physical_reads += 1;
-            let page = self.disk.lock().read(pid);
-            s.table.insert(pid, Frame { page, dirty: false, last_used: 0, lsn: 0 });
+            s.table.insert(pid, Frame { page, dirty: false, last_used: 0, lsn: 0, pinned });
             content_changed = true;
         }
-        let frame = s.table.get_mut(pid).expect("frame resident after fetch");
+        let frame = s
+            .table
+            .get_mut(pid)
+            .expect("invariant: fetch_verified inserted the frame under this shard lock");
         frame.last_used = tick;
         if mark_dirty {
             frame.dirty = true;
@@ -726,6 +949,8 @@ impl BufferPool {
             // field docs). Log-before-page: both images are in the log
             // stream before the frame can ever be flushed at this LSN.
             let mut wal = self.wal.lock();
+            // Invariant, not fault-reachable: `set_durable(true)` creates
+            // the wal before the flag is ever observable as set.
             let wal = wal.as_mut().expect("durable pool always has a wal");
             if !wal.is_preimaged(pid) {
                 wal.append(&WalRecord::PreImage { pid, image: Box::new(frame.page.clone()) });
@@ -750,7 +975,7 @@ impl BufferPool {
                 state.mirror.set_lsn(pid, lsn);
             }
         }
-        r
+        Ok(r)
     }
 
     /// Publish `pid`'s current frame contents to the shard mirror (caller
@@ -766,6 +991,8 @@ impl BufferPool {
         }
         peb_common::sched::probe(peb_common::sched::Site::Publish);
         let displaced = {
+            // Invariant, not fault-reachable: every caller publishes a pid
+            // it just inserted or touched under this same shard lock.
             let page = &s.table.get(pid).expect("published page resident").page;
             state.mirror.publish(pid, page, tick)
         };
@@ -784,10 +1011,15 @@ impl BufferPool {
     /// hot pages exactly like locked hits.
     fn evict_one(&self, state: &ShardState, s: &mut PoolShard) {
         let mirror = &state.mirror;
-        let (vpid, frame) = s
-            .table
-            .take_victim_by(|pid, f| f.last_used.max(mirror.recency_of(pid).unwrap_or(0)))
-            .expect("evict called on empty shard");
+        let Some((vpid, frame)) =
+            s.table.take_victim_by(|pid, f| f.last_used.max(mirror.recency_of(pid).unwrap_or(0)))
+        else {
+            // Reachable under faults: every resident frame is pinned
+            // (quarantined), so there is nothing safe to evict — the
+            // caller's insert transiently exceeds the shard budget
+            // instead of dropping a page whose disk sector is bad.
+            return;
+        };
         mirror.invalidate(vpid);
         if frame.dirty {
             self.wal_before_data_write(frame.lsn);
@@ -823,11 +1055,17 @@ impl BufferPool {
         for state in self.shards.iter() {
             let s = &mut *state.shard.lock();
             for pid in s.table.sorted_pids() {
-                let (dirty, lsn) = {
+                let (dirty, lsn, pinned) = {
+                    // Invariant, not fault-reachable: sorted_pids listed
+                    // this pid under the same shard lock we still hold.
                     let f = s.table.get(pid).expect("listed frame resident");
-                    (f.dirty, f.lsn)
+                    (f.dirty, f.lsn, f.pinned)
                 };
-                if !dirty {
+                // A pinned frame's sector is quarantined: writing it back
+                // would be lost (and in durable mode its content is fully
+                // covered by WAL post-images, which is also what read-
+                // repair will serve after any restart).
+                if !dirty || pinned {
                     continue;
                 }
                 self.wal_before_data_write(lsn);
@@ -849,16 +1087,18 @@ impl BufferPool {
         self.shards.iter().map(|st| st.shard.lock().table.dirty_count()).sum()
     }
 
-    /// Drop every frame (writing back dirty ones, in ascending page-id
-    /// order). Used by experiments to cold-start the buffer between
-    /// measurement rounds. Every mirror slot is unpublished and its
-    /// version forced to a fresh even value, so no slot can stay poisoned
-    /// for future optimistic readers.
+    /// Drop every unpinned frame (writing back dirty ones, in ascending
+    /// page-id order). Used by experiments to cold-start the buffer
+    /// between measurement rounds. Every mirror slot is unpublished and
+    /// its version forced to a fresh even value, so no slot can stay
+    /// poisoned for future optimistic readers. Quarantined (pinned)
+    /// frames stay resident: their disk sector holds bad bytes, so the
+    /// in-memory copy is the page.
     pub fn clear(&self) {
         for state in self.shards.iter() {
             let s = &mut *state.shard.lock();
             state.mirror.reset();
-            let mut frames = s.table.drain();
+            let mut frames = s.table.drain_evictable();
             frames.sort_unstable_by_key(|(pid, _)| *pid);
             for (pid, frame) in frames {
                 if frame.dirty {
@@ -968,6 +1208,28 @@ impl BufferPool {
     /// [`CrashInjector`]); probing records the label sequence instead.
     pub fn crash_injector(&self) -> &Arc<CrashInjector> {
         &self.injector
+    }
+
+    /// The retry / read-repair / quarantine ledger. All zeros on fault-
+    /// free media — the subsystem costs nothing when nothing fails.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.snapshot()
+    }
+
+    /// Run `f` on the data disk's [`FaultInjector`] (arm schedules, read
+    /// the fired-fault trace). Takes the disk lock; never call while
+    /// inside a pool callback.
+    pub fn with_fault_injector<R>(&self, f: impl FnOnce(&mut FaultInjector) -> R) -> R {
+        f(self.disk.lock().faults_mut())
+    }
+
+    /// Page ids currently quarantined (pinned resident after a failed
+    /// read-repair), ascending across shards.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        let mut pids: Vec<PageId> =
+            self.shards.iter().flat_map(|st| st.shard.lock().table.pinned_pids()).collect();
+        pids.sort_unstable();
+        pids
     }
 
     /// The page LSN published for `pid` in its shard mirror, if any —
@@ -1644,6 +1906,160 @@ mod tests {
         );
         // The displaced page is still resident and correct via the lock.
         pool.read(a, |_| ());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_invisibly() {
+        use crate::disk::FaultKind;
+        let pool = BufferPool::new(2);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 5));
+        pool.flush_all();
+        pool.clear();
+        pool.reset_stats();
+        // The next physical read of `pid` is its first ever (allocation
+        // reads nothing); it fails once and the fetch must absorb it.
+        pool.with_fault_injector(|f| f.arm_read(Some(pid), 0, FaultKind::TransientRead));
+        assert_eq!(pool.read(pid, |p| p.get_u64(0)), 5);
+        let io = pool.stats();
+        assert_eq!(io.physical_reads, 1, "one pool-ledger read despite the retry");
+        let fs = pool.fault_stats();
+        assert_eq!(fs.transient_retries, 1);
+        assert_eq!(fs.backoff_ticks, 2, "first retry accrues 2^1 ticks");
+        assert_eq!(fs.surfaced_errors, 0);
+    }
+
+    #[test]
+    fn exhausted_transients_surface_typed() {
+        use crate::disk::FaultKind;
+        let pool = BufferPool::new(2);
+        let pid = pool.allocate();
+        pool.flush_all();
+        pool.clear();
+        pool.with_fault_injector(|f| {
+            // Fail the fetch attempt and all TRANSIENT_RETRIES retries.
+            for nth in 0..=u64::from(TRANSIENT_RETRIES) {
+                f.arm_read(Some(pid), nth, FaultKind::TransientRead);
+            }
+        });
+        let err = pool.try_read(pid, |_| ()).unwrap_err();
+        assert_eq!(err, IoFault::Transient { pid });
+        let fs = pool.fault_stats();
+        assert_eq!(fs.transient_retries, u64::from(TRANSIENT_RETRIES));
+        assert_eq!(fs.transient_exhausted, 1);
+        assert_eq!(fs.surfaced_errors, 1);
+        // The medium is intact: the next fetch succeeds.
+        assert!(pool.try_read(pid, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn non_durable_corruption_surfaces_typed() {
+        use crate::disk::FaultKind;
+        let pool = BufferPool::new(2);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 9));
+        pool.flush_all();
+        pool.clear();
+        pool.with_fault_injector(|f| f.arm_read(Some(pid), 0, FaultKind::BitFlip { bits: 1 }));
+        assert!(matches!(pool.try_read(pid, |_| ()), Err(IoFault::Corrupt { .. })));
+        let fs = pool.fault_stats();
+        assert_eq!(fs.checksum_mismatches, 1);
+        assert_eq!(fs.repairs_attempted, 0, "no wal, nothing to repair from");
+        assert_eq!(fs.surfaced_errors, 1);
+    }
+
+    #[test]
+    fn durable_corruption_is_read_repaired_from_the_wal() {
+        use crate::disk::FaultKind;
+        let pool = BufferPool::new(2);
+        pool.set_durable(true);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 77));
+        pool.wal_commit(1);
+        pool.flush_all();
+        pool.clear();
+        pool.reset_stats();
+        pool.with_fault_injector(|f| f.arm_read(Some(pid), 0, FaultKind::BitFlip { bits: 2 }));
+        assert_eq!(pool.read(pid, |p| p.get_u64(0)), 77, "repaired content is exact");
+        let fs = pool.fault_stats();
+        assert_eq!(fs.checksum_mismatches, 1);
+        assert_eq!(fs.repairs_attempted, 1);
+        assert_eq!(fs.repairs_succeeded, 1);
+        assert_eq!(fs.quarantines, 0);
+        assert_eq!(pool.stats().physical_reads, 1, "repair traffic stays off the pool ledger");
+        // The rewrite healed the medium: a cold re-read needs no repair.
+        pool.flush_all();
+        pool.clear();
+        assert_eq!(pool.read(pid, |p| p.get_u64(0)), 77);
+        assert_eq!(pool.fault_stats().repairs_attempted, 1);
+    }
+
+    #[test]
+    fn failed_repair_quarantines_and_serves_the_wal_image() {
+        let pool = BufferPool::new(2);
+        pool.set_durable(true);
+        let pid = pool.allocate();
+        pool.write(pid, |p| p.put_u64(0, 123));
+        pool.wal_commit(1);
+        pool.flush_all();
+        pool.clear();
+        // A grown defect: the sector is permanently unreadable, so the
+        // repair rewrites can never re-verify.
+        pool.with_fault_injector(|f| f.mark_bad_sector(pid));
+        assert_eq!(pool.read(pid, |p| p.get_u64(0)), 123, "served from the WAL image");
+        let fs = pool.fault_stats();
+        assert_eq!(fs.bad_sector_reads, 1);
+        assert_eq!(fs.repairs_attempted, 1);
+        assert_eq!(fs.repairs_succeeded, 0);
+        assert_eq!(fs.quarantines, 1);
+        assert_eq!(pool.quarantined_pages(), vec![pid]);
+        // The pinned frame survives clear() — it is the only good copy —
+        // and keeps serving reads without touching the bad sector.
+        pool.clear();
+        pool.reset_stats();
+        assert_eq!(pool.read(pid, |p| p.get_u64(0)), 123);
+        assert_eq!(pool.stats().physical_reads, 0, "quarantined page reads are buffer hits");
+        assert_eq!(pool.fault_stats().quarantines, 1, "no re-quarantine");
+    }
+
+    #[test]
+    fn quarantined_frames_do_not_starve_the_shard() {
+        // Capacity 1: the quarantined frame occupies the only slot, and
+        // the shard must transiently exceed its budget rather than evict
+        // it or deadlock.
+        let pool = BufferPool::new(1);
+        pool.set_durable(true);
+        let a = pool.allocate();
+        pool.write(a, |p| p.put_u64(0, 1));
+        pool.wal_commit(1);
+        let b = pool.allocate(); // evicts dirty a
+        pool.write(b, |p| p.put_u64(0, 2));
+        pool.wal_commit(2);
+        pool.flush_all();
+        pool.clear();
+        pool.with_fault_injector(|f| f.mark_bad_sector(a));
+        assert_eq!(pool.read(a, |p| p.get_u64(0)), 1, "quarantined");
+        assert_eq!(pool.quarantined_pages(), vec![a]);
+        // Both pages stay readable even though the budget is 1 frame.
+        assert_eq!(pool.read(b, |p| p.get_u64(0)), 2);
+        assert_eq!(pool.read(a, |p| p.get_u64(0)), 1);
+        assert_eq!(pool.read(b, |p| p.get_u64(0)), 2);
+    }
+
+    #[test]
+    fn fault_stats_are_zero_on_clean_media() {
+        let pool = BufferPool::new(4);
+        let pids: Vec<PageId> = (0..8).map(|_| pool.allocate()).collect();
+        for (i, pid) in pids.iter().enumerate() {
+            pool.write(*pid, |p| p.put_u64(0, i as u64));
+        }
+        pool.flush_all();
+        pool.clear();
+        for pid in &pids {
+            pool.read(*pid, |_| ());
+        }
+        assert_eq!(pool.fault_stats(), FaultStats::default());
+        assert!(pool.quarantined_pages().is_empty());
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub(super) struct Frame {
     /// log durable up to this LSN before the frame may reach the data
     /// disk — the log-before-page rule.
     pub(super) lsn: u64,
+    /// Whether the frame is pinned resident: its disk sector is
+    /// quarantined (read-repair failed twice), so the frame — backed by
+    /// the WAL's post-image — is the page's only trustworthy copy and must
+    /// never be evicted or flushed back to the bad sector.
+    pub(super) pinned: bool,
 }
 
 /// A bounded `PageId → Frame` map with least-recently-used victim
@@ -88,28 +93,62 @@ impl FrameTable {
     }
 
     /// Make `pid` resident. The caller must have evicted first if the
-    /// table was full.
+    /// table was full — unless eviction found no victim because every
+    /// frame is pinned (quarantined), in which case the table may
+    /// transiently exceed its budget rather than lose a page whose only
+    /// good copy is in memory.
     pub(super) fn insert(&mut self, pid: PageId, frame: Frame) {
-        debug_assert!(self.frames.len() < self.capacity);
+        debug_assert!(
+            self.frames.len() < self.capacity + self.pinned_count(),
+            "insert without eviction on a full shard with no pinned frames"
+        );
         self.frames.insert(pid, frame);
     }
 
-    /// Remove and return the frame with the lowest recency as computed by
-    /// `recency` (the caller folds in optimistic touches from the mirror).
-    /// The caller writes it back to disk when dirty.
+    /// Remove and return the unpinned frame with the lowest recency as
+    /// computed by `recency` (the caller folds in optimistic touches from
+    /// the mirror). Pinned (quarantined) frames are never victims. The
+    /// caller writes the victim back to disk when dirty.
     pub(super) fn take_victim_by(
         &mut self,
         recency: impl Fn(PageId, &Frame) -> u64,
     ) -> Option<(PageId, Frame)> {
-        let victim =
-            self.frames.iter().min_by_key(|(pid, f)| recency(**pid, f)).map(|(pid, _)| *pid)?;
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| !f.pinned)
+            .min_by_key(|(pid, f)| recency(**pid, f))
+            .map(|(pid, _)| *pid)?;
         let frame = self.frames.remove(&victim).expect("victim resident");
         Some((victim, frame))
     }
 
-    /// Remove every frame, returning them for write-back.
-    pub(super) fn drain(&mut self) -> Vec<(PageId, Frame)> {
-        self.frames.drain().collect()
+    /// Remove every unpinned frame, returning them for write-back. Pinned
+    /// (quarantined) frames stay resident: their disk sector holds bad
+    /// bytes, so dropping the in-memory copy would lose the page.
+    pub(super) fn drain_evictable(&mut self) -> Vec<(PageId, Frame)> {
+        let evictable: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| !f.pinned).map(|(pid, _)| *pid).collect();
+        evictable
+            .into_iter()
+            .map(|pid| {
+                let frame = self.frames.remove(&pid).expect("listed frame resident");
+                (pid, frame)
+            })
+            .collect()
+    }
+
+    /// Number of pinned (quarantined) resident frames.
+    pub(super) fn pinned_count(&self) -> usize {
+        self.frames.values().filter(|f| f.pinned).count()
+    }
+
+    /// Page ids of the pinned (quarantined) resident frames, ascending.
+    pub(super) fn pinned_pids(&self) -> Vec<PageId> {
+        let mut pids: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.pinned).map(|(pid, _)| *pid).collect();
+        pids.sort_unstable();
+        pids
     }
 
     /// All resident page ids in ascending order. The flush paths iterate

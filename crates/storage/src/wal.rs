@@ -400,6 +400,10 @@ pub struct WalStats {
     pub flushes: u64,
 }
 
+/// Sentinel offset in the image index meaning "allocated and never
+/// rewritten: the image is a zeroed page".
+const IMAGE_ZEROED: usize = usize::MAX;
+
 /// The append-only write-ahead log: an in-memory record stream plus the
 /// [`DiskSim`] log region holding its durable prefix.
 pub struct Wal {
@@ -411,6 +415,12 @@ pub struct Wal {
     next_seq: u64,
     /// Pages whose pre-image is already logged this checkpoint interval.
     preimaged: HashSet<u32>,
+    /// Byte offset (in `buf`) of the newest full post-image per page —
+    /// the read-repair index. [`IMAGE_ZEROED`] marks a page whose newest
+    /// state-defining record is its allocation (content = zeroed page).
+    /// Pre-images never feed this index: they are *older* content by
+    /// definition.
+    images: HashMap<u32, usize>,
     stats: WalStats,
 }
 
@@ -429,6 +439,7 @@ impl Wal {
             durable_bytes: 0,
             next_seq: 1,
             preimaged: HashSet::new(),
+            images: HashMap::new(),
             stats: WalStats::default(),
         }
     }
@@ -439,10 +450,41 @@ impl Wal {
     pub fn append(&mut self, rec: &WalRecord) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let start = self.buf.len();
         let stride = rec.encode_into(seq, &mut self.buf);
+        match rec {
+            WalRecord::Alloc { pid } => {
+                self.images.insert(pid.0, IMAGE_ZEROED);
+            }
+            WalRecord::PageWrite { pid, .. } | WalRecord::ChainWrite { pid, .. } => {
+                self.images.insert(pid.0, start);
+            }
+            _ => {}
+        }
         self.stats.records += 1;
         self.stats.bytes += stride as u64;
         self.buf.len() as u64
+    }
+
+    /// The newest logged full content of `pid` — the read-repair source.
+    ///
+    /// Every durable-mode page write logs its complete post-image before
+    /// the page can reach the data disk, so for any page that is **not**
+    /// dirty in the pool, the newest [`WalRecord::PageWrite`] /
+    /// [`WalRecord::ChainWrite`] (or a zeroed page, if the newest record
+    /// is the allocation) is exactly what the data disk is supposed to
+    /// hold. `None` means the page was never logged — enrolled into
+    /// durability but not written since — and cannot be repaired from
+    /// this log.
+    pub fn latest_image(&self, pid: PageId) -> Option<Page> {
+        match *self.images.get(&pid.0)? {
+            IMAGE_ZEROED => Some(Page::new()),
+            off => match WalRecord::decode(&self.buf[off..]) {
+                Some((WalRecord::PageWrite { image, .. }, _, _))
+                | Some((WalRecord::ChainWrite { image, .. }, _, _)) => Some(*image),
+                _ => unreachable!("image index points at a post-image record"),
+            },
+        }
     }
 
     /// Sequence number the next append will get.
@@ -527,12 +569,33 @@ impl Wal {
     pub fn resume(log: DiskSim, rec: &WalRecovery) -> Wal {
         let mut buf = read_stream(&log);
         buf.truncate(rec.valid_bytes as usize);
+        // Rebuild the read-repair image index from the valid prefix.
+        let mut images = HashMap::new();
+        let mut off = 0usize;
+        while off < buf.len() {
+            match WalRecord::decode(&buf[off..]) {
+                Some((found, _, stride)) => {
+                    match found {
+                        WalRecord::Alloc { pid } => {
+                            images.insert(pid.0, IMAGE_ZEROED);
+                        }
+                        WalRecord::PageWrite { pid, .. } | WalRecord::ChainWrite { pid, .. } => {
+                            images.insert(pid.0, off);
+                        }
+                        _ => {}
+                    }
+                    off += stride;
+                }
+                None => break,
+            }
+        }
         let mut wal = Wal {
             disk: log,
             buf,
             durable_bytes: rec.valid_bytes as usize,
             next_seq: rec.next_seq,
             preimaged: HashSet::new(),
+            images,
             stats: WalStats::default(),
         };
         // Zero the log disk beyond the valid prefix (a torn record must
@@ -558,7 +621,10 @@ impl Wal {
 fn read_stream(log: &DiskSim) -> Vec<u8> {
     let mut buf = Vec::with_capacity(log.num_pages() * PAGE_SIZE);
     for p in 0..log.num_pages() {
-        buf.extend_from_slice(log.peek(PageId(p as u32)).bytes(0, PAGE_SIZE));
+        let page = log
+            .peek(PageId(p as u32))
+            .expect("log region pages are enumerated from num_pages, hence allocated");
+        buf.extend_from_slice(page.bytes(0, PAGE_SIZE));
     }
     buf
 }
@@ -782,7 +848,7 @@ mod tests {
         let rec = recover(&mut data, wal.disk());
         assert_eq!(rec.commits, 1, "unflushed tail must not replay");
         assert!(!rec.torn_tail);
-        assert_eq!(data.peek(pid).get_u64(0), 11);
+        assert_eq!(data.peek(pid).unwrap().get_u64(0), 11);
     }
 
     #[test]
@@ -803,8 +869,37 @@ mod tests {
         assert_eq!(r1.commits, r2.commits);
         for p in 0..once.num_pages() {
             let pid = PageId(p as u32);
-            assert_eq!(once.peek(pid).bytes(0, PAGE_SIZE), twice.peek(pid).bytes(0, PAGE_SIZE));
+            assert_eq!(
+                once.peek(pid).unwrap().bytes(0, PAGE_SIZE),
+                twice.peek(pid).unwrap().bytes(0, PAGE_SIZE)
+            );
         }
+    }
+
+    #[test]
+    fn latest_image_tracks_the_newest_post_image() {
+        let mut wal = Wal::new();
+        assert!(wal.latest_image(PageId(3)).is_none(), "never logged: unrepairable");
+
+        wal.append(&WalRecord::Alloc { pid: PageId(3) });
+        let img = wal.latest_image(PageId(3)).expect("alloc implies zeroed image");
+        assert_eq!(img.bytes(0, PAGE_SIZE), Page::new().bytes(0, PAGE_SIZE));
+
+        wal.append(&WalRecord::PageWrite { pid: PageId(3), image: page_with(7) });
+        wal.append(&WalRecord::PreImage { pid: PageId(3), image: page_with(999) });
+        wal.append(&WalRecord::PageWrite { pid: PageId(3), image: page_with(8) });
+        wal.append(&WalRecord::ChainWrite { pid: PageId(4), image: page_with(44) });
+        assert_eq!(wal.latest_image(PageId(3)).unwrap().get_u64(0), 8);
+        assert_eq!(wal.latest_image(PageId(4)).unwrap().get_u64(0), 44);
+
+        // The index survives a flush + resume round trip.
+        wal.flush(&mut || {});
+        let mut scratch = DiskSim::new();
+        let rec = recover(&mut scratch, wal.disk());
+        let resumed = Wal::resume(wal.disk().clone(), &rec);
+        assert_eq!(resumed.latest_image(PageId(3)).unwrap().get_u64(0), 8);
+        assert_eq!(resumed.latest_image(PageId(4)).unwrap().get_u64(0), 44);
+        assert!(resumed.latest_image(PageId(9)).is_none());
     }
 
     #[test]

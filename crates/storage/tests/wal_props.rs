@@ -130,7 +130,7 @@ fn disks_equal(a: &DiskSim, b: &DiskSim) -> bool {
     a.num_pages() == b.num_pages()
         && (0..a.num_pages()).all(|p| {
             let pid = PageId(p as u32);
-            a.peek(pid).bytes(0, PAGE_SIZE) == b.peek(pid).bytes(0, PAGE_SIZE)
+            a.peek(pid).unwrap().bytes(0, PAGE_SIZE) == b.peek(pid).unwrap().bytes(0, PAGE_SIZE)
         })
 }
 
