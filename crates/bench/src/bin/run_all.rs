@@ -9,20 +9,22 @@
 //!   fused-scan query-I/O trajectory entry to `BENCH_queryio.json`, the
 //!   buffered-ingestion trajectory entry to `BENCH_ingest.json`, the
 //!   durability/recovery trajectory entry to `BENCH_recovery.json`, the
-//!   write-concurrency trajectory entry to `BENCH_writeconc.json`, and
-//!   the faulty-media trajectory entry to `BENCH_faults.json`.
+//!   write-concurrency trajectory entry to `BENCH_writeconc.json`, the
+//!   faulty-media trajectory entry to `BENCH_faults.json`, and the
+//!   overload/goodput trajectory entry to `BENCH_overload.json`.
 //!   `BENCH_seed.json` keeps the seed configuration and is never edited —
 //!   new measurement shapes get new files, so the trajectory extends
 //!   instead of rewriting history (protocol: docs/BENCHMARKS.md). None of
 //!   the files is written by casual figure runs.
 //! * `PEB_BASELINE_OUT` / `PEB_UPDATES_OUT` / `PEB_SCANS_OUT` /
 //!   `PEB_OPTREADS_OUT` / `PEB_QUERYIO_OUT` / `PEB_INGEST_OUT` /
-//!   `PEB_RECOVERY_OUT` / `PEB_WRITECONC_OUT` / `PEB_FAULTS_OUT` —
-//!   override the output paths.
+//!   `PEB_RECOVERY_OUT` / `PEB_WRITECONC_OUT` / `PEB_FAULTS_OUT` /
+//!   `PEB_OVERLOAD_OUT` — override the output paths.
 use peb_bench::experiments;
 use peb_bench::faults;
 use peb_bench::ingest;
 use peb_bench::optreads;
+use peb_bench::overload;
 use peb_bench::queryio;
 use peb_bench::recovery;
 use peb_bench::report;
@@ -95,6 +97,34 @@ fn main() {
         std::fs::write(&flt_path, flt.to_json())
             .unwrap_or_else(|e| panic!("cannot write {flt_path}: {e}"));
         eprintln!("faulty-media trajectory written to {flt_path}");
+
+        let ov_path =
+            std::env::var("PEB_OVERLOAD_OUT").unwrap_or_else(|_| "BENCH_overload.json".to_string());
+        let ov = overload::measure_overload();
+        assert!(ov.ledger_identical, "overload sweep ledgers diverged between runs");
+        let prot4 = ov.protected.last().expect("sweep has points");
+        let unprot4 = ov.unprotected.last().expect("sweep has points");
+        assert!(
+            ov.retention(prot4) >= 0.7,
+            "protected 4x retention {:.2} below the 70% bar",
+            ov.retention(prot4)
+        );
+        assert!(
+            ov.retention(unprot4) < 0.5,
+            "unprotected 4x retention {:.2} did not collapse",
+            ov.retention(unprot4)
+        );
+        for p in ov.protected.iter().chain(ov.unprotected.iter()) {
+            assert!(
+                p.p99_overshoot <= overload::OVERSHOOT_EPSILON,
+                "x{} p99 deadline overshoot {} ticks",
+                p.multiplier,
+                p.p99_overshoot
+            );
+        }
+        std::fs::write(&ov_path, ov.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {ov_path}: {e}"));
+        eprintln!("overload/goodput trajectory written to {ov_path}");
         return;
     }
 
@@ -178,4 +208,10 @@ fn main() {
         "faulty-media battery: seeded read-fault mix absorbed by retry, read-repair, quarantine",
     );
     faults::print_table(&faults::measure_faults());
+    println!();
+    report::header(
+        "Overload",
+        "goodput under 1x/2x/4x saturation: bounded shedding queue vs unbounded twin",
+    );
+    overload::print_table(&overload::measure_overload());
 }

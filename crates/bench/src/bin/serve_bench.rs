@@ -1,0 +1,10 @@
+//! Overload experiment standalone: table on stdout, nothing written.
+//! (`run_all --baseline-only` writes the `BENCH_overload.json` entry.)
+
+use peb_bench::overload;
+
+fn main() {
+    let r = overload::measure_overload();
+    overload::print_table(&r);
+    assert!(r.ledger_identical, "overload sweep ledgers diverged between runs");
+}

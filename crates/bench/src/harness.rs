@@ -32,10 +32,11 @@ pub struct RunConfig {
     /// `false` world as its locked-path comparison point.
     pub optimistic_reads: bool,
     /// Whether queries run through the fused multi-interval scan
-    /// pipeline. The default of `false` is the paper-exact per-interval
-    /// plan every frozen I/O measurement uses (fusing changes which pages
-    /// a query touches, so ledgers are only comparable at a fixed plan);
-    /// the query-I/O experiment builds a `true` world as its fused
+    /// pipeline. The default of `true` is the production configuration
+    /// since the post-soak promotion; the frozen I/O measurements pin the
+    /// fused ledger (fusing changes which pages a query touches, so
+    /// ledgers are only comparable at a fixed plan). The query-I/O
+    /// experiment builds a `false` world as its legacy per-interval
     /// comparison point.
     pub fused_scans: bool,
     /// Whether updates run through the B-epsilon-style message buffers.
@@ -83,7 +84,7 @@ impl Default for RunConfig {
             buffer_pages: 50,
             pool_shards: 1,
             optimistic_reads: true,
-            fused_scans: false,
+            fused_scans: true,
             buffered_writes: false,
             olc_writes: false,
             durable: false,

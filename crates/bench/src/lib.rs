@@ -16,6 +16,7 @@ pub mod faults;
 pub mod harness;
 pub mod ingest;
 pub mod optreads;
+pub mod overload;
 pub mod queryio;
 pub mod recovery;
 pub mod report;

@@ -1,13 +1,15 @@
 //! Exact-IoStats equivalence on a frozen workload.
 //!
-//! The expected numbers below were measured with the **seed single-mutex
-//! pool implementation** (before the pool was sharded) on this exact
-//! configuration. The sharded pool's 1-shard configuration — what every
-//! I/O measurement runs on — must reproduce them to the last digit:
+//! The expected numbers below are the **fused-scan ledger**, re-measured
+//! when `fused_scans` flipped default-on (the post-soak promotion) on the
+//! same sharded pool in its 1-shard configuration — what every I/O
+//! measurement runs on. Earlier trajectory entries (the seed single-mutex
+//! pool, the pre-fusion default) are preserved in docs/BENCHMARKS.md;
+//! this test pins the current default configuration to the last digit:
 //! same eviction decisions, same dirty write-backs, same per-query
 //! averages. The config thrashes the 50-frame buffer (the tree has ~82
 //! leaf pages), so the numbers are sensitive to any change in eviction
-//! policy, not just to gross miscounting.
+//! policy or scan plan, not just to gross miscounting.
 
 use peb_bench::harness::{run, RunConfig};
 use peb_bench::updates::measure_updates_with;
@@ -26,10 +28,10 @@ fn frozen_workload_io_is_byte_identical_to_the_seed_pool() {
     assert_eq!(m.peb_leaf_pages, 82);
     // Averages over 80 queries; exact equality is intended — the
     // underlying counters are integers divided by the query count.
-    assert_eq!(m.peb_prq_io, 4.45, "PEB PRQ I/O drifted from the seed pool");
-    assert_eq!(m.base_prq_io, 7.8625, "baseline PRQ I/O drifted from the seed pool");
-    assert_eq!(m.peb_knn_io, 4.225, "PEB kNN I/O drifted from the seed pool");
-    assert_eq!(m.base_knn_io, 58.9, "baseline kNN I/O drifted from the seed pool");
+    assert_eq!(m.peb_prq_io, 4.25, "PEB PRQ I/O drifted from the fused ledger");
+    assert_eq!(m.base_prq_io, 7.8625, "baseline PRQ I/O drifted from the fused ledger");
+    assert_eq!(m.peb_knn_io, 4.125, "PEB kNN I/O drifted from the fused ledger");
+    assert_eq!(m.base_knn_io, 58.9375, "baseline kNN I/O drifted from the fused ledger");
 }
 
 #[test]

@@ -15,6 +15,32 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How a deadline-aware scan ended — the typed answer of
+/// [`BTree::try_multi_range_scan_deadline`], which must distinguish "the
+/// tree ran out of entries" from "the visitor had enough" from "the
+/// budget ran out" (the caller's partial-result tagging depends on it).
+///
+/// [`BTree::try_multi_range_scan_deadline`]: crate::BTree::try_multi_range_scan_deadline
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanTermination {
+    /// Every in-union entry was visited.
+    Complete,
+    /// The visitor returned `false` — a voluntary early exit (enough
+    /// candidates resolved), not an overload symptom.
+    Stopped,
+    /// The deadline expired at a checkpoint: a leaf-page boundary or an
+    /// entry visit. Entries already emitted stand (the scan emits in key
+    /// order, so the prefix is exact); everything beyond is unvisited.
+    Expired,
+}
+
+impl ScanTermination {
+    /// Whether the scan visited everything.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ScanTermination::Complete)
+    }
+}
+
 /// Deterministic counters of a B+-tree's scan read path, the companion of
 /// the buffer pool's [`peb_storage::IoStats`] for the fused-scan
 /// experiment: `descents` tells how often the tree was entered by
@@ -321,6 +347,180 @@ mod fused_tests {
         });
         assert_eq!(got, want);
         assert!(!want.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod deadline_tests {
+    use super::*;
+    use crate::BTree;
+    use peb_common::Deadline;
+    use peb_storage::BufferPool;
+    use std::sync::Arc;
+
+    fn tree_with(cap: usize, n: u128) -> BTree<u64> {
+        let mut t: BTree<u64> = BTree::new(Arc::new(BufferPool::new(cap)));
+        for i in 0..n {
+            let k = ((i * 2_654_435_761) % (1 << 20)) * 3;
+            t.insert(k, i as u64);
+        }
+        t
+    }
+
+    fn full(t: &BTree<u64>, intervals: &[(u128, u128)]) -> Vec<(u128, u64)> {
+        let mut out = Vec::new();
+        t.multi_range_scan(intervals, |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn unbounded_deadline_is_a_complete_scan() {
+        let t = tree_with(4096, 10_000);
+        let intervals = [(0u128, 300_000), (900_000, 1_200_000)];
+        let want = full(&t, &intervals);
+        let clock = t.pool().clock().clone();
+        let mut got = Vec::new();
+        let term = t
+            .try_multi_range_scan_deadline(&intervals, &Deadline::unbounded(&clock), |k, v| {
+                got.push((k, v));
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Complete);
+        assert!(term.is_complete());
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn voluntary_stop_is_not_an_expiry() {
+        let t = tree_with(4096, 10_000);
+        let clock = t.pool().clock().clone();
+        let mut seen = 0usize;
+        let term = t
+            .try_multi_range_scan_deadline(
+                &[(0, u128::MAX)],
+                &Deadline::unbounded(&clock),
+                |_, _| {
+                    seen += 1;
+                    seen < 7
+                },
+            )
+            .unwrap();
+        assert_eq!(term, ScanTermination::Stopped);
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn expiry_yields_an_exact_prefix_with_bounded_overshoot() {
+        let t = tree_with(4096, 10_000);
+        let intervals = [(0u128, u128::MAX)];
+        let want = full(&t, &intervals); // also warms the pool
+        let clock = t.pool().clock().clone();
+        let deadline = Deadline::after(&clock, 6);
+        let mut got = Vec::new();
+        let term = t
+            .try_multi_range_scan_deadline(&intervals, &deadline, |k, v| {
+                got.push((k, v));
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Expired);
+        assert!(deadline.expired());
+        // The served prefix is exact: same order, same records, truncated.
+        assert!(!got.is_empty(), "a 6-tick budget must visit some pages");
+        assert!(got.len() < want.len(), "budget must bite before the scan ends");
+        assert_eq!(got[..], want[..got.len()]);
+        // Cooperative cancellation epsilon: checkpoints fire at every
+        // leaf boundary and entry visit, so the clock runs at most one
+        // page visit past the deadline (two logical accesses when the
+        // versioned read falls back to the locked path).
+        assert!(deadline.overshoot() <= 2, "overshoot {} ticks", deadline.overshoot());
+    }
+
+    #[test]
+    fn zero_budget_expires_before_any_page_is_read() {
+        let t = tree_with(4096, 5_000);
+        let clock = t.pool().clock().clone();
+        let deadline = Deadline::after(&clock, 0);
+        let before = t.pool().stats().logical_reads;
+        let mut seen = 0usize;
+        let term = t
+            .try_multi_range_scan_deadline(&[(0, u128::MAX)], &deadline, |_, _| {
+                seen += 1;
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Expired);
+        assert_eq!(seen, 0);
+        assert_eq!(t.pool().stats().logical_reads, before, "checkpoint precedes the first read");
+    }
+
+    #[test]
+    fn overlay_path_honors_deadlines_and_completes_unbounded() {
+        // Pending buffered messages route the scan through the overlay
+        // merge; both termination kinds must survive that composition.
+        let mut t = tree_with(512, 4_000);
+        t.set_buffered_writes(true);
+        for i in 0..30u128 {
+            t.buffered_insert(i * 3 + 1, 0xBEEF + i as u64);
+        }
+        assert!(t.pending_messages() > 0, "messages must still be parked");
+        let intervals = [(0u128, u128::MAX)];
+        let mut want = Vec::new();
+        assert!(t
+            .try_multi_range_scan(&intervals, |k, v| {
+                want.push((k, v));
+                true
+            })
+            .unwrap());
+        let clock = t.pool().clock().clone();
+        let mut got = Vec::new();
+        let term = t
+            .try_multi_range_scan_deadline(&intervals, &Deadline::unbounded(&clock), |k, v| {
+                got.push((k, v));
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Complete);
+        assert_eq!(got, want);
+
+        let deadline = Deadline::after(&clock, 4);
+        let mut part = Vec::new();
+        let term = t
+            .try_multi_range_scan_deadline(&intervals, &deadline, |k, v| {
+                part.push((k, v));
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Expired);
+        assert!(part.len() < want.len());
+        assert_eq!(part[..], want[..part.len()]);
+    }
+
+    #[test]
+    fn olc_scan_path_checks_deadlines_between_runs() {
+        let mut t = tree_with(1024, 6_000);
+        t.set_olc_writes(true);
+        let intervals: Vec<(u128, u128)> =
+            (0..30u128).map(|j| (j * 100_003, j * 100_003 + 4_000)).collect();
+        let want = full(&t, &intervals);
+        assert!(!want.is_empty());
+        let clock = t.pool().clock().clone();
+        let deadline = Deadline::after(&clock, 5);
+        let mut got = Vec::new();
+        let term = t
+            .try_multi_range_scan_deadline(&intervals, &deadline, |k, v| {
+                got.push((k, v));
+                true
+            })
+            .unwrap();
+        assert_eq!(term, ScanTermination::Expired);
+        assert!(got.len() < want.len());
+        assert_eq!(got[..], want[..got.len()]);
     }
 }
 

@@ -25,10 +25,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use peb_common::Deadline;
 use peb_storage::{BufferPool, IoFault, OptimisticRead, Page, PageId, PageSnapshot};
 
 use crate::msg::{MsgState, WriteCounters};
-use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats};
+use crate::multiscan::{coalesce_intervals, ScanCounters, ScanStats, ScanTermination};
 use crate::node::{self, branch_capacity, leaf_capacity, HEADER};
 use crate::olc::OlcCounters;
 use crate::value::RecordValue;
@@ -1389,14 +1390,14 @@ impl<V: RecordValue> BTree<V> {
         mut visit: impl FnMut(u128, V) -> bool,
     ) -> Result<bool, IoFault> {
         if self.msgs.pending == 0 {
-            return self.multi_range_scan_leaves(intervals, visit);
+            return self.multi_range_scan_leaves(intervals, visit, &mut || true);
         }
         let overlay = self.collect_overlay(intervals);
         // Same fault-parking composition as [`BTree::try_range_scan`].
         let mut fault = None;
         let done = self.scan_with_overlay(
             overlay,
-            |f| match self.multi_range_scan_leaves(intervals, f) {
+            |f| match self.multi_range_scan_leaves(intervals, f, &mut || true) {
                 Ok(done) => done,
                 Err(e) => {
                     fault = Some(e);
@@ -1411,11 +1412,85 @@ impl<V: RecordValue> BTree<V> {
         }
     }
 
+    /// Deadline-checked [`BTree::try_multi_range_scan`]: the identical
+    /// fused traversal, with the deadline consulted at every **leaf-page
+    /// boundary** and before every entry visit — so once it expires, the
+    /// scan stops within one page visit (the cooperative-cancellation
+    /// epsilon the chaos harness asserts). The prefix already emitted is
+    /// exact and in order; the typed [`ScanTermination`] tells the caller
+    /// whether it saw everything, stopped voluntarily, or ran out of
+    /// budget.
+    ///
+    /// [`ScanTermination`]: crate::multiscan::ScanTermination
+    pub fn try_multi_range_scan_deadline(
+        &self,
+        intervals: &[(u128, u128)],
+        deadline: &Deadline,
+        mut visit: impl FnMut(u128, V) -> bool,
+    ) -> Result<ScanTermination, IoFault> {
+        let mut expired = false;
+        let mut stopped = false;
+        let wrapped = |k: u128, v: V| {
+            if deadline.expired() {
+                expired = true;
+                return false;
+            }
+            if !visit(k, v) {
+                stopped = true;
+                return false;
+            }
+            true
+        };
+        // The leaf-boundary checkpoint: cheaper than wrapping because it
+        // also fires on leaves that contribute *no* entries (interval
+        // gaps), which the per-entry check alone would walk past.
+        let mut checkpoint = || !deadline.expired();
+        let done = if self.msgs.pending == 0 {
+            self.multi_range_scan_leaves(intervals, wrapped, &mut checkpoint)?
+        } else {
+            let overlay = self.collect_overlay(intervals);
+            let mut fault = None;
+            let mut wrapped = wrapped;
+            let done = self.scan_with_overlay(
+                overlay,
+                |f| match self.multi_range_scan_leaves(intervals, f, &mut checkpoint) {
+                    Ok(done) => done,
+                    Err(e) => {
+                        fault = Some(e);
+                        false
+                    }
+                },
+                &mut wrapped,
+            );
+            if let Some(e) = fault {
+                return Err(e);
+            }
+            done
+        };
+        Ok(if done {
+            ScanTermination::Complete
+        } else if stopped {
+            ScanTermination::Stopped
+        } else {
+            // Either the visitor wrapper or a leaf-boundary checkpoint
+            // saw the expiry (the overlay merge can stop the leaf walk
+            // without consulting the wrapper, so `expired` alone is not
+            // authoritative).
+            debug_assert!(expired || deadline.expired());
+            ScanTermination::Expired
+        })
+    }
+
     /// The leaf-only body of [`BTree::multi_range_scan`] (no overlay).
+    /// `checkpoint` is consulted once per leaf-page iteration (and per
+    /// coalesced run on the OLC path); returning `false` ends the scan
+    /// like a visitor early-exit — the deadline hook of
+    /// [`BTree::try_multi_range_scan_deadline`].
     fn multi_range_scan_leaves(
         &self,
         intervals: &[(u128, u128)],
         mut visit: impl FnMut(u128, V) -> bool,
+        checkpoint: &mut dyn FnMut() -> bool,
     ) -> Result<bool, IoFault> {
         let runs = coalesce_intervals(intervals);
         if runs.is_empty() {
@@ -1429,6 +1504,9 @@ impl<V: RecordValue> BTree<V> {
             // strict frontier-validated chain scan instead (one descent
             // per run; the cache saving is deliberately forgone).
             for &(lo, hi) in &runs {
+                if !checkpoint() {
+                    return Ok(false);
+                }
                 if !self.range_scan_leaves_olc(lo, hi, &mut visit)? {
                     return Ok(false);
                 }
@@ -1439,6 +1517,12 @@ impl<V: RecordValue> BTree<V> {
         let mut path: Vec<PathLevel> = (1..self.height()).map(|_| PathLevel::default()).collect();
         let mut i = 0usize;
         'runs: while i < runs.len() {
+            // Checked before the descent too: a freshly expired deadline
+            // must not pay height-many branch reads for a run it will
+            // never emit from.
+            if !checkpoint() {
+                return Ok(false);
+            }
             let (mut pid, fence) = self.descend_cached(runs[i].0, &mut path)?;
             // The fence is exact for the descended leaf; once the walk
             // moves along the sibling chain the new leaves' fences are
@@ -1446,6 +1530,9 @@ impl<V: RecordValue> BTree<V> {
             // key actually seen.
             let mut fence = Some(fence);
             loop {
+                if !checkpoint() {
+                    return Ok(false);
+                }
                 // Collect this leaf's in-union entries from one
                 // consistent page image, then emit with no page borrow
                 // (and no lock) held across the callback.

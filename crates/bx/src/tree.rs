@@ -17,7 +17,7 @@ use crate::keys::BxKeyLayout;
 pub struct BxTree {
     idx: ShardedMovingIndex<BxKeyLayout>,
     /// Whether candidate retrieval runs through the fused multi-interval
-    /// scan pipeline (off by default; see [`BxTree::set_fused_scans`]).
+    /// scan pipeline (on by default; see [`BxTree::set_fused_scans`]).
     fused_scans: bool,
 }
 
@@ -33,7 +33,7 @@ impl BxTree {
         let layout = BxKeyLayout::new(space.grid_bits);
         BxTree {
             idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -44,8 +44,9 @@ impl BxTree {
     /// [`ShardedMovingIndex::scan_keys_multi`]: one descent plus a
     /// leaf-chain walk per partition instead of one descent per Z-range.
     /// Query results are identical either way (refinement discards the
-    /// coarsening's extra candidates); only page accesses differ. Off by
-    /// default, keeping the frozen benchmark ledger byte-identical.
+    /// coarsening's extra candidates); only page accesses differ. On by
+    /// default since the post-soak promotion; the knob stays for A/B
+    /// against the legacy per-interval plan.
     pub fn set_fused_scans(&mut self, enabled: bool) {
         self.fused_scans = enabled;
     }
@@ -116,7 +117,7 @@ impl BxTree {
     }
 
     /// Rebuild a Bx-tree from a recovered pool after a crash (see
-    /// [`ShardedMovingIndex::recover`]); `fused_scans` starts off, as in
+    /// [`ShardedMovingIndex::recover`]); `fused_scans` starts on, as in
     /// [`BxTree::new`].
     pub fn recover(
         pool: Arc<BufferPool>,
@@ -128,7 +129,7 @@ impl BxTree {
         let layout = BxKeyLayout::new(space.grid_bits);
         BxTree {
             idx: ShardedMovingIndex::recover(pool, recovery, layout, space, part, max_speed),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -174,7 +175,7 @@ impl BxTree {
         let layout = BxKeyLayout::new(space.grid_bits);
         BxTree {
             idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -686,6 +687,7 @@ mod tests {
         let pool = Arc::clone(per.pool());
         let r = Rect::new(120.0, 640.0, 80.0, 700.0);
 
+        per.set_fused_scans(false); // measure the legacy per-interval plan first
         let _ = per.range_query(&r, 80.0); // warm
         pool.reset_stats();
         per.reset_scan_stats();

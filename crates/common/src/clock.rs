@@ -1,0 +1,193 @@
+//! Virtual time for deterministic overload experiments.
+//!
+//! Wall clocks make overload behavior a property of the machine: a loaded
+//! CI runner "slows the disk down" in a way no test can assert on. The
+//! serving layer instead measures work on a **tick clock** — a shared
+//! monotone counter advanced by the storage layer (one tick per logical
+//! page access, plus whatever latency the [`DiskSim`] injector arms for a
+//! physical read) and read by [`Deadline`] handles threaded through query
+//! execution. Two runs of the same seeded workload advance the clock
+//! identically, so deadline expiry, shed decisions, and goodput curves are
+//! reproducible to the tick.
+//!
+//! The clock deliberately has no notion of "now" outside the work it
+//! counts: an idle system does not age, and a deadline can only expire
+//! because pages were visited or injected latency fired. That is exactly
+//! the cooperative-cancellation contract — checks happen at instrumented
+//! boundaries, and overshoot is bounded by the work between two checks
+//! (one page visit on the scan paths).
+//!
+//! [`DiskSim`]: ../../peb_storage/struct.DiskSim.html
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared monotone virtual clock. Cheap to clone (an `Arc` of one
+/// atomic); relaxed ordering everywhere because the clock is a counter,
+/// not a synchronization primitive — readers only need *some* recent
+/// value, and the deterministic single-driver harnesses that assert
+/// exact ticks run on one thread.
+#[derive(Debug, Clone, Default)]
+pub struct TickClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl TickClock {
+    /// A fresh clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock by `n` ticks and return the new time.
+    #[inline]
+    pub fn advance(&self, n: u64) -> u64 {
+        self.ticks.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Whether two handles observe the same underlying clock.
+    pub fn same_clock(&self, other: &TickClock) -> bool {
+        Arc::ptr_eq(&self.ticks, &other.ticks)
+    }
+}
+
+/// A cooperative per-query time budget on a [`TickClock`].
+///
+/// A deadline is a *handle*, not a timer: nothing fires when it expires.
+/// Execution paths check it at instrumented boundaries (the multi-range
+/// scan's leaf visits, the sharded index's per-shard spans) and unwind
+/// with an explicitly partial result. Overshoot is therefore bounded by
+/// the work between two checks — one page visit on the scan paths.
+///
+/// ```
+/// use peb_common::clock::{Deadline, TickClock};
+///
+/// let clock = TickClock::new();
+/// let d = Deadline::after(&clock, 10);
+/// assert!(!d.expired());
+/// assert_eq!(d.remaining(), 10);
+/// clock.advance(10);
+/// assert!(d.expired());
+/// assert_eq!(d.remaining(), 0);
+///
+/// // The unbounded deadline never expires, no matter the clock.
+/// let never = Deadline::unbounded(&clock);
+/// clock.advance(u64::MAX / 2);
+/// assert!(!never.expired());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    clock: TickClock,
+    /// Absolute expiry tick; `u64::MAX` means unbounded.
+    expires_at: u64,
+}
+
+impl Deadline {
+    /// A deadline expiring `budget` ticks from the clock's current time.
+    pub fn after(clock: &TickClock, budget: u64) -> Self {
+        Deadline { clock: clock.clone(), expires_at: clock.now().saturating_add(budget) }
+    }
+
+    /// A deadline at an absolute tick (what an admission queue stamps at
+    /// enqueue time, so queueing delay counts against the budget).
+    pub fn at(clock: &TickClock, expires_at: u64) -> Self {
+        Deadline { clock: clock.clone(), expires_at }
+    }
+
+    /// A deadline that never expires (the non-serving call paths).
+    pub fn unbounded(clock: &TickClock) -> Self {
+        Deadline { clock: clock.clone(), expires_at: u64::MAX }
+    }
+
+    /// Whether the budget is spent.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.clock.now() >= self.expires_at
+    }
+
+    /// Ticks left before expiry (0 once expired; `u64::MAX`-ish for the
+    /// unbounded deadline).
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.expires_at.saturating_sub(self.clock.now())
+    }
+
+    /// The absolute expiry tick (`u64::MAX` when unbounded).
+    pub fn expires_at(&self) -> u64 {
+        self.expires_at
+    }
+
+    /// The clock this deadline reads.
+    pub fn clock(&self) -> &TickClock {
+        &self.clock
+    }
+
+    /// How far past the deadline the clock has run (0 before expiry).
+    /// The chaos harness asserts this stays within one page-visit epsilon
+    /// of the instrumented checkpoints.
+    pub fn overshoot(&self) -> u64 {
+        self.clock.now().saturating_sub(self.expires_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = TickClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(3), 3);
+        assert_eq!(c.advance(2), 5);
+        assert_eq!(c.now(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_clock() {
+        let c = TickClock::new();
+        let d = c.clone();
+        c.advance(7);
+        assert_eq!(d.now(), 7);
+        assert!(c.same_clock(&d));
+        assert!(!c.same_clock(&TickClock::new()));
+    }
+
+    #[test]
+    fn deadline_expiry_and_overshoot() {
+        let c = TickClock::new();
+        let d = Deadline::after(&c, 4);
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), 4);
+        assert_eq!(d.overshoot(), 0);
+        c.advance(6);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(d.overshoot(), 2);
+    }
+
+    #[test]
+    fn absolute_deadlines_count_queueing_delay() {
+        let c = TickClock::new();
+        c.advance(10);
+        let stamped = Deadline::at(&c, 15); // admitted at tick 10, 5-tick budget
+        c.advance(4);
+        assert!(!stamped.expired());
+        c.advance(1);
+        assert!(stamped.expired());
+    }
+
+    #[test]
+    fn unbounded_never_expires() {
+        let c = TickClock::new();
+        let d = Deadline::unbounded(&c);
+        c.advance(1 << 40);
+        assert!(!d.expired());
+        assert_eq!(d.expires_at(), u64::MAX);
+    }
+}

@@ -7,6 +7,7 @@
 //! Bx-tree into label timestamps. Everything downstream (Z-order encoding,
 //! Bx keys, PEB keys, policies) builds on these types.
 
+pub mod clock;
 pub mod geometry;
 pub mod ids;
 pub mod motion;
@@ -14,6 +15,7 @@ pub mod sched;
 pub mod space;
 pub mod time;
 
+pub use clock::{Deadline, TickClock};
 pub use geometry::{Point, Rect, Vec2};
 pub use ids::UserId;
 pub use motion::MovingPoint;

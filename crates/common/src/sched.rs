@@ -40,6 +40,11 @@ pub enum Site {
     Publish,
     /// One step of an optimistic descent validated a parent version.
     Descend,
+    /// Inside a migration span: the epoch's `started` edge is bumped and
+    /// the re-keyed object is mid-flight (evicted from its old shard,
+    /// not yet inserted into its new one). Tests park a writer here to
+    /// race scans and cancellations against an in-flight migration.
+    MigSpan,
 }
 
 /// Global on/off for the yield injector. Relaxed everywhere: schedules
@@ -123,6 +128,7 @@ pub const fn site_name(site: Site) -> &'static str {
         Site::LatchRelease => "site:latch-release",
         Site::Publish => "site:publish",
         Site::Descend => "site:descend",
+        Site::MigSpan => "site:mig-span",
     }
 }
 

@@ -30,6 +30,7 @@ pub mod circle;
 pub mod context;
 pub mod keys;
 pub mod oracle;
+pub mod partial;
 pub mod pknn;
 pub mod prq;
 pub mod tree;
@@ -37,4 +38,5 @@ pub mod tree;
 pub use baseline::SpatialBaseline;
 pub use context::PrivacyContext;
 pub use keys::PebKeyLayout;
+pub use partial::Partial;
 pub use tree::{PebIndexLayout, PebTree, PebTreeStats};

@@ -1,0 +1,85 @@
+//! Typed degraded answers for deadline-bounded queries.
+//!
+//! When a query's [`peb_common::Deadline`] fires mid-flight the engine does
+//! not guess, pad, or silently truncate: it returns everything it *proved*
+//! wrapped in a [`Partial`] that says exactly which rotating time
+//! partitions were fully covered. A caller (the serving layer, a client
+//! willing to retry) can distinguish "these are all the answers" from
+//! "these are the answers from the partitions the budget reached" without
+//! parsing anything — the tag is the type.
+
+/// A query answer that may be deadline-degraded.
+///
+/// `value` is always *exact as far as it goes*: every element was refined
+/// through the same policy/containment checks the unbounded query applies,
+/// and no element is fabricated. What expiry costs is **coverage**, and
+/// `partitions` accounts for it per rotating time partition: `(tid, true)`
+/// means every qualifying record of that partition is in `value`,
+/// `(tid, false)` means the budget died before that partition was fully
+/// scanned (its answers may be present, partially present, or absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<T> {
+    /// The (exact, possibly incomplete) answer.
+    pub value: T,
+    /// Per-partition completeness, sorted by partition id: `true` iff the
+    /// partition's whole search range was delivered before expiry.
+    pub partitions: Vec<(u8, bool)>,
+}
+
+impl<T> Partial<T> {
+    /// Wrap a fully-delivered answer: every partition tagged complete.
+    pub fn complete(value: T, tids: impl IntoIterator<Item = u8>) -> Self {
+        Partial { value, partitions: tids.into_iter().map(|t| (t, true)).collect() }
+    }
+
+    /// Wrap a degraded answer: every partition tagged incomplete. Used
+    /// when expiry strikes a plan whose scans interleave partitions (PkNN's
+    /// search matrix), where no single partition's coverage survives.
+    pub fn degraded(value: T, tids: impl IntoIterator<Item = u8>) -> Self {
+        Partial { value, partitions: tids.into_iter().map(|t| (t, false)).collect() }
+    }
+
+    /// Whether the answer is the complete one — the unbounded query would
+    /// have returned exactly `value`.
+    pub fn is_complete(&self) -> bool {
+        self.partitions.iter().all(|(_, c)| *c)
+    }
+
+    /// How many partitions were fully covered.
+    pub fn complete_partitions(&self) -> usize {
+        self.partitions.iter().filter(|(_, c)| *c).count()
+    }
+
+    /// Map the payload, preserving the coverage tags.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Partial<U> {
+        Partial { value: f(self.value), partitions: self.partitions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_distinguish_complete_from_degraded() {
+        let full = Partial::complete(vec![1, 2, 3], [0u8, 1, 2]);
+        assert!(full.is_complete());
+        assert_eq!(full.complete_partitions(), 3);
+
+        let part = Partial { value: vec![1], partitions: vec![(0, true), (1, false), (2, false)] };
+        assert!(!part.is_complete());
+        assert_eq!(part.complete_partitions(), 1);
+
+        let none = Partial::degraded(Vec::<i32>::new(), [0u8, 1]);
+        assert!(!none.is_complete());
+        assert_eq!(none.complete_partitions(), 0);
+    }
+
+    #[test]
+    fn map_preserves_coverage() {
+        let p = Partial { value: 7usize, partitions: vec![(0, true), (1, false)] };
+        let q = p.map(|n| n * 2);
+        assert_eq!(q.value, 14);
+        assert_eq!(q.partitions, vec![(0, true), (1, false)]);
+    }
+}

@@ -16,10 +16,12 @@
 
 use std::collections::{HashMap, HashSet};
 
+use peb_btree::ScanTermination;
 use peb_bx::estimated_knn_distance;
-use peb_common::{MovingPoint, Point, Rect, Timestamp, UserId};
+use peb_common::{Deadline, MovingPoint, Point, Rect, Timestamp, UserId};
 use peb_index::{IndexError, ObjectRecord};
 
+use crate::partial::Partial;
 use crate::tree::PebTree;
 
 /// Per-(partition, SV-code) record of the Z-interval already scanned; round
@@ -158,6 +160,159 @@ impl PebTree {
         pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
         pool.truncate(k);
         Ok(pool)
+    }
+
+    /// Deadline-bounded PkNN: the graceful-degradation entry point of the
+    /// serving layer.
+    ///
+    /// Walks the same search matrix as [`PebTree::try_pknn`] with
+    /// `deadline` checked at every page visit and cell boundary. Expiry
+    /// returns the best-`k` candidates refined so far — each one passed
+    /// the same policy/distance checks as the unbounded query, but a
+    /// closer qualified friend the budget never reached may be missing,
+    /// so the ranking is a *candidate* ranking, not a proof. Because the
+    /// matrix's cells interleave every live partition (each cell scans
+    /// all of them at one radius), no single partition's coverage
+    /// survives an expiry: a degraded PkNN tags **all** partitions
+    /// incomplete, and a completed one tags all complete — the
+    /// [`Partial::is_complete`] flag is the answer's integrity bit.
+    pub fn try_pknn_deadline(
+        &self,
+        issuer: UserId,
+        q: Point,
+        k: usize,
+        tq: Timestamp,
+        deadline: &Deadline,
+    ) -> Result<Partial<Vec<(MovingPoint, f64)>>, IndexError> {
+        let partitions = self.live_partitions();
+        let tids: Vec<u8> = partitions.iter().map(|(t, _)| *t).collect();
+        let groups = self.ctx().friend_sv_groups(issuer);
+        if groups.is_empty() || k == 0 || self.is_empty() {
+            // No qualifying candidate exists anywhere: complete, no I/O.
+            return Ok(Partial::complete(Vec::new(), tids));
+        }
+        let m = groups.len();
+        let n_objects = self.len();
+
+        let rq = (estimated_knn_distance(k, n_objects, self.space().side) / k as f64)
+            .max(self.space().cell_size() * peb_bx::tree::KNN_STEP_FLOOR_CELLS);
+        let max_radius = self.space().side * 4.0;
+        let max_rounds = (max_radius / rq).ceil() as usize;
+
+        let mut scanned: ScannedMap = HashMap::new();
+        let mut resolved: HashSet<UserId> = HashSet::new();
+        let mut pool: Vec<(MovingPoint, f64)> = Vec::new();
+
+        let total_friends: usize = groups.iter().map(|(_, ms)| ms.len()).sum();
+        let mut done = false;
+        let mut expired = false;
+        'diagonals: for d in 0..(m + max_rounds) {
+            for (row, group) in groups.iter().enumerate().take(d.min(m - 1) + 1) {
+                let round = d - row + 1;
+                if round > max_rounds {
+                    continue;
+                }
+                if deadline.expired() {
+                    expired = true;
+                    break 'diagonals;
+                }
+                let radius = round as f64 * rq;
+                if self.scan_cell_deadline(
+                    issuer,
+                    q,
+                    tq,
+                    group,
+                    radius,
+                    &partitions,
+                    &mut scanned,
+                    &mut resolved,
+                    &mut pool,
+                    deadline,
+                )? {
+                    expired = true;
+                    break 'diagonals;
+                }
+                if pool.iter().filter(|(_, dist)| *dist <= radius).count() >= k {
+                    done = true;
+                    break 'diagonals;
+                }
+                if resolved.len() >= total_friends {
+                    break 'diagonals;
+                }
+            }
+        }
+
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
+        if expired {
+            pool.truncate(k);
+            return Ok(Partial::degraded(pool, tids));
+        }
+        if !done {
+            // The matrix is exhausted within budget: fewer than k users
+            // qualify anywhere — a complete answer.
+            pool.truncate(k);
+            return Ok(Partial::complete(pool, tids));
+        }
+
+        // Vertical-scan refinement under the same deadline, as one fused
+        // multi-interval column scan.
+        let kth_dist = pool[k - 1].1;
+        let radius = kth_dist.max(self.space().cell_size() * 0.5);
+        let mut intervals: Vec<(u128, u128)> = Vec::new();
+        for (sv_code, members) in &groups {
+            if members.iter().all(|u| resolved.contains(u)) {
+                continue;
+            }
+            intervals.extend(self.cell_intervals(
+                *sv_code,
+                q,
+                tq,
+                radius,
+                &partitions,
+                &mut scanned,
+            ));
+        }
+        let report = self.try_scan_intervals_deadline(&intervals, deadline, |rec| {
+            self.pknn_refine(issuer, q, tq, rec, &mut resolved, &mut pool);
+            resolved.len() < total_friends
+        })?;
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.uid.cmp(&b.0.uid)));
+        pool.truncate(k);
+        if report.termination == ScanTermination::Expired {
+            // k candidates exist but the closer-friend sweep was cut off:
+            // the ranking is unverified, so the answer stays degraded.
+            return Ok(Partial::degraded(pool, tids));
+        }
+        Ok(Partial::complete(pool, tids))
+    }
+
+    /// Deadline-bounded twin of [`PebTree::scan_cell`]: the cell's fresh
+    /// intervals execute as one deadline-checked multi-interval scan.
+    /// Returns whether the deadline expired inside the cell.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_cell_deadline(
+        &self,
+        issuer: UserId,
+        q: Point,
+        tq: Timestamp,
+        group: &(u64, Vec<UserId>),
+        radius: f64,
+        partitions: &[(u8, Timestamp)],
+        scanned: &mut ScannedMap,
+        resolved: &mut HashSet<UserId>,
+        pool: &mut Vec<(MovingPoint, f64)>,
+        deadline: &Deadline,
+    ) -> Result<bool, IndexError> {
+        let (sv_code, members) = group;
+        if members.iter().all(|u| resolved.contains(u)) {
+            return Ok(false);
+        }
+        let intervals = self.cell_intervals(*sv_code, q, tq, radius, partitions, scanned);
+        let report = self.try_scan_intervals_deadline(&intervals, deadline, |rec| {
+            self.pknn_refine(issuer, q, tq, rec, resolved, pool);
+            !members.iter().all(|u| resolved.contains(u))
+        })?;
+        Ok(report.termination == ScanTermination::Expired)
     }
 
     /// The fresh key intervals of one search-matrix cell: the single
@@ -409,6 +564,7 @@ mod tests {
         let q = Point::new(480.0, 510.0);
         let pool = Arc::clone(t.pool());
 
+        t.set_fused_scans(false); // measure the legacy per-interval plan first
         let _ = t.pknn(UserId(0), q, 5, 10.0); // warm
         pool.reset_stats();
         t.reset_scan_stats();
@@ -437,6 +593,73 @@ mod tests {
             fused_descents < per_descents,
             "fused descents {fused_descents} vs per-interval {per_descents}"
         );
+    }
+
+    #[test]
+    fn unbounded_deadline_pknn_is_the_plain_pknn() {
+        let mut store = PolicyStore::new();
+        for f in 1..=30u64 {
+            store.add(UserId(0), Policy::new(UserId(f), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 31);
+        for f in 1..=30u64 {
+            t.upsert(still(f, (f as f64 * 173.0) % 1000.0, (f as f64 * 59.0) % 1000.0));
+        }
+        let q = Point::new(480.0, 510.0);
+        let full = t.try_pknn(UserId(0), q, 5, 10.0).unwrap();
+        assert_eq!(full.len(), 5);
+        let clock = t.pool().clock().clone();
+        let part =
+            t.try_pknn_deadline(UserId(0), q, 5, 10.0, &Deadline::unbounded(&clock)).unwrap();
+        assert!(part.is_complete());
+        assert_eq!(part.partitions.len(), t.live_partitions().len());
+        assert_eq!(part.value, full, "an unexpired deadline changes nothing");
+    }
+
+    #[test]
+    fn expired_pknn_returns_refined_candidates_tagged_degraded() {
+        let mut store = PolicyStore::new();
+        for f in 1..=30u64 {
+            store.add(UserId(0), Policy::new(UserId(f), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 31);
+        for f in 1..=30u64 {
+            t.upsert(still(f, (f as f64 * 173.0) % 1000.0, (f as f64 * 59.0) % 1000.0));
+        }
+        let q = Point::new(480.0, 510.0);
+        let _ = t.try_pknn(UserId(0), q, 5, 10.0).unwrap(); // warm the pool
+        let clock = t.pool().clock().clone();
+
+        // Zero budget: nothing served, every partition honestly incomplete.
+        let p = t.try_pknn_deadline(UserId(0), q, 5, 10.0, &Deadline::after(&clock, 0)).unwrap();
+        assert!(!p.is_complete());
+        assert_eq!(p.complete_partitions(), 0);
+        assert!(p.value.is_empty());
+
+        // Small budgets: whatever is served is a genuinely qualified,
+        // correctly ranked candidate set of at most k — never a guess.
+        let mut saw_degraded_nonempty = false;
+        let mut saw_complete = false;
+        for budget in [1u64, 2, 4, 8, 16, 32, 64, 128, 1 << 20] {
+            let p = t
+                .try_pknn_deadline(UserId(0), q, 5, 10.0, &Deadline::after(&clock, budget))
+                .unwrap();
+            assert!(p.value.len() <= 5);
+            assert!(p.value.windows(2).all(|w| w[0].1 <= w[1].1), "ranked by distance");
+            for (m, d) in &p.value {
+                assert!(m.uid.0 >= 1 && m.uid.0 <= 30, "only friends can appear");
+                let pos = m.position_at(10.0);
+                assert!((pos.dist(&q) - d).abs() < 1e-9, "distances are real, not guessed");
+            }
+            if p.is_complete() {
+                saw_complete = true;
+                assert_eq!(p.value, t.try_pknn(UserId(0), q, 5, 10.0).unwrap());
+            } else if !p.value.is_empty() {
+                saw_degraded_nonempty = true;
+            }
+        }
+        assert!(saw_complete, "a generous budget must complete");
+        assert!(saw_degraded_nonempty, "some budget must serve a nonempty degraded answer");
     }
 
     #[test]

@@ -19,10 +19,12 @@
 
 use std::collections::HashSet;
 
-use peb_common::{MovingPoint, Rect, Timestamp, UserId};
+use peb_btree::ScanTermination;
+use peb_common::{Deadline, MovingPoint, Rect, Timestamp, UserId};
 use peb_index::IndexError;
 use peb_zorder::{coarsen, decompose};
 
+use crate::partial::Partial;
 use crate::tree::PebTree;
 
 impl PebTree {
@@ -101,6 +103,94 @@ impl PebTree {
         }
         results.sort_by_key(|m| m.uid);
         Ok(results)
+    }
+
+    /// Deadline-bounded PRQ: the graceful-degradation entry point of the
+    /// serving layer.
+    ///
+    /// Runs the fused plan partition by partition with `deadline` checked
+    /// at every page visit and shard boundary. A query whose budget
+    /// expires mid-flight returns early with whatever it has **proved** —
+    /// every returned user passed the same `r.contains` + policy
+    /// refinement as the unbounded query, so [`Partial::value`] is always
+    /// an exact subset of [`PebTree::try_prq`]'s answer — and the
+    /// [`Partial::partitions`] tags say which rotating time partitions
+    /// were fully covered before the budget died. With an unbounded (or
+    /// unexpired-throughout) deadline the answer equals the unbounded
+    /// query's exactly and every partition is tagged complete.
+    pub fn try_prq_deadline(
+        &self,
+        issuer: UserId,
+        r: &Rect,
+        tq: Timestamp,
+        deadline: &Deadline,
+    ) -> Result<Partial<Vec<MovingPoint>>, IndexError> {
+        let parts = self.live_partitions();
+        let groups = self.ctx().friend_sv_groups(issuer);
+        if groups.is_empty() {
+            // No friends means no I/O: the empty answer is complete even
+            // on an already-expired budget.
+            return Ok(Partial::complete(Vec::new(), parts.iter().map(|(t, _)| *t)));
+        }
+        let total_friends: usize = groups.iter().map(|(_, m)| m.len()).sum();
+        let budget = self.query_interval_budget(total_friends);
+        let keys = *self.key_layout();
+
+        let mut results: Vec<MovingPoint> = Vec::new();
+        let mut resolved: HashSet<UserId> = HashSet::new();
+        let mut partitions: Vec<(u8, bool)> = Vec::with_capacity(parts.len());
+        for (tid, t_lab) in parts {
+            if deadline.expired() {
+                partitions.push((tid, false));
+                continue;
+            }
+            let enlarged = self.enlarge(r, t_lab, tq);
+            let (x0, x1, y0, y1) = self.space().to_grid_rect(&enlarged);
+            let zranges = coarsen(decompose(x0, x1, y0, y1, self.space().grid_bits), budget);
+            let mut covered = true;
+            for (sv_code, members) in &groups {
+                if members.iter().all(|u| resolved.contains(u)) {
+                    continue; // every friend at this SV already located
+                }
+                let intervals: Vec<(u128, u128)> = zranges
+                    .iter()
+                    .map(|zr| {
+                        (
+                            keys.range_start(tid, *sv_code, zr.lo),
+                            keys.range_end(tid, *sv_code, zr.hi),
+                        )
+                    })
+                    .collect();
+                let mut outstanding = members.iter().filter(|u| !resolved.contains(u)).count();
+                let report = self.try_scan_intervals_deadline(&intervals, deadline, |rec| {
+                    let uid = UserId(rec.uid);
+                    if uid == issuer || resolved.contains(&uid) {
+                        return true;
+                    }
+                    if self.ctx().store.policy(uid, issuer).is_none() {
+                        return true;
+                    }
+                    resolved.insert(uid);
+                    outstanding -= 1;
+                    let m = rec.to_moving_point();
+                    let pos = m.position_at(tq);
+                    if r.contains(&pos) && self.ctx().store.permits(uid, issuer, &pos, tq) {
+                        results.push(m);
+                    }
+                    outstanding > 0
+                })?;
+                if report.termination == ScanTermination::Expired {
+                    covered = false;
+                    break;
+                }
+            }
+            // A partition whose every group scan ran to completion (or
+            // voluntary resolve-all stop) is complete even if the budget
+            // expired on its very last page.
+            partitions.push((tid, covered));
+        }
+        results.sort_by_key(|m| m.uid);
+        Ok(Partial { value: results, partitions })
     }
 
     /// The fused PRQ plan: per (partition × friend-SV group) leaf-chain
@@ -312,6 +402,7 @@ mod tests {
         let window = Rect::new(150.0, 650.0, 100.0, 700.0);
         let pool = Arc::clone(t.pool());
 
+        t.set_fused_scans(false); // measure the legacy per-interval plan first
         let _ = t.prq(UserId(0), &window, 10.0); // warm the pool
         pool.reset_stats();
         t.reset_scan_stats();
@@ -369,6 +460,7 @@ mod tests {
         assert_eq!(t.live_partitions().len(), 2);
 
         let window = Rect::new(0.0, 300.0, 0.0, 300.0);
+        t.set_fused_scans(false);
         let per = t.prq(UserId(0), &window, 40.0);
         t.set_fused_scans(true);
         let _ = t.prq(UserId(0), &window, 40.0); // warm the pool
@@ -385,6 +477,83 @@ mod tests {
             3,
             "a group resolved in partition 1 must not be scanned in partition 2"
         );
+    }
+
+    #[test]
+    fn unbounded_deadline_prq_is_the_plain_prq() {
+        let mut store = PolicyStore::new();
+        for o in 1..60u64 {
+            store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 60);
+        for o in 1..60u64 {
+            let tu = if o % 2 == 0 { 10.0 } else { 70.0 }; // two live partitions
+            t.upsert(MovingPoint::new(
+                UserId(o),
+                Point::new((o as f64 * 131.0) % 1000.0, (o as f64 * 47.0) % 1000.0),
+                Vec2::ZERO,
+                tu,
+            ));
+        }
+        let full = t.try_prq(UserId(0), &WHOLE, 80.0).unwrap();
+        assert!(!full.is_empty());
+        let clock = t.pool().clock().clone();
+        let part =
+            t.try_prq_deadline(UserId(0), &WHOLE, 80.0, &Deadline::unbounded(&clock)).unwrap();
+        assert!(part.is_complete());
+        assert_eq!(part.partitions.len(), t.live_partitions().len());
+        assert_eq!(part.value, full, "an unexpired deadline changes nothing");
+    }
+
+    #[test]
+    fn expired_prq_returns_an_exact_subset_tagged_incomplete() {
+        let mut store = PolicyStore::new();
+        for o in 1..60u64 {
+            store.add(UserId(0), Policy::new(UserId(o), RoleId::FRIEND, WHOLE, ALWAYS));
+        }
+        let mut t = build(store, 60);
+        for o in 1..60u64 {
+            let tu = if o % 2 == 0 { 10.0 } else { 70.0 };
+            t.upsert(MovingPoint::new(
+                UserId(o),
+                Point::new((o as f64 * 131.0) % 1000.0, (o as f64 * 47.0) % 1000.0),
+                Vec2::ZERO,
+                tu,
+            ));
+        }
+        let full = t.try_prq(UserId(0), &WHOLE, 80.0).unwrap(); // also warms the pool
+        assert!(full.len() > 10);
+        let clock = t.pool().clock().clone();
+
+        // Degradation is monotone in the budget: every partial answer is
+        // an exact subset of the full one, and a complete tag means the
+        // full answer verbatim.
+        let mut prev_len = 0usize;
+        let mut saw_incomplete = false;
+        for budget in [0u64, 1, 2, 4, 8, 16, 32, 64, 128, 1 << 20] {
+            let p = t
+                .try_prq_deadline(UserId(0), &WHOLE, 80.0, &Deadline::after(&clock, budget))
+                .unwrap();
+            for m in &p.value {
+                assert!(full.contains(m), "partial answers never fabricate: {:?}", m.uid);
+            }
+            if p.is_complete() {
+                assert_eq!(p.value, full, "a complete tag must mean the complete answer");
+            } else {
+                saw_incomplete = true;
+                assert!(p.complete_partitions() < p.partitions.len());
+            }
+            assert!(p.value.len() >= prev_len.min(full.len()), "more budget, no fewer answers");
+            prev_len = p.value.len();
+        }
+        assert!(saw_incomplete, "tiny budgets must actually expire");
+
+        // The generous budget at the end completed; zero budget serves
+        // nothing but says so honestly.
+        let p = t.try_prq_deadline(UserId(0), &WHOLE, 80.0, &Deadline::after(&clock, 0)).unwrap();
+        assert!(!p.is_complete());
+        assert!(p.value.is_empty());
+        assert!(p.partitions.iter().all(|(_, c)| !*c));
     }
 
     #[test]

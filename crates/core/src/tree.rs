@@ -53,7 +53,7 @@ impl KeyLayout for PebIndexLayout {
 pub struct PebTree {
     idx: ShardedMovingIndex<PebIndexLayout>,
     /// Whether queries execute through the fused multi-interval scan
-    /// pipeline (off by default; see [`PebTree::set_fused_scans`]).
+    /// pipeline (on by default; see [`PebTree::set_fused_scans`]).
     fused_scans: bool,
 }
 
@@ -68,7 +68,7 @@ impl PebTree {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
         PebTree {
             idx: ShardedMovingIndex::new(pool, layout, space, part, max_speed),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -87,7 +87,7 @@ impl PebTree {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
         PebTree {
             idx: ShardedMovingIndex::bulk_load(pool, layout, space, part, max_speed, users, fill),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -123,7 +123,7 @@ impl PebTree {
     /// a context whose SV codes drifted is tolerated exactly like any
     /// other stale-SV state (queries stay correct, keys refresh on the
     /// next [`PebTree::refresh_sequence_values`] pass). `fused_scans`
-    /// starts off, as in [`PebTree::new`].
+    /// starts on, as in [`PebTree::new`].
     pub fn recover(
         pool: Arc<BufferPool>,
         recovery: &peb_storage::WalRecovery,
@@ -135,7 +135,7 @@ impl PebTree {
         let layout = PebIndexLayout { keys: PebKeyLayout::new(space.grid_bits), ctx };
         PebTree {
             idx: ShardedMovingIndex::recover(pool, recovery, layout, space, part, max_speed),
-            fused_scans: false,
+            fused_scans: true,
         }
     }
 
@@ -146,8 +146,9 @@ impl PebTree {
     /// through [`peb_index::ShardedMovingIndex::scan_keys_multi`] — one
     /// descent plus a leaf-chain walk per partition instead of one
     /// descent per interval. Results are identical either way; only page
-    /// accesses differ. Off by default so the frozen benchmark
-    /// configurations keep their byte-exact per-interval I/O ledger.
+    /// accesses differ. On by default since the post-soak promotion (the
+    /// frozen benchmarks pin the fused ledger; the knob stays for A/B
+    /// against the legacy per-interval plan).
     pub fn set_fused_scans(&mut self, enabled: bool) {
         self.fused_scans = enabled;
     }
@@ -430,6 +431,19 @@ impl PebTree {
         mut f: impl FnMut(ObjectRecord) -> bool,
     ) -> Result<bool, IndexError> {
         self.idx.try_scan_keys_multi(intervals, |_, rec| f(rec))
+    }
+
+    /// Deadline-bounded twin of [`PebTree::try_scan_intervals_fused`]: the
+    /// scan checks `deadline` at every page visit and shard boundary (see
+    /// [`peb_index::ShardedMovingIndex::try_scan_keys_multi_deadline`])
+    /// and reports how it ended plus which partitions it finished.
+    pub(crate) fn try_scan_intervals_deadline(
+        &self,
+        intervals: &[(u128, u128)],
+        deadline: &peb_common::Deadline,
+        mut f: impl FnMut(ObjectRecord) -> bool,
+    ) -> Result<peb_index::ScanReport, IndexError> {
+        self.idx.try_scan_keys_multi_deadline(intervals, deadline, |_, rec| f(rec))
     }
 
     /// The cost-model interval budget for this tree's current shape: how

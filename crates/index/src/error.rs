@@ -10,6 +10,21 @@ use peb_storage::IoFault;
 /// sector, or detected corruption with no WAL post-image to repair from
 /// (non-durable pools cannot repair at all). The enum leaves room for
 /// future non-I/O failure classes without breaking callers.
+///
+/// The error chains: [`std::error::Error::source`] walks down to the
+/// underlying fault, so generic error reporters see the full story.
+///
+/// ```
+/// use std::error::Error;
+/// use peb_index::IndexError;
+/// use peb_storage::{IoFault, PageId};
+///
+/// let err = IndexError::from(IoFault::BadSector { pid: PageId(7) });
+/// assert_eq!(err.to_string(), "index I/O error: bad sector at page 7");
+/// let fault = err.source().expect("the fault is the source");
+/// assert_eq!(fault.to_string(), "bad sector at page 7");
+/// assert!(fault.source().is_none(), "the fault is the root cause");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum IndexError {

@@ -47,4 +47,4 @@ pub use layout::KeyLayout;
 pub use moving::{IndexStats, MovingIndex};
 pub use partition::TimePartitioning;
 pub use record::ObjectRecord;
-pub use shard::ShardedMovingIndex;
+pub use shard::{ScanReport, ShardedMovingIndex};

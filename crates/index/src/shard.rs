@@ -80,8 +80,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use peb_btree::{coalesce_intervals, BTree, OlcStats, ScanStats, TreeStats, WriteStats};
-use peb_common::{MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
+use peb_btree::{
+    coalesce_intervals, BTree, OlcStats, ScanStats, ScanTermination, TreeStats, WriteStats,
+};
+use peb_common::{sched, Deadline, MovingPoint, Rect, SpaceConfig, Timestamp, UserId};
 use peb_storage::{BufferPool, IoFault, IoStats, LockStats, PageId, WalRecovery};
 use peb_zorder::encode;
 
@@ -188,6 +190,35 @@ pub struct ShardedMovingIndex<L: KeyLayout> {
 /// the migration epoch before falling back to locking every intersecting
 /// shard at once.
 const SCAN_EPOCH_RETRIES: usize = 3;
+
+/// What a deadline-bounded scan actually delivered: the overall
+/// [`ScanTermination`] plus one `(tid, complete)` entry per time partition
+/// the interval set intersected, in the order the scan visited them
+/// (ascending key order). A partition is `complete` when every record of
+/// its clipped range was handed to the visitor; once the deadline expires
+/// (or the visitor stops), the partition it fired in and every later
+/// partition report `false`. This is the per-partition completeness tag
+/// the serving layer attaches to degraded (partial) query answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// How the scan ended: ran to completion, visitor stopped it, or the
+    /// deadline expired at a checkpoint.
+    pub termination: ScanTermination,
+    /// `(tid, complete)` per intersected partition, in visit order.
+    pub partitions: Vec<(u8, bool)>,
+}
+
+impl ScanReport {
+    /// Whether every intersected partition was fully delivered.
+    pub fn is_complete(&self) -> bool {
+        self.termination == ScanTermination::Complete
+    }
+
+    /// How many intersected partitions were fully delivered.
+    pub fn complete_partitions(&self) -> usize {
+        self.partitions.iter().filter(|(_, c)| *c).count()
+    }
+}
 
 impl<L: KeyLayout> ShardedMovingIndex<L> {
     /// An empty index with one shard per rotating partition, all sharing
@@ -584,6 +615,11 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                             self.mig_started.fetch_add(1, Ordering::SeqCst);
                         }
                         s.try_del(old)?;
+                        drop(s);
+                        // The object is now in no shard: the exact window
+                        // seeded schedules freeze to race scans and
+                        // deadline cancellations against a migration.
+                        sched::probe(sched::Site::MigSpan);
                     }
                 }
             }
@@ -734,6 +770,12 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
                     }
                 }
             }
+        }
+        if migrating {
+            // Evict→merge gap: re-keyed objects are in no shard until
+            // phase 2 lands. Same seeded freeze point as the single-
+            // object migration span.
+            sched::probe(sched::Site::MigSpan);
         }
 
         // Phase 2 — merge each partition's run into its shard tree.
@@ -1132,6 +1174,176 @@ impl<L: KeyLayout> ShardedMovingIndex<L> {
             }
             return Ok(true);
         }
+    }
+
+    /// Deadline-bounded twin of [`ShardedMovingIndex::try_scan_keys_multi`]:
+    /// the identical fused traversal with `deadline` consulted at every
+    /// page and entry checkpoint **inside** each shard tree
+    /// ([`peb_btree::BTree::try_multi_range_scan_deadline`]) and at every
+    /// **shard boundary**, so an expiring query stops within one page
+    /// visit wherever it happens to be. Instead of a bare bool it returns
+    /// a [`ScanReport`] tagging each intersected time partition with
+    /// whether its range was fully delivered — the raw material for the
+    /// serving layer's explicitly-partial query answers.
+    ///
+    /// Consistency: the single-shard fast path and the all-locks fallback
+    /// are exactly as consistent as the unbounded scan. The epoch-
+    /// validated multi-shard path buffers, then revalidates — an expired
+    /// buffer that passes revalidation is emitted as a *consistent
+    /// prefix* (no migration overlapped it); one that fails revalidation
+    /// is retried, and each retry re-reads pages and therefore burns more
+    /// of the deadline, degrading the answer rather than blocking it.
+    /// Records already handed to `visit` before a fault stay delivered.
+    pub fn try_scan_keys_multi_deadline(
+        &self,
+        intervals: &[(u128, u128)],
+        deadline: &Deadline,
+        mut visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> Result<ScanReport, IndexError> {
+        let runs = coalesce_intervals(intervals);
+        let mut spans: Vec<(usize, Vec<(u128, u128)>)> = Vec::new();
+        for tid in 0..self.shards.len() {
+            let (plo, phi) = self.layout.partition_range(tid as u8);
+            let clipped: Vec<(u128, u128)> = runs
+                .iter()
+                .filter(|(lo, hi)| *hi >= plo && *lo <= phi)
+                .map(|(lo, hi)| ((*lo).max(plo), (*hi).min(phi)))
+                .collect();
+            if !clipped.is_empty() {
+                spans.push((tid, clipped));
+            }
+        }
+        spans.sort_unstable_by_key(|(_, clipped)| clipped[0].0);
+        if spans.is_empty() {
+            return Ok(ScanReport {
+                termination: ScanTermination::Complete,
+                partitions: Vec::new(),
+            });
+        }
+
+        // Single-shard fast path: stream under one read lock, deadline
+        // checkpoints running inside the tree walk.
+        if let [(tid, clipped)] = &spans[..] {
+            let term = self.shards[*tid]
+                .read()
+                .btree
+                .try_multi_range_scan_deadline(clipped, deadline, &mut visit)?;
+            return Ok(ScanReport {
+                termination: term,
+                partitions: vec![(*tid as u8, term == ScanTermination::Complete)],
+            });
+        }
+
+        // An expired deadline means "answer now with what you have" — and
+        // what a scan that has not started has is nothing. Checked here
+        // and in every wait below so a query whose budget ran out can
+        // never be wedged behind migration traffic: it degrades to an
+        // all-incomplete answer instead of blocking on writers.
+        let expired_report = |spans: &[(usize, Vec<(u128, u128)>)]| ScanReport {
+            termination: ScanTermination::Expired,
+            partitions: spans.iter().map(|(tid, _)| (*tid as u8, false)).collect(),
+        };
+        for _ in 0..SCAN_EPOCH_RETRIES {
+            if deadline.expired() {
+                return Ok(expired_report(&spans));
+            }
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                std::thread::yield_now();
+                continue;
+            }
+            let mut buf: Vec<(u128, ObjectRecord)> = Vec::new();
+            let mut parts: Vec<(u8, bool)> = Vec::with_capacity(spans.len());
+            let mut termination = ScanTermination::Complete;
+            for (tid, clipped) in &spans {
+                // Shard-boundary checkpoint: partitions past the expiry
+                // are not read at all — they report incomplete at zero
+                // page cost.
+                if termination != ScanTermination::Complete {
+                    parts.push((*tid as u8, false));
+                    continue;
+                }
+                let s = self.shards[*tid].read();
+                let term = s.btree.try_multi_range_scan_deadline(clipped, deadline, |k, rec| {
+                    buf.push((k, rec));
+                    true
+                })?;
+                parts.push((*tid as u8, term == ScanTermination::Complete));
+                if term == ScanTermination::Expired {
+                    termination = ScanTermination::Expired;
+                }
+            }
+            if self.mig_started.load(Ordering::SeqCst) == started {
+                for (k, rec) in buf {
+                    if !visit(k, rec) {
+                        return Ok(ScanReport {
+                            termination: ScanTermination::Stopped,
+                            partitions: parts,
+                        });
+                    }
+                }
+                return Ok(ScanReport { termination, partitions: parts });
+            }
+        }
+
+        // Persistent migration traffic: wait out in-flight spans and hold
+        // every intersecting shard lock at once (same fallback order as
+        // the unbounded scan), then stream with the deadline intact. The
+        // waits burn wall time, never virtual ticks, so waiting cannot by
+        // itself expire a query.
+        loop {
+            if deadline.expired() {
+                return Ok(expired_report(&spans));
+            }
+            let done = self.mig_done.load(Ordering::SeqCst);
+            let started = self.mig_started.load(Ordering::SeqCst);
+            if done != started {
+                std::thread::yield_now();
+                continue;
+            }
+            let guards: Vec<_> = spans.iter().map(|(tid, _)| self.shards[*tid].read()).collect();
+            if self.mig_started.load(Ordering::SeqCst) != started
+                || self.mig_done.load(Ordering::SeqCst) != started
+            {
+                drop(guards);
+                std::thread::yield_now();
+                continue;
+            }
+            let mut parts: Vec<(u8, bool)> = Vec::with_capacity(spans.len());
+            let mut termination = ScanTermination::Complete;
+            for ((tid, clipped), s) in spans.iter().zip(guards.iter()) {
+                if termination != ScanTermination::Complete {
+                    parts.push((*tid as u8, false));
+                    continue;
+                }
+                let term = s.btree.try_multi_range_scan_deadline(clipped, deadline, &mut visit)?;
+                parts.push((*tid as u8, term == ScanTermination::Complete));
+                if term != ScanTermination::Complete {
+                    termination = term;
+                }
+            }
+            return Ok(ScanReport { termination, partitions: parts });
+        }
+    }
+
+    /// Deadline-bounded twin of [`ShardedMovingIndex::try_scan_keys`]:
+    /// one contiguous range, same [`ScanReport`] contract as
+    /// [`ShardedMovingIndex::try_scan_keys_multi_deadline`].
+    pub fn try_scan_keys_deadline(
+        &self,
+        lo: u128,
+        hi: u128,
+        deadline: &Deadline,
+        visit: impl FnMut(u128, ObjectRecord) -> bool,
+    ) -> Result<ScanReport, IndexError> {
+        if lo > hi {
+            return Ok(ScanReport {
+                termination: ScanTermination::Complete,
+                partitions: Vec::new(),
+            });
+        }
+        self.try_scan_keys_multi_deadline(&[(lo, hi)], deadline, visit)
     }
 
     /// Deterministic scan-path counters summed across all shard trees:

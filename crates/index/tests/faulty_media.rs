@@ -113,10 +113,8 @@ fn scorched_media_surfaces_typed_errors_and_service_recovers() {
     // remove left uids 7 and 9 unmapped (documented partial state), so
     // re-issue them before comparing against the pre-fault answers.
     pool.with_fault_injector(|f| f.clear());
-    idx.try_upsert(still(7, 7.0 * 32.0 + 1.0, 1.0, 10.0))
-        .expect("healed media accepts writes");
-    idx.try_upsert(still(9, 9.0 * 32.0 + 1.0, 1.0, 10.0))
-        .expect("healed media accepts writes");
+    idx.try_upsert(still(7, 7.0 * 32.0 + 1.0, 1.0, 10.0)).expect("healed media accepts writes");
+    idx.try_upsert(still(9, 9.0 * 32.0 + 1.0, 1.0, 10.0)).expect("healed media accepts writes");
     assert_eq!(idx.try_get(UserId(7)).expect("healed"), want_get);
     assert_eq!(scan_all(&idx).expect("healed"), want_scan);
     assert!(pool.fault_stats().surfaced_errors >= 4, "each failure was ledgered");

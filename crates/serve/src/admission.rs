@@ -1,0 +1,199 @@
+//! The bounded admission queue and its drop policies.
+//!
+//! Admission control is the first overload defense: a server that queues
+//! unboundedly converts overload into unbounded latency for *everyone*,
+//! while a bounded queue converts it into typed rejections for *some* —
+//! which queries lose is the [`DropPolicy`] knob. The queue itself is a
+//! pure data structure (no clock, no threads) so every policy decision is
+//! unit-testable and deterministic; the executor in [`crate::server`]
+//! wraps it in a lock.
+
+use std::collections::VecDeque;
+
+/// What to do with arrivals when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Refuse the new arrival ([`crate::Rejected::QueueFull`]); everything
+    /// already admitted keeps its place. Favors queries that have waited.
+    #[default]
+    RejectNew,
+    /// Evict the oldest queued query ([`crate::Rejected::Shed`]) and admit
+    /// the new one. Favors fresh queries — the oldest is the most likely
+    /// to blow its deadline anyway.
+    ShedOldest,
+    /// Two-class priority: a full queue sheds its oldest *low-priority*
+    /// entry to make room. A new arrival that finds the queue full of
+    /// its-or-higher priority is rejected; dequeue order serves high
+    /// before low (FIFO within a class).
+    Priority,
+}
+
+/// Admission priority class. Under [`DropPolicy::Priority`], `High`
+/// arrivals displace queued `Low` ones when the queue is full; with the
+/// other policies the class only breaks no ties (pure FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Interactive / latency-sensitive.
+    #[default]
+    High,
+    /// Background / best-effort.
+    Low,
+}
+
+/// Outcome of offering one item to the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admit<T> {
+    /// The item was admitted; nothing was displaced.
+    Admitted,
+    /// The item was admitted and this previously-queued victim was shed
+    /// to make room. The caller owes the victim a typed
+    /// [`crate::Rejected::Shed`].
+    AdmittedShedding(T),
+    /// The queue refused the item ([`crate::Rejected::QueueFull`]).
+    Rejected,
+}
+
+/// A bounded FIFO with a pluggable overflow policy. `T` is the queued
+/// work item (the executor queues admitted tickets).
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    policy: DropPolicy,
+    items: VecDeque<(Priority, T)>,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        AdmissionQueue { capacity: capacity.max(1), policy, items: VecDeque::new() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured drop policy.
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Queued items right now.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offer one item. On a full queue the [`DropPolicy`] decides who
+    /// loses; the decision is returned, never logged-and-forgotten.
+    pub fn offer(&mut self, prio: Priority, item: T) -> Admit<T> {
+        if self.items.len() < self.capacity {
+            self.items.push_back((prio, item));
+            return Admit::Admitted;
+        }
+        match self.policy {
+            DropPolicy::RejectNew => Admit::Rejected,
+            DropPolicy::ShedOldest => {
+                let (_, victim) = self.items.pop_front().expect("full queue is nonempty");
+                self.items.push_back((prio, item));
+                Admit::AdmittedShedding(victim)
+            }
+            DropPolicy::Priority => {
+                // Shed the oldest entry of strictly lower priority than
+                // the arrival, if any; otherwise the arrival loses.
+                match self.items.iter().position(|(p, _)| *p > prio) {
+                    Some(i) => {
+                        let (_, victim) = self.items.remove(i).expect("position is in range");
+                        self.items.push_back((prio, item));
+                        Admit::AdmittedShedding(victim)
+                    }
+                    None => Admit::Rejected,
+                }
+            }
+        }
+    }
+
+    /// Dequeue the next item to execute: FIFO, except under
+    /// [`DropPolicy::Priority`] where high-priority entries go first
+    /// (FIFO within a class).
+    pub fn pop(&mut self) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let i = match self.policy {
+            DropPolicy::Priority => {
+                let best = self.items.iter().map(|(p, _)| *p).min().expect("nonempty");
+                self.items.iter().position(|(p, _)| *p == best).expect("a best exists")
+            }
+            _ => 0,
+        };
+        self.items.remove(i).map(|(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_new_refuses_overflow() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::RejectNew);
+        assert_eq!(q.offer(Priority::High, 1), Admit::Admitted);
+        assert_eq!(q.offer(Priority::High, 2), Admit::Admitted);
+        assert_eq!(q.offer(Priority::High, 3), Admit::Rejected);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_front() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::ShedOldest);
+        q.offer(Priority::High, 1);
+        q.offer(Priority::High, 2);
+        assert_eq!(q.offer(Priority::High, 3), Admit::AdmittedShedding(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn priority_sheds_low_to_admit_high() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::Priority);
+        q.offer(Priority::Low, 10);
+        q.offer(Priority::High, 20);
+        // High arrival displaces the oldest queued Low.
+        assert_eq!(q.offer(Priority::High, 30), Admit::AdmittedShedding(10));
+        // Another High finds only High queued: rejected.
+        assert_eq!(q.offer(Priority::High, 40), Admit::Rejected);
+        // A Low arrival can never displace anyone.
+        assert_eq!(q.offer(Priority::Low, 50), Admit::Rejected);
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(30));
+    }
+
+    #[test]
+    fn priority_dequeues_high_before_older_low() {
+        let mut q = AdmissionQueue::new(4, DropPolicy::Priority);
+        q.offer(Priority::Low, 1);
+        q.offer(Priority::High, 2);
+        q.offer(Priority::Low, 3);
+        q.offer(Priority::High, 4);
+        assert_eq!(q.pop(), Some(2), "high first, FIFO within class");
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(1), "then low, FIFO within class");
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = AdmissionQueue::new(0, DropPolicy::RejectNew);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.offer(Priority::High, 1), Admit::Admitted);
+        assert_eq!(q.offer(Priority::High, 2), Admit::Rejected);
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-shard circuit breakers driven by the fault ledger.
+//!
+//! A shard whose medium is failing makes every query routed at it pay the
+//! full retry/repair toll before failing anyway. The breaker watches each
+//! shard's recent outcomes — query failures and the
+//! [`peb_storage::FaultStats`] deltas the executor samples around every
+//! execution — and, once the failure rate over a full observation window
+//! crosses the threshold, **opens**: further queries for that shard
+//! fast-fail with the typed [`crate::Rejected::CircuitOpen`] instead of
+//! queueing doomed work. After a cooldown on the virtual clock the breaker
+//! goes **half-open** and lets exactly one probe through; the probe's
+//! outcome closes the breaker (healthy again) or re-opens it for another
+//! cooldown. All transitions are value-typed ([`Transition`]) so the
+//! ledger can record them deterministically.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Outcomes per shard the failure rate is computed over. The breaker
+    /// never opens before a full window of observations exists.
+    pub window: usize,
+    /// Open when `failures / window >= failure_threshold` (0..=1).
+    pub failure_threshold: f64,
+    /// Virtual-clock ticks an open breaker waits before allowing its
+    /// half-open probe.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { window: 8, failure_threshold: 0.5, cooldown: 64 }
+    }
+}
+
+/// A state change worth a ledger line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Failure rate crossed the threshold: fast-fail until `probe_at`.
+    Opened {
+        /// The tripped shard.
+        shard: u8,
+        /// When the half-open probe becomes admissible.
+        probe_at: u64,
+    },
+    /// Cooldown elapsed; one probe query is in flight.
+    HalfOpened {
+        /// The probing shard.
+        shard: u8,
+    },
+    /// The probe succeeded; normal admission resumes with a clean window.
+    Closed {
+        /// The recovered shard.
+        shard: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { probe_at: u64 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Shard {
+    state: State,
+    /// Ring of recent outcomes, `true` = failure.
+    outcomes: Vec<bool>,
+    next: usize,
+    filled: bool,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard { state: State::Closed, outcomes: Vec::new(), next: 0, filled: false }
+    }
+
+    fn record_outcome(&mut self, window: usize, failed: bool) {
+        if self.outcomes.len() < window {
+            self.outcomes.push(failed);
+            self.filled = self.outcomes.len() == window;
+        } else {
+            self.outcomes[self.next] = failed;
+            self.next = (self.next + 1) % window;
+            self.filled = true;
+        }
+    }
+
+    fn failure_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|f| **f).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// The breaker bank: one independent breaker per shard id.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    shards: Mutex<HashMap<u8, Shard>>,
+}
+
+/// Verdict of [`CircuitBreaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the query normally.
+    Proceed,
+    /// Run the query as the shard's single half-open probe (the caller
+    /// should ledger the transition).
+    Probe,
+    /// Fast-fail: the breaker is open until `probe_at`.
+    FastFail {
+        /// When the next probe becomes admissible.
+        probe_at: u64,
+    },
+}
+
+impl CircuitBreaker {
+    /// A bank with no observations; every shard starts closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker { cfg, shards: Mutex::new(HashMap::new()) }
+    }
+
+    /// The tuning in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// Gate one query against `shard` at virtual time `now`.
+    pub fn admit(&self, shard: u8, now: u64) -> Admission {
+        let mut shards = self.shards.lock().unwrap();
+        let s = shards.entry(shard).or_insert_with(Shard::new);
+        match s.state {
+            State::Closed => Admission::Proceed,
+            State::HalfOpen => {
+                // A probe is already in flight; everyone else still
+                // fast-fails (probe_at is now — retry immediately after
+                // the probe resolves).
+                Admission::FastFail { probe_at: now }
+            }
+            State::Open { probe_at } => {
+                if now >= probe_at {
+                    s.state = State::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::FastFail { probe_at }
+                }
+            }
+        }
+    }
+
+    /// Record one executed query's outcome for `shard` (`failed` covers
+    /// both a typed query failure and a nonzero surfaced-fault delta in
+    /// the pool's [`peb_storage::FaultStats`]). Returns the transition to
+    /// ledger, if any.
+    pub fn record(&self, shard: u8, now: u64, failed: bool) -> Option<Transition> {
+        let mut shards = self.shards.lock().unwrap();
+        let s = shards.entry(shard).or_insert_with(Shard::new);
+        match s.state {
+            State::HalfOpen => {
+                if failed {
+                    let probe_at = now + self.cfg.cooldown;
+                    s.state = State::Open { probe_at };
+                    Some(Transition::Opened { shard, probe_at })
+                } else {
+                    s.state = State::Closed;
+                    s.outcomes.clear();
+                    s.next = 0;
+                    s.filled = false;
+                    Some(Transition::Closed { shard })
+                }
+            }
+            State::Open { .. } => None, // stray completion while open
+            State::Closed => {
+                s.record_outcome(self.cfg.window, failed);
+                if s.filled && s.failure_rate() >= self.cfg.failure_threshold {
+                    let probe_at = now + self.cfg.cooldown;
+                    s.state = State::Open { probe_at };
+                    Some(Transition::Opened { shard, probe_at })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Read-only gate for submission time: `Some(probe_at)` iff the
+    /// breaker is open and the cooldown has not elapsed at `now`. Unlike
+    /// [`CircuitBreaker::admit`] this never transitions state, so a
+    /// submit-time fast-fail cannot consume the half-open probe slot.
+    pub fn peek_open(&self, shard: u8, now: u64) -> Option<u64> {
+        let shards = self.shards.lock().unwrap();
+        match shards.get(&shard).map(|s| s.state) {
+            Some(State::Open { probe_at }) if now < probe_at => Some(probe_at),
+            _ => None,
+        }
+    }
+
+    /// Whether `shard`'s breaker is currently open (for tests/metrics).
+    pub fn is_open(&self, shard: u8) -> bool {
+        let shards = self.shards.lock().unwrap();
+        matches!(shards.get(&shard).map(|s| s.state), Some(State::Open { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { window: 4, failure_threshold: 0.5, cooldown: 10 }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold_and_before_full_window() {
+        let b = CircuitBreaker::new(cfg());
+        // Three straight failures: window not full yet, still closed.
+        for _ in 0..3 {
+            assert_eq!(b.record(0, 0, true), None);
+        }
+        assert_eq!(b.admit(0, 1), Admission::Proceed);
+        // Fourth outcome a success: rate 3/4 >= 0.5 -> opens.
+        let t = b.record(0, 5, false);
+        assert_eq!(t, Some(Transition::Opened { shard: 0, probe_at: 15 }));
+        assert!(b.is_open(0));
+    }
+
+    #[test]
+    fn open_fast_fails_until_cooldown_then_probes_once() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.record(1, 0, true);
+        }
+        assert_eq!(b.admit(1, 5), Admission::FastFail { probe_at: 10 });
+        // Cooldown elapsed: exactly one probe; the next caller still fails.
+        assert_eq!(b.admit(1, 10), Admission::Probe);
+        assert_eq!(b.admit(1, 11), Admission::FastFail { probe_at: 11 });
+        // Probe succeeds: closed, window cleared.
+        assert_eq!(b.record(1, 12, false), Some(Transition::Closed { shard: 1 }));
+        assert_eq!(b.admit(1, 13), Admission::Proceed);
+        // A single new failure does not re-open (window restarted).
+        assert_eq!(b.record(1, 14, true), None);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.record(2, 0, true);
+        }
+        assert_eq!(b.admit(2, 10), Admission::Probe);
+        assert_eq!(b.record(2, 10, true), Some(Transition::Opened { shard: 2, probe_at: 20 }));
+        assert_eq!(b.admit(2, 15), Admission::FastFail { probe_at: 20 });
+        assert_eq!(b.admit(2, 20), Admission::Probe);
+    }
+
+    #[test]
+    fn shards_trip_independently() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..4 {
+            b.record(3, 0, true);
+        }
+        assert!(b.is_open(3));
+        assert!(!b.is_open(4));
+        assert_eq!(b.admit(4, 1), Admission::Proceed);
+    }
+}

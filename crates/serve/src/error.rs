@@ -1,0 +1,174 @@
+//! Typed serving-layer failures.
+//!
+//! Every way a query can fail to produce an answer is a value, not a log
+//! line: overload rejections ([`Rejected`]) are separate from execution
+//! failures ([`ServeError::Query`]), and execution failures chain all the
+//! way down to the physical fault through [`std::error::Error::source`] —
+//! `ServeError` → [`peb_index::IndexError`] → [`peb_storage::IoFault`].
+//! Callers route on the variant (retry? back off? surface?) without
+//! parsing any message, and the `Display` strings are stable enough to
+//! grep in a ledger.
+
+use peb_index::IndexError;
+
+/// Why the serving layer refused to *run* a query. These are overload
+/// signals — backpressure the caller is supposed to react to — not
+/// failures of the query itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The admission queue was full and the drop policy refused the new
+    /// arrival (policy [`crate::DropPolicy::RejectNew`], or a priority
+    /// policy with no lower-priority victim to shed).
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The query was admitted but then evicted from the queue to make
+    /// room for a newer arrival (policy [`crate::DropPolicy::ShedOldest`]
+    /// or a priority shed).
+    Shed,
+    /// The per-shard circuit breaker is open: the query's home shard has
+    /// been failing at or above the configured rate, and the serving
+    /// layer fails fast instead of queueing doomed work.
+    CircuitOpen {
+        /// The shard (rotating time partition id) whose breaker tripped.
+        shard: u8,
+        /// Virtual-clock tick at which the breaker will allow its next
+        /// half-open probe.
+        retry_at: u64,
+    },
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            Rejected::Shed => write!(f, "shed from the admission queue under overload"),
+            Rejected::CircuitOpen { shard, retry_at } => {
+                write!(f, "circuit open for shard {shard} (probe at tick {retry_at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why a submitted query produced no (complete or partial) answer.
+///
+/// The error chain is fully typed: a query that died on an unresolvable
+/// media fault carries the [`IndexError`] it failed with, whose
+/// [`source`](std::error::Error::source) is the underlying
+/// [`peb_storage::IoFault`] naming the exact page.
+///
+/// ```
+/// use std::error::Error;
+/// use peb_index::IndexError;
+/// use peb_serve::ServeError;
+/// use peb_storage::{IoFault, PageId};
+///
+/// // The chain a caller can walk, from serving layer to platter:
+/// let err = ServeError::Query(IndexError::Io(IoFault::BadSector { pid: PageId(7) }));
+/// let index_err = err.source().expect("ServeError chains to IndexError");
+/// assert!(index_err.to_string().contains("index I/O error"));
+/// let io = index_err.source().expect("IndexError chains to IoFault");
+/// assert_eq!(io.to_string(), "bad sector at page 7");
+/// assert!(io.source().is_none(), "IoFault is the root cause");
+///
+/// // Rejections carry no cause: they are the serving layer's own verdict.
+/// let rej = ServeError::Rejected(peb_serve::Rejected::QueueFull { capacity: 4 });
+/// assert!(rej.source().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The serving layer refused to run the query (overload backpressure).
+    Rejected(Rejected),
+    /// The query ran and failed: an unresolvable fault survived both the
+    /// buffer pool's retry/repair machinery and the serving layer's own
+    /// query-level retries.
+    Query(IndexError),
+}
+
+impl ServeError {
+    /// Whether this is an overload rejection (as opposed to an execution
+    /// failure) — the caller's cue to back off rather than report.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, ServeError::Rejected(_))
+    }
+}
+
+impl From<Rejected> for ServeError {
+    fn from(r: Rejected) -> Self {
+        ServeError::Rejected(r)
+    }
+}
+
+impl From<IndexError> for ServeError {
+    fn from(e: IndexError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "query rejected: {r}"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(_) => None,
+            ServeError::Query(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_storage::{IoFault, PageId};
+
+    #[test]
+    fn displays_are_stable_and_greppable() {
+        assert_eq!(
+            Rejected::QueueFull { capacity: 8 }.to_string(),
+            "admission queue full (capacity 8)"
+        );
+        assert_eq!(Rejected::Shed.to_string(), "shed from the admission queue under overload");
+        assert_eq!(
+            Rejected::CircuitOpen { shard: 2, retry_at: 100 }.to_string(),
+            "circuit open for shard 2 (probe at tick 100)"
+        );
+        let q = ServeError::Query(IndexError::Io(IoFault::Transient { pid: PageId(3) }));
+        assert_eq!(q.to_string(), "query failed: index I/O error: transient read error on page 3");
+    }
+
+    #[test]
+    fn source_chain_reaches_the_io_fault() {
+        use std::error::Error;
+        let fault = IoFault::Corrupt { pid: PageId(1), expected: 2, found: 3 };
+        let err = ServeError::Query(IndexError::Io(fault));
+        let mut depth = 0;
+        let mut cur: &dyn Error = &err;
+        while let Some(next) = cur.source() {
+            cur = next;
+            depth += 1;
+        }
+        assert_eq!(depth, 2, "ServeError -> IndexError -> IoFault");
+        assert!(cur.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn rejections_classify_as_rejections() {
+        assert!(ServeError::from(Rejected::Shed).is_rejection());
+        let e = ServeError::from(IndexError::Io(IoFault::Transient { pid: PageId(0) }));
+        assert!(!e.is_rejection());
+    }
+}

@@ -1,0 +1,44 @@
+//! The overload-robust serving layer for the PEB-tree.
+//!
+//! An index that is correct at one query per second and wedged at a
+//! thousand is not a serving system. This crate turns the deadline-checked
+//! query engines of [`pebtree`] into one that **degrades on purpose**,
+//! with every degradation typed and every decision on a replayable ledger:
+//!
+//! * **Admission control** ([`AdmissionQueue`], [`DropPolicy`]) — a
+//!   bounded queue whose overflow verdicts are typed
+//!   ([`Rejected::QueueFull`], [`Rejected::Shed`]), with reject-new,
+//!   shed-oldest and two-class priority policies.
+//! * **Deadline budgets** ([`ServerConfig::deadline_budget`]) — stamped at
+//!   admission on the virtual [`peb_common::TickClock`] the buffer pool
+//!   advances per page access, threaded cooperatively through every scan;
+//!   an expired query returns a typed-partial answer
+//!   ([`pebtree::Partial`]) with per-partition completeness, not an error
+//!   and not a lie.
+//! * **Retries** ([`RetryPolicy`]) — transiently-failed queries re-run
+//!   after deterministic jittered backoff; permanent faults fail fast.
+//! * **Circuit breakers** ([`CircuitBreaker`]) — per-shard failure-rate
+//!   tracking with open/half-open/closed transitions and typed fast-fail
+//!   ([`Rejected::CircuitOpen`]).
+//! * **Determinism** — under [`QueryServer::drain`] the whole pipeline is
+//!   a pure function of (tree, seed, submission sequence): the ledger is
+//!   byte-identical across runs, which is what the chaos harness diffs.
+//!
+//! See docs/ARCHITECTURE.md, "Serving and overload".
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod breaker;
+pub mod error;
+pub mod retry;
+pub mod server;
+
+pub use admission::{AdmissionQueue, Admit, DropPolicy, Priority};
+pub use breaker::{Admission, BreakerConfig, CircuitBreaker, Transition};
+pub use error::{Rejected, ServeError};
+pub use retry::RetryPolicy;
+pub use server::{
+    Completion, Event, Ledger, LedgerEntry, QueryServer, Request, Response, ServeStats,
+    ServerConfig,
+};

@@ -1,0 +1,129 @@
+//! Query-level retry with deterministic jittered exponential backoff.
+//!
+//! The buffer pool already absorbs most transient read errors with its own
+//! bounded in-place retries; what reaches the serving layer is a query
+//! that *failed* — its retry budget exhausted mid-scan. Re-running the
+//! whole query a moment later often succeeds (the fault schedule has moved
+//! on), so the executor retries transient failures a bounded number of
+//! times, sleeping on the **virtual clock** between attempts. The sleep is
+//! exponential with full deterministic jitter: `hash(seed, ticket,
+//! attempt)` picks the jitter, so a fixed seed replays the exact same
+//! backoff schedule tick for tick — retries never make an overload
+//! experiment unreproducible.
+
+use peb_index::IndexError;
+use peb_storage::IoFault;
+
+/// SplitMix64 — the same mixer the seeded schedulers use; here it turns
+/// (seed, ticket, attempt) into an unbiased jitter draw.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How the executor retries transiently-failed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-executions after the first failure (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before retry `a` starts from `base_backoff << a` ticks.
+    pub base_backoff: u64,
+    /// Cap on the exponential term, so a long retry chain cannot overflow
+    /// or sleep past any plausible deadline.
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2, base_backoff: 4, max_backoff: 64 }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether `err` is worth re-running the query for. Only transient
+    /// faults qualify: bad sectors and detected corruption are properties
+    /// of the medium, not the moment, and re-running the query replays
+    /// the same failure.
+    pub fn is_transient(err: &IndexError) -> bool {
+        matches!(err, IndexError::Io(IoFault::Transient { .. }))
+    }
+
+    /// The virtual-clock ticks to back off before retry `attempt`
+    /// (0-based): the capped exponential term plus a deterministic jitter
+    /// in `[0, term/2]` drawn from `(seed, ticket, attempt)`. Same seed,
+    /// same schedule — byte for byte.
+    pub fn backoff_ticks(&self, seed: u64, ticket: u64, attempt: u32) -> u64 {
+        let term = self.base_backoff.saturating_shl(attempt.min(32)).min(self.max_backoff).max(1);
+        let jitter = mix(seed ^ mix(ticket) ^ u64::from(attempt)) % (term / 2 + 1);
+        term + jitter
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping — a backoff of
+/// `base << 40` is "the cap", not an overflow panic.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peb_storage::PageId;
+
+    #[test]
+    fn only_transient_faults_are_retryable() {
+        let pid = PageId(5);
+        assert!(RetryPolicy::is_transient(&IndexError::Io(IoFault::Transient { pid })));
+        assert!(!RetryPolicy::is_transient(&IndexError::Io(IoFault::BadSector { pid })));
+        assert!(!RetryPolicy::is_transient(&IndexError::Io(IoFault::Corrupt {
+            pid,
+            expected: 1,
+            found: 2
+        })));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_seed_sensitive() {
+        let p = RetryPolicy::default();
+        let schedule = |seed: u64| -> Vec<u64> {
+            (0..6)
+                .flat_map(|t| (0..3).map(move |a| (t, a)))
+                .map(|(t, a)| p.backoff_ticks(seed, t, a))
+                .collect()
+        };
+        assert_eq!(schedule(0xAB), schedule(0xAB), "same seed, same schedule");
+        assert_ne!(schedule(0xAB), schedule(0xCD), "different seeds must differ");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy { max_retries: 10, base_backoff: 4, max_backoff: 64 };
+        for a in 0..10u32 {
+            let b = p.backoff_ticks(1, 1, a);
+            let term = (4u64 << a.min(32)).min(64);
+            assert!(b >= term && b <= term + term / 2, "attempt {a}: {b} outside [{term}, 1.5x]");
+        }
+        // Far attempts stay at the cap (plus jitter), no overflow.
+        let far = p.backoff_ticks(1, 1, 63);
+        assert!((64..=96).contains(&far));
+    }
+
+    #[test]
+    fn jitter_varies_across_tickets() {
+        let p = RetryPolicy { max_retries: 3, base_backoff: 16, max_backoff: 1024 };
+        let draws: Vec<u64> = (0..32).map(|t| p.backoff_ticks(7, t, 0)).collect();
+        assert!(draws.iter().any(|d| d != &draws[0]), "jitter must decorrelate tickets");
+        assert!(draws.iter().all(|&d| (16..=24).contains(&d)));
+    }
+}

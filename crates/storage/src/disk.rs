@@ -27,8 +27,19 @@
 //! deterministically and append to a trace, so a faulty run can be
 //! replayed and asserted byte-for-byte. With nothing armed the injector
 //! is two branch tests per access.
+//!
+//! # Latency
+//!
+//! [`LatencyInjector`] is the same arming discipline applied to *time*
+//! instead of failure: armed points add ticks to a shared virtual
+//! [`TickClock`] when the matching physical read fires, so a "slow
+//! platter" is a seeded, replayable schedule rather than a `sleep`. The
+//! serving layer's deadlines read the same clock, which is what makes
+//! overload experiments deterministic (see `peb_serve`).
 
 use std::collections::{HashMap, HashSet};
+
+use peb_common::clock::TickClock;
 
 use crate::page::{Page, PageId, ReadOutcome};
 
@@ -326,6 +337,118 @@ impl FaultInjector {
     }
 }
 
+/// One fired latency point, for trace-asserting deterministic slow-read
+/// schedules (the latency twin of [`FaultEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyEvent {
+    /// The page whose read was slowed.
+    pub pid: PageId,
+    /// The global read ordinal it fired at.
+    pub access: u64,
+    /// How many virtual ticks the point added to the clock.
+    pub ticks: u64,
+}
+
+/// Deterministic slow-read schedule for one [`DiskSim`] — the latency
+/// counterpart of [`FaultInjector`], with the same arm/ordinal/trace
+/// discipline. Armed points add virtual ticks to the disk's
+/// [`TickClock`] when the matching physical read happens; nothing
+/// sleeps, so "slow media" is reproducible on any machine and a loaded
+/// CI runner cannot change the measured overload behavior.
+///
+/// Unlike fault points, latency points can be armed at the same ordinal
+/// repeatedly across [`LatencyInjector::clear`] cycles; within one
+/// schedule each armed point fires exactly once.
+#[derive(Clone, Default)]
+pub struct LatencyInjector {
+    /// Armed points: `(scope, nth) -> ticks`, where `scope` is
+    /// `Some(pid)` for per-page read ordinals and `None` for global ones
+    /// (same keying as [`FaultInjector`]).
+    points: HashMap<(Option<u32>, u64), u64>,
+    /// Global read ordinal (next read gets the current value).
+    reads_seen: u64,
+    /// Per-page read ordinals, tracked only once something is armed.
+    pid_reads: HashMap<u32, u64>,
+    /// Fired events, in firing order.
+    trace: Vec<LatencyEvent>,
+    /// Total ticks injected so far.
+    injected_ticks: u64,
+}
+
+impl LatencyInjector {
+    /// An empty (idle) injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `ticks` of extra latency at the `nth` physical read (0-based,
+    /// counted from disk creation): of page `pid` when `Some`, of any
+    /// page when `None`. Zero-tick points are ignored.
+    pub fn arm_slow_read(&mut self, pid: Option<PageId>, nth: u64, ticks: u64) {
+        if ticks > 0 {
+            self.points.insert((pid.map(|p| p.0), nth), ticks);
+        }
+    }
+
+    /// Arm a seeded burst of `points` slow reads spread over the next
+    /// `window` global read ordinals, each adding between 1 and
+    /// `max_ticks` ticks — the chaos-harness generator. Deterministic in
+    /// `(seed, points, window, max_ticks)`; duplicate ordinals collapse
+    /// (last arm wins), so up to `points` spikes fire.
+    pub fn arm_seeded_read_burst(&mut self, seed: u64, points: u64, window: u64, max_ticks: u64) {
+        let base = self.reads_seen;
+        for i in 0..points {
+            let h = splitmix64(seed ^ (i.wrapping_mul(0x517c_c1b7)));
+            let nth = base + h % window.max(1);
+            let ticks = 1 + (h >> 32) % max_ticks.max(1);
+            self.points.insert((None, nth), ticks);
+        }
+    }
+
+    /// The fired-latency trace, in firing order.
+    pub fn trace(&self) -> &[LatencyEvent] {
+        &self.trace
+    }
+
+    /// Total ticks injected so far.
+    pub fn injected_ticks(&self) -> u64 {
+        self.injected_ticks
+    }
+
+    /// Disarm everything and clear the trace. Read ordinals keep
+    /// counting (they are the disk's clock), and the injected-tick total
+    /// is preserved — it mirrors ticks already on the [`TickClock`].
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.trace.clear();
+    }
+
+    /// Look up and consume the armed point for this read, advancing the
+    /// ordinals (same contract as [`FaultInjector::on_read`]). Returns
+    /// the ticks to add to the clock.
+    fn on_read(&mut self, pid: PageId) -> u64 {
+        let n = self.reads_seen;
+        self.reads_seen += 1;
+        let pn = {
+            let c = self.pid_reads.entry(pid.0).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        if self.points.is_empty() {
+            return 0;
+        }
+        let Some(ticks) =
+            self.points.remove(&(Some(pid.0), pn)).or_else(|| self.points.remove(&(None, n)))
+        else {
+            return 0;
+        };
+        self.trace.push(LatencyEvent { pid, access: n, ticks });
+        self.injected_ticks += ticks;
+        ticks
+    }
+}
+
 /// Physical page store with access counters, a seal catalog, and a fault
 /// injector.
 ///
@@ -341,6 +464,11 @@ pub struct DiskSim {
     reads: u64,
     writes: u64,
     faults: FaultInjector,
+    latency: LatencyInjector,
+    /// Virtual clock the latency injector advances. The buffer pool
+    /// replaces the default with its own shared clock so query deadlines
+    /// observe injected device latency.
+    clock: TickClock,
 }
 
 impl Default for DiskSim {
@@ -358,7 +486,21 @@ impl DiskSim {
             reads: 0,
             writes: 0,
             faults: FaultInjector::new(),
+            latency: LatencyInjector::new(),
+            clock: TickClock::new(),
         }
+    }
+
+    /// Replace the clock injected latency advances (the buffer pool
+    /// shares its own clock this way). Ticks already injected stay on
+    /// the old clock.
+    pub fn set_clock(&mut self, clock: TickClock) {
+        self.clock = clock;
+    }
+
+    /// The virtual clock this disk's latency schedule advances.
+    pub fn clock(&self) -> &TickClock {
+        &self.clock
     }
 
     /// Allocate a fresh zeroed page and return its id.
@@ -375,6 +517,10 @@ impl DiskSim {
     /// outcome-typed form [`DiskSim::read`] adapts into a `Result`.
     pub fn read_outcome(&mut self, pid: PageId) -> ReadOutcome {
         self.reads += 1;
+        let slow = self.latency.on_read(pid);
+        if slow > 0 {
+            self.clock.advance(slow);
+        }
         let idx = pid.0 as usize;
         if !pid.is_valid() || idx >= self.pages.len() {
             // Unallocated ids are addressable but were never written:
@@ -490,6 +636,17 @@ impl DiskSim {
     /// Read-only view of the fault injector (trace, bad-sector set).
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+
+    /// The latency injector, for arming slow-read schedules and reading
+    /// the trace.
+    pub fn latency_mut(&mut self) -> &mut LatencyInjector {
+        &mut self.latency
+    }
+
+    /// Read-only view of the latency injector (trace, injected ticks).
+    pub fn latency(&self) -> &LatencyInjector {
+        &self.latency
     }
 
     /// Physical page reads since the last counter reset.
@@ -641,6 +798,62 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].pid, b);
         assert_eq!(trace[1].pid, a);
+    }
+
+    #[test]
+    fn latency_points_advance_the_clock_and_trace() {
+        let mut d = DiskSim::new();
+        let a = d.allocate();
+        let b = d.allocate();
+        d.latency_mut().arm_slow_read(Some(a), 1, 5); // a's 2nd read
+        d.latency_mut().arm_slow_read(None, 2, 3); // 3rd read overall
+        let clock = d.clock().clone();
+        assert_eq!(clock.now(), 0);
+        assert!(d.read(a).is_ok()); // global #0, a's #0: clean
+        assert_eq!(clock.now(), 0);
+        assert!(d.read(a).is_ok()); // a's #1 -> +5
+        assert_eq!(clock.now(), 5);
+        assert!(d.read(b).is_ok()); // global #2 -> +3
+        assert_eq!(clock.now(), 8);
+        assert!(d.read(b).is_ok()); // nothing armed
+        assert_eq!(clock.now(), 8);
+        let trace = d.latency().trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!((trace[0].pid, trace[0].ticks), (a, 5));
+        assert_eq!((trace[1].pid, trace[1].ticks), (b, 3));
+        assert_eq!(d.latency().injected_ticks(), 8);
+    }
+
+    #[test]
+    fn latency_and_faults_compose_on_one_read() {
+        // A read can be both slow and failing: the ticks land before the
+        // outcome is decided, so a deadline sees the stall either way.
+        let mut d = DiskSim::new();
+        let pid = d.allocate();
+        d.faults_mut().arm_read(Some(pid), 0, FaultKind::TransientRead);
+        d.latency_mut().arm_slow_read(Some(pid), 0, 7);
+        let clock = d.clock().clone();
+        assert_eq!(d.read(pid), Err(IoFault::Transient { pid }));
+        assert_eq!(clock.now(), 7, "the stall precedes the typed failure");
+    }
+
+    #[test]
+    fn seeded_latency_burst_is_deterministic() {
+        let run = || {
+            let mut d = DiskSim::new();
+            let pids: Vec<PageId> = (0..4).map(|_| d.allocate()).collect();
+            d.latency_mut().arm_seeded_read_burst(99, 6, 16, 10);
+            for r in 0..16u64 {
+                let _ = d.read(pids[(r % 4) as usize]);
+            }
+            (d.clock().now(), d.latency().trace().to_vec())
+        };
+        let (t1, e1) = run();
+        let (t2, e2) = run();
+        assert_eq!(t1, t2, "injected ticks must be reproducible");
+        assert_eq!(e1, e2, "latency trace must be reproducible");
+        assert!(!e1.is_empty(), "the seeded burst must actually fire");
+        assert!(e1.iter().all(|e| e.ticks >= 1 && e.ticks <= 10));
     }
 
     #[test]

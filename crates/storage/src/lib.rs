@@ -39,7 +39,9 @@ pub mod page;
 pub mod pool;
 pub mod wal;
 
-pub use disk::{DiskSim, FaultEvent, FaultInjector, FaultKind, IoFault};
+pub use disk::{
+    DiskSim, FaultEvent, FaultInjector, FaultKind, IoFault, LatencyEvent, LatencyInjector,
+};
 pub use page::{Page, PageId, ReadOutcome, PAGE_SIZE, PAGE_WORDS};
 pub use pool::{
     default_shard_count, BufferPool, FaultStats, IoStats, LockStats, OptimisticRead, PageLatch,

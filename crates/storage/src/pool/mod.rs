@@ -78,7 +78,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::disk::{DiskSim, FaultInjector, IoFault};
+use peb_common::clock::TickClock;
+
+use crate::disk::{DiskSim, FaultInjector, IoFault, LatencyInjector};
 use crate::page::{Page, PageId};
 use crate::wal::{CrashInjector, CrashPoint, Wal, WalRecord, WalStats};
 use latch::LatchTable;
@@ -445,6 +447,11 @@ pub struct BufferPool {
     crash_scope: AtomicU8,
     /// The retry / read-repair / quarantine ledger ([`FaultStats`]).
     faults: FaultCounters,
+    /// The virtual clock: one tick per logical page access, plus
+    /// whatever the disk's [`LatencyInjector`] arms on physical reads.
+    /// Shared with the disk (and, via [`BufferPool::clock`], with the
+    /// serving layer's deadlines).
+    clock: TickClock,
 }
 
 /// The default shard count: the next power of two at or above the
@@ -501,18 +508,22 @@ impl BufferPool {
         let (base, rem) = (capacity / n, capacity % n);
         let shards: Box<[ShardState]> =
             (0..n).map(|i| ShardState::new(base + usize::from(i < rem), shard_bits)).collect();
+        let clock = TickClock::new();
+        let mut disk = DiskSim::new();
+        disk.set_clock(clock.clone());
         BufferPool {
             shards,
             shard_mask: n - 1,
             total_capacity: capacity,
             optimistic_reads: true,
-            disk: Mutex::new(DiskSim::new()),
+            disk: Mutex::new(disk),
             durable: AtomicBool::new(false),
             wal: Mutex::new(None),
             latches: LatchTable::new(),
             injector: Arc::new(CrashInjector::new()),
             crash_scope: AtomicU8::new(0),
             faults: FaultCounters::default(),
+            clock,
         }
     }
 
@@ -655,6 +666,7 @@ impl BufferPool {
                 state.mirror.touch(pid, tick);
                 state.opt_logical.fetch_add(1, Ordering::Relaxed);
                 state.opt_hits.fetch_add(1, Ordering::Relaxed);
+                self.clock.advance(1);
             }
             OptimisticRead::Unpublished => {
                 state.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -723,6 +735,7 @@ impl BufferPool {
                         state.mirror.touch(pid, tick);
                         state.opt_logical.fetch_add(1, Ordering::Relaxed);
                         state.opt_hits.fetch_add(1, Ordering::Relaxed);
+                        self.clock.advance(1);
                         snap.version = Some(version);
                         return Ok(true);
                     }
@@ -923,6 +936,7 @@ impl BufferPool {
         let s = &mut *state.shard.lock();
         let tick = state.tick.fetch_add(1, Ordering::Relaxed) + 1;
         s.stats.logical_reads += 1;
+        self.clock.advance(1);
         let mut content_changed = mark_dirty;
         if !s.table.contains(pid) {
             if s.table.is_full() {
@@ -1223,6 +1237,21 @@ impl BufferPool {
         f(self.disk.lock().faults_mut())
     }
 
+    /// Run `f` on the data disk's [`LatencyInjector`] (arm slow-read
+    /// schedules, read the fired-latency trace). Takes the disk lock;
+    /// never call while inside a pool callback.
+    pub fn with_latency_injector<R>(&self, f: impl FnOnce(&mut LatencyInjector) -> R) -> R {
+        f(self.disk.lock().latency_mut())
+    }
+
+    /// The pool's virtual clock: one tick per logical page access, plus
+    /// armed slow-read latency. Deadlines ([`peb_common::clock::Deadline`])
+    /// built on this clock expire from *work done*, never wall time, so
+    /// overload behavior is deterministic. Lock-free.
+    pub fn clock(&self) -> &TickClock {
+        &self.clock
+    }
+
     /// Page ids currently quarantined (pinned resident after a failed
     /// read-repair), ascending across shards.
     pub fn quarantined_pages(&self) -> Vec<PageId> {
@@ -1385,6 +1414,8 @@ impl BufferPool {
     /// [`BufferPool::optimistic`] as usual.
     pub fn from_recovered(capacity: usize, shards: usize, data: DiskSim, wal: Wal) -> Self {
         let pool = BufferPool::with_shards(capacity, shards);
+        let mut data = data;
+        data.set_clock(pool.clock.clone());
         *pool.disk.lock() = data;
         *pool.wal.lock() = Some(wal);
         pool.durable.store(true, Ordering::Relaxed);
